@@ -1,0 +1,59 @@
+//! Ablation (Section V-E, "Need for Static Cache Partitioning"): COBRA
+//! without static way partitioning. C-Buffer lines contend with other data
+//! under the baseline replacement policies; the paper's cache-simulator
+//! evaluation found a C-Buffer miss rate below 1% because all co-running
+//! Binning-phase accesses are streaming.
+
+use cobra_bench::{inputs, report, Scale, Table};
+use cobra_core::{CobraMachine, PbBackend};
+use cobra_kernels::{Input, KernelId};
+use cobra_sim::engine::Engine;
+use cobra_sim::MachineConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let machine = MachineConfig::hpca22();
+    report::print_machine(&machine);
+    let kernel = KernelId::DegreeCount;
+    let mut t = Table::new(
+        "Ablation: COBRA without static cache partitioning (Binning phase)",
+        &["input", "C-Buffer miss rate", "binning cycles vs pinned"],
+    );
+    for ni in inputs::graph_suite(scale) {
+        let Input::Graph { el, .. } = &ni.input else { continue };
+        let run = |partitioned: bool| {
+            let mut m = CobraMachine::<()>::with_defaults(
+                machine,
+                el.num_vertices(),
+                kernel.tuple_bytes(),
+                el.num_edges() as u64,
+            );
+            if !partitioned {
+                m.disable_static_partitioning();
+            }
+            let edges = Engine::alloc(&mut m, "edges", el.num_edges().max(1) as u64 * 8);
+            for (i, e) in el.edges().iter().enumerate() {
+                Engine::load(&mut m, edges.addr(8, i as u64), 8);
+                m.insert(e.dst, ());
+            }
+            let _ = m.flush_and_take();
+            let rate = m.cbuffer_miss_rate();
+            (rate, m.finish().core.cycles)
+        };
+        let (_, pinned_cycles) = run(true);
+        let (rate, free_cycles) = run(false);
+        t.row(vec![
+            ni.name.clone(),
+            report::pct(rate),
+            report::f2(free_cycles as f64 / pinned_cycles as f64),
+        ]);
+        eprintln!("[done] {}", ni.name);
+    }
+    t.print();
+    t.write_csv("ablation_partitioning");
+    println!(
+        "\nShape check (paper Section V-E): the C-Buffer miss rate stays low\n\
+         (paper: <1%) without partitioning because other Binning accesses are\n\
+         streaming, so COBRA degrades gracefully on machines without CAT."
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 10: the headline result — speedups of PB-SW, PB-SW-IDEAL and
+//! COBRA over the unoptimized baseline, across all kernels and inputs.
+
+use cobra_bench::{harness, inputs, report, Scale, Table};
+use cobra_core::exec::geomean;
+use cobra_kernels::{KernelId, ALL_KERNELS};
+use cobra_sim::MachineConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let machine = MachineConfig::hpca22();
+    report::print_machine(&machine);
+    let mut t = Table::new(
+        "Figure 10: speedup over Baseline",
+        &["kernel", "input", "PB-SW", "PB-SW-IDEAL", "COBRA", "COBRA/PB-SW", "PB bins"],
+    );
+    let (mut s_pb, mut s_ideal, mut s_cobra) = (Vec::new(), Vec::new(), Vec::new());
+    for &k in &ALL_KERNELS {
+        let kernel_inputs = match scale {
+            // Standard trims the suite to keep the wall-clock reasonable;
+            // --full runs everything.
+            Scale::Full => inputs::kernel_inputs(k, scale),
+            _ => inputs::kernel_inputs(k, scale).into_iter().take(trim_for(k)).collect(),
+        };
+        for ni in kernel_inputs {
+            let r = harness::run_all_modes(k, &ni.input, &machine);
+            let (pb, ideal, cobra) =
+                (r.speedup(&r.pb_sw), r.speedup(&r.pb_ideal), r.speedup(&r.cobra));
+            s_pb.push(pb);
+            s_ideal.push(ideal);
+            s_cobra.push(cobra);
+            t.row(vec![
+                k.name().into(),
+                ni.name.clone(),
+                report::f2(pb),
+                report::f2(ideal),
+                report::f2(cobra),
+                report::f2(cobra / pb),
+                r.pb_sw_bins.to_string(),
+            ]);
+            eprintln!("[done] {} / {}", k.name(), ni.name);
+        }
+    }
+    t.row(vec![
+        "GEOMEAN".into(),
+        "-".into(),
+        report::f2(geomean(s_pb.iter().copied())),
+        report::f2(geomean(s_ideal.iter().copied())),
+        report::f2(geomean(s_cobra.iter().copied())),
+        report::f2(geomean(s_cobra.iter().zip(&s_pb).map(|(c, p)| c / p))),
+        "-".into(),
+    ]);
+    t.print();
+    t.write_csv("fig10_speedups");
+    println!(
+        "\nShape check (paper Fig. 10): PB-SW ~1.8x mean over Baseline; IDEAL adds\n\
+         ~1.2x; COBRA beats PB-SW (mean ~1.7x, up to ~3.8x) and Baseline (~3.2x).\n\
+         PINV and SymPerm show the smallest COBRA benefit."
+    );
+}
+
+fn trim_for(k: KernelId) -> usize {
+    use KernelId::*;
+    match k {
+        // Radii re-streams the graph every round; keep two inputs at
+        // standard scale.
+        Radii => 2,
+        DegreeCount | NeighborPopulate | Pagerank => 3,
+        IntSort => 1,
+        _ => 2,
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 12: why COBRA's Binning is fast — instruction-count reduction
+//! (top) and branch-misprediction elimination (bottom) vs software PB.
+
+use cobra_bench::{harness, inputs, report, Scale, Table};
+use cobra_core::exec::geomean;
+use cobra_kernels::ALL_KERNELS;
+use cobra_sim::MachineConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let machine = MachineConfig::hpca22();
+    report::print_machine(&machine);
+    let mut t = Table::new(
+        "Figure 12: instruction reduction and branch MPKI (PB-SW vs COBRA)",
+        &[
+            "kernel",
+            "input",
+            "PB-SW instr (M)",
+            "COBRA instr (M)",
+            "reduction",
+            "PB-SW MPKI",
+            "COBRA MPKI",
+            "PB-SW bin-IPC",
+            "COBRA bin-IPC",
+        ],
+    );
+    let mut reductions = Vec::new();
+    for &k in &ALL_KERNELS {
+        let ni = inputs::representative_input(k, scale);
+        let (pb_sw, cobra) = harness::run_pb_cobra(k, &ni.input, &machine);
+        let pb_i = pb_sw.instructions();
+        let co_i = cobra.instructions();
+        let red = pb_i as f64 / co_i.max(1) as f64;
+        reductions.push(red);
+        let bin_ipc = |m: &cobra_core::exec::RunMetrics| {
+            m.result.phase("binning").map_or(0.0, |p| p.core.ipc())
+        };
+        t.row(vec![
+            k.name().into(),
+            ni.name,
+            format!("{:.1}", pb_i as f64 / 1e6),
+            format!("{:.1}", co_i as f64 / 1e6),
+            report::f2(red),
+            report::f2(pb_sw.result.core.branch_mpki()),
+            report::f2(cobra.result.core.branch_mpki()),
+            report::f2(bin_ipc(&pb_sw)),
+            report::f2(bin_ipc(&cobra)),
+        ]);
+        eprintln!("[done] {}", k.name());
+    }
+    println!("geomean instruction reduction: {:.2}x", geomean(reductions.iter().copied()));
+    t.print();
+    t.write_csv("fig12_instr_branch");
+    println!(
+        "\nShape check (paper Fig. 12): COBRA executes 2-5.5x fewer instructions,\n\
+         eliminates C-Buffer-management branch misses (Pagerank/Radii/SymPerm keep\n\
+         their data-dependent branches), and raises Binning IPC (paper: 0.71 -> 1.55)."
+    );
+}

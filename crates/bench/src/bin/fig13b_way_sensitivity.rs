@@ -1,0 +1,78 @@
+//! Figure 13b: sensitivity of COBRA's Binning phase to the cache ways
+//! reserved for C-Buffers at each level.
+
+use cobra_bench::{inputs, report, Scale, Table};
+use cobra_core::{DesConfig, ReservedWays};
+use cobra_kernels::{run, KernelId, ModeSpec};
+use cobra_sim::MachineConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let machine = MachineConfig::hpca22();
+    report::print_machine(&machine);
+    let kernel = KernelId::NeighborPopulate;
+    let ni = inputs::representative_input(kernel, scale);
+    let default = ReservedWays::paper_default(&machine);
+    println!(
+        "kernel: {} on {} | default reservation: L1 {} / L2 {} / LLC {}",
+        kernel.name(),
+        ni.name,
+        default.l1,
+        default.l2,
+        default.llc
+    );
+
+    let binning = |reserved: ReservedWays| {
+        let spec = ModeSpec::Cobra {
+            reserved: Some(reserved),
+            des: DesConfig::paper_default(),
+            ctx_quantum: None,
+        };
+        let out = run(kernel, &ni.input, &spec, &machine);
+        out.metrics.phase_cycles("binning")
+    };
+    let base = binning(default);
+
+    let mut t = Table::new(
+        "Figure 13b: Binning cycles vs ways reserved for C-Buffers (normalized to default)",
+        &["level swept", "ways", "binning Mcycles", "vs default"],
+    );
+    for ways in [1, 2, 4, 7] {
+        let c = binning(ReservedWays { l1: ways, ..default });
+        t.row(vec![
+            "L1".into(),
+            ways.to_string(),
+            format!("{:.1}", c as f64 / 1e6),
+            report::f2(c as f64 / base as f64),
+        ]);
+        eprintln!("[done] L1 ways={ways}");
+    }
+    for ways in [1, 2, 4, 7] {
+        let c = binning(ReservedWays { l2: ways, ..default });
+        t.row(vec![
+            "L2".into(),
+            ways.to_string(),
+            format!("{:.1}", c as f64 / 1e6),
+            report::f2(c as f64 / base as f64),
+        ]);
+        eprintln!("[done] L2 ways={ways}");
+    }
+    for ways in [4, 8, 12, 15] {
+        let c = binning(ReservedWays { llc: ways, ..default });
+        t.row(vec![
+            "LLC".into(),
+            ways.to_string(),
+            format!("{:.1}", c as f64 / 1e6),
+            report::f2(c as f64 / base as f64),
+        ]);
+        eprintln!("[done] LLC ways={ways}");
+    }
+    t.print();
+    t.write_csv("fig13b_way_sensitivity");
+    println!(
+        "\nShape check (paper Fig. 13b): Binning is robust (<~10%) to L1/LLC\n\
+         reservation because non-C-Buffer accesses are streaming; L2 reservation\n\
+         matters more because it steals capacity from the stream prefetcher —\n\
+         hence the default reserves only one L2 way."
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 13c: worst-case DRAM bandwidth waste from context switches —
+//! under static way partitioning, other processes evict partially-filled
+//! LLC C-Buffer lines every scheduling quantum.
+
+use cobra_bench::{inputs, report, Scale, Table};
+use cobra_core::DesConfig;
+use cobra_kernels::{run, KernelId, ModeSpec};
+use cobra_sim::MachineConfig;
+
+/// Default Linux scheduling quantum, in cycles at 2.66 GHz (~6 ms slice).
+const DEFAULT_QUANTUM: u64 = 16_000_000;
+
+fn main() {
+    let scale = Scale::from_args();
+    let machine = MachineConfig::hpca22();
+    report::print_machine(&machine);
+    let kernel = KernelId::NeighborPopulate;
+    let ni = inputs::representative_input(kernel, scale);
+    println!("kernel: {} on {}", kernel.name(), ni.name);
+
+    let mut t = Table::new(
+        "Figure 13c: worst-case DRAM bandwidth waste vs scheduling quantum",
+        &["quantum (cycles)", "context switches", "wasted MB", "bin-write MB", "waste"],
+    );
+    for divisor in [1u64, 10, 100, 1000] {
+        let quantum = (DEFAULT_QUANTUM / divisor).max(1);
+        let spec = ModeSpec::Cobra {
+            reserved: None,
+            des: DesConfig::paper_default(),
+            ctx_quantum: Some(quantum),
+        };
+        let out = run(kernel, &ni.input, &spec, &machine);
+        let wr = out.metrics.result.mem.dram_write_bytes;
+        // Waste = the gap between line-granular bin writes with forced
+        // partial evictions and perfectly packed tuple bytes.
+        let packed = ni.input.num_updates(kernel) * kernel.tuple_bytes() as u64;
+        let wasted = wr.saturating_sub(packed);
+        t.row(vec![
+            format!("default/{divisor} ({quantum})"),
+            // context switches = run cycles / quantum, observable via waste
+            (out.metrics.cycles() / quantum).to_string(),
+            format!("{:.2}", wasted as f64 / 1e6),
+            format!("{:.2}", wr as f64 / 1e6),
+            report::pct(wasted as f64 / wr.max(1) as f64),
+        ]);
+        eprintln!("[done] quantum/{divisor}");
+    }
+    t.print();
+    t.write_csv("fig13c_ctx_switch");
+    println!(
+        "\nShape check (paper Fig. 13c): worst-case bandwidth waste stays small\n\
+         (<5%) even at 1/100th of the default scheduling quantum, because COBRA's\n\
+         fast Binning completes within few quanta."
+    );
+}

@@ -1,0 +1,147 @@
+//! Figure 14: commutative-update specializations — DRAM bin traffic (14a)
+//! and L1 misses (14b) under PB-SW, idealized PHI, COBRA and COBRA-COMM,
+//! for the commutative Degree-Count kernel.
+//!
+//! PHI and COBRA-COMM coalesce updates (inapplicable to the
+//! non-commutative kernels); COBRA alone is the general optimization.
+
+use cobra_bench::{inputs, report, Scale, Table};
+use cobra_core::comm::{run_cobra_comm, run_phi, run_plain};
+use cobra_core::{BinHierarchy, ReservedWays};
+use cobra_kernels::{bin_choices, Input, KernelId};
+use cobra_sim::engine::{Engine, SimEngine};
+use cobra_sim::MachineConfig;
+
+/// Simulates an Accumulate pass over coalesced `(key, count)` bins with the
+/// given bin granularity: streaming tuple reads + one irregular
+/// read-modify-write per tuple. Returns L1 misses.
+fn accumulate_l1_misses(
+    machine: &MachineConfig,
+    bins: &[Vec<(u32, u32)>],
+    num_keys: u32,
+    tuple_bytes: u32,
+) -> u64 {
+    let mut e = SimEngine::new(*machine);
+    let data = e.alloc("acc_data", num_keys.max(1) as u64 * 4);
+    let region: u64 = bins.iter().map(|b| b.len() as u64).sum::<u64>() * tuple_bytes as u64;
+    let tuples = e.alloc("acc_tuples", region.max(1));
+    let mut cursor = 0u64;
+    for bin in bins {
+        for &(k, _) in bin {
+            e.load(tuples.addr(tuple_bytes as u64, cursor), tuple_bytes);
+            cursor += 1;
+            e.load(data.addr(4, k as u64), 4);
+            e.alu(1);
+            e.store(data.addr(4, k as u64), 4);
+        }
+    }
+    e.finish().mem.l1d.misses
+}
+
+/// Regroups coalesced tuples into `1 << shift`-key bins (PHI inherits
+/// PB-SW's compromise bin count; COBRA-COMM uses the LLC bin count).
+fn regroup(bins: &[Vec<(u32, u32)>], shift: u32, num_keys: u32) -> Vec<Vec<(u32, u32)>> {
+    let n = ((num_keys as u64).div_ceil(1 << shift)) as usize;
+    let mut out = vec![Vec::new(); n.max(1)];
+    for bin in bins {
+        for &(k, c) in bin {
+            out[(k >> shift) as usize].push((k, c));
+        }
+    }
+    out
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let machine = MachineConfig::hpca22();
+    report::print_machine(&machine);
+    let kernel = KernelId::DegreeCount;
+
+    let mut ta = Table::new(
+        "Figure 14a: DRAM bin-write traffic, normalized to PB-SW",
+        &["input", "PB-SW", "PHI", "COBRA", "COBRA-COMM", "PHI LLC-coalesce share"],
+    );
+    let mut tb = Table::new(
+        "Figure 14b: Accumulate L1 misses, normalized to PB-SW",
+        &["input", "PB-SW", "PHI", "COBRA", "COBRA-COMM"],
+    );
+
+    for ni in inputs::graph_suite(scale) {
+        let Input::Graph { el, .. } = &ni.input else { continue };
+        let keys = el.num_vertices();
+        let hier = BinHierarchy::bininit(
+            &machine,
+            ReservedWays::paper_default(&machine),
+            keys,
+            kernel.tuple_bytes(),
+        );
+        let stream = || el.edges().iter().map(|e| e.dst);
+        let plain = run_plain(stream(), &hier);
+        let (phi, phi_bins) = run_phi(stream(), &hier);
+        let (comm, comm_bins) = run_cobra_comm(stream(), &hier);
+        let norm = |x: u64| report::f2(x as f64 / plain.dram_write_bytes.max(1) as f64);
+        ta.row(vec![
+            ni.name.clone(),
+            "1.00".into(),
+            norm(phi.dram_write_bytes),
+            norm(plain.dram_write_bytes), // COBRA does not coalesce
+            norm(comm.dram_write_bytes),
+            report::pct(phi.llc_coalesce_share()),
+        ]);
+
+        // 14b: L1 misses of the Accumulate pass. PB-SW and PHI replay with
+        // the software compromise bin count; COBRA and COBRA-COMM with the
+        // optimal (LLC) bin count.
+        let choices = bin_choices(kernel, &ni.input, &machine);
+        let sw_shift = ((keys as u64).div_ceil(choices.sweet_spot as u64))
+            .next_power_of_two()
+            .trailing_zeros();
+        let opt_shift = hier.memory_bin_shift();
+        let uncoalesced: Vec<Vec<(u32, u32)>> =
+            vec![stream().map(|k| (k, 1)).collect::<Vec<_>>()];
+        let pb_sw_m = accumulate_l1_misses(
+            &machine,
+            &regroup(&uncoalesced, sw_shift, keys),
+            keys,
+            kernel.tuple_bytes(),
+        );
+        let phi_m = accumulate_l1_misses(
+            &machine,
+            &regroup(&phi_bins, sw_shift, keys),
+            keys,
+            kernel.tuple_bytes(),
+        );
+        let cobra_m = accumulate_l1_misses(
+            &machine,
+            &regroup(&uncoalesced, opt_shift, keys),
+            keys,
+            kernel.tuple_bytes(),
+        );
+        let comm_m = accumulate_l1_misses(
+            &machine,
+            &regroup(&comm_bins, opt_shift, keys),
+            keys,
+            kernel.tuple_bytes(),
+        );
+        let normb = |x: u64| report::f2(x as f64 / pb_sw_m.max(1) as f64);
+        tb.row(vec![
+            ni.name.clone(),
+            "1.00".into(),
+            normb(phi_m),
+            normb(cobra_m),
+            normb(comm_m),
+        ]);
+        eprintln!("[done] {}", ni.name);
+    }
+    ta.print();
+    ta.write_csv("fig14a_dram_traffic");
+    tb.print();
+    tb.write_csv("fig14b_l1_misses");
+    println!(
+        "\nShape check (paper Fig. 14): PHI and COBRA-COMM cut DRAM traffic on the\n\
+         skewed graphs (DBP'/KRON'/HBUBL'), with COBRA-COMM matching PHI because\n\
+         PHI coalesces mostly at the LLC; on low-reuse inputs (URND'/EURO') the\n\
+         benefit vanishes. COBRA(-COMM) minimizes L1 misses via optimal bins;\n\
+         PHI is stuck with PB-SW's compromise bin count."
+    );
+}

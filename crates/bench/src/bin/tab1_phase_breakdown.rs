@@ -1,0 +1,44 @@
+//! Table I: PB execution time breakdown (Init / Binning / Accumulate) at a
+//! small and a large bin count — showing Binning dominates, especially with
+//! many bins.
+
+use cobra_bench::{inputs, report, Scale, Table};
+use cobra_core::exec::phases;
+use cobra_kernels::{bin_choices, run, KernelId, ModeSpec};
+use cobra_sim::MachineConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let machine = MachineConfig::hpca22();
+    report::print_machine(&machine);
+    let mut t = Table::new(
+        "Table I: PB phase breakdown (percent of total cycles)",
+        &["kernel", "input", "bins", "init", "binning", "accumulate"],
+    );
+    for k in [KernelId::NeighborPopulate, KernelId::Pagerank] {
+        let ni = inputs::representative_input(k, scale);
+        let choices = bin_choices(k, &ni.input, &machine);
+        for (label, bins) in
+            [("few", choices.binning_ideal), ("many", choices.accumulate_ideal * 4)]
+        {
+            let out = run(k, &ni.input, &ModeSpec::PbSw { min_bins: bins }, &machine);
+            let m = &out.metrics;
+            let total = m.cycles().max(1) as f64;
+            t.row(vec![
+                k.name().into(),
+                ni.name.clone(),
+                format!("{label} ({bins})"),
+                report::pct(m.phase_cycles(phases::INIT) as f64 / total),
+                report::pct(m.phase_cycles(phases::BINNING) as f64 / total),
+                report::pct(m.phase_cycles(phases::ACCUMULATE) as f64 / total),
+            ]);
+            eprintln!("[done] {} bins={bins}", k.name());
+        }
+    }
+    t.print();
+    t.write_csv("tab1_phase_breakdown");
+    println!(
+        "\nShape check (paper Table I): Binning is the dominant phase of PB,\n\
+         and its share grows with the number of bins."
+    );
+}

@@ -1,0 +1,60 @@
+//! Table II: the simulated machine parameters.
+
+use cobra_bench::Table;
+use cobra_sim::MachineConfig;
+
+fn main() {
+    let m = MachineConfig::hpca22();
+    let mut t = Table::new("Table II: Simulation parameters (per core)", &["component", "value"]);
+    t.row(vec![
+        "Core".into(),
+        format!(
+            "OoO, 2.66GHz, {}-wide issue, {}-entry ROB, {}-entry LQ, {}-entry SQ, {} MSHRs",
+            m.issue_width, m.rob, m.load_queue, m.store_queue, m.mshrs
+        ),
+    ]);
+    t.row(vec![
+        "L1D".into(),
+        format!(
+            "{}KB, {}-way, {:?}, load-to-use {} cyc",
+            m.l1.size_bytes / 1024,
+            m.l1.ways,
+            m.l1.replacement,
+            m.l1.latency
+        ),
+    ]);
+    t.row(vec![
+        "L2".into(),
+        format!(
+            "{}KB, {}-way, {:?}, load-to-use {} cyc, stream prefetcher (degree {})",
+            m.l2.size_bytes / 1024,
+            m.l2.ways,
+            m.l2.replacement,
+            m.l2.latency,
+            m.prefetch.degree
+        ),
+    ]);
+    t.row(vec![
+        "LLC (local NUCA slice)".into(),
+        format!(
+            "{}MB/core, {}-way, {:?}, load-to-use {} cyc",
+            m.llc.size_bytes / (1024 * 1024),
+            m.llc.ways,
+            m.llc.replacement,
+            m.llc.latency
+        ),
+    ]);
+    t.row(vec![
+        "DRAM".into(),
+        format!(
+            "{} cyc (~80ns) latency, {} cyc per 64B line (per-core channel share)",
+            m.dram_latency, m.dram_line_occupancy
+        ),
+    ]);
+    t.row(vec![
+        "Note".into(),
+        "single representative core; LLC = per-core 2MB NUCA bank (DESIGN.md §2)".into(),
+    ]);
+    t.print();
+    t.write_csv("tab2_machine");
+}

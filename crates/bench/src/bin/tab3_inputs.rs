@@ -1,0 +1,68 @@
+//! Table III: the (scaled) input suite.
+
+use cobra_bench::{inputs, Scale, Table};
+use cobra_kernels::{Input, KernelId};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("scale: {scale:?}");
+    let mut t = Table::new(
+        "Table III: Input graphs and matrices (scaled stand-ins; DESIGN.md §2)",
+        &["name", "class", "vertices/rows", "edges/nnz", "max degree"],
+    );
+    for ni in inputs::graph_suite(scale) {
+        if let Input::Graph { el, .. } = &ni.input {
+            let class = match ni.name.as_str() {
+                "DBP'" => "power-law (RMAT)",
+                "KRON'" => "Graph500 Kronecker",
+                "URND'" => "uniform random",
+                "EURO'" => "road mesh (bounded degree)",
+                "HBUBL'" => "extreme skew (Zipf)",
+                _ => "graph",
+            };
+            let max_deg = el.degrees().into_iter().max().unwrap_or(0);
+            t.row(vec![
+                ni.name.clone(),
+                class.into(),
+                el.num_vertices().to_string(),
+                el.num_edges().to_string(),
+                max_deg.to_string(),
+            ]);
+        }
+    }
+    for ni in inputs::matrix_suite(scale) {
+        if let Input::Matrix { m, .. } = &ni.input {
+            let class = match ni.name.as_str() {
+                "HPCG'" => "27-pt stencil (HPCG)",
+                "RAND'" => "uniform sparse",
+                "BAND'" => "banded (simulation)",
+                "PLAW'" => "power-law columns",
+                _ => "matrix",
+            };
+            let max_row = (0..m.rows())
+                .map(|r| m.row_offsets()[r as usize + 1] - m.row_offsets()[r as usize])
+                .max()
+                .unwrap_or(0);
+            t.row(vec![
+                ni.name.clone(),
+                class.into(),
+                m.rows().to_string(),
+                m.nnz().to_string(),
+                max_row.to_string(),
+            ]);
+        }
+    }
+    let s = inputs::sort_input(scale);
+    if let Input::Keys { keys, max_key } = &s.input {
+        t.row(vec![
+            s.name.clone(),
+            "uniform random keys".into(),
+            max_key.to_string(),
+            keys.len().to_string(),
+            "-".into(),
+        ]);
+    }
+    let _ = KernelId::DegreeCount;
+    t.print();
+    t.write_csv("tab3_inputs");
+}

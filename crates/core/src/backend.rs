@@ -1,0 +1,424 @@
+//! The [`PbBackend`] abstraction: one kernel implementation, many binning
+//! substrates.
+//!
+//! A kernel's PB form is identical whether binning is done in software
+//! (extra instructions, C-Buffers in the normal cache hierarchy) or by
+//! COBRA hardware (`binupdate`). Kernels are therefore written once against
+//! [`PbBackend`]; [`SwPb`] provides the software implementation
+//! (reproducing PB's instruction and locality behaviour on the simulated
+//! machine), and [`CobraMachine`](crate::cobra::CobraMachine) the hardware
+//! one.
+
+use cobra_sim::addr::ArrayAddr;
+use cobra_sim::engine::Engine;
+use cobra_sim::LINE_BYTES;
+
+/// In-memory bins produced by a Binning phase, with the synthetic addresses
+/// at which their tuples live (sequential per bin, bins contiguous — the
+/// paper's Figure 9 layout).
+#[derive(Debug, Clone)]
+pub struct BinStorage<V> {
+    base: ArrayAddr,
+    tuple_bytes: u32,
+    shift: u32,
+    bins: Vec<Vec<(u32, V)>>,
+}
+
+impl<V> BinStorage<V> {
+    /// Assembles storage from functional bins.
+    pub fn new(base: ArrayAddr, tuple_bytes: u32, shift: u32, bins: Vec<Vec<(u32, V)>>) -> Self {
+        BinStorage { base, tuple_bytes, shift, bins }
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// log2 of the key range per bin.
+    pub fn bin_shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// Total tuples.
+    pub fn len(&self) -> usize {
+        self.bins.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the storage holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes per tuple.
+    pub fn tuple_bytes(&self) -> u32 {
+        self.tuple_bytes
+    }
+
+    /// First byte of the bin region (tuples are laid out sequentially from
+    /// here in bin-major order).
+    pub fn base_addr(&self) -> u64 {
+        self.base.base()
+    }
+
+    /// The functional bins.
+    pub fn bins(&self) -> &[Vec<(u32, V)>] {
+        &self.bins
+    }
+
+    /// Iterates tuples bin-major with their memory addresses (sequential —
+    /// the Accumulate phase's bin reads are streaming).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32, &V)> {
+        let base = self.base.base();
+        let tb = self.tuple_bytes as u64;
+        self.bins
+            .iter()
+            .flat_map(|b| b.iter())
+            .enumerate()
+            .map(move |(i, (k, v))| (base + i as u64 * tb, *k, v))
+    }
+}
+
+/// A binning substrate: routes update tuples into in-memory bins while
+/// reporting the corresponding dynamic trace to its [`Engine`].
+pub trait PbBackend<V: Copy> {
+    /// The trace sink this backend drives.
+    type Eng: Engine;
+
+    /// The engine, for the kernel's own loads/stores/branches.
+    fn engine(&mut self) -> &mut Self::Eng;
+
+    /// log2 of the in-memory bin key range.
+    fn bin_shift(&self) -> u32;
+
+    /// Number of in-memory bins.
+    fn num_bins(&self) -> usize;
+
+    /// Declares exact per-bin tuple counts (the Init phase's `BinOffset`
+    /// pre-computation; both PB and COBRA require it for the sequential
+    /// bin layout).
+    fn presize(&mut self, counts: &[u64]);
+
+    /// Routes one update tuple (software: ~6 instructions + a branch;
+    /// COBRA: one `binupdate`).
+    fn insert(&mut self, key: u32, value: V);
+
+    /// Ends Binning (software: flush partial C-Buffers; COBRA: `binflush`)
+    /// and hands the bins to the Accumulate phase.
+    fn flush_and_take(&mut self) -> BinStorage<V>;
+}
+
+/// Counts tuples per bin: the Init phase. Streams the `n` inputs through
+/// `key_of` (which emits the input loads and returns each key) and
+/// histograms keys by `shift`. Emits the histogram's own accesses too.
+pub fn count_bin_tuples<E, F>(
+    e: &mut E,
+    n: usize,
+    shift: u32,
+    num_bins: usize,
+    mut key_of: F,
+) -> Vec<u64>
+where
+    E: Engine,
+    F: FnMut(&mut E, usize) -> u32,
+{
+    let counts_addr = e.alloc("bin_counts", num_bins as u64 * 8);
+    let mut counts = vec![0u64; num_bins];
+    for i in 0..n {
+        let key = key_of(e, i);
+        let b = (key >> shift) as usize;
+        // shift + micro-fused increment of counts[b].
+        e.alu(1);
+        e.load(counts_addr.addr(8, b as u64), 8);
+        e.store(counts_addr.addr(8, b as u64), 8);
+        counts[b] += 1;
+    }
+    counts
+}
+
+/// Software Propagation Blocking backend: per-insert C-Buffer management in
+/// "software" (extra instructions and branches) with the C-Buffers,
+/// occupancy counters and bin cursors living in the normal cache hierarchy;
+/// full C-Buffers are bulk-written to bins with non-temporal stores.
+#[derive(Debug)]
+pub struct SwPb<E, V> {
+    engine: E,
+    shift: u32,
+    num_keys: u32,
+    tuple_bytes: u32,
+    cap: usize,
+    cbufs: Vec<Vec<(u32, V)>>,
+    bins: Vec<Vec<(u32, V)>>,
+    cbuf_base: ArrayAddr,
+    occ_base: ArrayAddr,
+    binoff_base: ArrayAddr,
+    bin_base: ArrayAddr,
+    /// Start offset (in tuples) of each bin in the bin region.
+    bin_start: Vec<u64>,
+    /// Tuples already written to each bin.
+    bin_written: Vec<u64>,
+    presized: bool,
+}
+
+impl<E: Engine, V: Copy> SwPb<E, V> {
+    /// Creates a software-PB backend over `engine` with at least `min_bins`
+    /// bins for keys `0..num_keys`; `expected_tuples` sizes the bin region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_keys == 0`, `min_bins == 0`, or `tuple_bytes` is not a
+    /// power of two between 4 and 64.
+    pub fn new(
+        mut engine: E,
+        num_keys: u32,
+        min_bins: usize,
+        tuple_bytes: u32,
+        expected_tuples: u64,
+    ) -> Self {
+        assert!(num_keys > 0 && min_bins > 0);
+        assert!(
+            (4..=LINE_BYTES as u32).contains(&tuple_bytes) && tuple_bytes.is_power_of_two(),
+            "bad tuple size {tuple_bytes}"
+        );
+        // Same rounding as cobra_pb::Binner: largest power-of-two range
+        // giving at least min_bins bins.
+        let mut range = (num_keys as u64).div_ceil(min_bins as u64).next_power_of_two();
+        if (num_keys as u64).div_ceil(range) < min_bins as u64 && range > 1 {
+            range /= 2;
+        }
+        let shift = range.trailing_zeros();
+        let num_bins = (num_keys as u64).div_ceil(range) as usize;
+        let cap = (LINE_BYTES / tuple_bytes as u64) as usize;
+        let cbuf_base = engine.alloc("pb_cbufs", num_bins as u64 * LINE_BYTES);
+        let occ_base = engine.alloc("pb_cbuf_occ", num_bins as u64 * 4);
+        let binoff_base = engine.alloc("pb_bin_offsets", num_bins as u64 * 8);
+        let bin_base = engine.alloc("pb_bins", expected_tuples.max(1) * tuple_bytes as u64);
+        SwPb {
+            engine,
+            shift,
+            num_keys,
+            tuple_bytes,
+            cap,
+            cbufs: vec![Vec::new(); num_bins],
+            bins: vec![Vec::new(); num_bins],
+            cbuf_base,
+            occ_base,
+            binoff_base,
+            bin_base,
+            bin_start: vec![0; num_bins],
+            bin_written: vec![0; num_bins],
+            presized: false,
+        }
+    }
+
+    /// Consumes the backend, returning its engine.
+    pub fn into_engine(self) -> E {
+        self.engine
+    }
+
+    fn flush_cbuf(&mut self, b: usize) {
+        // Bulk transfer: read the bin cursor, read the C-Buffer line, write
+        // it to the bin with a non-temporal store, advance the cursor.
+        let cursor = self.bin_start[b] + self.bin_written[b];
+        self.engine.load(self.binoff_base.addr(8, b as u64), 8);
+        self.engine.load(self.cbuf_base.base() + b as u64 * LINE_BYTES, LINE_BYTES as u32);
+        let dst = self.bin_base.base() + cursor * self.tuple_bytes as u64;
+        let bytes = (self.cbufs[b].len() * self.tuple_bytes as usize) as u32;
+        self.engine.nt_store(dst, bytes);
+        self.engine.alu(4); // SIMD copy-loop arithmetic + cursor update
+        self.engine.store(self.binoff_base.addr(8, b as u64), 8);
+        self.bin_written[b] += self.cbufs[b].len() as u64;
+        let drained = std::mem::take(&mut self.cbufs[b]);
+        self.bins[b].extend(drained);
+    }
+}
+
+impl<E: Engine, V: Copy> PbBackend<V> for SwPb<E, V> {
+    type Eng = E;
+
+    fn engine(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    fn bin_shift(&self) -> u32 {
+        self.shift
+    }
+
+    fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    fn presize(&mut self, counts: &[u64]) {
+        assert_eq!(counts.len(), self.bins.len(), "one count per bin");
+        let mut acc = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            self.bin_start[b] = acc;
+            acc += c;
+            // The Init phase writes the BinOffset array.
+            self.engine.store(self.binoff_base.addr(8, b as u64), 8);
+            self.engine.alu(1);
+        }
+        self.presized = true;
+    }
+
+    fn insert(&mut self, key: u32, value: V) {
+        debug_assert!(key < self.num_keys, "key {key} out of range");
+        let b = (key >> self.shift) as usize;
+        // Software binning trace (Algorithm 2, lines 3-5, plus C-Buffer
+        // management): compute bin id, read the occupancy counter, store
+        // the tuple into the C-Buffer line, bump and write the counter,
+        // then branch on "buffer full?".
+        self.engine.alu(1);
+        self.engine.load(self.occ_base.addr(4, b as u64), 4);
+        self.engine.alu(2); // C-Buffer slot address computation
+        let pos = self.cbufs[b].len();
+        self.engine.store(
+            self.cbuf_base.base() + b as u64 * LINE_BYTES + pos as u64 * self.tuple_bytes as u64,
+            self.tuple_bytes,
+        );
+        self.engine.alu(1);
+        self.engine.store(self.occ_base.addr(4, b as u64), 4);
+        self.cbufs[b].push((key, value));
+        let full = self.cbufs[b].len() == self.cap;
+        self.engine.branch(0x100 + b as u64 % 16, full);
+        if full {
+            self.flush_cbuf(b);
+        }
+    }
+
+    fn flush_and_take(&mut self) -> BinStorage<V> {
+        for b in 0..self.cbufs.len() {
+            // Walk every C-Buffer; flush the non-empty ones.
+            self.engine.load(self.occ_base.addr(4, b as u64), 4);
+            let nonempty = !self.cbufs[b].is_empty();
+            self.engine.branch(0x200, nonempty);
+            if nonempty {
+                self.flush_cbuf(b);
+            }
+        }
+        let bins = std::mem::replace(&mut self.bins, vec![Vec::new(); self.bin_start.len()]);
+        self.bin_written.iter_mut().for_each(|w| *w = 0);
+        BinStorage::new(self.bin_base, self.tuple_bytes, self.shift, bins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_sim::engine::{NullEngine, SimEngine};
+    use cobra_sim::MachineConfig;
+
+    fn keys(n: usize, domain: u32) -> Vec<u32> {
+        (0..n).map(|i| ((i as u64 * 2654435761) % domain as u64) as u32).collect()
+    }
+
+    #[test]
+    fn swpb_bins_match_reference_binner() {
+        let ks = keys(5000, 4096);
+        let mut sw = SwPb::<_, u32>::new(NullEngine::new(), 4096, 64, 8, ks.len() as u64);
+        let mut reference = cobra_pb::Binner::<u32>::new(4096, 64);
+        for (i, &k) in ks.iter().enumerate() {
+            sw.insert(k, i as u32);
+            reference.insert(k, i as u32);
+        }
+        let got = sw.flush_and_take();
+        let want = reference.finish();
+        assert_eq!(got.num_bins(), want.num_bins());
+        assert_eq!(got.bin_shift(), want.bin_shift());
+        for b in 0..got.num_bins() {
+            let g: Vec<(u32, u32)> = got.bins()[b].clone();
+            let w: Vec<(u32, u32)> = want.bin(b).iter().map(|t| (t.key, t.value)).collect();
+            assert_eq!(g, w, "bin {b}");
+        }
+    }
+
+    #[test]
+    fn storage_addresses_are_sequential() {
+        let ks = keys(100, 256);
+        let mut sw = SwPb::<_, u32>::new(NullEngine::new(), 256, 4, 8, ks.len() as u64);
+        for &k in &ks {
+            sw.insert(k, k);
+        }
+        let st = sw.flush_and_take();
+        let addrs: Vec<u64> = st.iter().map(|(a, _, _)| a).collect();
+        assert_eq!(addrs.len(), 100);
+        for w in addrs.windows(2) {
+            assert_eq!(w[1] - w[0], 8);
+        }
+    }
+
+    #[test]
+    fn instrumented_run_counts_nt_traffic() {
+        let ks = keys(4096, 1 << 16);
+        let n = ks.len() as u64;
+        let mut sw =
+            SwPb::<_, u32>::new(SimEngine::new(MachineConfig::hpca22()), 1 << 16, 64, 8, n);
+        for &k in &ks {
+            sw.insert(k, k);
+        }
+        let _ = sw.flush_and_take();
+        let r = sw.into_engine().finish();
+        // Every tuple is eventually NT-stored to a bin: 8 bytes each.
+        assert_eq!(r.mem.nt_store_bytes, n * 8);
+        assert!(r.core.instructions > 6 * n, "instr {}", r.core.instructions);
+        assert!(r.core.branches >= n);
+    }
+
+    #[test]
+    fn presize_sets_layout_and_emits_trace() {
+        let mut sw = SwPb::<_, u32>::new(NullEngine::new(), 1024, 4, 8, 100);
+        let n = sw.num_bins();
+        sw.presize(&vec![25; n]);
+        for k in 0..100u32 {
+            sw.insert(k * 10, k);
+        }
+        let st = sw.flush_and_take();
+        assert_eq!(st.len(), 100);
+    }
+
+    #[test]
+    fn more_bins_mean_more_cbuffer_cache_pressure() {
+        // The Figure 4 effect: with many bins the C-Buffers outgrow L1/L2
+        // and binning's locality degrades.
+        let domain = 1 << 23;
+        let ks = keys(120_000, domain);
+        let run = |min_bins: usize| {
+            let mut sw = SwPb::<_, u32>::new(
+                SimEngine::new(MachineConfig::hpca22()),
+                domain,
+                min_bins,
+                8,
+                ks.len() as u64,
+            );
+            for &k in &ks {
+                sw.insert(k, k);
+            }
+            let _ = sw.flush_and_take();
+            sw.into_engine().finish()
+        };
+        let few = run(64);
+        let many = run(128 * 1024);
+        assert!(
+            many.mem.l1d.misses > 2 * few.mem.l1d.misses,
+            "few-bin misses {} vs many-bin misses {}",
+            few.mem.l1d.misses,
+            many.mem.l1d.misses
+        );
+        assert!(many.cycles() > few.cycles());
+    }
+
+    #[test]
+    #[should_panic]
+    fn presize_wrong_length_rejected() {
+        let mut sw = SwPb::<_, u32>::new(NullEngine::new(), 1024, 4, 8, 100);
+        sw.presize(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn count_bin_tuples_histogram() {
+        let mut e = NullEngine::new();
+        let ks = [0u32, 5, 64, 65, 200];
+        let counts = count_bin_tuples(&mut e, ks.len(), 6, 4, |_, i| ks[i]);
+        assert_eq!(counts, vec![2, 2, 0, 1]);
+    }
+}

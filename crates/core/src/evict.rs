@@ -1,0 +1,464 @@
+//! C-Buffer eviction machinery: FIFO eviction buffers and binning engines
+//! (Sections V-D and V-E), modeled as a discrete-event simulation.
+//!
+//! When a C-Buffer at level `L_i` fills, its line is pushed into a FIFO
+//! *eviction buffer*; the *binning engine* between `L_i` and `L_{i+1}` pops
+//! lines and re-inserts their tuples one per cycle into the next level's
+//! C-Buffers. A full eviction buffer back-pressures: a full L1 buffer with a
+//! full L1→L2 FIFO stalls the core; a full L2→LLC FIFO stalls the first
+//! binning engine. Full LLC C-Buffers are written to their in-memory bin
+//! (64 B DRAM line) using the bin offset stored in the repurposed tag.
+//!
+//! The DES uses eager scheduling: each line is assigned its engine start
+//! time when created, and queue occupancy at time `t` is the number of
+//! scheduled lines that have not yet started. This reproduces the paper's
+//! Figure 13a methodology (stall fraction vs. eviction-buffer size).
+
+use crate::isa::BinHierarchy;
+use cobra_sim::LINE_BYTES;
+use std::collections::VecDeque;
+
+/// Eviction-buffer sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesConfig {
+    /// L1→L2 eviction-buffer entries (the paper settles on 32).
+    pub l1_evict_entries: usize,
+    /// L2→LLC eviction-buffer entries (the paper overprovisions to 8).
+    pub l2_evict_entries: usize,
+}
+
+impl DesConfig {
+    /// The paper's chosen sizes: 32 and 8 entries.
+    pub fn paper_default() -> Self {
+        DesConfig { l1_evict_entries: 32, l2_evict_entries: 8 }
+    }
+}
+
+impl Default for DesConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Counters accumulated by the eviction DES.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictStats {
+    /// Full-line writes of LLC C-Buffers to in-memory bins.
+    pub llc_lines_written: u64,
+    /// Tuples carried by those lines.
+    pub llc_tuples_written: u64,
+    /// Partial-line writes (binflush / forced context-switch evictions).
+    pub partial_lines_written: u64,
+    /// Bytes of DRAM bandwidth wasted by partial lines (64 B minus the
+    /// bytes of live tuples in the line).
+    pub wasted_bytes: u64,
+    /// Core stall cycles caused by a full L1→L2 eviction buffer.
+    pub core_stall_cycles: u64,
+    /// L1 C-Buffer lines evicted.
+    pub l1_lines_evicted: u64,
+    /// L2 C-Buffer lines evicted.
+    pub l2_lines_evicted: u64,
+}
+
+impl EvictStats {
+    /// Total DRAM bytes written to bins (full + partial lines).
+    pub fn dram_write_bytes(&self) -> u64 {
+        (self.llc_lines_written + self.partial_lines_written) * LINE_BYTES
+    }
+}
+
+/// Discrete-event model of the two binning engines and their FIFOs.
+#[derive(Debug, Clone)]
+pub struct EvictionDes {
+    cfg: DesConfig,
+    l2_shift: u32,
+    llc_shift: u32,
+    tuples_per_line: u32,
+    tuple_bytes: u32,
+    /// Scheduled start times of lines waiting for binning engine 1 / 2.
+    q1_starts: VecDeque<u64>,
+    q2_starts: VecDeque<u64>,
+    engine1_free_at: u64,
+    engine2_free_at: u64,
+    /// Keys buffered in each L2 C-Buffer.
+    l2_contents: Vec<Vec<u32>>,
+    /// Occupancy (tuples) of each LLC C-Buffer.
+    llc_occ: Vec<u32>,
+    stats: EvictStats,
+}
+
+impl EvictionDes {
+    /// Creates the DES for the given C-Buffer hierarchy.
+    pub fn new(hier: &BinHierarchy, cfg: DesConfig) -> Self {
+        assert!(cfg.l1_evict_entries > 0 && cfg.l2_evict_entries > 0);
+        EvictionDes {
+            cfg,
+            l2_shift: hier.levels[1].shift,
+            llc_shift: hier.levels[2].shift,
+            tuples_per_line: hier.tuples_per_line(),
+            tuple_bytes: hier.tuple_bytes,
+            q1_starts: VecDeque::new(),
+            q2_starts: VecDeque::new(),
+            engine1_free_at: 0,
+            engine2_free_at: 0,
+            l2_contents: (0..hier.levels[1].buffers).map(|_| Vec::new()).collect(),
+            llc_occ: vec![0; hier.levels[2].buffers as usize],
+            stats: EvictStats::default(),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> EvictStats {
+        self.stats
+    }
+
+    /// Pushes an evicted L1 C-Buffer line (its tuple keys) at core time
+    /// `now`. Returns the cycles the *core* must stall because the L1→L2
+    /// eviction buffer was full.
+    pub fn push_l1_line(&mut self, keys: &[u32], now: u64) -> u64 {
+        debug_assert!(!keys.is_empty());
+        self.stats.l1_lines_evicted += 1;
+        // Occupancy of the L1->L2 FIFO at `now`: scheduled lines that have
+        // not started draining yet.
+        while self.q1_starts.front().is_some_and(|&s| s <= now) {
+            self.q1_starts.pop_front();
+        }
+        let mut stall = 0;
+        let mut t = now;
+        if self.q1_starts.len() >= self.cfg.l1_evict_entries {
+            // Wait until enough older lines have started.
+            let idx = self.q1_starts.len() - self.cfg.l1_evict_entries;
+            let free_at = self.q1_starts[idx];
+            stall = free_at - now;
+            self.stats.core_stall_cycles += stall;
+            t = free_at;
+            while self.q1_starts.front().is_some_and(|&s| s <= t) {
+                self.q1_starts.pop_front();
+            }
+        }
+        // Schedule binning engine 1: one cycle per tuple.
+        let start = self.engine1_free_at.max(t);
+        self.q1_starts.push_back(start);
+        let mut finish = start + keys.len() as u64;
+        // Insert tuples into L2 C-Buffers; fills spawn engine-2 work.
+        for &k in keys {
+            let b = (k >> self.l2_shift) as usize;
+            self.l2_contents[b].push(k);
+            if self.l2_contents[b].len() == self.tuples_per_line as usize {
+                let line: Vec<u32> = std::mem::take(&mut self.l2_contents[b]);
+                // Engine 1 may block here if the L2->LLC FIFO is full.
+                let delay = self.push_l2_line(&line, finish);
+                finish += delay;
+            }
+        }
+        self.engine1_free_at = finish;
+        stall
+    }
+
+    /// Pushes an evicted L2 line at time `t`; returns the back-pressure
+    /// delay applied to the producer (binning engine 1).
+    fn push_l2_line(&mut self, keys: &[u32], t: u64) -> u64 {
+        self.stats.l2_lines_evicted += 1;
+        while self.q2_starts.front().is_some_and(|&s| s <= t) {
+            self.q2_starts.pop_front();
+        }
+        let mut delay = 0;
+        let mut avail = t;
+        if self.q2_starts.len() >= self.cfg.l2_evict_entries {
+            let idx = self.q2_starts.len() - self.cfg.l2_evict_entries;
+            let free_at = self.q2_starts[idx];
+            delay = free_at.saturating_sub(t);
+            avail = free_at.max(t);
+        }
+        let start = self.engine2_free_at.max(avail);
+        self.q2_starts.push_back(start);
+        self.engine2_free_at = start + keys.len() as u64;
+        for &k in keys {
+            let b = (k >> self.llc_shift) as usize;
+            self.llc_occ[b] += 1;
+            if self.llc_occ[b] == self.tuples_per_line {
+                // Full LLC C-Buffer: write the line to its in-memory bin at
+                // BinBasePtr + BinOffset[binID] and bump the tag offset.
+                self.llc_occ[b] = 0;
+                self.stats.llc_lines_written += 1;
+                self.stats.llc_tuples_written += self.tuples_per_line as u64;
+            }
+        }
+        delay
+    }
+
+    /// `binflush` for the L2 and LLC levels: drains every partially-filled
+    /// L2 C-Buffer through binning engine 2, then writes every non-empty
+    /// LLC C-Buffer to memory as a (possibly partial) line. L1 C-Buffers
+    /// are the caller's responsibility (it walks them with
+    /// [`push_l1_line`](Self::push_l1_line) first).
+    ///
+    /// Returns the cycle at which the flush completes.
+    pub fn flush(&mut self, now: u64) -> u64 {
+        let mut t = self.engine1_free_at.max(now);
+        for b in 0..self.l2_contents.len() {
+            if !self.l2_contents[b].is_empty() {
+                let line = std::mem::take(&mut self.l2_contents[b]);
+                let partial = line.len() < self.tuples_per_line as usize;
+                let delay = self.push_l2_line(&line, t);
+                t += delay + 1; // one cycle to walk the buffer
+                if partial {
+                    // The drained tuples still count toward LLC occupancy
+                    // (handled in push_l2_line); nothing extra here.
+                }
+            }
+        }
+        t = t.max(self.engine2_free_at);
+        for occ in self.llc_occ.iter_mut() {
+            if *occ > 0 {
+                self.stats.partial_lines_written += 1;
+                self.stats.llc_tuples_written += *occ as u64;
+                self.stats.wasted_bytes +=
+                    LINE_BYTES - (*occ as u64 * self.tuple_bytes as u64);
+                *occ = 0;
+                t += 1;
+            }
+        }
+        self.engine1_free_at = t;
+        self.engine2_free_at = t;
+        t
+    }
+
+    /// Forced eviction of every non-empty LLC C-Buffer (a context switch
+    /// under static way partitioning, Figure 13c): each becomes a 64 B DRAM
+    /// line regardless of how many live tuples it holds.
+    pub fn force_evict_llc(&mut self) {
+        for occ in self.llc_occ.iter_mut() {
+            if *occ > 0 {
+                self.stats.partial_lines_written += 1;
+                self.stats.llc_tuples_written += *occ as u64;
+                self.stats.wasted_bytes +=
+                    LINE_BYTES - (*occ as u64 * self.tuple_bytes as u64);
+                *occ = 0;
+            }
+        }
+    }
+}
+
+/// Result of a fixed-rate DES run (the paper's Figure 13a experiment).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedRateReport {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Cycles the producer was stalled on a full L1→L2 eviction buffer.
+    pub stall_cycles: u64,
+    /// Eviction statistics.
+    pub stats: EvictStats,
+}
+
+impl FixedRateReport {
+    /// Fraction of execution stalled on the eviction buffer.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Drives the DES with a tuple trace at a fixed issue rate of one tuple per
+/// `issue_interval` cycles, modeling the Binning-phase core as the paper's
+/// DES does. Returns the stall report for the given eviction-buffer sizes.
+pub fn simulate_fixed_rate<I>(
+    hier: &BinHierarchy,
+    cfg: DesConfig,
+    keys: I,
+    issue_interval: u64,
+) -> FixedRateReport
+where
+    I: IntoIterator<Item = u32>,
+{
+    assert!(issue_interval > 0, "issue interval must be positive");
+    let mut des = EvictionDes::new(hier, cfg);
+    let l1_shift = hier.levels[0].shift;
+    let cap = hier.tuples_per_line() as usize;
+    let mut l1: Vec<Vec<u32>> = (0..hier.levels[0].buffers).map(|_| Vec::new()).collect();
+    let mut now = 0u64;
+    let mut stall_total = 0u64;
+    for k in keys {
+        now += issue_interval;
+        let b = (k >> l1_shift) as usize;
+        l1[b].push(k);
+        if l1[b].len() == cap {
+            let line = std::mem::take(&mut l1[b]);
+            let stall = des.push_l1_line(&line, now);
+            now += stall;
+            stall_total += stall;
+        }
+    }
+    for b in 0..l1.len() {
+        if !l1[b].is_empty() {
+            let line = std::mem::take(&mut l1[b]);
+            let stall = des.push_l1_line(&line, now);
+            now += stall;
+            stall_total += stall;
+        }
+    }
+    now = des.flush(now);
+    FixedRateReport { cycles: now, stall_cycles: stall_total, stats: des.stats() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::ReservedWays;
+    use cobra_sim::config::MachineConfig;
+
+    fn hier() -> BinHierarchy {
+        let m = MachineConfig::hpca22();
+        BinHierarchy::bininit(&m, ReservedWays::paper_default(&m), 1 << 20, 8)
+    }
+
+    #[test]
+    fn tuples_are_conserved() {
+        let h = hier();
+        let n = 100_000u64;
+        let keys = (0..n).map(|i| ((i * 2654435761) % (1 << 20)) as u32);
+        let r = simulate_fixed_rate(&h, DesConfig::paper_default(), keys, 2);
+        let s = r.stats;
+        assert_eq!(
+            s.llc_tuples_written, n,
+            "every tuple must reach an in-memory bin (full {} partial {})",
+            s.llc_lines_written, s.partial_lines_written
+        );
+    }
+
+    #[test]
+    fn large_eviction_buffer_eliminates_stalls() {
+        let h = hier();
+        let keys: Vec<u32> = (0..200_000u64).map(|i| ((i * 2654435761) % (1 << 20)) as u32).collect();
+        let big = simulate_fixed_rate(
+            &h,
+            DesConfig { l1_evict_entries: 64, l2_evict_entries: 8 },
+            keys.iter().copied(),
+            2,
+        );
+        assert!(big.stall_fraction() < 0.01, "fraction {}", big.stall_fraction());
+    }
+
+    #[test]
+    fn tiny_eviction_buffer_stalls_more() {
+        let h = hier();
+        let keys: Vec<u32> = (0..200_000u64).map(|i| ((i * 2654435761) % (1 << 20)) as u32).collect();
+        let tiny = simulate_fixed_rate(
+            &h,
+            DesConfig { l1_evict_entries: 1, l2_evict_entries: 8 },
+            keys.iter().copied(),
+            1, // full-rate producer
+        );
+        let big = simulate_fixed_rate(
+            &h,
+            DesConfig { l1_evict_entries: 32, l2_evict_entries: 8 },
+            keys.iter().copied(),
+            1,
+        );
+        assert!(
+            tiny.stall_fraction() >= big.stall_fraction(),
+            "tiny {} < big {}",
+            tiny.stall_fraction(),
+            big.stall_fraction()
+        );
+    }
+
+    #[test]
+    fn flush_writes_partial_lines_and_counts_waste() {
+        let h = hier();
+        let mut des = EvictionDes::new(&h, DesConfig::paper_default());
+        // One full L1 line whose 8 tuples land in 8 different LLC bins:
+        // all stay partial until flush.
+        let keys: Vec<u32> = (0..8).map(|i| i * 64).collect();
+        des.push_l1_line(&keys, 0);
+        let end = des.flush(100);
+        assert!(end >= 100);
+        let s = des.stats();
+        assert_eq!(s.llc_tuples_written, 8);
+        assert_eq!(s.llc_lines_written, 0);
+        assert_eq!(s.partial_lines_written, 8);
+        // Each partial line carries 1 tuple of 8 B -> 56 B wasted.
+        assert_eq!(s.wasted_bytes, 8 * 56);
+    }
+
+    #[test]
+    fn full_lines_waste_nothing() {
+        let h = hier();
+        let mut des = EvictionDes::new(&h, DesConfig::paper_default());
+        // 8 tuples to the same LLC bin (keys within one range-64 window).
+        let keys: Vec<u32> = (0..8).collect();
+        des.push_l1_line(&keys, 0);
+        // Give engines time, then flush.
+        des.flush(1000);
+        let s = des.stats();
+        assert_eq!(s.llc_lines_written, 1);
+        assert_eq!(s.wasted_bytes, 0);
+    }
+
+    #[test]
+    fn force_evict_counts_context_switch_waste() {
+        let h = hier();
+        let mut des = EvictionDes::new(&h, DesConfig::paper_default());
+        let keys: Vec<u32> = (0..8).map(|i| i * 64).collect();
+        des.push_l1_line(&keys, 0);
+        des.force_evict_llc();
+        assert_eq!(des.stats().partial_lines_written, 8);
+        assert!(des.stats().wasted_bytes > 0);
+        // Idempotent: nothing left to evict.
+        let before = des.stats();
+        des.force_evict_llc();
+        assert_eq!(des.stats(), before);
+    }
+
+    #[test]
+    fn skewed_keys_fill_llc_lines() {
+        // All keys in one 64-key window: every 8 tuples complete an LLC line.
+        let h = hier();
+        let keys = (0..800u32).map(|i| i % 64);
+        let r = simulate_fixed_rate(&h, DesConfig::paper_default(), keys, 2);
+        assert!(r.stats.llc_lines_written >= 90, "{:?}", r.stats);
+    }
+
+    #[test]
+    fn tiny_l2_fifo_backpressures_engine_one() {
+        // With a 1-entry L2->LLC FIFO, binning engine 1 must wait for
+        // engine 2, lengthening its busy time and ultimately stalling the
+        // core more than a comfortable FIFO would.
+        let h = hier();
+        let keys: Vec<u32> = (0..100_000u64).map(|i| ((i * 2654435761) % (1 << 20)) as u32).collect();
+        let tight = simulate_fixed_rate(
+            &h,
+            DesConfig { l1_evict_entries: 4, l2_evict_entries: 1 },
+            keys.iter().copied(),
+            1,
+        );
+        let roomy = simulate_fixed_rate(
+            &h,
+            DesConfig { l1_evict_entries: 4, l2_evict_entries: 16 },
+            keys.iter().copied(),
+            1,
+        );
+        assert!(
+            tight.stall_cycles >= roomy.stall_cycles,
+            "tight {} vs roomy {}",
+            tight.stall_cycles,
+            roomy.stall_cycles
+        );
+        // Both still deliver every tuple.
+        assert_eq!(tight.stats.llc_tuples_written, keys.len() as u64);
+        assert_eq!(roomy.stats.llc_tuples_written, keys.len() as u64);
+    }
+
+    #[test]
+    fn dram_bytes_accounting() {
+        let s = EvictStats {
+            llc_lines_written: 10,
+            partial_lines_written: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.dram_write_bytes(), 13 * 64);
+    }
+}

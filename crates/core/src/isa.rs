@@ -1,0 +1,240 @@
+//! Operational semantics of COBRA's `bininit` instruction (Section V-A/V-B).
+//!
+//! `bininit` is executed once per cache level. It reserves ways for
+//! C-Buffers and computes the *smallest power-of-two bin range* whose
+//! C-Buffers fit in the reserved capacity; the range is latched in a
+//! per-level register and used by `binupdate` to route tuples with a shift.
+
+use cobra_sim::config::MachineConfig;
+use cobra_sim::stats::Level;
+use cobra_sim::LINE_BYTES;
+
+/// Per-level C-Buffer geometry produced by `bininit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelBins {
+    /// Cache level these C-Buffers are pinned in.
+    pub level: Level,
+    /// Ways requested for reservation.
+    pub ways_reserved: u32,
+    /// Ways the C-Buffers actually occupy (power-of-two ranges may leave
+    /// reserved ways unused; `bininit` reports this so other data can
+    /// reclaim them).
+    pub ways_used: u32,
+    /// Number of C-Buffers at this level.
+    pub buffers: u64,
+    /// log2 of this level's bin range.
+    pub shift: u32,
+}
+
+impl LevelBins {
+    /// Keys covered by one of this level's C-Buffers.
+    pub fn bin_range(&self) -> u64 {
+        1 << self.shift
+    }
+}
+
+/// The full C-Buffer hierarchy configuration (one `bininit` per level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinHierarchy {
+    /// Per-level geometry ordered L1, L2, LLC.
+    pub levels: [LevelBins; 3],
+    /// Number of distinct update keys.
+    pub num_keys: u32,
+    /// Bytes per update tuple (key + value).
+    pub tuple_bytes: u32,
+}
+
+/// Ways reserved per level; the paper's default reserves all-but-one way in
+/// L1 and LLC and a single way in L2 (to preserve stream-prefetch capacity,
+/// Section V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReservedWays {
+    /// L1 ways for C-Buffers.
+    pub l1: u32,
+    /// L2 ways for C-Buffers.
+    pub l2: u32,
+    /// LLC ways for C-Buffers.
+    pub llc: u32,
+}
+
+impl ReservedWays {
+    /// The paper's default for the Table II machine: 7/8 L1, 1/8 L2,
+    /// 15/16 LLC.
+    pub fn paper_default(machine: &MachineConfig) -> Self {
+        ReservedWays { l1: machine.l1.ways - 1, l2: 1, llc: machine.llc.ways - 1 }
+    }
+}
+
+/// Executes the `bininit` computation for one level: given `capacity_lines`
+/// reserved lines, returns `(buffers, shift, lines_used)` — the smallest
+/// power-of-two bin range whose `ceil(num_keys / range)` C-Buffers fit.
+fn level_bininit(num_keys: u32, capacity_lines: u64) -> (u64, u32) {
+    assert!(capacity_lines > 0, "no lines reserved");
+    let mut shift = 0u32;
+    loop {
+        let range = 1u64 << shift;
+        let buffers = (num_keys as u64).div_ceil(range);
+        if buffers <= capacity_lines {
+            return (buffers, shift);
+        }
+        shift += 1;
+    }
+}
+
+impl BinHierarchy {
+    /// Runs `bininit` for each level of `machine` with the given way
+    /// reservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_keys == 0`, `tuple_bytes` is 0 / not a power of two /
+    /// larger than a cache line, if any reservation is zero, or if a
+    /// reservation does not leave at least one normal way.
+    pub fn bininit(
+        machine: &MachineConfig,
+        reserved: ReservedWays,
+        num_keys: u32,
+        tuple_bytes: u32,
+    ) -> Self {
+        assert!(num_keys > 0, "need at least one key");
+        assert!(
+            tuple_bytes > 0
+                && tuple_bytes.is_power_of_two()
+                && tuple_bytes as u64 <= LINE_BYTES,
+            "tuple size must be a power of two <= {LINE_BYTES}"
+        );
+        let specs = [
+            (Level::L1, &machine.l1, reserved.l1),
+            (Level::L2, &machine.l2, reserved.l2),
+            (Level::Llc, &machine.llc, reserved.llc),
+        ];
+        let mut levels = Vec::with_capacity(3);
+        for (level, cache, ways) in specs {
+            assert!(ways > 0 && ways < cache.ways, "{level}: reserve in 1..ways");
+            let capacity_lines = cache.sets() * ways as u64;
+            let (buffers, shift) = level_bininit(num_keys, capacity_lines);
+            let ways_used = buffers.div_ceil(cache.sets()).max(1) as u32;
+            levels.push(LevelBins { level, ways_reserved: ways, ways_used, buffers, shift });
+        }
+        let levels: [LevelBins; 3] = levels.try_into().expect("exactly three levels");
+        // A level closer to the core must not have more buffers than the
+        // next level (its range is the larger power of two).
+        debug_assert!(levels[0].shift >= levels[1].shift && levels[1].shift >= levels[2].shift);
+        Self { levels, num_keys, tuple_bytes }
+    }
+
+    /// Tuples held by one cacheline-sized C-Buffer.
+    pub fn tuples_per_line(&self) -> u32 {
+        (LINE_BYTES / self.tuple_bytes as u64) as u32
+    }
+
+    /// The number of in-memory bins (== LLC C-Buffers, Section IV).
+    pub fn num_memory_bins(&self) -> u64 {
+        self.levels[2].buffers
+    }
+
+    /// log2 of the in-memory bin range.
+    pub fn memory_bin_shift(&self) -> u32 {
+        self.levels[2].shift
+    }
+
+    /// Routes a key to its C-Buffer index at `level` (0 = L1, 1 = L2,
+    /// 2 = LLC).
+    #[inline]
+    pub fn buffer_of(&self, level: usize, key: u32) -> usize {
+        (key >> self.levels[level].shift) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy(num_keys: u32) -> BinHierarchy {
+        let m = MachineConfig::hpca22();
+        BinHierarchy::bininit(&m, ReservedWays::paper_default(&m), num_keys, 8)
+    }
+
+    #[test]
+    fn paper_machine_one_million_keys() {
+        let h = hierarchy(1 << 20);
+        // L1: 64 sets x 7 ways = 448 lines -> range 4096 -> 256 buffers.
+        assert_eq!(h.levels[0].buffers, 256);
+        assert_eq!(h.levels[0].shift, 12);
+        // L2: 512 lines -> range 2048 -> 512 buffers.
+        assert_eq!(h.levels[1].buffers, 512);
+        assert_eq!(h.levels[1].shift, 11);
+        // LLC: 2048 x 15 = 30720 lines -> range 64 -> 16384 buffers.
+        assert_eq!(h.levels[2].buffers, 16384);
+        assert_eq!(h.levels[2].shift, 6);
+        assert_eq!(h.num_memory_bins(), 16384);
+        assert_eq!(h.tuples_per_line(), 8);
+    }
+
+    #[test]
+    fn shifts_are_monotone_down_the_hierarchy() {
+        for keys in [100, 10_000, 1 << 18, 1 << 24, u32::MAX] {
+            let h = hierarchy(keys);
+            assert!(h.levels[0].shift >= h.levels[1].shift);
+            assert!(h.levels[1].shift >= h.levels[2].shift);
+        }
+    }
+
+    #[test]
+    fn buffers_fit_reserved_capacity() {
+        let m = MachineConfig::hpca22();
+        let h = hierarchy(1 << 24);
+        assert!(h.levels[0].buffers <= m.l1.sets() * 7);
+        assert!(h.levels[1].buffers <= m.l2.sets());
+        assert!(h.levels[2].buffers <= m.llc.sets() * 15);
+    }
+
+    #[test]
+    fn ways_used_can_undershoot_reservation() {
+        // With few keys the power-of-two range may need far fewer lines
+        // than reserved; bininit reports the used ways for reclamation.
+        let h = hierarchy(256);
+        assert!(h.levels[2].ways_used <= h.levels[2].ways_reserved);
+        assert_eq!(h.num_memory_bins(), 256); // range 1, one buffer per key
+    }
+
+    #[test]
+    fn small_domain_one_buffer_per_key() {
+        let h = hierarchy(64);
+        for l in &h.levels {
+            assert_eq!(l.shift, 0);
+            assert_eq!(l.buffers, 64);
+        }
+    }
+
+    #[test]
+    fn buffer_routing_uses_shift() {
+        let h = hierarchy(1 << 20);
+        assert_eq!(h.buffer_of(0, 0), 0);
+        assert_eq!(h.buffer_of(0, 4096), 1);
+        assert_eq!(h.buffer_of(2, 64), 1);
+        assert_eq!(h.buffer_of(2, 63), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two_tuples() {
+        let m = MachineConfig::hpca22();
+        BinHierarchy::bininit(&m, ReservedWays::paper_default(&m), 100, 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_full_reservation() {
+        let m = MachineConfig::hpca22();
+        let r = ReservedWays { l1: 8, l2: 1, llc: 15 };
+        BinHierarchy::bininit(&m, r, 100, 8);
+    }
+
+    #[test]
+    fn sixteen_byte_tuples() {
+        let m = MachineConfig::hpca22();
+        let h = BinHierarchy::bininit(&m, ReservedWays::paper_default(&m), 1 << 20, 16);
+        assert_eq!(h.tuples_per_line(), 4);
+    }
+}

@@ -1,0 +1,184 @@
+//! Compressed Sparse Row graph representation (Figure 1 of the paper).
+
+use crate::edgelist::{Edge, EdgeList};
+use crate::prefix::exclusive_sum;
+
+/// A directed graph in CSR form: an Offsets Array (`offsets`, length V+1)
+/// indexing into a Neighbors Array (`neighbors`, length E), edges grouped by
+/// source.
+///
+/// The transpose of a CSR is the CSC of the same graph; build it with
+/// [`Csr::transpose`] (pull-style kernels such as the PB versions of
+/// Pagerank, Radii and SpMV operate on the transpose, per Section VI).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from raw arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is not monotonically non-decreasing, does not
+    /// start at 0, or its last entry differs from `neighbors.len()`.
+    pub fn from_raw(offsets: Vec<u32>, neighbors: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be sorted");
+        assert_eq!(*offsets.last().expect("nonempty") as usize, neighbors.len());
+        Csr { offsets, neighbors }
+    }
+
+    /// Builds a CSR from an edge list (the reference, serial
+    /// Edgelist→CSR conversion; the instrumented/optimized versions live in
+    /// `cobra-kernels`).
+    pub fn from_edgelist(el: &EdgeList) -> Self {
+        let degrees = el.degrees();
+        let offsets = exclusive_sum(&degrees);
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; el.num_edges()];
+        for e in el.iter() {
+            let slot = cursor[e.src as usize];
+            neighbors[slot as usize] = e.dst;
+            cursor[e.src as usize] += 1;
+        }
+        Csr { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Out-degree of vertex `v`.
+    pub fn degree(&self, v: u32) -> u32 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// The neighbors of vertex `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// The Offsets Array (length `num_vertices() + 1`).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The Neighbors Array (length `num_edges()`).
+    pub fn neighbors_array(&self) -> &[u32] {
+        &self.neighbors
+    }
+
+    /// The transpose graph (edge directions reversed); a CSC view of `self`.
+    pub fn transpose(&self) -> Csr {
+        let v = self.num_vertices();
+        let mut degrees = vec![0u32; v];
+        for &d in &self.neighbors {
+            degrees[d as usize] += 1;
+        }
+        let offsets = exclusive_sum(&degrees);
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; self.num_edges()];
+        for s in 0..v as u32 {
+            for &d in self.neighbors(s) {
+                let slot = cursor[d as usize];
+                neighbors[slot as usize] = s;
+                cursor[d as usize] += 1;
+            }
+        }
+        Csr { offsets, neighbors }
+    }
+
+    /// All edges, in CSR (source-major) order.
+    pub fn to_edgelist(&self) -> EdgeList {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for s in 0..self.num_vertices() as u32 {
+            for &d in self.neighbors(s) {
+                edges.push(Edge::new(s, d));
+            }
+        }
+        EdgeList::new(self.num_vertices() as u32, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        EdgeList::new(
+            4,
+            vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(3, 0), Edge::new(1, 2)],
+        )
+    }
+
+    #[test]
+    fn from_edgelist_groups_by_source() {
+        let g = Csr::from_edgelist(&sample());
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+        assert_eq!(g.neighbors(3), &[0]);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = Csr::from_edgelist(&sample());
+        let t = g.transpose();
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.neighbors(0), &[3]);
+        // Double transpose restores the edge multiset.
+        let tt = t.transpose();
+        let mut a = g.to_edgelist().edges().to_vec();
+        let mut b = tt.to_edgelist().edges().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip_through_edgelist() {
+        let g = Csr::from_edgelist(&sample());
+        let el = g.to_edgelist();
+        let g2 = Csr::from_edgelist(&el);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let g = Csr::from_raw(vec![0, 2, 2], vec![1, 0]);
+        assert_eq!(g.num_vertices(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_raw_rejects_unsorted_offsets() {
+        Csr::from_raw(vec![0, 3, 2], vec![1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_raw_rejects_length_mismatch() {
+        Csr::from_raw(vec![0, 1], vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edgelist(&EdgeList::new(3, vec![]));
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Edge-list graph representation.
+
+use std::fmt;
+
+/// A directed edge between two vertex IDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: u32,
+    /// Destination vertex.
+    pub dst: u32,
+}
+
+impl Edge {
+    /// Creates an edge `src -> dst`.
+    pub fn new(src: u32, dst: u32) -> Self {
+        Edge { src, dst }
+    }
+
+    /// The edge with source and destination swapped.
+    pub fn reversed(self) -> Self {
+        Edge { src: self.dst, dst: self.src }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.src, self.dst)
+    }
+}
+
+impl From<(u32, u32)> for Edge {
+    fn from((src, dst): (u32, u32)) -> Self {
+        Edge { src, dst }
+    }
+}
+
+/// An unordered list of directed edges plus the vertex-ID domain size.
+///
+/// This is the on-disk/bulk-ingest format the paper's Edgelist→CSR
+/// preprocessing kernels (Degree-Count, Neighbor-Populate) consume.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EdgeList {
+    num_vertices: u32,
+    edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// Creates an edge list over vertex IDs `0..num_vertices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge references a vertex `>= num_vertices`.
+    pub fn new(num_vertices: u32, edges: Vec<Edge>) -> Self {
+        for e in &edges {
+            assert!(
+                e.src < num_vertices && e.dst < num_vertices,
+                "edge {e} out of range for {num_vertices} vertices"
+            );
+        }
+        EdgeList { num_vertices, edges }
+    }
+
+    /// Number of vertices in the ID domain.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edges as a slice.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterates over the edges.
+    pub fn iter(&self) -> std::slice::Iter<'_, Edge> {
+        self.edges.iter()
+    }
+
+    /// Out-degree of every vertex.
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.num_vertices as usize];
+        for e in &self.edges {
+            d[e.src as usize] += 1;
+        }
+        d
+    }
+
+    /// A new list with every edge reversed (for building the transpose/CSC).
+    pub fn reversed(&self) -> EdgeList {
+        EdgeList {
+            num_vertices: self.num_vertices,
+            edges: self.edges.iter().map(|e| e.reversed()).collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a EdgeList {
+    type Item = &'a Edge;
+    type IntoIter = std::slice::Iter<'a, Edge>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.edges.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        EdgeList::new(4, vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(3, 0), Edge::new(1, 2)])
+    }
+
+    #[test]
+    fn degrees_count_out_edges() {
+        let el = sample();
+        assert_eq!(el.degrees(), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let el = sample();
+        let r = el.reversed();
+        assert_eq!(r.degrees(), vec![1, 1, 2, 0]);
+        assert_eq!(r.edges()[0], Edge::new(1, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_rejected() {
+        EdgeList::new(2, vec![Edge::new(0, 2)]);
+    }
+
+    #[test]
+    fn iteration_and_counts() {
+        let el = sample();
+        assert_eq!(el.num_edges(), 4);
+        assert_eq!(el.num_vertices(), 4);
+        assert_eq!(el.iter().count(), 4);
+        assert_eq!((&el).into_iter().count(), 4);
+    }
+
+    #[test]
+    fn edge_display_and_conversion() {
+        let e: Edge = (3, 5).into();
+        assert_eq!(e.to_string(), "3->5");
+        assert_eq!(e.reversed().to_string(), "5->3");
+    }
+}

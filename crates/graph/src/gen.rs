@@ -1,0 +1,227 @@
+//! Deterministic synthetic graph generators.
+//!
+//! These stand in for the paper's Table III inputs (see DESIGN.md §2): the
+//! evaluation depends on the *degree-distribution class* of each input —
+//! power-law (DBP/TWIT/KRON/UK2005), uniform (URND), bounded-degree
+//! high-diameter road networks (EURO), and extreme skew — not on the exact
+//! datasets, which are multi-gigabyte downloads. Every generator is
+//! deterministic in its seed.
+
+use crate::edgelist::{Edge, EdgeList};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform-random (Erdős–Rényi-style) directed multigraph with `num_edges`
+/// edges over `num_vertices` vertices. Stands in for URND.
+///
+/// # Panics
+///
+/// Panics if `num_vertices == 0`.
+pub fn uniform_random(num_vertices: u32, num_edges: usize, seed: u64) -> EdgeList {
+    assert!(num_vertices > 0, "need at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = (0..num_edges)
+        .map(|_| Edge::new(rng.gen_range(0..num_vertices), rng.gen_range(0..num_vertices)))
+        .collect();
+    EdgeList::new(num_vertices, edges)
+}
+
+/// R-MAT power-law generator (Graph500 parameters by default). Stands in for
+/// the paper's social/web graphs (DBP, TWIT, UK2005).
+///
+/// `scale` gives `2^scale` vertices; `edge_factor` edges per vertex.
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> EdgeList {
+    rmat_with(scale, edge_factor, seed, 0.57, 0.19, 0.19)
+}
+
+/// R-MAT with explicit quadrant probabilities `(a, b, c)`; `d = 1-a-b-c`.
+///
+/// # Panics
+///
+/// Panics if the probabilities are not a valid sub-distribution or
+/// `scale == 0` or `scale > 30`.
+pub fn rmat_with(scale: u32, edge_factor: usize, seed: u64, a: f64, b: f64, c: f64) -> EdgeList {
+    assert!(scale > 0 && scale <= 30, "scale out of range");
+    assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0, "bad rmat parameters");
+    let n = 1u32 << scale;
+    let num_edges = n as usize * edge_factor;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let (mut src, mut dst) = (0u32, 0u32);
+        for _ in 0..scale {
+            src <<= 1;
+            dst <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left quadrant: no bits set
+            } else if r < a + b {
+                dst |= 1;
+            } else if r < a + b + c {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        edges.push(Edge::new(src, dst));
+    }
+    EdgeList::new(n, edges)
+}
+
+/// Kronecker generator (Graph500 KRON): an R-MAT with symmetric-noise
+/// parameters, matching GAP's `kron` input class.
+pub fn kronecker(scale: u32, edge_factor: usize, seed: u64) -> EdgeList {
+    rmat_with(scale, edge_factor, seed, 0.57, 0.19, 0.19)
+}
+
+/// Bounded-degree, high-diameter road-network-like mesh (stands in for
+/// EURO/ROAD): a `side x side` 2-D grid with 4-neighbor connectivity plus a
+/// sparse sprinkling of shortcut edges (~1% of vertices).
+///
+/// The vertex count is `side * side`.
+pub fn road_mesh(side: u32, seed: u64) -> EdgeList {
+    assert!(side >= 2, "mesh needs side >= 2");
+    let n = side * side;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |x: u32, y: u32| y * side + x;
+    let mut edges = Vec::with_capacity(4 * n as usize);
+    for y in 0..side {
+        for x in 0..side {
+            let v = id(x, y);
+            if x + 1 < side {
+                edges.push(Edge::new(v, id(x + 1, y)));
+                edges.push(Edge::new(id(x + 1, y), v));
+            }
+            if y + 1 < side {
+                edges.push(Edge::new(v, id(x, y + 1)));
+                edges.push(Edge::new(id(x, y + 1), v));
+            }
+        }
+    }
+    for _ in 0..(n / 100).max(1) {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        edges.push(Edge::new(u, v));
+        edges.push(Edge::new(v, u));
+    }
+    EdgeList::new(n, edges)
+}
+
+/// Highly skewed generator: destinations follow a Zipf(`alpha`) distribution
+/// over the vertex IDs, sources are uniform. Stands in for the most skewed
+/// inputs (HBUBL-class), where update coalescing pays off most (Figure 14).
+pub fn zipf(num_vertices: u32, num_edges: usize, alpha: f64, seed: u64) -> EdgeList {
+    assert!(num_vertices > 0, "need at least one vertex");
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Inverse-CDF table over vertex ranks.
+    let mut cdf = Vec::with_capacity(num_vertices as usize);
+    let mut acc = 0.0f64;
+    for v in 0..num_vertices {
+        acc += 1.0 / ((v as f64 + 1.0).powf(alpha));
+        cdf.push(acc);
+    }
+    let total = acc;
+    let edges = (0..num_edges)
+        .map(|_| {
+            let r: f64 = rng.gen::<f64>() * total;
+            let dst = cdf.partition_point(|&c| c < r) as u32;
+            Edge::new(rng.gen_range(0..num_vertices), dst.min(num_vertices - 1))
+        })
+        .collect();
+    EdgeList::new(num_vertices, edges)
+}
+
+/// Uniformly random permutation of `0..n` (used by the PINV kernel and by
+/// SymPerm's row/column permutations).
+pub fn random_permutation(n: u32, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p: Vec<u32> = (0..n).collect();
+    // Fisher–Yates.
+    for i in (1..n as usize).rev() {
+        let j = rng.gen_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+/// Uniformly random keys in `0..max_key` (the Integer Sort input: the paper
+/// sorts 256 M random keys with varying maximum key values).
+pub fn random_keys(n: usize, max_key: u32, seed: u64) -> Vec<u32> {
+    assert!(max_key > 0, "max_key must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..max_key)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_random(100, 500, 7), uniform_random(100, 500, 7));
+        assert_eq!(rmat(8, 4, 7), rmat(8, 4, 7));
+        assert_eq!(zipf(100, 500, 1.1, 7), zipf(100, 500, 1.1, 7));
+        assert_eq!(random_permutation(64, 3), random_permutation(64, 3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(uniform_random(100, 500, 1), uniform_random(100, 500, 2));
+    }
+
+    #[test]
+    fn rmat_is_skewed_uniform_is_not() {
+        let skewed = rmat(10, 8, 42);
+        let flat = uniform_random(1024, 8192, 42);
+        let max_deg = |el: &EdgeList| el.degrees().into_iter().max().unwrap_or(0);
+        assert!(
+            max_deg(&skewed) > 3 * max_deg(&flat),
+            "rmat max {} vs uniform max {}",
+            max_deg(&skewed),
+            max_deg(&flat)
+        );
+    }
+
+    #[test]
+    fn zipf_concentrates_on_low_ids() {
+        let el = zipf(1000, 10_000, 1.2, 9);
+        let in_deg = el.reversed().degrees();
+        let head: u32 = in_deg[..10].iter().sum();
+        assert!(head as f64 > 0.2 * el.num_edges() as f64, "head got {head}");
+    }
+
+    #[test]
+    fn road_mesh_has_bounded_degree() {
+        let el = road_mesh(30, 5);
+        assert_eq!(el.num_vertices(), 900);
+        let max = el.degrees().into_iter().max().unwrap();
+        assert!(max <= 8, "max degree {max}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = random_permutation(1000, 11);
+        let mut seen = vec![false; 1000];
+        for &x in &p {
+            assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn random_keys_in_range() {
+        let keys = random_keys(10_000, 1 << 16, 13);
+        assert!(keys.iter().all(|&k| k < (1 << 16)));
+        assert_eq!(keys.len(), 10_000);
+    }
+
+    #[test]
+    fn rmat_vertex_domain() {
+        let el = rmat(6, 4, 1);
+        assert_eq!(el.num_vertices(), 64);
+        assert_eq!(el.num_edges(), 256);
+    }
+}

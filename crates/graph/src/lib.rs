@@ -1,0 +1,38 @@
+//! # cobra-graph — graphs, sparse matrices, and synthetic input generators
+//!
+//! The input substrate of the COBRA reproduction (HPCA 2022). Provides:
+//!
+//! * [`EdgeList`] and [`Csr`] graph representations (Figure 1 of the paper),
+//! * deterministic, seeded generators covering the degree-distribution
+//!   classes of the paper's Table III — power-law ([`gen::rmat`],
+//!   [`gen::kronecker`]), uniform ([`gen::uniform_random`]), bounded-degree
+//!   high-diameter ([`gen::road_mesh`]) and highly skewed ([`gen::zipf`]),
+//! * [`SparseMatrix`] (CSR) with generators standing in for the paper's
+//!   simulation/optimization matrices ([`matrix::stencil27`],
+//!   [`matrix::banded`], [`matrix::random_uniform`],
+//!   [`matrix::powerlaw_rows`]),
+//! * serial and parallel [prefix sums](prefix) used by Edgelist→CSR
+//!   conversion.
+//!
+//! ## Example
+//!
+//! ```
+//! use cobra_graph::{gen, Csr};
+//! let el = gen::uniform_random(1_000, 10_000, 42);
+//! let g = Csr::from_edgelist(&el);
+//! assert_eq!(g.num_edges(), 10_000);
+//! let total: usize = (0..g.num_vertices()).map(|v| g.neighbors(v as u32).len()).sum();
+//! assert_eq!(total, 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod csr;
+pub mod edgelist;
+pub mod gen;
+pub mod matrix;
+pub mod prefix;
+
+pub use csr::Csr;
+pub use edgelist::{Edge, EdgeList};
+pub use matrix::SparseMatrix;

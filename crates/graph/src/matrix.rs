@@ -1,0 +1,307 @@
+//! Sparse matrices in CSR form and generators for the paper's
+//! sparse-linear-algebra inputs (HPCG-like stencils and
+//! SuiteSparse-style simulation/optimization matrices).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sparse matrix in CSR format with `f64` values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseMatrix {
+    rows: u32,
+    cols: u32,
+    row_offsets: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds a matrix from raw CSR arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent (offsets unsorted / wrong
+    /// lengths / column index out of range).
+    pub fn from_raw(
+        rows: u32,
+        cols: u32,
+        row_offsets: Vec<u32>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_offsets.len(), rows as usize + 1, "row_offsets length");
+        assert!(row_offsets[0] == 0, "offsets must start at 0");
+        assert!(row_offsets.windows(2).all(|w| w[0] <= w[1]), "offsets sorted");
+        assert_eq!(*row_offsets.last().expect("nonempty") as usize, col_idx.len());
+        assert_eq!(col_idx.len(), values.len(), "values length");
+        assert!(col_idx.iter().all(|&c| c < cols), "column index out of range");
+        SparseMatrix { rows, cols, row_offsets, col_idx, values }
+    }
+
+    /// Builds a CSR from COO triplets (duplicates are kept, in row-major
+    /// arrival order).
+    pub fn from_coo(rows: u32, cols: u32, triplets: &[(u32, u32, f64)]) -> Self {
+        let mut counts = vec![0u32; rows as usize];
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
+            counts[r as usize] += 1;
+        }
+        let row_offsets = crate::prefix::exclusive_sum(&counts);
+        let nnz = triplets.len();
+        let mut cursor = row_offsets.clone();
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![0f64; nnz];
+        for &(r, c, v) in triplets {
+            let slot = cursor[r as usize] as usize;
+            col_idx[slot] = c;
+            values[slot] = v;
+            cursor[r as usize] += 1;
+        }
+        SparseMatrix { rows, cols, row_offsets, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Row offsets (length `rows + 1`).
+    pub fn row_offsets(&self) -> &[u32] {
+        &self.row_offsets
+    }
+
+    /// Column indices, row-major.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Stored values, row-major.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Entries `(col, value)` of row `r`.
+    pub fn row(&self, r: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.row_offsets[r as usize] as usize;
+        let hi = self.row_offsets[r as usize + 1] as usize;
+        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Dense matrix-vector product reference (for testing SpMV kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn spmv_reference(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols as usize);
+        let mut y = vec![0.0; self.rows as usize];
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for (c, v) in self.row(r) {
+                acc += v * x[c as usize];
+            }
+            y[r as usize] = acc;
+        }
+        y
+    }
+
+    /// Reference transpose (used to validate the instrumented Transpose
+    /// kernel). Column order within each output row follows input row order,
+    /// i.e. the canonical stable CSR transpose.
+    pub fn transpose_reference(&self) -> SparseMatrix {
+        let mut counts = vec![0u32; self.cols as usize];
+        for &c in &self.col_idx {
+            counts[c as usize] += 1;
+        }
+        let row_offsets = crate::prefix::exclusive_sum(&counts);
+        let mut cursor = row_offsets.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0f64; self.nnz()];
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                let slot = cursor[c as usize] as usize;
+                col_idx[slot] = r;
+                values[slot] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        SparseMatrix { rows: self.cols, cols: self.rows, row_offsets, col_idx, values }
+    }
+}
+
+/// 27-point stencil matrix on an `nx x ny x nz` grid (the HPCG problem
+/// matrix). Symmetric structure, bounded row degree (≤ 27).
+pub fn stencil27(nx: u32, ny: u32, nz: u32) -> SparseMatrix {
+    let n = nx * ny * nz;
+    let id = |x: u32, y: u32, z: u32| (z * ny + y) * nx + x;
+    let mut triplets = Vec::with_capacity(n as usize * 27);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let r = id(x, y, z);
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let (xx, yy, zz) =
+                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            if xx < 0 || yy < 0 || zz < 0
+                                || xx >= nx as i64 || yy >= ny as i64 || zz >= nz as i64
+                            {
+                                continue;
+                            }
+                            let c = id(xx as u32, yy as u32, zz as u32);
+                            let v = if r == c { 26.0 } else { -1.0 };
+                            triplets.push((r, c, v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    SparseMatrix::from_coo(n, n, &triplets)
+}
+
+/// Banded matrix with `band` diagonals on each side (a simulation-class
+/// SuiteSparse stand-in).
+pub fn banded(n: u32, band: u32, seed: u64) -> SparseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triplets = Vec::new();
+    for r in 0..n {
+        let lo = r.saturating_sub(band);
+        let hi = (r + band + 1).min(n);
+        for c in lo..hi {
+            triplets.push((r, c, rng.gen_range(-1.0..1.0)));
+        }
+    }
+    SparseMatrix::from_coo(n, n, &triplets)
+}
+
+/// Uniformly random sparse matrix with `nnz_per_row` entries per row at
+/// random column positions (an optimization-class stand-in; irregular
+/// column pattern).
+pub fn random_uniform(n: u32, nnz_per_row: u32, seed: u64) -> SparseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triplets = Vec::with_capacity((n * nnz_per_row) as usize);
+    for r in 0..n {
+        for _ in 0..nnz_per_row {
+            triplets.push((r, rng.gen_range(0..n), rng.gen_range(-1.0..1.0)));
+        }
+    }
+    SparseMatrix::from_coo(n, n, &triplets)
+}
+
+/// Power-law column distribution (a few hot columns; web/social-style
+/// matrix) with `nnz_per_row` entries per row.
+pub fn powerlaw_rows(n: u32, nnz_per_row: u32, alpha: f64, seed: u64) -> SparseMatrix {
+    let el = crate::gen::zipf(n, (n * nnz_per_row) as usize, alpha, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let triplets: Vec<(u32, u32, f64)> =
+        el.iter().map(|e| (e.src, e.dst, rng.gen_range(-1.0..1.0))).collect();
+    SparseMatrix::from_coo(n, n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coo_roundtrip() {
+        let m = SparseMatrix::from_coo(3, 3, &[(0, 1, 2.0), (2, 0, -1.0), (0, 2, 3.0)]);
+        assert_eq!(m.nnz(), 3);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(1, 2.0), (2, 3.0)]);
+        assert_eq!(m.row(1).count(), 0);
+    }
+
+    #[test]
+    fn spmv_reference_known_result() {
+        // [[2, 0], [1, 3]] * [1, 2] = [2, 7]
+        let m = SparseMatrix::from_coo(2, 2, &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0)]);
+        assert_eq!(m.spmv_reference(&[1.0, 2.0]), vec![2.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = random_uniform(50, 4, 3);
+        let tt = m.transpose_reference().transpose_reference();
+        // Same entries; canonical transpose sorts rows by column, so compare
+        // as sorted triplets.
+        let trip = |m: &SparseMatrix| {
+            let mut v: Vec<(u32, u32, u64)> = (0..m.rows())
+                .flat_map(|r| m.row(r).map(move |(c, x)| (r, c, x.to_bits())))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(trip(&m), trip(&tt));
+    }
+
+    #[test]
+    fn transpose_spmv_agrees() {
+        let m = random_uniform(40, 5, 9);
+        let x: Vec<f64> = (0..40).map(|i| (i as f64) * 0.25 - 3.0).collect();
+        // y = A^T x computed two ways.
+        let t = m.transpose_reference();
+        let y1 = t.spmv_reference(&x);
+        let mut y2 = vec![0.0; 40];
+        for r in 0..m.rows() {
+            for (c, v) in m.row(r) {
+                y2[c as usize] += v * x[r as usize];
+            }
+        }
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stencil27_structure() {
+        let m = stencil27(4, 4, 4);
+        assert_eq!(m.rows(), 64);
+        // Interior point has 27 neighbors; corner has 8.
+        let interior = (1 * 4 + 1) * 4 + 1;
+        assert_eq!(m.row(interior).count(), 27);
+        assert_eq!(m.row(0).count(), 8);
+        // Structurally symmetric.
+        let t = m.transpose_reference();
+        assert_eq!(m.row_offsets(), t.row_offsets());
+    }
+
+    #[test]
+    fn banded_bandwidth_respected() {
+        let m = banded(32, 2, 4);
+        for r in 0..32u32 {
+            for (c, _) in m.row(r) {
+                assert!((r as i64 - c as i64).abs() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_coo_rejects_out_of_range() {
+        SparseMatrix::from_coo(2, 2, &[(0, 5, 1.0)]);
+    }
+
+    #[test]
+    fn powerlaw_has_hot_columns() {
+        let m = powerlaw_rows(256, 8, 1.2, 5);
+        let mut col_counts = vec![0u32; 256];
+        for &c in m.col_indices() {
+            col_counts[c as usize] += 1;
+        }
+        let max = *col_counts.iter().max().unwrap();
+        let avg = m.nnz() as u32 / 256;
+        assert!(max > 5 * avg, "max {max} avg {avg}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Exclusive prefix sums (serial and parallel).
+//!
+//! Edgelist→CSR conversion turns per-vertex degree counts into the CSR
+//! Offsets Array with an exclusive scan (Algorithm 1, line 1).
+
+/// Returns the exclusive prefix sum of `values`, with one extra trailing
+/// element holding the total (so the result has `values.len() + 1` entries —
+/// exactly the CSR Offsets Array layout).
+///
+/// ```
+/// assert_eq!(cobra_graph::prefix::exclusive_sum(&[2, 0, 3]), vec![0, 2, 2, 5]);
+/// ```
+pub fn exclusive_sum(values: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(values.len() + 1);
+    let mut acc = 0u32;
+    out.push(0);
+    for &v in values {
+        acc = acc.checked_add(v).expect("prefix sum overflow");
+        out.push(acc);
+    }
+    out
+}
+
+/// Parallel exclusive prefix sum over `threads` worker threads
+/// (two-pass: per-chunk totals, then per-chunk scan with carried offsets).
+///
+/// Produces exactly the same output as [`exclusive_sum`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or the sum overflows `u32`.
+pub fn exclusive_sum_parallel(values: &[u32], threads: usize) -> Vec<u32> {
+    assert!(threads > 0, "need at least one thread");
+    if values.is_empty() {
+        return vec![0];
+    }
+    let chunk = values.len().div_ceil(threads);
+    let chunks: Vec<&[u32]> = values.chunks(chunk).collect();
+
+    // Pass 1: per-chunk totals.
+    let totals: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|c| s.spawn(move || c.iter().map(|&v| v as u64).sum::<u64>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+    });
+    let grand: u64 = totals.iter().sum();
+    assert!(grand <= u32::MAX as u64, "prefix sum overflow");
+
+    // Chunk base offsets.
+    let mut bases = Vec::with_capacity(chunks.len());
+    let mut acc = 0u64;
+    for t in &totals {
+        bases.push(acc as u32);
+        acc += t;
+    }
+
+    // Pass 2: scan each chunk into its slice of the output.
+    let mut out = vec![0u32; values.len() + 1];
+    out[values.len()] = grand as u32;
+    {
+        let body = &mut out[..values.len()];
+        std::thread::scope(|s| {
+            let mut rest = body;
+            for (ci, c) in chunks.iter().enumerate() {
+                let (mine, tail) = rest.split_at_mut(c.len());
+                rest = tail;
+                let base = bases[ci];
+                s.spawn(move || {
+                    let mut a = base;
+                    for (o, &v) in mine.iter_mut().zip(c.iter()) {
+                        *o = a;
+                        a += v;
+                    }
+                });
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(exclusive_sum(&[]), vec![0]);
+        assert_eq!(exclusive_sum_parallel(&[], 4), vec![0]);
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(exclusive_sum(&[1, 2, 3, 4]), vec![0, 1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let vals: Vec<u32> = (0..10_000).map(|i| (i * 2654435761u64 % 17) as u32).collect();
+        let serial = exclusive_sum(&vals);
+        for t in [1, 2, 3, 7, 16] {
+            assert_eq!(exclusive_sum_parallel(&vals, t), serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn parallel_more_threads_than_elements() {
+        let vals = [5u32, 7];
+        assert_eq!(exclusive_sum_parallel(&vals, 64), vec![0, 5, 12]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_detected() {
+        exclusive_sum(&[u32::MAX, 1]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # cobra-kernels — the evaluated irregular-update workloads
+//!
+//! The nine kernels of the COBRA paper's evaluation (Section VI), each
+//! implemented once, generic over the trace [`Engine`](cobra_sim::engine::Engine)
+//! (baseline form) and once over the binning
+//! [`PbBackend`](cobra_core::PbBackend) (PB form — the same code runs under
+//! software PB and under COBRA):
+//!
+//! | module | kernel | domain | commutative |
+//! |---|---|---|---|
+//! | [`degree_count`] | Degree-Count | graph preprocessing | yes |
+//! | [`neighbor_populate`] | Neighbor-Populate | graph preprocessing | **no** |
+//! | [`pagerank`] | Pagerank | graph analytics | yes |
+//! | [`radii`] | Radii | graph analytics | yes |
+//! | [`int_sort`] | Integer Sort | sorting | **no** |
+//! | [`spmv`] | SpMV | sparse linear algebra | yes |
+//! | [`transpose`] | Transpose | sparse linear algebra | **no** |
+//! | [`pinv`] | PINV | sparse linear algebra | **no** |
+//! | [`symperm`] | SymPerm | sparse linear algebra | **no** |
+//!
+//! [`tiling`] implements the CSR-Segmenting comparator (Figure 15) and the
+//! multi-iteration Pagerank variants it is compared against. [`suite`]
+//! provides the uniform kernel × input × mode dispatch used by the
+//! benchmark harnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod common;
+pub mod degree_count;
+pub mod int_sort;
+pub mod neighbor_populate;
+pub mod pagerank;
+pub mod pinv;
+pub mod radii;
+pub mod spmv;
+pub mod suite;
+pub mod symperm;
+pub mod tiling;
+pub mod transpose;
+
+pub use suite::{bin_choices, run, Input, KernelId, ModeSpec, RunOutcome, ALL_KERNELS};

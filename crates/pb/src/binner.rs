@@ -1,0 +1,272 @@
+//! Single-threaded binning with cacheline-sized coalescing buffers.
+
+/// One buffered update: apply `value` to the datum identified by `key`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Tuple<V> {
+    /// Index of the irregularly-updated element.
+    pub key: u32,
+    /// The update payload.
+    pub value: V,
+}
+
+/// Cache-line size assumed for C-Buffer capacity computation.
+const LINE_BYTES: usize = 64;
+
+/// A binner: routes `(key, value)` tuples into per-range bins through
+/// cacheline-sized coalescing buffers (C-Buffers), exactly as software PB's
+/// Binning phase does (paper, Section III).
+///
+/// The bin range is always a power of two so routing is a shift rather than
+/// a division (Section V-A notes real implementations do the same).
+#[derive(Debug, Clone)]
+pub struct Binner<V> {
+    shift: u32,
+    num_keys: u32,
+    /// C-Buffers, one per bin, each bounded at `cbuf_cap` tuples.
+    cbufs: Vec<Vec<Tuple<V>>>,
+    cbuf_cap: usize,
+    bins: Vec<Vec<Tuple<V>>>,
+}
+
+/// The bins produced by a [`Binner`], ready for the Accumulate phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bins<V> {
+    shift: u32,
+    num_keys: u32,
+    bins: Vec<Vec<Tuple<V>>>,
+}
+
+impl<V: Copy> Binner<V> {
+    /// Creates a binner for keys in `0..num_keys` with *at least*
+    /// `min_bins` bins (rounded so the bin range is a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_keys == 0` or `min_bins == 0`.
+    pub fn new(num_keys: u32, min_bins: usize) -> Self {
+        assert!(num_keys > 0, "need at least one key");
+        assert!(min_bins > 0, "need at least one bin");
+        // Largest power-of-two range with ceil(num_keys / range) >= min_bins.
+        let mut range = (num_keys as u64).div_ceil(min_bins as u64).next_power_of_two();
+        if (num_keys as u64).div_ceil(range) < min_bins as u64 && range > 1 {
+            range /= 2;
+        }
+        let shift = range.trailing_zeros();
+        let num_bins = (num_keys as u64).div_ceil(range) as usize;
+        let tuple_bytes = std::mem::size_of::<Tuple<V>>().max(1);
+        let cbuf_cap = (LINE_BYTES / tuple_bytes).max(1);
+        Binner {
+            shift,
+            num_keys,
+            cbufs: (0..num_bins).map(|_| Vec::with_capacity(cbuf_cap)).collect(),
+            cbuf_cap,
+            bins: vec![Vec::new(); num_bins],
+        }
+    }
+
+    /// Pre-reserves per-bin capacity from exact counts (the paper's Init
+    /// phase computes these with a counting pre-pass to avoid dynamic
+    /// allocation during Binning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != num_bins()`.
+    pub fn reserve(&mut self, counts: &[u32]) {
+        assert_eq!(counts.len(), self.bins.len(), "one count per bin");
+        for (bin, &c) in self.bins.iter_mut().zip(counts) {
+            bin.reserve(c as usize);
+        }
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// log2 of the bin range.
+    pub fn bin_shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// Number of keys per bin (a power of two).
+    pub fn bin_range(&self) -> u64 {
+        1u64 << self.shift
+    }
+
+    /// Routes one update tuple.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `key >= num_keys`.
+    #[inline]
+    pub fn insert(&mut self, key: u32, value: V) {
+        debug_assert!(key < self.num_keys, "key {key} out of range");
+        let b = (key >> self.shift) as usize;
+        let cbuf = &mut self.cbufs[b];
+        cbuf.push(Tuple { key, value });
+        if cbuf.len() == self.cbuf_cap {
+            // Full line: bulk-transfer to the in-memory bin (software PB
+            // uses non-temporal stores here).
+            self.bins[b].extend_from_slice(cbuf);
+            cbuf.clear();
+        }
+    }
+
+    /// Flushes all partially-filled C-Buffers and returns the bins.
+    pub fn finish(mut self) -> Bins<V> {
+        for (b, cbuf) in self.cbufs.iter_mut().enumerate() {
+            self.bins[b].extend_from_slice(cbuf);
+            cbuf.clear();
+        }
+        Bins { shift: self.shift, num_keys: self.num_keys, bins: self.bins }
+    }
+}
+
+impl<V> Bins<V> {
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// log2 of the bin range.
+    pub fn bin_shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// The key range covered by bin `b`.
+    pub fn key_range(&self, b: usize) -> std::ops::Range<u32> {
+        let lo = (b as u64) << self.shift;
+        let hi = ((b as u64 + 1) << self.shift).min(self.num_keys as u64);
+        lo as u32..hi as u32
+    }
+
+    /// The tuples of bin `b`, in insertion order.
+    pub fn bin(&self, b: usize) -> &[Tuple<V>] {
+        &self.bins[b]
+    }
+
+    /// Total buffered tuples across bins.
+    pub fn len(&self) -> usize {
+        self.bins.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no tuples were buffered.
+    pub fn is_empty(&self) -> bool {
+        self.bins.iter().all(Vec::is_empty)
+    }
+
+    /// Replays every bin in bin order, tuples in insertion order
+    /// (the Accumulate phase, serial).
+    pub fn accumulate<F: FnMut(u32, &V)>(&self, mut f: F) {
+        for bin in &self.bins {
+            for t in bin {
+                f(t.key, &t.value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_by_range_and_preserves_order() {
+        let mut b = Binner::<u8>::new(100, 4);
+        // range rounds to 32 => 4 bins
+        assert_eq!(b.bin_range(), 32);
+        assert_eq!(b.num_bins(), 4);
+        for (i, k) in [0u32, 40, 33, 99, 31, 64].into_iter().enumerate() {
+            b.insert(k, i as u8);
+        }
+        let bins = b.finish();
+        assert_eq!(bins.bin(0).iter().map(|t| t.key).collect::<Vec<_>>(), vec![0, 31]);
+        assert_eq!(bins.bin(1).iter().map(|t| t.key).collect::<Vec<_>>(), vec![40, 33]);
+        assert_eq!(bins.bin(2).iter().map(|t| t.key).collect::<Vec<_>>(), vec![64]);
+        assert_eq!(bins.bin(3).iter().map(|t| t.key).collect::<Vec<_>>(), vec![99]);
+        assert_eq!(bins.len(), 6);
+    }
+
+    #[test]
+    fn cbuffer_flush_transparent_across_capacity() {
+        // (u32, u32) tuple = 8 bytes => 8 tuples per line; insert 20 tuples
+        // into the same bin and verify nothing is lost or reordered.
+        let mut b = Binner::<u32>::new(64, 1);
+        for i in 0..20u32 {
+            b.insert(i % 64, i);
+        }
+        let bins = b.finish();
+        let vals: Vec<u32> = bins.bin(0).iter().map(|t| t.value).collect();
+        assert_eq!(vals, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn key_ranges_partition_domain() {
+        let b = Binner::<u32>::new(1000, 7);
+        let bins = b.finish();
+        let mut covered = 0u64;
+        for i in 0..bins.num_bins() {
+            let r = bins.key_range(i);
+            assert_eq!(r.start as u64, covered);
+            covered = r.end as u64;
+        }
+        assert_eq!(covered, 1000);
+    }
+
+    #[test]
+    fn single_bin_degenerate_case() {
+        let mut b = Binner::<u32>::new(10, 1);
+        assert_eq!(b.num_bins(), 1);
+        for k in 0..10 {
+            b.insert(k, k);
+        }
+        assert_eq!(b.finish().len(), 10);
+    }
+
+    #[test]
+    fn more_bins_than_keys_clamps() {
+        let b = Binner::<u32>::new(4, 100);
+        // range clamps to 1 => 4 bins.
+        assert_eq!(b.bin_range(), 1);
+        assert_eq!(b.num_bins(), 4);
+    }
+
+    #[test]
+    fn accumulate_visits_bins_in_key_order() {
+        let mut b = Binner::<u32>::new(256, 4);
+        for k in [200u32, 10, 100, 11, 201] {
+            b.insert(k, k);
+        }
+        let bins = b.finish();
+        let mut seen = Vec::new();
+        bins.accumulate(|k, _| seen.push(k >> bins.bin_shift()));
+        let mut sorted = seen.clone();
+        sorted.sort();
+        assert_eq!(seen, sorted, "bins must replay in ascending key-range order");
+    }
+
+    #[test]
+    fn reserve_accepts_exact_counts() {
+        let mut b = Binner::<u32>::new(64, 2);
+        let n = b.num_bins();
+        b.reserve(&vec![8; n]);
+        for k in 0..64 {
+            b.insert(k, k);
+        }
+        assert_eq!(b.finish().len(), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reserve_rejects_wrong_len() {
+        let mut b = Binner::<u32>::new(64, 2);
+        b.reserve(&[1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn is_empty_on_fresh_binner() {
+        let bins = Binner::<u32>::new(8, 2).finish();
+        assert!(bins.is_empty());
+        assert_eq!(bins.len(), 0);
+    }
+}

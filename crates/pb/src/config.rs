@@ -1,0 +1,86 @@
+//! Bin-count selection heuristics.
+//!
+//! The paper's Figure 4 shows the fundamental tension of software PB: the
+//! Accumulate phase wants *many* bins (each bin's key range fits in L1)
+//! while the Binning phase wants *few* (all C-Buffers fit in L1/L2).
+//! Software PB must pick a compromise; these helpers compute the three
+//! operating points used throughout the evaluation.
+
+/// Cache-line size in bytes.
+const LINE_BYTES: u64 = 64;
+
+fn clamp_bins(num_keys: u32, bins: u64) -> usize {
+    bins.clamp(1, num_keys.max(1) as u64) as usize
+}
+
+/// Number of bins that makes one bin's updated data fit in a target cache
+/// of `cache_bytes` (the Accumulate phase's ideal: target the L1,
+/// `bin_range * elem_bytes <= cache_bytes / 2`).
+pub fn ideal_accumulate_bins(num_keys: u32, elem_bytes: u32, cache_bytes: u64) -> usize {
+    let budget = (cache_bytes / 2).max(LINE_BYTES);
+    let range = (budget / elem_bytes.max(1) as u64).max(1);
+    clamp_bins(num_keys, (num_keys as u64).div_ceil(range))
+}
+
+/// Number of bins that keeps every C-Buffer resident in a cache of
+/// `cache_bytes` (the Binning phase's ideal: one line per bin,
+/// `bins * 64B <= cache_bytes / 2`).
+pub fn ideal_binning_bins(num_keys: u32, cache_bytes: u64) -> usize {
+    let budget = (cache_bytes / 2).max(LINE_BYTES);
+    clamp_bins(num_keys, budget / LINE_BYTES)
+}
+
+/// The compromise both phases can live with (the red dotted line of
+/// Figure 4a): the geometric mean of the two L1-anchored ideals — the
+/// C-Buffers overflow L1 a little and the Accumulate ranges overflow L1 a
+/// little.
+pub fn sweet_spot_bins(num_keys: u32, elem_bytes: u32, l1_bytes: u64) -> usize {
+    let acc = ideal_accumulate_bins(num_keys, elem_bytes, l1_bytes) as f64;
+    let bin = ideal_binning_bins(num_keys, l1_bytes) as f64;
+    clamp_bins(num_keys, (acc * bin).sqrt().round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_ideal_targets_cache() {
+        // 1M keys x 4B elements, 32KB L1 => range 4096 keys => 256 bins.
+        let bins = ideal_accumulate_bins(1 << 20, 4, 32 * 1024);
+        assert_eq!(bins, 256);
+    }
+
+    #[test]
+    fn binning_ideal_counts_cbuffer_lines() {
+        // 32KB L1 / 2 = 16KB => 256 lines.
+        assert_eq!(ideal_binning_bins(1 << 20, 32 * 1024), 256);
+        // 2MB LLC / 2 = 1MB => 16384 lines.
+        assert_eq!(ideal_binning_bins(1 << 30, 2 * 1024 * 1024), 16384);
+    }
+
+    #[test]
+    fn sweet_spot_between_ideals() {
+        let keys = 1 << 22;
+        let acc = ideal_accumulate_bins(keys, 4, 32 * 1024);
+        let bin = ideal_binning_bins(keys, 32 * 1024);
+        let mid = sweet_spot_bins(keys, 4, 32 * 1024);
+        let (lo, hi) = (acc.min(bin), acc.max(bin));
+        assert!((lo..=hi).contains(&mid), "{lo} <= {mid} <= {hi}");
+        // At 4M keys the Figure 4 tension is real: the two ideals differ.
+        assert!(bin < acc, "binning {bin} vs accumulate {acc}");
+    }
+
+    #[test]
+    fn tiny_domains_clamp_to_num_keys() {
+        assert_eq!(ideal_accumulate_bins(4, 4, 64), 1);
+        assert!(ideal_binning_bins(2, 1 << 20) <= 2);
+    }
+
+    #[test]
+    fn never_zero_bins() {
+        assert!(ideal_accumulate_bins(1, 16, 64) >= 1);
+        assert!(ideal_binning_bins(1, 64) >= 1);
+        assert!(sweet_spot_bins(1, 4, 64) >= 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Parallel Propagation Blocking: per-thread binning, per-bin accumulate.
+//!
+//! Parallel PB (paper, Section III-A) simply duplicates all bins and
+//! C-Buffers per thread, eliminating synchronization during Binning. The
+//! Accumulate phase then parallelizes over *bins*: each bin's key range is
+//! disjoint, so threads update disjoint slices of the output without
+//! atomics — including for non-commutative kernels.
+
+use crate::binner::{Binner, Bins, Tuple};
+
+/// The per-thread bins produced by [`bin_parallel`].
+#[derive(Debug, Clone)]
+pub struct ThreadBins<V> {
+    per_thread: Vec<Bins<V>>,
+    num_keys: u32,
+}
+
+/// Bins `items` in parallel: the item range is split into `threads`
+/// contiguous chunks, each binned by its own [`Binner`] into at least
+/// `min_bins` bins. `produce` maps an item index to its `(key, value)`
+/// update tuple.
+///
+/// Tuples retain their per-thread insertion order, matching Algorithm 2.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, `num_keys == 0` or a worker panics.
+pub fn bin_parallel<V, F>(
+    num_items: usize,
+    num_keys: u32,
+    min_bins: usize,
+    threads: usize,
+    produce: F,
+) -> ThreadBins<V>
+where
+    V: Copy + Send,
+    F: Fn(usize) -> (u32, V) + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let chunk = num_items.div_ceil(threads).max(1);
+    let per_thread: Vec<Bins<V>> = std::thread::scope(|s| {
+        let produce = &produce;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let lo = (t * chunk).min(num_items);
+                    let hi = ((t + 1) * chunk).min(num_items);
+                    let mut binner = Binner::new(num_keys, min_bins);
+                    for i in lo..hi {
+                        let (k, v) = produce(i);
+                        binner.insert(k, v);
+                    }
+                    binner.finish()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("binning worker panicked")).collect()
+    });
+    ThreadBins { per_thread, num_keys }
+}
+
+impl<V: Copy + Send + Sync> ThreadBins<V> {
+    /// Wraps pre-built per-thread bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threads' bin geometries disagree.
+    pub fn from_bins(per_thread: Vec<Bins<V>>, num_keys: u32) -> Self {
+        assert!(!per_thread.is_empty(), "need at least one thread's bins");
+        let shift = per_thread[0].bin_shift();
+        let n = per_thread[0].num_bins();
+        assert!(
+            per_thread.iter().all(|b| b.bin_shift() == shift && b.num_bins() == n),
+            "inconsistent bin geometry across threads"
+        );
+        ThreadBins { per_thread, num_keys }
+    }
+
+    /// Number of bins (identical across threads).
+    pub fn num_bins(&self) -> usize {
+        self.per_thread[0].num_bins()
+    }
+
+    /// Number of producing threads.
+    pub fn num_threads(&self) -> usize {
+        self.per_thread.len()
+    }
+
+    /// log2 of the bin key range.
+    pub fn bin_shift(&self) -> u32 {
+        self.per_thread[0].bin_shift()
+    }
+
+    /// Total tuples across all threads and bins.
+    pub fn len(&self) -> usize {
+        self.per_thread.iter().map(Bins::len).sum()
+    }
+
+    /// Whether no tuples were produced.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The tuple slices of bin `b`, one per producing thread, in thread
+    /// order (Algorithm 2's Accumulate iterates exactly this way).
+    pub fn bin_slices(&self, b: usize) -> impl Iterator<Item = &[Tuple<V>]> {
+        self.per_thread.iter().map(move |bins| bins.bin(b))
+    }
+
+    /// Serial Accumulate: bins in ascending key order, threads in order
+    /// within a bin, tuples in insertion order within a thread.
+    pub fn accumulate_serial<F: FnMut(u32, &V)>(&self, mut f: F) {
+        for b in 0..self.num_bins() {
+            for slice in self.bin_slices(b) {
+                for t in slice {
+                    f(t.key, &t.value);
+                }
+            }
+        }
+    }
+
+    /// Parallel Accumulate over an output slice indexed by key.
+    ///
+    /// `data` is split into per-bin chunks of `bin_range` elements; each
+    /// worker owns whole bins, so updates need no synchronization. The
+    /// closure receives the bin's chunk, the chunk's base key, and each
+    /// tuple; tuple order within a bin follows thread order (deterministic
+    /// and identical to [`accumulate_serial`](Self::accumulate_serial)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != num_keys` or `threads == 0`.
+    pub fn accumulate_into<T, F>(&self, data: &mut [T], threads: usize, f: F)
+    where
+        T: Send,
+        F: Fn(&mut [T], u32, u32, &V) + Sync,
+    {
+        assert_eq!(data.len(), self.num_keys as usize, "data must cover the key domain");
+        assert!(threads > 0, "need at least one thread");
+        let range = 1usize << self.bin_shift();
+        // Distribute bin chunks round-robin across workers.
+        let mut per_worker: Vec<Vec<(usize, &mut [T])>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (b, chunk) in data.chunks_mut(range).enumerate() {
+            per_worker[b % threads].push((b, chunk));
+        }
+        std::thread::scope(|s| {
+            let f = &f;
+            let this = &*self;
+            for worker in per_worker {
+                s.spawn(move || {
+                    for (b, chunk) in worker {
+                        let base = (b as u64 * range as u64) as u32;
+                        for slice in this.bin_slices(b) {
+                            for t in slice {
+                                f(chunk, base, t.key, &t.value);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_binning_partitions_all_items() {
+        let keys: Vec<u32> = (0..10_000).map(|i| (i * 2654435761u64 % 4096) as u32).collect();
+        let tb = bin_parallel(keys.len(), 4096, 16, 4, |i| (keys[i], i as u32));
+        assert_eq!(tb.len(), keys.len());
+        assert_eq!(tb.num_threads(), 4);
+        // Every tuple lives in the bin covering its key.
+        for b in 0..tb.num_bins() {
+            for slice in tb.bin_slices(b) {
+                for t in slice {
+                    assert_eq!((t.key >> tb.bin_shift()) as usize, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_accumulate_preserves_per_thread_order() {
+        // One thread: global order within a bin must equal insertion order.
+        let keys = [7u32, 3, 7, 7, 3];
+        let tb = bin_parallel(keys.len(), 8, 1, 1, |i| (keys[i], i as u32));
+        let mut seen = Vec::new();
+        tb.accumulate_serial(|k, &v| {
+            if k == 7 {
+                seen.push(v);
+            }
+        });
+        assert_eq!(seen, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn accumulate_into_matches_serial_histogram() {
+        let n_keys = 1 << 12;
+        let keys: Vec<u32> = (0..50_000).map(|i| (i * 48271 % n_keys as usize) as u32).collect();
+        let tb = bin_parallel(keys.len(), n_keys, 64, 3, |i| (keys[i], 1u32));
+
+        let mut serial = vec![0u32; n_keys as usize];
+        tb.accumulate_serial(|k, &v| serial[k as usize] += v);
+
+        let mut parallel = vec![0u32; n_keys as usize];
+        tb.accumulate_into(&mut parallel, 4, |chunk, base, key, &v| {
+            chunk[(key - base) as usize] += v;
+        });
+        assert_eq!(serial, parallel);
+
+        // And both match a direct histogram.
+        let mut direct = vec![0u32; n_keys as usize];
+        for &k in &keys {
+            direct[k as usize] += 1;
+        }
+        assert_eq!(serial, direct);
+    }
+
+    #[test]
+    fn non_commutative_sequence_build() {
+        // Build per-key arrival lists through PB; with a single thread the
+        // result must be identical to the direct construction — this is the
+        // property that makes PB safe for Neighbor-Populate.
+        let n_keys = 256u32;
+        let keys: Vec<u32> = (0..5_000).map(|i| (i * 31 % 256) as u32).collect();
+        let tb = bin_parallel(keys.len(), n_keys, 8, 1, |i| (keys[i], i as u32));
+        let mut via_pb: Vec<Vec<u32>> = vec![Vec::new(); n_keys as usize];
+        tb.accumulate_serial(|k, &v| via_pb[k as usize].push(v));
+        let mut direct: Vec<Vec<u32>> = vec![Vec::new(); n_keys as usize];
+        for (i, &k) in keys.iter().enumerate() {
+            direct[k as usize].push(i as u32);
+        }
+        assert_eq!(via_pb, direct);
+    }
+
+    #[test]
+    fn works_with_more_threads_than_items() {
+        let tb = bin_parallel(3, 16, 2, 8, |i| (i as u32, i as u32));
+        assert_eq!(tb.len(), 3);
+        let mut total = 0;
+        tb.accumulate_serial(|_, _| total += 1);
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let tb = bin_parallel(0, 16, 2, 2, |_| (0u32, 0u32));
+        assert!(tb.is_empty());
+        let mut data = vec![0u32; 16];
+        tb.accumulate_into(&mut data, 2, |c, b, k, &v| c[(k - b) as usize] += v);
+        assert!(data.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn accumulate_into_rejects_wrong_len() {
+        let tb = bin_parallel(1, 16, 2, 1, |i| (i as u32, 0u32));
+        let mut data = vec![0u32; 8];
+        tb.accumulate_into(&mut data, 1, |_, _, _, _| {});
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_bins_rejects_mismatched_geometry() {
+        let a = Binner::<u32>::new(64, 2).finish();
+        let b = Binner::<u32>::new(64, 64).finish();
+        ThreadBins::from_bins(vec![a, b], 64);
+    }
+}

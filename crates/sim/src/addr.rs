@@ -1,0 +1,153 @@
+//! Synthetic address space for instrumented kernels.
+//!
+//! Instrumented kernels do not touch real memory through the simulator; they
+//! compute with ordinary Rust data and *report* the addresses they would have
+//! touched. [`AddressSpace`] is a bump allocator that hands out
+//! non-overlapping, page-aligned base addresses for named arrays so those
+//! reports are consistent and collision-free.
+
+use std::fmt;
+
+/// Alignment of every allocation, in bytes (one 4 KiB page).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Base address of the first allocation. Non-zero so that address `0` can be
+/// used as a sentinel and so low PC-like values never alias data.
+const BASE: u64 = 0x1_0000_0000;
+
+/// The base address of a named array in the synthetic [`AddressSpace`].
+///
+/// ```
+/// use cobra_sim::AddressSpace;
+/// let mut space = AddressSpace::new();
+/// let a = space.alloc("vtx_data", 8 * 100);
+/// assert_eq!(a.addr(8, 3), a.base() + 24);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayAddr {
+    base: u64,
+    len_bytes: u64,
+}
+
+impl ArrayAddr {
+    /// The first byte of the array.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The allocation size in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.len_bytes
+    }
+
+    /// Address of element `index` for elements of `elem_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the element lies outside the allocation.
+    #[inline]
+    pub fn addr(&self, elem_bytes: u64, index: u64) -> u64 {
+        debug_assert!(
+            (index + 1) * elem_bytes <= self.len_bytes,
+            "index {index} (elem {elem_bytes}B) out of bounds for {}B array",
+            self.len_bytes
+        );
+        self.base + index * elem_bytes
+    }
+}
+
+impl fmt::Display for ArrayAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}; {}B]", self.base, self.len_bytes)
+    }
+}
+
+/// A bump allocator over a synthetic 64-bit address space.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    next: u64,
+    allocs: Vec<(String, ArrayAddr)>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self { next: BASE, allocs: Vec::new() }
+    }
+
+    /// Allocates `bytes` bytes for the array called `name`, page-aligned.
+    ///
+    /// Zero-sized allocations are permitted and return a unique, valid base.
+    pub fn alloc(&mut self, name: &str, bytes: u64) -> ArrayAddr {
+        let base = self.next;
+        let span = bytes.max(1); // keep bases unique even for empty arrays
+        self.next += span.div_ceil(PAGE_BYTES) * PAGE_BYTES;
+        let a = ArrayAddr { base, len_bytes: bytes };
+        self.allocs.push((name.to_owned(), a));
+        a
+    }
+
+    /// Total bytes reserved so far (including alignment padding).
+    pub fn reserved_bytes(&self) -> u64 {
+        self.next - BASE
+    }
+
+    /// Iterates over `(name, allocation)` pairs in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, ArrayAddr)> {
+        self.allocs.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_disjoint_and_aligned() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 100);
+        let b = s.alloc("b", 5000);
+        let c = s.alloc("c", 0);
+        assert_eq!(a.base() % PAGE_BYTES, 0);
+        assert_eq!(b.base() % PAGE_BYTES, 0);
+        assert!(a.base() + 100 <= b.base());
+        assert!(b.base() + 5000 <= c.base());
+        assert_ne!(b.base(), c.base());
+    }
+
+    #[test]
+    fn element_addressing() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 8 * 16);
+        assert_eq!(a.addr(8, 0), a.base());
+        assert_eq!(a.addr(8, 15), a.base() + 120);
+        assert_eq!(a.addr(4, 31), a.base() + 124);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_bounds_index_panics_in_debug() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 8);
+        let _ = a.addr(8, 1);
+    }
+
+    #[test]
+    fn reserved_bytes_counts_padding() {
+        let mut s = AddressSpace::new();
+        s.alloc("a", 1);
+        assert_eq!(s.reserved_bytes(), PAGE_BYTES);
+        s.alloc("b", PAGE_BYTES + 1);
+        assert_eq!(s.reserved_bytes(), 3 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn iter_names() {
+        let mut s = AddressSpace::new();
+        s.alloc("x", 1);
+        s.alloc("y", 1);
+        let names: Vec<_> = s.iter().map(|(n, _)| n.to_owned()).collect();
+        assert_eq!(names, ["x", "y"]);
+    }
+}

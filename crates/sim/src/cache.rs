@@ -1,0 +1,549 @@
+//! Set-associative cache model with LRU, Bit-PLRU and DRRIP replacement and
+//! Intel-CAT-style way reservation.
+//!
+//! The cache operates on *line addresses* (byte address >> 6). It tracks tag,
+//! valid, dirty and per-policy replacement metadata, and supports reserving
+//! the low ways of every set (used by COBRA to pin C-Buffers: reserved ways
+//! are removed from normal allocation, shrinking the effective capacity seen
+//! by other data).
+
+use crate::stats::CacheStats;
+
+/// Replacement policy of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replacement {
+    /// True least-recently-used.
+    Lru,
+    /// Bit-PLRU (MRU bits), as in the paper's L1/L2.
+    BitPlru,
+    /// Dynamic RRIP with set dueling (SRRIP vs BRRIP), as in the paper's LLC.
+    Drrip,
+}
+
+/// A line evicted by a fill, reported to the caller so it can be written back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line address (byte address >> 6) of the victim.
+    pub line_addr: u64,
+    /// Whether the victim held modified data.
+    pub dirty: bool,
+}
+
+const RRPV_MAX: u8 = 3;
+const PSEL_MAX: i32 = 1023;
+/// One in `BRRIP_EPSILON` BRRIP insertions uses the long RRPV.
+const BRRIP_EPSILON: u64 = 32;
+/// Constituency size for DRRIP set dueling.
+const DUEL_MOD: u64 = 32;
+
+/// A single set-associative cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: u64,
+    ways: u32,
+    replacement: Replacement,
+    reserved_ways: u32,
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    prefetched: Vec<bool>,
+    // Replacement metadata (only the fields for the active policy are used).
+    stamp: Vec<u64>,
+    mru: Vec<bool>,
+    rrpv: Vec<u8>,
+    clock: u64,
+    psel: i32,
+    brrip_ctr: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either dimension is zero.
+    pub fn new(sets: u64, ways: u32, replacement: Replacement) -> Self {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be nonzero");
+        let n = (sets * ways as u64) as usize;
+        Cache {
+            sets,
+            ways,
+            replacement,
+            reserved_ways: 0,
+            tags: vec![0; n],
+            valid: vec![false; n],
+            dirty: vec![false; n],
+            prefetched: vec![false; n],
+            stamp: vec![0; n],
+            mru: vec![false; n],
+            rrpv: vec![RRPV_MAX; n],
+            clock: 0,
+            psel: PSEL_MAX / 2,
+            brrip_ctr: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Builds a cache from a [`CacheConfig`](crate::config::CacheConfig).
+    pub fn from_config(cfg: &crate::config::CacheConfig) -> Self {
+        Self::new(cfg.sets(), cfg.ways, cfg.replacement)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Currently reserved (pinned) ways per set.
+    pub fn reserved_ways(&self) -> u32 {
+        self.reserved_ways
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reserves the low `n` ways of every set (evicting whatever they hold),
+    /// removing them from normal allocation. Returns the number of dirty
+    /// lines displaced (the caller accounts for their writeback traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= ways` (at least one way must remain for normal data).
+    pub fn set_reserved_ways(&mut self, n: u32) -> u64 {
+        assert!(n < self.ways, "cannot reserve all ways");
+        let mut displaced_dirty = 0;
+        if n > self.reserved_ways {
+            for set in 0..self.sets {
+                for way in self.reserved_ways..n {
+                    let i = self.slot(set, way);
+                    if self.valid[i] {
+                        if self.dirty[i] {
+                            displaced_dirty += 1;
+                            self.stats.writebacks += 1;
+                        }
+                        self.valid[i] = false;
+                        self.dirty[i] = false;
+                        self.prefetched[i] = false;
+                    }
+                }
+            }
+        }
+        self.reserved_ways = n;
+        displaced_dirty
+    }
+
+    #[inline]
+    fn slot(&self, set: u64, way: u32) -> usize {
+        (set * self.ways as u64 + way as u64) as usize
+    }
+
+    #[inline]
+    fn set_of(&self, line_addr: u64) -> u64 {
+        line_addr & (self.sets - 1)
+    }
+
+    /// Looks up `line_addr` without changing any state or statistics.
+    pub fn probe(&self, line_addr: u64) -> bool {
+        let set = self.set_of(line_addr);
+        (self.reserved_ways..self.ways).any(|w| {
+            let i = self.slot(set, w);
+            self.valid[i] && self.tags[i] == line_addr
+        })
+    }
+
+    /// Demand access. On a hit updates replacement state (and the dirty bit
+    /// if `is_write`) and returns `true`; on a miss returns `false` without
+    /// allocating (call [`fill`](Self::fill) to bring the line in).
+    pub fn access(&mut self, line_addr: u64, is_write: bool) -> bool {
+        let set = self.set_of(line_addr);
+        for way in self.reserved_ways..self.ways {
+            let i = self.slot(set, way);
+            if self.valid[i] && self.tags[i] == line_addr {
+                self.stats.hits += 1;
+                if self.prefetched[i] {
+                    self.stats.prefetch_useful += 1;
+                    self.prefetched[i] = false;
+                }
+                if is_write {
+                    self.dirty[i] = true;
+                }
+                self.touch(set, way);
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        if let Some(duel) = self.duel_role(set) {
+            // A miss in a leader set votes against that leader's policy.
+            match duel {
+                DuelRole::SrripLeader => self.psel = (self.psel + 1).min(PSEL_MAX),
+                DuelRole::BrripLeader => self.psel = (self.psel - 1).max(0),
+            }
+        }
+        false
+    }
+
+    /// Inserts `line_addr` (after a miss), evicting a victim if necessary.
+    /// `dirty` marks the line modified on arrival (write-allocate);
+    /// `prefetch` marks a prefetcher fill (affects statistics only).
+    ///
+    /// Returns the evicted line, if any. Filling a line that is already
+    /// present only updates its flags.
+    pub fn fill(&mut self, line_addr: u64, dirty: bool, prefetch: bool) -> Option<Evicted> {
+        let set = self.set_of(line_addr);
+        // Already present (e.g. racing prefetch): just merge flags.
+        for way in self.reserved_ways..self.ways {
+            let i = self.slot(set, way);
+            if self.valid[i] && self.tags[i] == line_addr {
+                self.dirty[i] |= dirty;
+                return None;
+            }
+        }
+        let way = self.victim(set);
+        let i = self.slot(set, way);
+        let evicted = if self.valid[i] {
+            let ev = Evicted { line_addr: self.tags[i], dirty: self.dirty[i] };
+            if ev.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(ev)
+        } else {
+            None
+        };
+        self.tags[i] = line_addr;
+        self.valid[i] = true;
+        self.dirty[i] = dirty;
+        self.prefetched[i] = prefetch;
+        if prefetch {
+            self.stats.prefetch_fills += 1;
+        }
+        self.insert_meta(set, way);
+        evicted
+    }
+
+    /// Removes `line_addr` if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line_addr: u64) -> Option<bool> {
+        let set = self.set_of(line_addr);
+        for way in self.reserved_ways..self.ways {
+            let i = self.slot(set, way);
+            if self.valid[i] && self.tags[i] == line_addr {
+                self.valid[i] = false;
+                self.prefetched[i] = false;
+                let d = self.dirty[i];
+                self.dirty[i] = false;
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines currently resident (unreserved ways).
+    pub fn occupancy(&self) -> u64 {
+        let mut n = 0;
+        for set in 0..self.sets {
+            for way in self.reserved_ways..self.ways {
+                if self.valid[self.slot(set, way)] {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    // ---- replacement internals ----
+
+    fn duel_role(&self, set: u64) -> Option<DuelRole> {
+        if self.replacement != Replacement::Drrip {
+            return None;
+        }
+        match set % DUEL_MOD {
+            0 => Some(DuelRole::SrripLeader),
+            1 => Some(DuelRole::BrripLeader),
+            _ => None,
+        }
+    }
+
+    fn touch(&mut self, set: u64, way: u32) {
+        let i = self.slot(set, way);
+        match self.replacement {
+            Replacement::Lru => {
+                self.clock += 1;
+                self.stamp[i] = self.clock;
+            }
+            Replacement::BitPlru => self.set_mru(set, way),
+            Replacement::Drrip => self.rrpv[i] = 0,
+        }
+    }
+
+    fn insert_meta(&mut self, set: u64, way: u32) {
+        let i = self.slot(set, way);
+        match self.replacement {
+            Replacement::Lru => {
+                self.clock += 1;
+                self.stamp[i] = self.clock;
+            }
+            Replacement::BitPlru => self.set_mru(set, way),
+            Replacement::Drrip => {
+                let use_brrip = match self.duel_role(set) {
+                    Some(DuelRole::SrripLeader) => false,
+                    Some(DuelRole::BrripLeader) => true,
+                    // Follower sets obey PSEL: high PSEL means SRRIP misses
+                    // more, so followers use BRRIP.
+                    None => self.psel > PSEL_MAX / 2,
+                };
+                self.rrpv[i] = if use_brrip {
+                    self.brrip_ctr += 1;
+                    if self.brrip_ctr % BRRIP_EPSILON == 0 {
+                        RRPV_MAX - 1
+                    } else {
+                        RRPV_MAX
+                    }
+                } else {
+                    RRPV_MAX - 1
+                };
+            }
+        }
+    }
+
+    fn set_mru(&mut self, set: u64, way: u32) {
+        let i = self.slot(set, way);
+        self.mru[i] = true;
+        let all_set = (self.reserved_ways..self.ways)
+            .all(|w| self.mru[self.slot(set, w)]);
+        if all_set {
+            for w in self.reserved_ways..self.ways {
+                if w != way {
+                    let j = self.slot(set, w);
+                    self.mru[j] = false;
+                }
+            }
+        }
+    }
+
+    fn victim(&mut self, set: u64) -> u32 {
+        // Prefer an invalid way.
+        for way in self.reserved_ways..self.ways {
+            if !self.valid[self.slot(set, way)] {
+                return way;
+            }
+        }
+        match self.replacement {
+            Replacement::Lru => {
+                let mut best = self.reserved_ways;
+                let mut best_stamp = u64::MAX;
+                for way in self.reserved_ways..self.ways {
+                    let s = self.stamp[self.slot(set, way)];
+                    if s < best_stamp {
+                        best_stamp = s;
+                        best = way;
+                    }
+                }
+                best
+            }
+            Replacement::BitPlru => {
+                for way in self.reserved_ways..self.ways {
+                    if !self.mru[self.slot(set, way)] {
+                        return way;
+                    }
+                }
+                // All MRU bits set cannot persist (set_mru clears), but be safe.
+                self.reserved_ways
+            }
+            Replacement::Drrip => loop {
+                for way in self.reserved_ways..self.ways {
+                    if self.rrpv[self.slot(set, way)] == RRPV_MAX {
+                        return way;
+                    }
+                }
+                for way in self.reserved_ways..self.ways {
+                    let i = self.slot(set, way);
+                    self.rrpv[i] = self.rrpv[i].saturating_add(1).min(RRPV_MAX);
+                }
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DuelRole {
+    SrripLeader,
+    BrripLeader,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lru2() -> Cache {
+        Cache::new(1, 2, Replacement::Lru)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = lru2();
+        assert!(!c.access(10, false));
+        assert_eq!(c.fill(10, false, false), None);
+        assert!(c.access(10, false));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = lru2();
+        c.access(1, false);
+        c.fill(1, false, false);
+        c.access(2, false);
+        c.fill(2, false, false);
+        c.access(1, false); // 2 is now LRU
+        c.access(3, false);
+        let ev = c.fill(3, false, false).unwrap();
+        assert_eq!(ev.line_addr, 2);
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = lru2();
+        c.fill(1, true, false);
+        c.fill(2, false, false);
+        let ev = c.fill(3, false, false).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(ev.line_addr, 1);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_access_marks_dirty() {
+        let mut c = lru2();
+        c.fill(1, false, false);
+        c.access(1, true);
+        c.fill(2, false, false);
+        let ev = c.fill(3, false, false).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn bit_plru_victims_cycle() {
+        let mut c = Cache::new(1, 4, Replacement::BitPlru);
+        for a in 0..4 {
+            c.fill(a, false, false);
+        }
+        // All four lines present; touching all wraps MRU bits so that the
+        // last-touched keeps its bit.
+        for a in 0..4 {
+            assert!(c.access(a, false));
+        }
+        let ev = c.fill(100, false, false).unwrap();
+        assert_ne!(ev.line_addr, 3, "most recently used line must survive");
+    }
+
+    #[test]
+    fn drrip_basic_reuse_survives_scan() {
+        let mut c = Cache::new(64, 4, Replacement::Drrip);
+        // Touch a small working set repeatedly, then scan a large range once;
+        // the working set should mostly survive (RRIP is scan-resistant).
+        let ws: Vec<u64> = (0..64).collect();
+        for _ in 0..8 {
+            for &a in &ws {
+                if !c.access(a, false) {
+                    c.fill(a, false, false);
+                }
+            }
+        }
+        // Scan interleaved with periodic working-set reuse: RRIP keeps the
+        // reused lines near RRPV 0 while scan lines enter at distant RRPV.
+        for (k, a) in (1000..3000u64).enumerate() {
+            if !c.access(a, false) {
+                c.fill(a, false, false);
+            }
+            if k % 128 == 0 {
+                for &w in &ws {
+                    if !c.access(w, false) {
+                        c.fill(w, false, false);
+                    }
+                }
+            }
+        }
+        let survivors = ws.iter().filter(|&&a| c.probe(a)).count();
+        assert!(survivors > 32, "only {survivors}/64 of working set survived scan");
+    }
+
+    #[test]
+    fn reserved_ways_shrink_capacity() {
+        let mut c = Cache::new(1, 4, Replacement::Lru);
+        for a in 0..4 {
+            c.fill(a, false, false);
+        }
+        assert_eq!(c.occupancy(), 4);
+        c.set_reserved_ways(2);
+        assert_eq!(c.occupancy(), 2);
+        // Only 2 ways usable now.
+        c.fill(10, false, false);
+        c.fill(11, false, false);
+        assert_eq!(c.occupancy(), 2);
+        assert!(c.probe(10) || c.probe(11));
+    }
+
+    #[test]
+    fn reserving_dirty_ways_counts_writebacks() {
+        let mut c = Cache::new(1, 4, Replacement::Lru);
+        c.fill(0, true, false);
+        c.fill(1, true, false);
+        c.fill(2, false, false);
+        let displaced = c.set_reserved_ways(3);
+        assert_eq!(displaced, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cannot_reserve_all_ways() {
+        let mut c = Cache::new(1, 4, Replacement::Lru);
+        c.set_reserved_ways(4);
+    }
+
+    #[test]
+    fn invalidate_returns_dirty_state() {
+        let mut c = lru2();
+        c.fill(7, true, false);
+        assert_eq!(c.invalidate(7), Some(true));
+        assert_eq!(c.invalidate(7), None);
+        assert!(!c.probe(7));
+    }
+
+    #[test]
+    fn probe_does_not_change_stats() {
+        let mut c = lru2();
+        c.fill(1, false, false);
+        let before = c.stats();
+        assert!(c.probe(1));
+        assert!(!c.probe(2));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn refill_of_present_line_merges_dirty() {
+        let mut c = lru2();
+        c.fill(1, false, true);
+        assert_eq!(c.fill(1, true, false), None);
+        c.fill(2, false, false);
+        let ev = c.fill(3, false, false).unwrap();
+        assert!(ev.dirty, "merged dirty bit lost");
+    }
+
+    #[test]
+    fn prefetch_fill_then_demand_hit_counts_useful() {
+        let mut c = lru2();
+        c.fill(5, false, true);
+        assert!(c.access(5, false));
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert_eq!(c.stats().prefetch_useful, 1);
+    }
+}

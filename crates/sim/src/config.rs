@@ -1,0 +1,154 @@
+//! Machine configuration (the paper's Table II).
+
+use crate::cache::Replacement;
+
+/// Geometry and policy of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Replacement policy.
+    pub replacement: Replacement,
+    /// Load-to-use latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (crate::LINE_BYTES * self.ways as u64)
+    }
+
+    /// Number of cache lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / crate::LINE_BYTES
+    }
+}
+
+/// Stream-prefetcher parameters (L2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Enables the prefetcher.
+    pub enabled: bool,
+    /// Lines fetched ahead once a stream is confirmed.
+    pub degree: u32,
+    /// Sequential accesses to the same page required to confirm a stream.
+    pub confirm: u32,
+}
+
+/// Full single-core machine configuration.
+///
+/// The paper simulates 16 cores; binning in PB/COBRA is embarrassingly
+/// parallel with per-thread bins and a per-core LLC NUCA slice, so this
+/// reproduction simulates one representative core whose LLC capacity is the
+/// paper's per-core 2 MB slice (see DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// Private L2.
+    pub l2: CacheConfig,
+    /// LLC (local NUCA bank).
+    pub llc: CacheConfig,
+    /// DRAM access latency in cycles.
+    pub dram_latency: u64,
+    /// Cycles one 64 B transfer occupies the core's share of the DRAM
+    /// channel (the bandwidth bound that makes irregular workloads
+    /// memory-bound; ~10 GB/s per core at 2.66 GHz).
+    pub dram_line_occupancy: u64,
+    /// Issue width of the out-of-order core.
+    pub issue_width: u32,
+    /// Reorder-buffer entries.
+    pub rob: u32,
+    /// Load-queue entries.
+    pub load_queue: u32,
+    /// Miss-status-holding registers: maximum demand misses to DRAM in
+    /// flight (bounds the memory-level parallelism of irregular loads).
+    pub mshrs: u32,
+    /// Store-queue entries.
+    pub store_queue: u32,
+    /// Pipeline refill penalty of a branch misprediction, in cycles.
+    pub mispredict_penalty: u64,
+    /// L2 stream prefetcher.
+    pub prefetch: PrefetchConfig,
+}
+
+impl MachineConfig {
+    /// The configuration of the paper's Table II (per core at 2.66 GHz):
+    /// 4-wide OoO, 128-entry ROB, 48-entry LQ, 512-entry SQ;
+    /// 32 KB 8-way Bit-PLRU L1 (3 cyc), 256 KB 8-way Bit-PLRU L2 (8 cyc),
+    /// 2 MB/core 16-way DRRIP LLC (21 cyc), 80 ns DRAM (~213 cycles).
+    pub fn hpca22() -> Self {
+        MachineConfig {
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                replacement: Replacement::BitPlru,
+                latency: 3,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                ways: 8,
+                replacement: Replacement::BitPlru,
+                latency: 8,
+            },
+            llc: CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                ways: 16,
+                replacement: Replacement::Drrip,
+                latency: 21,
+            },
+            dram_latency: 213, // 80 ns * 2.66 GHz
+            dram_line_occupancy: 8,
+            issue_width: 4,
+            rob: 128,
+            load_queue: 48,
+            mshrs: 10,
+            store_queue: 512,
+            mispredict_penalty: 15,
+            prefetch: PrefetchConfig { enabled: true, degree: 4, confirm: 3 },
+        }
+    }
+
+    /// A miniature hierarchy for fast unit tests: 1 KB/2-way L1,
+    /// 4 KB/4-way L2, 16 KB/4-way LLC. Same relative latencies as
+    /// [`hpca22`](Self::hpca22).
+    pub fn tiny() -> Self {
+        let mut c = Self::hpca22();
+        c.l1 = CacheConfig { size_bytes: 1024, ways: 2, replacement: Replacement::BitPlru, latency: 3 };
+        c.l2 = CacheConfig { size_bytes: 4096, ways: 4, replacement: Replacement::BitPlru, latency: 8 };
+        c.llc = CacheConfig { size_bytes: 16 * 1024, ways: 4, replacement: Replacement::Drrip, latency: 21 };
+        c.prefetch.enabled = false;
+        c
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::hpca22()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpca22_geometry() {
+        let c = MachineConfig::hpca22();
+        assert_eq!(c.l1.sets(), 64);
+        assert_eq!(c.l2.sets(), 512);
+        assert_eq!(c.llc.sets(), 2048);
+        assert_eq!(c.llc.lines(), 32768);
+    }
+
+    #[test]
+    fn tiny_geometry() {
+        let c = MachineConfig::tiny();
+        assert_eq!(c.l1.sets(), 8);
+        assert_eq!(c.l2.sets(), 16);
+        assert_eq!(c.llc.sets(), 64);
+    }
+}

@@ -1,0 +1,229 @@
+//! Counters collected during simulation: per-level cache statistics, DRAM
+//! traffic, core statistics, and per-phase snapshots.
+
+use std::fmt;
+use std::ops::Sub;
+
+/// Identifies where in the hierarchy an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// First-level data cache.
+    L1,
+    /// Private second-level cache.
+    L2,
+    /// Last-level cache (the core's local NUCA slice).
+    Llc,
+    /// Main memory.
+    Dram,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Level::L1 => "L1",
+            Level::L2 => "L2",
+            Level::Llc => "LLC",
+            Level::Dram => "DRAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Lines filled by the prefetcher (not counted as demand traffic).
+    pub prefetch_fills: u64,
+    /// Demand hits on lines brought in by the prefetcher.
+    pub prefetch_useful: u64,
+    /// Dirty lines written back out of this cache.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of demand accesses that hit. Returns 1.0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Fraction of demand accesses that missed.
+    pub fn miss_rate(&self) -> f64 {
+        1.0 - self.hit_rate()
+    }
+}
+
+impl Sub for CacheStats {
+    type Output = CacheStats;
+    fn sub(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - rhs.hits,
+            misses: self.misses - rhs.misses,
+            prefetch_fills: self.prefetch_fills - rhs.prefetch_fills,
+            prefetch_useful: self.prefetch_useful - rhs.prefetch_useful,
+            writebacks: self.writebacks - rhs.writebacks,
+        }
+    }
+}
+
+/// Memory-system counters for the whole hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// LLC counters.
+    pub llc: CacheStats,
+    /// Bytes read from DRAM (demand fills + prefetch fills).
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM (writebacks + non-temporal stores).
+    pub dram_write_bytes: u64,
+    /// Loads issued by the core.
+    pub loads: u64,
+    /// Stores issued by the core.
+    pub stores: u64,
+    /// Non-temporal (cache-bypassing) store bytes.
+    pub nt_store_bytes: u64,
+}
+
+impl MemStats {
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+}
+
+impl Sub for MemStats {
+    type Output = MemStats;
+    fn sub(self, rhs: MemStats) -> MemStats {
+        MemStats {
+            l1d: self.l1d - rhs.l1d,
+            l2: self.l2 - rhs.l2,
+            llc: self.llc - rhs.llc,
+            dram_read_bytes: self.dram_read_bytes - rhs.dram_read_bytes,
+            dram_write_bytes: self.dram_write_bytes - rhs.dram_write_bytes,
+            loads: self.loads - rhs.loads,
+            stores: self.stores - rhs.stores,
+            nt_store_bytes: self.nt_store_bytes - rhs.nt_store_bytes,
+        }
+    }
+}
+
+/// Core (front-end/back-end) counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub branch_misses: u64,
+    /// Cycles spent (includes stall cycles).
+    pub cycles: u64,
+    /// Cycles the core was stalled waiting on hardware binning back-pressure
+    /// (COBRA eviction-buffer full); zero for non-COBRA runs.
+    pub binning_stall_cycles: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch mispredictions per kilo-instruction.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            1000.0 * self.branch_misses as f64 / self.instructions as f64
+        }
+    }
+}
+
+impl Sub for CoreStats {
+    type Output = CoreStats;
+    fn sub(self, rhs: CoreStats) -> CoreStats {
+        CoreStats {
+            instructions: self.instructions - rhs.instructions,
+            branches: self.branches - rhs.branches,
+            branch_misses: self.branch_misses - rhs.branch_misses,
+            cycles: self.cycles - rhs.cycles,
+            binning_stall_cycles: self.binning_stall_cycles - rhs.binning_stall_cycles,
+        }
+    }
+}
+
+/// Snapshot of all counters over one named phase of an execution
+/// (e.g. `"init"`, `"binning"`, `"accumulate"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// Phase name as reported by the kernel.
+    pub name: String,
+    /// Memory counters accumulated during the phase.
+    pub mem: MemStats,
+    /// Core counters accumulated during the phase.
+    pub core: CoreStats,
+}
+
+impl PhaseStats {
+    /// Cycles spent in this phase.
+    pub fn cycles(&self) -> u64 {
+        self.core.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_rates() {
+        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(s.accesses(), 4);
+        let idle = CacheStats::default();
+        assert_eq!(idle.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn stats_subtraction() {
+        let a = CacheStats { hits: 10, misses: 5, prefetch_fills: 2, prefetch_useful: 1, writebacks: 3 };
+        let b = CacheStats { hits: 4, misses: 2, prefetch_fills: 1, prefetch_useful: 0, writebacks: 1 };
+        let d = a - b;
+        assert_eq!(d.hits, 6);
+        assert_eq!(d.misses, 3);
+        assert_eq!(d.writebacks, 2);
+    }
+
+    #[test]
+    fn core_derived_metrics() {
+        let c = CoreStats { instructions: 2000, branches: 100, branch_misses: 4, cycles: 1000, binning_stall_cycles: 0 };
+        assert!((c.ipc() - 2.0).abs() < 1e-12);
+        assert!((c.branch_mpki() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_display() {
+        assert_eq!(Level::Llc.to_string(), "LLC");
+        assert!(Level::L1 < Level::Dram);
+    }
+}

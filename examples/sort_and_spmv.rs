@@ -1,0 +1,79 @@
+//! Beyond graphs: Propagation Blocking for integer sorting and sparse
+//! linear algebra — the paper's generality claim in action.
+//!
+//! Shows (1) a real, native counting sort built on the `cobra-pb` library
+//! racing `sort_unstable`, and (2) the SpMV and Transpose kernels under
+//! simulation, including the non-commutative Transpose.
+//!
+//! Run with: `cargo run --release --example sort_and_spmv`
+
+use cobra_repro::graph::{gen, matrix};
+use cobra_repro::kernels::{run, Input, KernelId, ModeSpec};
+use cobra_repro::pb::bin_parallel;
+use cobra_repro::sim::MachineConfig;
+use std::time::Instant;
+
+fn pb_counting_sort(keys: &[u32], max_key: u32, threads: usize) -> Vec<u32> {
+    // Bin keys by range in parallel, then counting-sort each bin into its
+    // contiguous output segment — every structure is cache-sized.
+    let tb = bin_parallel(keys.len(), max_key, 2048, threads, |i| (keys[i], ()));
+    let range = 1usize << tb.bin_shift();
+    let mut out = Vec::with_capacity(keys.len());
+    for b in 0..tb.num_bins() {
+        let base = (b * range) as u32;
+        let mut local = vec![0u32; range];
+        for slice in tb.bin_slices(b) {
+            for t in slice {
+                local[(t.key - base) as usize] += 1;
+            }
+        }
+        for (off, &c) in local.iter().enumerate() {
+            for _ in 0..c {
+                out.push(base + off as u32);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    // ---- 1. Native integer sort (real wall-clock, real memory). ----
+    let n = 4_000_000;
+    let max_key = 1 << 24;
+    let keys = gen::random_keys(n, max_key, 7);
+
+    let t0 = Instant::now();
+    let mut std_sorted = keys.clone();
+    std_sorted.sort_unstable();
+    let t_std = t0.elapsed();
+
+    let t1 = Instant::now();
+    let pb_sorted = pb_counting_sort(&keys, max_key, 2);
+    let t_pb = t1.elapsed();
+
+    assert_eq!(std_sorted, pb_sorted);
+    println!(
+        "sorted {n} keys (domain 2^24): sort_unstable {t_std:?} vs PB counting sort {t_pb:?}"
+    );
+
+    // ---- 2. Sparse linear algebra under simulation. ----
+    let m = matrix::random_uniform(1 << 17, 8, 99);
+    println!("\nmatrix: {}x{}, {} nonzeros", m.rows(), m.cols(), m.nnz());
+    let input = Input::matrix(m);
+    let machine = MachineConfig::hpca22();
+    for kernel in [KernelId::Spmv, KernelId::Transpose] {
+        let baseline = run(kernel, &input, &ModeSpec::Baseline, &machine);
+        let cobra = run(kernel, &input, &ModeSpec::cobra_default(), &machine);
+        assert_eq!(baseline.digest, cobra.digest);
+        println!(
+            "{:>9} ({}): COBRA speedup {:.2}x over baseline (L1 miss {:.1}% -> {:.1}%)",
+            kernel.name(),
+            if kernel.is_commutative() { "commutative" } else { "non-commutative" },
+            baseline.metrics.cycles() as f64 / cobra.metrics.cycles() as f64,
+            100.0 * baseline.metrics.result.mem.l1d.miss_rate(),
+            100.0 * cobra.metrics.result.mem.l1d.miss_rate(),
+        );
+    }
+    println!("\nnon-commutative kernels work under COBRA because per-bin tuple order");
+    println!("equals program order through the FIFO C-Buffer hierarchy ✓");
+}

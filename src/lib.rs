@@ -1,0 +1,21 @@
+//! # cobra-repro — meta-crate
+//!
+//! Re-exports the crates of the COBRA reproduction (HPCA 2022: *Improving
+//! Locality of Irregular Updates with Hardware Assisted Propagation
+//! Blocking*) under one roof so the examples and integration tests in this
+//! repository have a single dependency.
+//!
+//! * [`sim`] — cache hierarchy + out-of-order timing simulator (substrate)
+//! * [`graph`] — graphs, sparse matrices and synthetic generators (substrate)
+//! * [`pb`] — software Propagation Blocking library
+//! * [`cobra`] — the COBRA hardware model and execution harness (the paper's
+//!   contribution)
+//! * [`kernels`] — the nine evaluated workloads
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub use cobra_core as cobra;
+pub use cobra_graph as graph;
+pub use cobra_kernels as kernels;
+pub use cobra_pb as pb;
+pub use cobra_sim as sim;

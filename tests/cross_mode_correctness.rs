@@ -1,0 +1,109 @@
+//! Cross-crate integration: every kernel must produce identical results
+//! under Baseline, software PB (several bin counts) and COBRA — including
+//! the non-commutative kernels, which is the paper's central generality
+//! claim (Section III-B).
+
+use cobra_repro::graph::{gen, matrix};
+use cobra_repro::kernels::{run, Input, KernelId, ModeSpec, ALL_KERNELS};
+use cobra_repro::sim::MachineConfig;
+
+fn input_for(k: KernelId, seed: u64) -> Input {
+    use KernelId::*;
+    match k {
+        DegreeCount | NeighborPopulate | Pagerank | Radii => {
+            Input::graph(gen::uniform_random(20_000, 120_000, seed))
+        }
+        IntSort => Input::keys(gen::random_keys(30_000, 1 << 14, seed), 1 << 14),
+        Spmv | Transpose | Pinv | SymPerm => Input::matrix(matrix::random_uniform(5_000, 6, seed)),
+    }
+}
+
+#[test]
+fn all_kernels_agree_across_modes_and_bin_counts() {
+    let machine = MachineConfig::hpca22();
+    for &k in &ALL_KERNELS {
+        let input = input_for(k, 0xA11CE);
+        let base = run(k, &input, &ModeSpec::Baseline, &machine);
+        for bins in [1, 16, 512, 4096] {
+            let pb = run(k, &input, &ModeSpec::PbSw { min_bins: bins }, &machine);
+            assert_eq!(
+                pb.digest,
+                base.digest,
+                "{} with {bins} bins diverged from baseline",
+                k.name()
+            );
+        }
+        let cobra = run(k, &input, &ModeSpec::cobra_default(), &machine);
+        assert_eq!(cobra.digest, base.digest, "{} under COBRA diverged", k.name());
+    }
+}
+
+#[test]
+fn skewed_inputs_preserve_correctness() {
+    // Power-law/Zipf inputs exercise hot-bin paths (C-Buffer eviction
+    // bursts, coalescing windows).
+    let machine = MachineConfig::hpca22();
+    for &k in &[KernelId::DegreeCount, KernelId::NeighborPopulate, KernelId::Pagerank] {
+        let input = Input::graph(gen::zipf(16_000, 100_000, 1.2, 7));
+        let base = run(k, &input, &ModeSpec::Baseline, &machine);
+        let cobra = run(k, &input, &ModeSpec::cobra_default(), &machine);
+        assert_eq!(base.digest, cobra.digest, "{}", k.name());
+    }
+}
+
+#[test]
+fn mesh_inputs_preserve_correctness() {
+    let machine = MachineConfig::hpca22();
+    for &k in &[KernelId::NeighborPopulate, KernelId::Radii] {
+        let input = Input::graph(gen::road_mesh(120, 3));
+        let base = run(k, &input, &ModeSpec::Baseline, &machine);
+        let pb = run(k, &input, &ModeSpec::PbSw { min_bins: 64 }, &machine);
+        assert_eq!(base.digest, pb.digest, "{}", k.name());
+    }
+}
+
+#[test]
+fn cobra_with_context_switches_is_still_correct() {
+    // Forced partial-line evictions must never lose or duplicate tuples.
+    let machine = MachineConfig::hpca22();
+    let input = input_for(KernelId::NeighborPopulate, 0xC7C7);
+    let base = run(KernelId::NeighborPopulate, &input, &ModeSpec::Baseline, &machine);
+    let spec = ModeSpec::Cobra {
+        reserved: None,
+        des: cobra_repro::cobra::DesConfig::paper_default(),
+        ctx_quantum: Some(10_000),
+    };
+    let cobra = run(KernelId::NeighborPopulate, &input, &spec, &machine);
+    assert_eq!(base.digest, cobra.digest);
+}
+
+#[test]
+fn cobra_with_minimal_buffers_is_still_correct() {
+    // A 1-entry eviction buffer stalls constantly but must not corrupt bins.
+    let machine = MachineConfig::hpca22();
+    let input = input_for(KernelId::IntSort, 0x50F7);
+    let base = run(KernelId::IntSort, &input, &ModeSpec::Baseline, &machine);
+    let spec = ModeSpec::Cobra {
+        reserved: None,
+        des: cobra_repro::cobra::DesConfig { l1_evict_entries: 1, l2_evict_entries: 1 },
+        ctx_quantum: None,
+    };
+    let cobra = run(KernelId::IntSort, &input, &spec, &machine);
+    assert_eq!(base.digest, cobra.digest);
+}
+
+#[test]
+fn non_default_way_reservations_are_correct() {
+    let machine = MachineConfig::hpca22();
+    let input = input_for(KernelId::Transpose, 0x7A57);
+    let base = run(KernelId::Transpose, &input, &ModeSpec::Baseline, &machine);
+    for (l1, l2, llc) in [(1, 1, 1), (4, 4, 8), (7, 7, 15)] {
+        let spec = ModeSpec::Cobra {
+            reserved: Some(cobra_repro::cobra::ReservedWays { l1, l2, llc }),
+            des: cobra_repro::cobra::DesConfig::paper_default(),
+            ctx_quantum: None,
+        };
+        let cobra = run(KernelId::Transpose, &input, &spec, &machine);
+        assert_eq!(base.digest, cobra.digest, "reservation ({l1},{l2},{llc})");
+    }
+}

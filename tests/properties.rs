@@ -1,0 +1,144 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction: binning is an order-preserving range partition (through
+//! both the software library and the COBRA hardware model), the kernels
+//! preserve their semantics under PB, and the simulator conserves events.
+
+use cobra_repro::cobra::{CobraMachine, DesConfig, PbBackend, ReservedWays, SwPb};
+use cobra_repro::graph::prefix::{exclusive_sum, exclusive_sum_parallel};
+use cobra_repro::graph::{Csr, Edge, EdgeList};
+use cobra_repro::pb::Binner;
+use cobra_repro::sim::engine::NullEngine;
+use cobra_repro::sim::MachineConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Software binning is a permutation of the input, partitioned by key
+    /// range, order-preserving within each bin.
+    #[test]
+    fn binner_is_an_order_preserving_partition(
+        keys in prop::collection::vec(0u32..5000, 1..2000),
+        min_bins in 1usize..64,
+    ) {
+        let mut b = Binner::<u32>::new(5000, min_bins);
+        for (i, &k) in keys.iter().enumerate() {
+            b.insert(k, i as u32);
+        }
+        let bins = b.finish();
+        prop_assert_eq!(bins.len(), keys.len());
+        let shift = bins.bin_shift();
+        let mut seen = vec![false; keys.len()];
+        for bin_id in 0..bins.num_bins() {
+            let mut last_idx_for_key = std::collections::HashMap::new();
+            for t in bins.bin(bin_id) {
+                prop_assert_eq!((t.key >> shift) as usize, bin_id);
+                prop_assert_eq!(keys[t.value as usize], t.key);
+                prop_assert!(!seen[t.value as usize], "duplicate tuple");
+                seen[t.value as usize] = true;
+                // Per-key order preserved (indices ascend).
+                if let Some(prev) = last_idx_for_key.insert(t.key, t.value) {
+                    prop_assert!(prev < t.value);
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// The COBRA hardware model produces exactly the same bins as the
+    /// software binner when configured with the same geometry.
+    #[test]
+    fn cobra_binning_equals_software_binning(
+        keys in prop::collection::vec(0u32..(1u32 << 14), 1..1500),
+    ) {
+        let machine = MachineConfig::hpca22();
+        let domain = 1u32 << 14;
+        let mut hw = CobraMachine::<u32>::with_defaults(
+            machine, domain, 8, keys.len() as u64);
+        let nbins = PbBackend::<u32>::num_bins(&hw);
+        let mut sw = SwPb::<_, u32>::new(
+            NullEngine::new(), domain, nbins, 8, keys.len() as u64);
+        prop_assert_eq!(PbBackend::<u32>::bin_shift(&hw), PbBackend::<u32>::bin_shift(&sw));
+        for (i, &k) in keys.iter().enumerate() {
+            hw.insert(k, i as u32);
+            sw.insert(k, i as u32);
+        }
+        let a = hw.flush_and_take();
+        let b = sw.flush_and_take();
+        prop_assert_eq!(a.bins(), b.bins());
+    }
+
+    /// Edgelist -> CSR -> edgelist round-trips the edge multiset, and the
+    /// PB'd Neighbor-Populate matches the direct construction bit-for-bit.
+    #[test]
+    fn neighbor_populate_pb_equals_reference(
+        raw in prop::collection::vec((0u32..300, 0u32..300), 0..600),
+    ) {
+        let el = EdgeList::new(300, raw.iter().map(|&(s, d)| Edge::new(s, d)).collect());
+        let reference = Csr::from_edgelist(&el);
+        let mut b = SwPb::<_, u32>::new(
+            NullEngine::new(), 300, 8, 8, el.num_edges().max(1) as u64);
+        let got = cobra_repro::kernels::neighbor_populate::pb(&mut b, &el);
+        prop_assert_eq!(got, reference);
+    }
+
+    /// PB counting sort sorts (equals std sort) for arbitrary inputs.
+    #[test]
+    fn pb_counting_sort_sorts(
+        keys in prop::collection::vec(0u32..(1 << 12), 0..3000),
+    ) {
+        let mut b = SwPb::<_, ()>::new(
+            NullEngine::new(), 1 << 12, 16, 4, keys.len().max(1) as u64);
+        let got = cobra_repro::kernels::int_sort::pb(&mut b, &keys, 1 << 12);
+        let mut want = keys.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Parallel prefix sum equals serial for any input and thread count.
+    #[test]
+    fn prefix_sums_agree(
+        vals in prop::collection::vec(0u32..1000, 0..2000),
+        threads in 1usize..9,
+    ) {
+        prop_assert_eq!(exclusive_sum_parallel(&vals, threads), exclusive_sum(&vals));
+    }
+
+    /// Cache-simulator conservation: hits + misses == accesses at every
+    /// level, and inner-level misses equal outer-level accesses.
+    #[test]
+    fn hierarchy_conserves_accesses(
+        addrs in prop::collection::vec(0u64..(1 << 22), 1..3000),
+        writes in prop::collection::vec(any::<bool>(), 1..3000),
+    ) {
+        let mut h = cobra_repro::sim::hierarchy::Hierarchy::new(MachineConfig::tiny());
+        for (a, w) in addrs.iter().zip(writes.iter().cycle()) {
+            if *w {
+                h.store(0x1000_0000 + a * 8);
+            } else {
+                h.load(0x1000_0000 + a * 8);
+            }
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.l1d.accesses(), addrs.len() as u64);
+        prop_assert_eq!(s.l2.accesses(), s.l1d.misses);
+        prop_assert_eq!(s.llc.accesses(), s.l2.misses);
+        prop_assert_eq!(s.dram_read_bytes, s.llc.misses * 64);
+    }
+
+    /// Every tuple pushed through the eviction DES reaches memory exactly
+    /// once (full lines + flush partials).
+    #[test]
+    fn eviction_des_conserves_tuples(
+        keys in prop::collection::vec(0u32..(1 << 16), 1..4000),
+        l1_entries in 1usize..40,
+    ) {
+        let machine = MachineConfig::hpca22();
+        let hier = cobra_repro::cobra::BinHierarchy::bininit(
+            &machine, ReservedWays::paper_default(&machine), 1 << 16, 8);
+        let cfg = DesConfig { l1_evict_entries: l1_entries, l2_evict_entries: 4 };
+        let rep = cobra_repro::cobra::evict::simulate_fixed_rate(
+            &hier, cfg, keys.iter().copied(), 2);
+        prop_assert_eq!(rep.stats.llc_tuples_written, keys.len() as u64);
+    }
+}
