@@ -2,108 +2,97 @@
 //! library: the locality optimization the paper builds on, measured as real
 //! wall-clock on the host machine — direct irregular updates vs
 //! binning + accumulate, and PB counting sort vs the standard sort.
+//!
+//! Plain `harness = false` binary (no external benchmark framework) so the
+//! workspace builds offline; see `cobra_bench::timing`.
 
+use cobra_bench::timing::bench;
 use cobra_graph::gen;
 use cobra_pb::Binner;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 
 const NUM_KEYS: u32 = 1 << 22; // 4M-entry histogram: 16MB, beyond LLC
 const NUM_UPDATES: usize = 1 << 22;
+const SAMPLES: usize = 10;
 
 fn updates() -> Vec<u32> {
     gen::random_keys(NUM_UPDATES, NUM_KEYS, 42)
 }
 
-fn bench_histogram(c: &mut Criterion) {
-    let keys = updates();
-    let mut g = c.benchmark_group("histogram_4M_keys");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(keys.len() as u64));
+fn bench_histogram(keys: &[u32]) {
+    println!("histogram_4M_keys");
+    let n = keys.len() as u64;
 
-    g.bench_function("direct_scatter", |b| {
-        b.iter(|| {
-            let mut counts = vec![0u32; NUM_KEYS as usize];
-            for &k in &keys {
-                counts[k as usize] += 1;
-            }
-            black_box(counts)
-        })
+    bench("direct_scatter", n, SAMPLES, || {
+        let mut counts = vec![0u32; NUM_KEYS as usize];
+        for &k in keys {
+            counts[k as usize] += 1;
+        }
+        counts
     });
 
     for bins in [256usize, 4096, 65536] {
-        g.bench_with_input(BenchmarkId::new("pb_bin_accumulate", bins), &bins, |b, &bins| {
-            b.iter(|| {
-                let mut binner = Binner::<()>::new(NUM_KEYS, bins);
-                for &k in &keys {
-                    binner.insert(k, ());
-                }
-                let mut counts = vec![0u32; NUM_KEYS as usize];
-                binner.finish().accumulate(|k, _| counts[k as usize] += 1);
-                black_box(counts)
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_counting_sort(c: &mut Criterion) {
-    let keys = gen::random_keys(1 << 21, 1 << 22, 7);
-    let mut g = c.benchmark_group("integer_sort_2M");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(keys.len() as u64));
-
-    g.bench_function("std_sort_unstable", |b| {
-        b.iter(|| {
-            let mut v = keys.clone();
-            v.sort_unstable();
-            black_box(v)
-        })
-    });
-
-    g.bench_function("pb_counting_sort", |b| {
-        b.iter(|| {
-            let mut binner = Binner::<()>::new(1 << 22, 4096);
-            for &k in &keys {
+        bench(&format!("pb_bin_accumulate/{bins}"), n, SAMPLES, || {
+            let mut binner = Binner::<()>::new(NUM_KEYS, bins);
+            for &k in keys {
                 binner.insert(k, ());
             }
-            let bins = binner.finish();
-            let range = 1usize << bins.bin_shift();
-            let mut out = Vec::with_capacity(keys.len());
-            for bin_id in 0..bins.num_bins() {
-                let base = (bin_id * range) as u32;
-                let mut local = vec![0u32; range];
-                for t in bins.bin(bin_id) {
-                    local[(t.key - base) as usize] += 1;
-                }
-                for (off, &cnt) in local.iter().enumerate() {
-                    for _ in 0..cnt {
-                        out.push(base + off as u32);
-                    }
-                }
-            }
-            black_box(out)
-        })
-    });
-    g.finish();
-}
-
-fn bench_parallel_binning(c: &mut Criterion) {
-    let keys = updates();
-    let mut g = c.benchmark_group("parallel_binning_4M");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(keys.len() as u64));
-    for threads in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
-            b.iter(|| {
-                black_box(cobra_pb::bin_parallel(keys.len(), NUM_KEYS, 4096, t, |i| {
-                    (keys[i], ())
-                }))
-            })
+            let mut counts = vec![0u32; NUM_KEYS as usize];
+            binner.finish().accumulate(|k, _| counts[k as usize] += 1);
+            counts
         });
     }
-    g.finish();
+    println!();
 }
 
-criterion_group!(benches, bench_histogram, bench_counting_sort, bench_parallel_binning);
-criterion_main!(benches);
+fn bench_counting_sort() {
+    let keys = gen::random_keys(1 << 21, 1 << 22, 7);
+    println!("integer_sort_2M");
+    let n = keys.len() as u64;
+
+    bench("std_sort_unstable", n, SAMPLES, || {
+        let mut v = keys.clone();
+        v.sort_unstable();
+        v
+    });
+
+    bench("pb_counting_sort", n, SAMPLES, || {
+        let mut binner = Binner::<()>::new(1 << 22, 4096);
+        for &k in &keys {
+            binner.insert(k, ());
+        }
+        let bins = binner.finish();
+        let range = 1usize << bins.bin_shift();
+        let mut out = Vec::with_capacity(keys.len());
+        for bin_id in 0..bins.num_bins() {
+            let base = (bin_id * range) as u32;
+            let mut local = vec![0u32; range];
+            for t in bins.bin(bin_id) {
+                local[(t.key - base) as usize] += 1;
+            }
+            for (off, &cnt) in local.iter().enumerate() {
+                for _ in 0..cnt {
+                    out.push(base + off as u32);
+                }
+            }
+        }
+        out
+    });
+    println!();
+}
+
+fn bench_parallel_binning(keys: &[u32]) {
+    println!("parallel_binning_4M");
+    let n = keys.len() as u64;
+    for threads in [1usize, 2, 4] {
+        bench(&format!("threads/{threads}"), n, SAMPLES, || {
+            cobra_pb::bin_parallel(keys.len(), NUM_KEYS, 4096, threads, |i| (keys[i], ()))
+        });
+    }
+}
+
+fn main() {
+    let keys = updates();
+    bench_histogram(&keys);
+    bench_counting_sort();
+    bench_parallel_binning(&keys);
+}

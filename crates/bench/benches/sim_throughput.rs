@@ -1,76 +1,74 @@
 //! Simulator-throughput benchmarks: events per second through the cache
 //! hierarchy, the branch predictor, and a full instrumented kernel — the
 //! regression watch that keeps the figure harnesses runnable.
+//!
+//! Plain `harness = false` binary (no external benchmark framework) so the
+//! workspace builds offline; see `cobra_bench::timing`.
 
+use cobra_bench::timing::bench;
 use cobra_graph::gen;
 use cobra_kernels::{run, Input, KernelId, ModeSpec};
 use cobra_sim::engine::{Engine, SimEngine};
 use cobra_sim::MachineConfig;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
 
-fn bench_hierarchy(c: &mut Criterion) {
+const SAMPLES: usize = 10;
+
+fn bench_hierarchy() {
     let n: u64 = 200_000;
-    let mut g = c.benchmark_group("sim_events");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(n));
+    println!("sim_events");
 
-    g.bench_function("irregular_loads", |b| {
-        b.iter(|| {
-            let mut e = SimEngine::new(MachineConfig::hpca22());
-            let a = e.alloc("data", 1 << 24);
-            let mut x = 1u64;
-            for _ in 0..n {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                e.load(a.addr(8, x % (1 << 21)), 8);
-            }
-            black_box(e.finish())
-        })
+    bench("irregular_loads", n, SAMPLES, || {
+        let mut e = SimEngine::new(MachineConfig::hpca22());
+        let a = e.alloc("data", 1 << 24);
+        let mut x = 1u64;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            e.load(a.addr(8, x % (1 << 21)), 8);
+        }
+        e.finish()
     });
 
-    g.bench_function("streaming_loads", |b| {
-        b.iter(|| {
-            let mut e = SimEngine::new(MachineConfig::hpca22());
-            let a = e.alloc("data", n * 8);
-            for i in 0..n {
-                e.load(a.addr(8, i), 8);
-            }
-            black_box(e.finish())
-        })
+    bench("streaming_loads", n, SAMPLES, || {
+        let mut e = SimEngine::new(MachineConfig::hpca22());
+        let a = e.alloc("data", n * 8);
+        for i in 0..n {
+            e.load(a.addr(8, i), 8);
+        }
+        e.finish()
     });
 
-    g.bench_function("branches", |b| {
-        b.iter(|| {
-            let mut e = SimEngine::new(MachineConfig::hpca22());
-            let mut x = 1u64;
-            for _ in 0..n {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                e.branch(0x10, x & 3 == 0);
-            }
-            black_box(e.finish())
-        })
+    bench("branches", n, SAMPLES, || {
+        let mut e = SimEngine::new(MachineConfig::hpca22());
+        let mut x = 1u64;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            e.branch(0x10, x & 3 == 0);
+        }
+        e.finish()
     });
-    g.finish();
+    println!();
 }
 
-fn bench_full_kernel(c: &mut Criterion) {
+fn bench_full_kernel() {
     let input = Input::graph(gen::rmat(15, 4, 3));
     let machine = MachineConfig::hpca22();
-    let mut g = c.benchmark_group("instrumented_kernel");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(
-        input.num_updates(KernelId::DegreeCount),
-    ));
-    g.bench_function("degree_count_baseline", |b| {
-        b.iter(|| black_box(run(KernelId::DegreeCount, &input, &ModeSpec::Baseline, &machine)))
+    println!("instrumented_kernel");
+    let n = input.num_updates(KernelId::DegreeCount);
+
+    bench("degree_count_baseline", n, SAMPLES, || {
+        run(KernelId::DegreeCount, &input, &ModeSpec::Baseline, &machine)
     });
-    g.bench_function("degree_count_cobra", |b| {
-        b.iter(|| {
-            black_box(run(KernelId::DegreeCount, &input, &ModeSpec::cobra_default(), &machine))
-        })
+    bench("degree_count_cobra", n, SAMPLES, || {
+        run(
+            KernelId::DegreeCount,
+            &input,
+            &ModeSpec::cobra_default(),
+            &machine,
+        )
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_hierarchy, bench_full_kernel);
-criterion_main!(benches);
+fn main() {
+    bench_hierarchy();
+    bench_full_kernel();
+}

@@ -20,7 +20,9 @@ fn main() {
         &["input", "C-Buffer miss rate", "binning cycles vs pinned"],
     );
     for ni in inputs::graph_suite(scale) {
-        let Input::Graph { el, .. } = &ni.input else { continue };
+        let Input::Graph { el, .. } = &ni.input else {
+            continue;
+        };
         let run = |partitioned: bool| {
             let mut m = CobraMachine::<()>::with_defaults(
                 machine,

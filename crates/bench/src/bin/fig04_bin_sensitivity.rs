@@ -48,10 +48,18 @@ fn main() {
     let hi = choices.accumulate_ideal * 16;
     let mut bins = lo;
     while bins <= hi {
-        let out = run(kernel, &ni.input, &ModeSpec::PbSw { min_bins: bins }, &machine);
+        let out = run(
+            kernel,
+            &ni.input,
+            &ModeSpec::PbSw { min_bins: bins },
+            &machine,
+        );
         let m = &out.metrics;
         let bp = m.result.phase(phases::BINNING).expect("binning phase");
-        let ap = m.result.phase(phases::ACCUMULATE).expect("accumulate phase");
+        let ap = m
+            .result
+            .phase(phases::ACCUMULATE)
+            .expect("accumulate phase");
         let mc = |c: u64| format!("{:.1}", c as f64 / 1e6);
         t.row(vec![
             bins.to_string(),

@@ -20,8 +20,11 @@ fn main() {
         let ni = inputs::representative_input(k, scale);
         let choices = bin_choices(k, &ni.input, &machine);
         let baseline = run(k, &ni.input, &ModeSpec::Baseline, &machine);
-        let mut candidates =
-            vec![choices.binning_ideal, choices.sweet_spot, choices.accumulate_ideal];
+        let mut candidates = vec![
+            choices.binning_ideal,
+            choices.sweet_spot,
+            choices.accumulate_ideal,
+        ];
         candidates.dedup();
         let pb_runs: Vec<RunMetrics> = candidates
             .iter()
@@ -59,7 +62,9 @@ fn main() {
         "-".into(),
         report::f2(geomean(pb_speedups.iter().copied())),
         report::f2(geomean(ideal_speedups.iter().copied())),
-        report::f2(geomean(pb_speedups.iter().zip(&ideal_speedups).map(|(p, i)| i / p))),
+        report::f2(geomean(
+            pb_speedups.iter().zip(&ideal_speedups).map(|(p, i)| i / p),
+        )),
     ]);
     t.print();
     t.write_csv("fig05_ideal_headroom");

@@ -12,7 +12,15 @@ fn main() {
     report::print_machine(&machine);
     let mut t = Table::new(
         "Figure 10: speedup over Baseline",
-        &["kernel", "input", "PB-SW", "PB-SW-IDEAL", "COBRA", "COBRA/PB-SW", "PB bins"],
+        &[
+            "kernel",
+            "input",
+            "PB-SW",
+            "PB-SW-IDEAL",
+            "COBRA",
+            "COBRA/PB-SW",
+            "PB bins",
+        ],
     );
     let (mut s_pb, mut s_ideal, mut s_cobra) = (Vec::new(), Vec::new(), Vec::new());
     for &k in &ALL_KERNELS {
@@ -20,12 +28,18 @@ fn main() {
             // Standard trims the suite to keep the wall-clock reasonable;
             // --full runs everything.
             Scale::Full => inputs::kernel_inputs(k, scale),
-            _ => inputs::kernel_inputs(k, scale).into_iter().take(trim_for(k)).collect(),
+            _ => inputs::kernel_inputs(k, scale)
+                .into_iter()
+                .take(trim_for(k))
+                .collect(),
         };
         for ni in kernel_inputs {
             let r = harness::run_all_modes(k, &ni.input, &machine);
-            let (pb, ideal, cobra) =
-                (r.speedup(&r.pb_sw), r.speedup(&r.pb_ideal), r.speedup(&r.cobra));
+            let (pb, ideal, cobra) = (
+                r.speedup(&r.pb_sw),
+                r.speedup(&r.pb_ideal),
+                r.speedup(&r.cobra),
+            );
             s_pb.push(pb);
             s_ideal.push(ideal);
             s_cobra.push(cobra);

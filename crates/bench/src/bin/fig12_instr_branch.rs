@@ -48,7 +48,10 @@ fn main() {
         ]);
         eprintln!("[done] {}", k.name());
     }
-    println!("geomean instruction reduction: {:.2}x", geomean(reductions.iter().copied()));
+    println!(
+        "geomean instruction reduction: {:.2}x",
+        geomean(reductions.iter().copied())
+    );
     t.print();
     t.write_csv("fig12_instr_branch");
     println!(

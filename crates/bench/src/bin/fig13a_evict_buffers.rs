@@ -18,7 +18,9 @@ fn main() {
     // The DES consumes Neighbor-Populate's update-tuple trace (edge source
     // keys), exactly as the paper's DES consumes a tuple trace.
     for ni in inputs::graph_suite(scale) {
-        let Input::Graph { el, .. } = &ni.input else { continue };
+        let Input::Graph { el, .. } = &ni.input else {
+            continue;
+        };
         let hier = BinHierarchy::bininit(
             &machine,
             ReservedWays::paper_default(&machine),
@@ -27,10 +29,12 @@ fn main() {
         );
         let mut row = vec![ni.name.clone()];
         for entries in [1usize, 2, 4, 8, 16, 32, 64] {
-            let cfg = DesConfig { l1_evict_entries: entries, l2_evict_entries: 8 };
+            let cfg = DesConfig {
+                l1_evict_entries: entries,
+                l2_evict_entries: 8,
+            };
             // One tuple per cycle: the paper's full-rate producer.
-            let rep =
-                simulate_fixed_rate(&hier, cfg, el.edges().iter().map(|e| e.src), 1);
+            let rep = simulate_fixed_rate(&hier, cfg, el.edges().iter().map(|e| e.src), 1);
             row.push(report::pct(rep.stall_fraction()));
         }
         t.row(row);

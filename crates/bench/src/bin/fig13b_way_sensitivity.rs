@@ -38,7 +38,10 @@ fn main() {
         &["level swept", "ways", "binning Mcycles", "vs default"],
     );
     for ways in [1, 2, 4, 7] {
-        let c = binning(ReservedWays { l1: ways, ..default });
+        let c = binning(ReservedWays {
+            l1: ways,
+            ..default
+        });
         t.row(vec![
             "L1".into(),
             ways.to_string(),
@@ -48,7 +51,10 @@ fn main() {
         eprintln!("[done] L1 ways={ways}");
     }
     for ways in [1, 2, 4, 7] {
-        let c = binning(ReservedWays { l2: ways, ..default });
+        let c = binning(ReservedWays {
+            l2: ways,
+            ..default
+        });
         t.row(vec![
             "L2".into(),
             ways.to_string(),
@@ -58,7 +64,10 @@ fn main() {
         eprintln!("[done] L2 ways={ways}");
     }
     for ways in [4, 8, 12, 15] {
-        let c = binning(ReservedWays { llc: ways, ..default });
+        let c = binning(ReservedWays {
+            llc: ways,
+            ..default
+        });
         t.row(vec![
             "LLC".into(),
             ways.to_string(),

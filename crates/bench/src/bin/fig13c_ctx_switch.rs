@@ -20,7 +20,13 @@ fn main() {
 
     let mut t = Table::new(
         "Figure 13c: worst-case DRAM bandwidth waste vs scheduling quantum",
-        &["quantum (cycles)", "context switches", "wasted MB", "bin-write MB", "waste"],
+        &[
+            "quantum (cycles)",
+            "context switches",
+            "wasted MB",
+            "bin-write MB",
+            "waste",
+        ],
     );
     for divisor in [1u64, 10, 100, 1000] {
         let quantum = (DEFAULT_QUANTUM / divisor).max(1);

@@ -59,7 +59,14 @@ fn main() {
 
     let mut ta = Table::new(
         "Figure 14a: DRAM bin-write traffic, normalized to PB-SW",
-        &["input", "PB-SW", "PHI", "COBRA", "COBRA-COMM", "PHI LLC-coalesce share"],
+        &[
+            "input",
+            "PB-SW",
+            "PHI",
+            "COBRA",
+            "COBRA-COMM",
+            "PHI LLC-coalesce share",
+        ],
     );
     let mut tb = Table::new(
         "Figure 14b: Accumulate L1 misses, normalized to PB-SW",
@@ -67,7 +74,9 @@ fn main() {
     );
 
     for ni in inputs::graph_suite(scale) {
-        let Input::Graph { el, .. } = &ni.input else { continue };
+        let Input::Graph { el, .. } = &ni.input else {
+            continue;
+        };
         let keys = el.num_vertices();
         let hier = BinHierarchy::bininit(
             &machine,
@@ -97,8 +106,7 @@ fn main() {
             .next_power_of_two()
             .trailing_zeros();
         let opt_shift = hier.memory_bin_shift();
-        let uncoalesced: Vec<Vec<(u32, u32)>> =
-            vec![stream().map(|k| (k, 1)).collect::<Vec<_>>()];
+        let uncoalesced: Vec<Vec<(u32, u32)>> = vec![stream().map(|k| (k, 1)).collect::<Vec<_>>()];
         let pb_sw_m = accumulate_l1_misses(
             &machine,
             &regroup(&uncoalesced, sw_shift, keys),

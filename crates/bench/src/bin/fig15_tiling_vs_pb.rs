@@ -31,7 +31,9 @@ fn main() {
         ],
     );
     for ni in inputs::graph_suite_small(scale) {
-        let Input::Graph { csr, .. } = &ni.input else { continue };
+        let Input::Graph { csr, .. } = &ni.input else {
+            continue;
+        };
 
         let mut be = SimEngine::new(machine);
         let _ = pagerank_baseline_iters(&mut be, csr, ITERS);

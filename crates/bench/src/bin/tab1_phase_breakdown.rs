@@ -18,9 +18,10 @@ fn main() {
     for k in [KernelId::NeighborPopulate, KernelId::Pagerank] {
         let ni = inputs::representative_input(k, scale);
         let choices = bin_choices(k, &ni.input, &machine);
-        for (label, bins) in
-            [("few", choices.binning_ideal), ("many", choices.accumulate_ideal * 4)]
-        {
+        for (label, bins) in [
+            ("few", choices.binning_ideal),
+            ("many", choices.accumulate_ideal * 4),
+        ] {
             let out = run(k, &ni.input, &ModeSpec::PbSw { min_bins: bins }, &machine);
             let m = &out.metrics;
             let total = m.cycles().max(1) as f64;

@@ -5,7 +5,10 @@ use cobra_sim::MachineConfig;
 
 fn main() {
     let m = MachineConfig::hpca22();
-    let mut t = Table::new("Table II: Simulation parameters (per core)", &["component", "value"]);
+    let mut t = Table::new(
+        "Table II: Simulation parameters (per core)",
+        &["component", "value"],
+    );
     t.row(vec![
         "Core".into(),
         format!(

@@ -38,14 +38,28 @@ pub fn run_all_modes(kernel: KernelId, input: &Input, machine: &MachineConfig) -
     let baseline = run(kernel, input, &ModeSpec::Baseline, machine);
 
     // PB at the three operating points (deduplicated).
-    let mut candidates = vec![choices.binning_ideal, choices.sweet_spot, choices.accumulate_ideal];
+    let mut candidates = vec![
+        choices.binning_ideal,
+        choices.sweet_spot,
+        choices.accumulate_ideal,
+    ];
     candidates.dedup();
     let mut pb_runs: Vec<(usize, cobra_kernels::RunOutcome)> = candidates
         .iter()
-        .map(|&bins| (bins, run(kernel, input, &ModeSpec::PbSw { min_bins: bins }, machine)))
+        .map(|&bins| {
+            (
+                bins,
+                run(kernel, input, &ModeSpec::PbSw { min_bins: bins }, machine),
+            )
+        })
         .collect();
     for (_, r) in &pb_runs {
-        assert_eq!(r.digest, baseline.digest, "{}: PB output mismatch", kernel.name());
+        assert_eq!(
+            r.digest,
+            baseline.digest,
+            "{}: PB output mismatch",
+            kernel.name()
+        );
     }
 
     // PB-SW = best total; ideal = best binning phase + best accumulate run.
@@ -66,9 +80,20 @@ pub fn run_all_modes(kernel: KernelId, input: &Input, machine: &MachineConfig) -
     let pb_sw = pb_runs.swap_remove(best_idx).1.metrics;
 
     let cobra = run(kernel, input, &ModeSpec::cobra_default(), machine);
-    assert_eq!(cobra.digest, baseline.digest, "{}: COBRA output mismatch", kernel.name());
+    assert_eq!(
+        cobra.digest,
+        baseline.digest,
+        "{}: COBRA output mismatch",
+        kernel.name()
+    );
 
-    ModeRuns { baseline: baseline.metrics, pb_sw, pb_sw_bins, pb_ideal, cobra: cobra.metrics }
+    ModeRuns {
+        baseline: baseline.metrics,
+        pb_sw,
+        pb_sw_bins,
+        pb_ideal,
+        cobra: cobra.metrics,
+    }
 }
 
 /// Runs only PB-SW (at the sweet-spot bin count) and COBRA — the cheap pair
@@ -79,9 +104,21 @@ pub fn run_pb_cobra(
     machine: &MachineConfig,
 ) -> (RunMetrics, RunMetrics) {
     let choices = bin_choices(kernel, input, machine);
-    let pb = run(kernel, input, &ModeSpec::PbSw { min_bins: choices.sweet_spot }, machine);
+    let pb = run(
+        kernel,
+        input,
+        &ModeSpec::PbSw {
+            min_bins: choices.sweet_spot,
+        },
+        machine,
+    );
     let cobra = run(kernel, input, &ModeSpec::cobra_default(), machine);
-    assert_eq!(pb.digest, cobra.digest, "{}: output mismatch", kernel.name());
+    assert_eq!(
+        pb.digest,
+        cobra.digest,
+        "{}: output mismatch",
+        kernel.name()
+    );
     (pb.metrics, cobra.metrics)
 }
 

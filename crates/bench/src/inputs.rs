@@ -91,7 +91,10 @@ pub struct NamedInput {
 }
 
 fn named(name: &str, input: Input) -> NamedInput {
-    NamedInput { name: name.to_owned(), input }
+    NamedInput {
+        name: name.to_owned(),
+        input,
+    }
 }
 
 /// The graph suite (power-law, Kronecker, uniform, road, extra-skew).
@@ -103,9 +106,15 @@ pub fn graph_suite(scale: Scale) -> Vec<NamedInput> {
     vec![
         named("DBP'", Input::graph(gen::rmat(s, d, 0xDB9))),
         named("KRON'", Input::graph(gen::kronecker(s, d, 0x7201))),
-        named("URND'", Input::graph(gen::uniform_random(n, n as usize * d, 0x0123))),
+        named(
+            "URND'",
+            Input::graph(gen::uniform_random(n, n as usize * d, 0x0123)),
+        ),
         named("EURO'", Input::graph(gen::road_mesh(side, 0xE0E0))),
-        named("HBUBL'", Input::graph(gen::zipf(n, n as usize * d, 1.05, 0x4B))),
+        named(
+            "HBUBL'",
+            Input::graph(gen::zipf(n, n as usize * d, 1.05, 0x4B)),
+        ),
     ]
 }
 
@@ -120,10 +129,16 @@ pub fn matrix_suite(scale: Scale) -> Vec<NamedInput> {
     // Stencil grid sized to roughly n rows.
     let side = (n as f64).cbrt() as u32;
     vec![
-        named("HPCG'", Input::matrix(matrix::stencil27(side, side, side.max(2)))),
+        named(
+            "HPCG'",
+            Input::matrix(matrix::stencil27(side, side, side.max(2))),
+        ),
         named("RAND'", Input::matrix(matrix::random_uniform(n, 4, 0x11AC))),
         named("BAND'", Input::matrix(matrix::banded(n, 2, 0xBA9D))),
-        named("PLAW'", Input::matrix(matrix::powerlaw_rows(n, 4, 1.1, 0x91AF))),
+        named(
+            "PLAW'",
+            Input::matrix(matrix::powerlaw_rows(n, 4, 1.1, 0x91AF)),
+        ),
     ]
 }
 
@@ -153,13 +168,15 @@ pub fn kernel_inputs(kernel: cobra_kernels::KernelId, scale: Scale) -> Vec<Named
 pub fn representative_input(kernel: cobra_kernels::KernelId, scale: Scale) -> NamedInput {
     use cobra_kernels::KernelId::*;
     match kernel {
-        DegreeCount | NeighborPopulate | Pagerank | Radii => {
-            graph_suite(scale).into_iter().next().expect("nonempty suite")
-        }
+        DegreeCount | NeighborPopulate | Pagerank | Radii => graph_suite(scale)
+            .into_iter()
+            .next()
+            .expect("nonempty suite"),
         IntSort => sort_input(scale),
-        Spmv | Transpose | Pinv | SymPerm => {
-            matrix_suite(scale).into_iter().nth(1).expect("nonempty suite")
-        }
+        Spmv | Transpose | Pinv | SymPerm => matrix_suite(scale)
+            .into_iter()
+            .nth(1)
+            .expect("nonempty suite"),
     }
 }
 
@@ -172,7 +189,11 @@ mod tests {
         let gs = graph_suite(Scale::Quick);
         assert_eq!(gs.len(), 5);
         for g in &gs {
-            assert!(g.input.num_updates(cobra_kernels::KernelId::DegreeCount) > 0, "{}", g.name);
+            assert!(
+                g.input.num_updates(cobra_kernels::KernelId::DegreeCount) > 0,
+                "{}",
+                g.name
+            );
         }
         let ms = matrix_suite(Scale::Quick);
         assert_eq!(ms.len(), 4);

@@ -28,6 +28,7 @@
 pub mod harness;
 pub mod inputs;
 pub mod report;
+pub mod timing;
 
 pub use harness::{run_all_modes, ModeRuns};
 pub use inputs::{NamedInput, Scale};

@@ -1,0 +1,100 @@
+//! Minimal wall-clock micro-benchmark support for the `benches/` targets.
+//!
+//! The benches are plain `harness = false` binaries on purpose: the
+//! workspace builds fully offline, so there is no external benchmark
+//! framework — just warmup, repeated timed samples, and a median.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's measured samples.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Per-sample wall-clock times, sorted ascending.
+    pub samples: Vec<Duration>,
+    /// Elements processed per sample (for throughput).
+    pub elements: u64,
+}
+
+impl Measurement {
+    /// Median sample time.
+    pub fn median(&self) -> Duration {
+        self.samples[self.samples.len() / 2]
+    }
+
+    /// Elements per second at the median sample.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.median().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.elements as f64 / secs
+        }
+    }
+
+    /// One aligned human-readable row.
+    pub fn report(&self) -> String {
+        format!(
+            "{:<40} {:>12.3} ms   {:>12.2} Melem/s   ({} samples)",
+            self.name,
+            self.median().as_secs_f64() * 1e3,
+            self.throughput() / 1e6,
+            self.samples.len(),
+        )
+    }
+}
+
+/// Runs `f` once as warmup, then `samples` timed iterations, and prints the
+/// report row. `elements` is the per-iteration work for throughput.
+pub fn bench<R>(
+    name: &str,
+    elements: u64,
+    samples: usize,
+    mut f: impl FnMut() -> R,
+) -> Measurement {
+    assert!(samples > 0, "need at least one sample");
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort_unstable();
+    let m = Measurement {
+        name: name.to_string(),
+        samples: times,
+        elements,
+    };
+    println!("{}", m.report());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_throughput() {
+        let m = Measurement {
+            name: "t".into(),
+            samples: vec![
+                Duration::from_millis(1),
+                Duration::from_millis(2),
+                Duration::from_millis(9),
+            ],
+            elements: 2_000_000,
+        };
+        assert_eq!(m.median(), Duration::from_millis(2));
+        assert!((m.throughput() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0u32;
+        let m = bench("probe", 10, 3, || calls += 1);
+        assert_eq!(calls, 4, "1 warmup + 3 samples");
+        assert_eq!(m.samples.len(), 3);
+    }
+}

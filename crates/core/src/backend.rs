@@ -27,7 +27,12 @@ pub struct BinStorage<V> {
 impl<V> BinStorage<V> {
     /// Assembles storage from functional bins.
     pub fn new(base: ArrayAddr, tuple_bytes: u32, shift: u32, bins: Vec<Vec<(u32, V)>>) -> Self {
-        BinStorage { base, tuple_bytes, shift, bins }
+        BinStorage {
+            base,
+            tuple_bytes,
+            shift,
+            bins,
+        }
     }
 
     /// Number of bins.
@@ -182,7 +187,9 @@ impl<E: Engine, V: Copy> SwPb<E, V> {
         );
         // Same rounding as cobra_pb::Binner: largest power-of-two range
         // giving at least min_bins bins.
-        let mut range = (num_keys as u64).div_ceil(min_bins as u64).next_power_of_two();
+        let mut range = (num_keys as u64)
+            .div_ceil(min_bins as u64)
+            .next_power_of_two();
         if (num_keys as u64).div_ceil(range) < min_bins as u64 && range > 1 {
             range /= 2;
         }
@@ -221,7 +228,10 @@ impl<E: Engine, V: Copy> SwPb<E, V> {
         // it to the bin with a non-temporal store, advance the cursor.
         let cursor = self.bin_start[b] + self.bin_written[b];
         self.engine.load(self.binoff_base.addr(8, b as u64), 8);
-        self.engine.load(self.cbuf_base.base() + b as u64 * LINE_BYTES, LINE_BYTES as u32);
+        self.engine.load(
+            self.cbuf_base.base() + b as u64 * LINE_BYTES,
+            LINE_BYTES as u32,
+        );
         let dst = self.bin_base.base() + cursor * self.tuple_bytes as u64;
         let bytes = (self.cbufs[b].len() * self.tuple_bytes as usize) as u32;
         self.engine.nt_store(dst, bytes);
@@ -309,7 +319,9 @@ mod tests {
     use cobra_sim::MachineConfig;
 
     fn keys(n: usize, domain: u32) -> Vec<u32> {
-        (0..n).map(|i| ((i as u64 * 2654435761) % domain as u64) as u32).collect()
+        (0..n)
+            .map(|i| ((i as u64 * 2654435761) % domain as u64) as u32)
+            .collect()
     }
 
     #[test]

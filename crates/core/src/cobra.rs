@@ -81,13 +81,16 @@ impl<V: Copy> CobraMachine<V> {
         let mut sim = SimEngine::new(machine);
         // bininit pins only the ways the C-Buffers actually use, letting
         // other data reclaim the rest (Section V-A).
-        for (lvl, l) in
-            [Level::L1, Level::L2, Level::Llc].into_iter().zip(hier.levels.iter())
+        for (lvl, l) in [Level::L1, Level::L2, Level::Llc]
+            .into_iter()
+            .zip(hier.levels.iter())
         {
-            sim.hierarchy_mut().reserve_ways(lvl, l.ways_used.min(l.ways_reserved));
+            sim.hierarchy_mut()
+                .reserve_ways(lvl, l.ways_used.min(l.ways_reserved));
         }
-        let bin_base =
-            sim.address_space_mut().alloc("cobra_bins", expected_tuples.max(1) * tuple_bytes as u64);
+        let bin_base = sim
+            .address_space_mut()
+            .alloc("cobra_bins", expected_tuples.max(1) * tuple_bytes as u64);
         let des = EvictionDes::new(&hier, des_cfg);
         let l1 = (0..hier.levels[0].buffers).map(|_| Vec::new()).collect();
         let bins = (0..hier.levels[2].buffers).map(|_| Vec::new()).collect();
@@ -118,8 +121,11 @@ impl<V: Copy> CobraMachine<V> {
         }
         let bytes = self.hier.levels[0].buffers * cobra_sim::LINE_BYTES;
         let cbuf_base = self.sim.address_space_mut().alloc("cobra_cbufs", bytes);
-        self.unpartitioned =
-            Some(UnpartitionedState { cbuf_base, accesses: 0, misses: 0 });
+        self.unpartitioned = Some(UnpartitionedState {
+            cbuf_base,
+            accesses: 0,
+            misses: 0,
+        });
     }
 
     /// C-Buffer miss rate observed when running without static
@@ -141,7 +147,14 @@ impl<V: Copy> CobraMachine<V> {
         expected_tuples: u64,
     ) -> Self {
         let reserved = ReservedWays::paper_default(&machine);
-        Self::new(machine, reserved, DesConfig::paper_default(), num_keys, tuple_bytes, expected_tuples)
+        Self::new(
+            machine,
+            reserved,
+            DesConfig::paper_default(),
+            num_keys,
+            tuple_bytes,
+            expected_tuples,
+        )
     }
 
     /// The C-Buffer hierarchy configured by `bininit`.
@@ -322,9 +335,16 @@ impl<V: Copy> PbBackend<V> for CobraMachine<V> {
         self.sync_dram();
         let bins = std::mem::replace(
             &mut self.bins,
-            (0..self.hier.levels[2].buffers).map(|_| Vec::new()).collect(),
+            (0..self.hier.levels[2].buffers)
+                .map(|_| Vec::new())
+                .collect(),
         );
-        BinStorage::new(self.bin_base, self.hier.tuple_bytes, self.hier.memory_bin_shift(), bins)
+        BinStorage::new(
+            self.bin_base,
+            self.hier.tuple_bytes,
+            self.hier.memory_bin_shift(),
+            bins,
+        )
     }
 }
 
@@ -334,7 +354,9 @@ mod tests {
     use crate::backend::SwPb;
 
     fn keys(n: usize, domain: u32) -> Vec<u32> {
-        (0..n).map(|i| ((i as u64 * 2654435761) % domain as u64) as u32).collect()
+        (0..n)
+            .map(|i| ((i as u64 * 2654435761) % domain as u64) as u32)
+            .collect()
     }
 
     fn machine(domain: u32, n: u64) -> CobraMachine<u32> {
@@ -372,14 +394,21 @@ mod tests {
             8,
             ks.len() as u64,
         );
-        assert_eq!(PbBackend::<u32>::bin_shift(&m), PbBackend::<u32>::bin_shift(&sw));
+        assert_eq!(
+            PbBackend::<u32>::bin_shift(&m),
+            PbBackend::<u32>::bin_shift(&sw)
+        );
         for (i, &k) in ks.iter().enumerate() {
             m.insert(k, i as u32);
             sw.insert(k, i as u32);
         }
         let a = m.flush_and_take();
         let b = sw.flush_and_take();
-        assert_eq!(a.bins(), b.bins(), "hardware and software binning must agree");
+        assert_eq!(
+            a.bins(),
+            b.bins(),
+            "hardware and software binning must agree"
+        );
     }
 
     #[test]
@@ -414,7 +443,12 @@ mod tests {
             swr.core.instructions,
             cobra.core.instructions
         );
-        assert!(cobra.cycles() < swr.cycles(), "cobra {} sw {}", cobra.cycles(), swr.cycles());
+        assert!(
+            cobra.cycles() < swr.cycles(),
+            "cobra {} sw {}",
+            cobra.cycles(),
+            swr.cycles()
+        );
         // COBRA binning has no C-Buffer management branches.
         assert_eq!(cobra.core.branches, 0);
     }
@@ -502,12 +536,21 @@ mod unpartitioned_tests {
     #[test]
     fn unpartitioned_cobra_is_functionally_identical() {
         let domain = 1 << 16;
-        let keys: Vec<u32> =
-            (0..20_000u64).map(|i| ((i * 2654435761) % domain as u64) as u32).collect();
-        let mut pinned =
-            CobraMachine::<u32>::with_defaults(MachineConfig::hpca22(), domain, 8, keys.len() as u64);
-        let mut free =
-            CobraMachine::<u32>::with_defaults(MachineConfig::hpca22(), domain, 8, keys.len() as u64);
+        let keys: Vec<u32> = (0..20_000u64)
+            .map(|i| ((i * 2654435761) % domain as u64) as u32)
+            .collect();
+        let mut pinned = CobraMachine::<u32>::with_defaults(
+            MachineConfig::hpca22(),
+            domain,
+            8,
+            keys.len() as u64,
+        );
+        let mut free = CobraMachine::<u32>::with_defaults(
+            MachineConfig::hpca22(),
+            domain,
+            8,
+            keys.len() as u64,
+        );
         free.disable_static_partitioning();
         for &k in &keys {
             pinned.insert(k, k);
@@ -524,8 +567,7 @@ mod unpartitioned_tests {
         // the replacement policy able to keep C-Buffers resident.
         let domain = 1 << 20;
         let n = 60_000u64;
-        let mut m =
-            CobraMachine::<u32>::with_defaults(MachineConfig::hpca22(), domain, 8, n);
+        let mut m = CobraMachine::<u32>::with_defaults(MachineConfig::hpca22(), domain, 8, n);
         m.disable_static_partitioning();
         let stream = Engine::alloc(&mut m, "edges", n * 8);
         for i in 0..n {
@@ -533,7 +575,7 @@ mod unpartitioned_tests {
             // actual access mix.
             Engine::load(&mut m, stream.addr(8, i), 8);
             let k = ((i * 2654435761) % domain as u64) as u32;
-            m.insert(k, k as u32);
+            m.insert(k, k);
         }
         let _ = m.flush_and_take();
         let rate = m.cbuffer_miss_rate();

@@ -116,7 +116,10 @@ impl LineCache {
         let kpl = self.keys_per_line;
         let mut counts = vec![0u32; kpl as usize];
         counts[(key % kpl) as usize] = 1;
-        UpdateLine { line_id: key / kpl, counts }
+        UpdateLine {
+            line_id: key / kpl,
+            counts,
+        }
     }
 
     fn drain(&mut self) -> Vec<UpdateLine> {
@@ -272,18 +275,29 @@ mod tests {
     }
 
     fn uniform(n: usize, domain: u32) -> Vec<u32> {
-        (0..n).map(|i| ((i as u64 * 2654435761) % domain as u64) as u32).collect()
+        (0..n)
+            .map(|i| ((i as u64 * 2654435761) % domain as u64) as u32)
+            .collect()
     }
 
     #[test]
     fn weights_are_conserved() {
         let h = hier(1 << 16);
         let ks = skewed(50_000, 1 << 16);
-        for (report, bins) in
-            [run_phi(ks.iter().copied(), &h), run_cobra_comm(ks.iter().copied(), &h)]
-        {
-            let total: u64 = bins.iter().flat_map(|b| b.iter()).map(|&(_, c)| c as u64).sum();
-            assert_eq!(total, ks.len() as u64, "every update accounted ({report:?})");
+        for (report, bins) in [
+            run_phi(ks.iter().copied(), &h),
+            run_cobra_comm(ks.iter().copied(), &h),
+        ] {
+            let total: u64 = bins
+                .iter()
+                .flat_map(|b| b.iter())
+                .map(|&(_, c)| c as u64)
+                .sum();
+            assert_eq!(
+                total,
+                ks.len() as u64,
+                "every update accounted ({report:?})"
+            );
             assert_eq!(report.updates, ks.len() as u64);
         }
     }
@@ -333,7 +347,10 @@ mod tests {
         let (phi, _) = run_phi(ks.iter().copied(), &h);
         let (comm, _) = run_cobra_comm(ks.iter().copied(), &h);
         let ratio = comm.dram_write_bytes as f64 / phi.dram_write_bytes as f64;
-        assert!((0.5..1.5).contains(&ratio), "COBRA-COMM/PHI traffic ratio {ratio}");
+        assert!(
+            (0.5..1.5).contains(&ratio),
+            "COBRA-COMM/PHI traffic ratio {ratio}"
+        );
     }
 
     #[test]
@@ -366,7 +383,11 @@ mod tests {
         let ks = vec![42u32; 10_000];
         let (phi, bins) = run_phi(ks.iter().copied(), &h);
         assert_eq!(phi.tuples_to_memory, 1);
-        let total: u64 = bins.iter().flat_map(|b| b.iter()).map(|&(_, c)| c as u64).sum();
+        let total: u64 = bins
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|&(_, c)| c as u64)
+            .sum();
         assert_eq!(total, 10_000);
         let (comm, _) = run_cobra_comm(ks.iter().copied(), &h);
         assert_eq!(comm.tuples_to_memory, 1);
@@ -394,12 +415,14 @@ mod probe {
         let m = MachineConfig::hpca22();
         let h = BinHierarchy::bininit(&m, ReservedWays::paper_default(&m), 1 << 20, 8);
         for exp in [1.0f64, 2.0, 3.0, 4.0, 6.0] {
-            let ks: Vec<u32> = (0..400_000usize).map(|i| {
-                let hh = (i as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 11;
-                let u = (hh as f64) / (1u64 << 53) as f64;
-                let k = (1u64 << 20) as f64 * u.powf(exp);
-                (k as u32).min((1 << 20) - 1)
-            }).collect();
+            let ks: Vec<u32> = (0..400_000usize)
+                .map(|i| {
+                    let hh = (i as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 11;
+                    let u = (hh as f64) / (1u64 << 53) as f64;
+                    let k = (1u64 << 20) as f64 * u.powf(exp);
+                    (k as u32).min((1 << 20) - 1)
+                })
+                .collect();
             let plain = run_plain(ks.iter().copied(), &h);
             let (phi, _) = run_phi(ks.iter().copied(), &h);
             let (comm, _) = run_cobra_comm(ks.iter().copied(), &h);

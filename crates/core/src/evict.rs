@@ -30,7 +30,10 @@ pub struct DesConfig {
 impl DesConfig {
     /// The paper's chosen sizes: 32 and 8 entries.
     pub fn paper_default() -> Self {
-        DesConfig { l1_evict_entries: 32, l2_evict_entries: 8 }
+        DesConfig {
+            l1_evict_entries: 32,
+            l2_evict_entries: 8,
+        }
     }
 }
 
@@ -213,8 +216,7 @@ impl EvictionDes {
             if *occ > 0 {
                 self.stats.partial_lines_written += 1;
                 self.stats.llc_tuples_written += *occ as u64;
-                self.stats.wasted_bytes +=
-                    LINE_BYTES - (*occ as u64 * self.tuple_bytes as u64);
+                self.stats.wasted_bytes += LINE_BYTES - (*occ as u64 * self.tuple_bytes as u64);
                 *occ = 0;
                 t += 1;
             }
@@ -232,8 +234,7 @@ impl EvictionDes {
             if *occ > 0 {
                 self.stats.partial_lines_written += 1;
                 self.stats.llc_tuples_written += *occ as u64;
-                self.stats.wasted_bytes +=
-                    LINE_BYTES - (*occ as u64 * self.tuple_bytes as u64);
+                self.stats.wasted_bytes += LINE_BYTES - (*occ as u64 * self.tuple_bytes as u64);
                 *occ = 0;
             }
         }
@@ -292,16 +293,20 @@ where
             stall_total += stall;
         }
     }
-    for b in 0..l1.len() {
-        if !l1[b].is_empty() {
-            let line = std::mem::take(&mut l1[b]);
+    for buf in l1.iter_mut() {
+        if !buf.is_empty() {
+            let line = std::mem::take(buf);
             let stall = des.push_l1_line(&line, now);
             now += stall;
             stall_total += stall;
         }
     }
     now = des.flush(now);
-    FixedRateReport { cycles: now, stall_cycles: stall_total, stats: des.stats() }
+    FixedRateReport {
+        cycles: now,
+        stall_cycles: stall_total,
+        stats: des.stats(),
+    }
 }
 
 #[cfg(test)]
@@ -332,29 +337,46 @@ mod tests {
     #[test]
     fn large_eviction_buffer_eliminates_stalls() {
         let h = hier();
-        let keys: Vec<u32> = (0..200_000u64).map(|i| ((i * 2654435761) % (1 << 20)) as u32).collect();
+        let keys: Vec<u32> = (0..200_000u64)
+            .map(|i| ((i * 2654435761) % (1 << 20)) as u32)
+            .collect();
         let big = simulate_fixed_rate(
             &h,
-            DesConfig { l1_evict_entries: 64, l2_evict_entries: 8 },
+            DesConfig {
+                l1_evict_entries: 64,
+                l2_evict_entries: 8,
+            },
             keys.iter().copied(),
             2,
         );
-        assert!(big.stall_fraction() < 0.01, "fraction {}", big.stall_fraction());
+        assert!(
+            big.stall_fraction() < 0.01,
+            "fraction {}",
+            big.stall_fraction()
+        );
     }
 
     #[test]
     fn tiny_eviction_buffer_stalls_more() {
         let h = hier();
-        let keys: Vec<u32> = (0..200_000u64).map(|i| ((i * 2654435761) % (1 << 20)) as u32).collect();
+        let keys: Vec<u32> = (0..200_000u64)
+            .map(|i| ((i * 2654435761) % (1 << 20)) as u32)
+            .collect();
         let tiny = simulate_fixed_rate(
             &h,
-            DesConfig { l1_evict_entries: 1, l2_evict_entries: 8 },
+            DesConfig {
+                l1_evict_entries: 1,
+                l2_evict_entries: 8,
+            },
             keys.iter().copied(),
             1, // full-rate producer
         );
         let big = simulate_fixed_rate(
             &h,
-            DesConfig { l1_evict_entries: 32, l2_evict_entries: 8 },
+            DesConfig {
+                l1_evict_entries: 32,
+                l2_evict_entries: 8,
+            },
             keys.iter().copied(),
             1,
         );
@@ -428,16 +450,24 @@ mod tests {
         // engine 2, lengthening its busy time and ultimately stalling the
         // core more than a comfortable FIFO would.
         let h = hier();
-        let keys: Vec<u32> = (0..100_000u64).map(|i| ((i * 2654435761) % (1 << 20)) as u32).collect();
+        let keys: Vec<u32> = (0..100_000u64)
+            .map(|i| ((i * 2654435761) % (1 << 20)) as u32)
+            .collect();
         let tight = simulate_fixed_rate(
             &h,
-            DesConfig { l1_evict_entries: 4, l2_evict_entries: 1 },
+            DesConfig {
+                l1_evict_entries: 4,
+                l2_evict_entries: 1,
+            },
             keys.iter().copied(),
             1,
         );
         let roomy = simulate_fixed_rate(
             &h,
-            DesConfig { l1_evict_entries: 4, l2_evict_entries: 16 },
+            DesConfig {
+                l1_evict_entries: 4,
+                l2_evict_entries: 16,
+            },
             keys.iter().copied(),
             1,
         );

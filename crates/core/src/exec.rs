@@ -109,7 +109,10 @@ impl RunMetrics {
         }
         result.core.cycles = total;
         result.core.instructions = instr;
-        RunMetrics { mode: Mode::PbSwIdeal, result }
+        RunMetrics {
+            mode: Mode::PbSwIdeal,
+            result,
+        }
     }
 }
 
@@ -140,7 +143,11 @@ mod tests {
             .map(|&(name, cycles)| PhaseStats {
                 name: name.to_owned(),
                 mem: MemStats::default(),
-                core: CoreStats { cycles, instructions: cycles, ..Default::default() },
+                core: CoreStats {
+                    cycles,
+                    instructions: cycles,
+                    ..Default::default()
+                },
             })
             .collect();
         let total: u64 = phase_cycles.iter().map(|&(_, c)| c).sum();
@@ -148,7 +155,11 @@ mod tests {
             mode,
             SimResult {
                 mem: MemStats::default(),
-                core: CoreStats { cycles: total, instructions: total, ..Default::default() },
+                core: CoreStats {
+                    cycles: total,
+                    instructions: total,
+                    ..Default::default()
+                },
                 phases,
             },
         )
@@ -163,8 +174,14 @@ mod tests {
 
     #[test]
     fn splice_takes_binning_from_first_and_rest_from_second() {
-        let few = fake(Mode::PbSw, &[("init", 10), ("binning", 100), ("accumulate", 900)]);
-        let many = fake(Mode::PbSw, &[("init", 12), ("binning", 700), ("accumulate", 200)]);
+        let few = fake(
+            Mode::PbSw,
+            &[("init", 10), ("binning", 100), ("accumulate", 900)],
+        );
+        let many = fake(
+            Mode::PbSw,
+            &[("init", 12), ("binning", 700), ("accumulate", 200)],
+        );
         let ideal = RunMetrics::splice_ideal(&few, &many);
         assert_eq!(ideal.mode, Mode::PbSwIdeal);
         assert_eq!(ideal.phase_cycles("binning"), 100);

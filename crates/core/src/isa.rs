@@ -61,7 +61,11 @@ impl ReservedWays {
     /// The paper's default for the Table II machine: 7/8 L1, 1/8 L2,
     /// 15/16 LLC.
     pub fn paper_default(machine: &MachineConfig) -> Self {
-        ReservedWays { l1: machine.l1.ways - 1, l2: 1, llc: machine.llc.ways - 1 }
+        ReservedWays {
+            l1: machine.l1.ways - 1,
+            l2: 1,
+            llc: machine.llc.ways - 1,
+        }
     }
 }
 
@@ -98,9 +102,7 @@ impl BinHierarchy {
     ) -> Self {
         assert!(num_keys > 0, "need at least one key");
         assert!(
-            tuple_bytes > 0
-                && tuple_bytes.is_power_of_two()
-                && tuple_bytes as u64 <= LINE_BYTES,
+            tuple_bytes > 0 && tuple_bytes.is_power_of_two() && tuple_bytes as u64 <= LINE_BYTES,
             "tuple size must be a power of two <= {LINE_BYTES}"
         );
         let specs = [
@@ -114,13 +116,23 @@ impl BinHierarchy {
             let capacity_lines = cache.sets() * ways as u64;
             let (buffers, shift) = level_bininit(num_keys, capacity_lines);
             let ways_used = buffers.div_ceil(cache.sets()).max(1) as u32;
-            levels.push(LevelBins { level, ways_reserved: ways, ways_used, buffers, shift });
+            levels.push(LevelBins {
+                level,
+                ways_reserved: ways,
+                ways_used,
+                buffers,
+                shift,
+            });
         }
         let levels: [LevelBins; 3] = levels.try_into().expect("exactly three levels");
         // A level closer to the core must not have more buffers than the
         // next level (its range is the larger power of two).
         debug_assert!(levels[0].shift >= levels[1].shift && levels[1].shift >= levels[2].shift);
-        Self { levels, num_keys, tuple_bytes }
+        Self {
+            levels,
+            num_keys,
+            tuple_bytes,
+        }
     }
 
     /// Tuples held by one cacheline-sized C-Buffer.
@@ -227,7 +239,11 @@ mod tests {
     #[should_panic]
     fn rejects_full_reservation() {
         let m = MachineConfig::hpca22();
-        let r = ReservedWays { l1: 8, l2: 1, llc: 15 };
+        let r = ReservedWays {
+            l1: 8,
+            l2: 1,
+            llc: 15,
+        };
         BinHierarchy::bininit(&m, r, 100, 8);
     }
 

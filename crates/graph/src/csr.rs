@@ -24,8 +24,14 @@ impl Csr {
     /// Panics if `offsets` is not monotonically non-decreasing, does not
     /// start at 0, or its last entry differs from `neighbors.len()`.
     pub fn from_raw(offsets: Vec<u32>, neighbors: Vec<u32>) -> Self {
-        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be sorted");
+        assert!(
+            !offsets.is_empty() && offsets[0] == 0,
+            "offsets must start at 0"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be sorted"
+        );
         assert_eq!(*offsets.last().expect("nonempty") as usize, neighbors.len());
         Csr { offsets, neighbors }
     }
@@ -117,7 +123,12 @@ mod tests {
     fn sample() -> EdgeList {
         EdgeList::new(
             4,
-            vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(3, 0), Edge::new(1, 2)],
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 2),
+                Edge::new(3, 0),
+                Edge::new(1, 2),
+            ],
         )
     }
 

@@ -19,7 +19,10 @@ impl Edge {
 
     /// The edge with source and destination swapped.
     pub fn reversed(self) -> Self {
-        Edge { src: self.dst, dst: self.src }
+        Edge {
+            src: self.dst,
+            dst: self.src,
+        }
     }
 }
 
@@ -58,7 +61,10 @@ impl EdgeList {
                 "edge {e} out of range for {num_vertices} vertices"
             );
         }
-        EdgeList { num_vertices, edges }
+        EdgeList {
+            num_vertices,
+            edges,
+        }
     }
 
     /// Number of vertices in the ID domain.
@@ -112,7 +118,15 @@ mod tests {
     use super::*;
 
     fn sample() -> EdgeList {
-        EdgeList::new(4, vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(3, 0), Edge::new(1, 2)])
+        EdgeList::new(
+            4,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 2),
+                Edge::new(3, 0),
+                Edge::new(1, 2),
+            ],
+        )
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //! deterministic in its seed.
 
 use crate::edgelist::{Edge, EdgeList};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Uniform-random (Erdős–Rényi-style) directed multigraph with `num_edges`
 /// edges over `num_vertices` vertices. Stands in for URND.
@@ -19,9 +18,9 @@ use rand::{Rng, SeedableRng};
 /// Panics if `num_vertices == 0`.
 pub fn uniform_random(num_vertices: u32, num_edges: usize, seed: u64) -> EdgeList {
     assert!(num_vertices > 0, "need at least one vertex");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let edges = (0..num_edges)
-        .map(|_| Edge::new(rng.gen_range(0..num_vertices), rng.gen_range(0..num_vertices)))
+        .map(|_| Edge::new(rng.u32_below(num_vertices), rng.u32_below(num_vertices)))
         .collect();
     EdgeList::new(num_vertices, edges)
 }
@@ -42,17 +41,20 @@ pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> EdgeList {
 /// `scale == 0` or `scale > 30`.
 pub fn rmat_with(scale: u32, edge_factor: usize, seed: u64, a: f64, b: f64, c: f64) -> EdgeList {
     assert!(scale > 0 && scale <= 30, "scale out of range");
-    assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0, "bad rmat parameters");
+    assert!(
+        a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0,
+        "bad rmat parameters"
+    );
     let n = 1u32 << scale;
     let num_edges = n as usize * edge_factor;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(num_edges);
     for _ in 0..num_edges {
         let (mut src, mut dst) = (0u32, 0u32);
         for _ in 0..scale {
             src <<= 1;
             dst <<= 1;
-            let r: f64 = rng.gen();
+            let r = rng.f64();
             if r < a {
                 // top-left quadrant: no bits set
             } else if r < a + b {
@@ -83,7 +85,7 @@ pub fn kronecker(scale: u32, edge_factor: usize, seed: u64) -> EdgeList {
 pub fn road_mesh(side: u32, seed: u64) -> EdgeList {
     assert!(side >= 2, "mesh needs side >= 2");
     let n = side * side;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let id = |x: u32, y: u32| y * side + x;
     let mut edges = Vec::with_capacity(4 * n as usize);
     for y in 0..side {
@@ -100,8 +102,8 @@ pub fn road_mesh(side: u32, seed: u64) -> EdgeList {
         }
     }
     for _ in 0..(n / 100).max(1) {
-        let u = rng.gen_range(0..n);
-        let v = rng.gen_range(0..n);
+        let u = rng.u32_below(n);
+        let v = rng.u32_below(n);
         edges.push(Edge::new(u, v));
         edges.push(Edge::new(v, u));
     }
@@ -114,7 +116,7 @@ pub fn road_mesh(side: u32, seed: u64) -> EdgeList {
 pub fn zipf(num_vertices: u32, num_edges: usize, alpha: f64, seed: u64) -> EdgeList {
     assert!(num_vertices > 0, "need at least one vertex");
     assert!(alpha > 0.0, "alpha must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     // Inverse-CDF table over vertex ranks.
     let mut cdf = Vec::with_capacity(num_vertices as usize);
     let mut acc = 0.0f64;
@@ -125,9 +127,9 @@ pub fn zipf(num_vertices: u32, num_edges: usize, alpha: f64, seed: u64) -> EdgeL
     let total = acc;
     let edges = (0..num_edges)
         .map(|_| {
-            let r: f64 = rng.gen::<f64>() * total;
+            let r = rng.f64() * total;
             let dst = cdf.partition_point(|&c| c < r) as u32;
-            Edge::new(rng.gen_range(0..num_vertices), dst.min(num_vertices - 1))
+            Edge::new(rng.u32_below(num_vertices), dst.min(num_vertices - 1))
         })
         .collect();
     EdgeList::new(num_vertices, edges)
@@ -136,11 +138,11 @@ pub fn zipf(num_vertices: u32, num_edges: usize, alpha: f64, seed: u64) -> EdgeL
 /// Uniformly random permutation of `0..n` (used by the PINV kernel and by
 /// SymPerm's row/column permutations).
 pub fn random_permutation(n: u32, seed: u64) -> Vec<u32> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut p: Vec<u32> = (0..n).collect();
     // Fisher–Yates.
     for i in (1..n as usize).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.usize_through(i);
         p.swap(i, j);
     }
     p
@@ -150,8 +152,8 @@ pub fn random_permutation(n: u32, seed: u64) -> Vec<u32> {
 /// sorts 256 M random keys with varying maximum key values).
 pub fn random_keys(n: usize, max_key: u32, seed: u64) -> Vec<u32> {
     assert!(max_key > 0, "max_key must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(0..max_key)).collect()
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    (0..n).map(|_| rng.u32_below(max_key)).collect()
 }
 
 #[cfg(test)]

@@ -32,7 +32,9 @@ pub mod edgelist;
 pub mod gen;
 pub mod matrix;
 pub mod prefix;
+pub mod rng;
 
 pub use csr::Csr;
 pub use edgelist::{Edge, EdgeList};
 pub use matrix::SparseMatrix;
+pub use rng::SplitMix64;

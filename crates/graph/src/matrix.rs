@@ -2,8 +2,7 @@
 //! sparse-linear-algebra inputs (HPCG-like stencils and
 //! SuiteSparse-style simulation/optimization matrices).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// A sparse matrix in CSR format with `f64` values.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -31,11 +30,26 @@ impl SparseMatrix {
     ) -> Self {
         assert_eq!(row_offsets.len(), rows as usize + 1, "row_offsets length");
         assert!(row_offsets[0] == 0, "offsets must start at 0");
-        assert!(row_offsets.windows(2).all(|w| w[0] <= w[1]), "offsets sorted");
-        assert_eq!(*row_offsets.last().expect("nonempty") as usize, col_idx.len());
+        assert!(
+            row_offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets sorted"
+        );
+        assert_eq!(
+            *row_offsets.last().expect("nonempty") as usize,
+            col_idx.len()
+        );
         assert_eq!(col_idx.len(), values.len(), "values length");
-        assert!(col_idx.iter().all(|&c| c < cols), "column index out of range");
-        SparseMatrix { rows, cols, row_offsets, col_idx, values }
+        assert!(
+            col_idx.iter().all(|&c| c < cols),
+            "column index out of range"
+        );
+        SparseMatrix {
+            rows,
+            cols,
+            row_offsets,
+            col_idx,
+            values,
+        }
     }
 
     /// Builds a CSR from COO triplets (duplicates are kept, in row-major
@@ -57,7 +71,13 @@ impl SparseMatrix {
             values[slot] = v;
             cursor[r as usize] += 1;
         }
-        SparseMatrix { rows, cols, row_offsets, col_idx, values }
+        SparseMatrix {
+            rows,
+            cols,
+            row_offsets,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -94,7 +114,10 @@ impl SparseMatrix {
     pub fn row(&self, r: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
         let lo = self.row_offsets[r as usize] as usize;
         let hi = self.row_offsets[r as usize + 1] as usize;
-        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// Dense matrix-vector product reference (for testing SpMV kernels).
@@ -135,7 +158,13 @@ impl SparseMatrix {
                 cursor[c as usize] += 1;
             }
         }
-        SparseMatrix { rows: self.cols, cols: self.rows, row_offsets, col_idx, values }
+        SparseMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_offsets,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -152,10 +181,13 @@ pub fn stencil27(nx: u32, ny: u32, nz: u32) -> SparseMatrix {
                 for dz in -1i64..=1 {
                     for dy in -1i64..=1 {
                         for dx in -1i64..=1 {
-                            let (xx, yy, zz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
-                            if xx < 0 || yy < 0 || zz < 0
-                                || xx >= nx as i64 || yy >= ny as i64 || zz >= nz as i64
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            if xx < 0
+                                || yy < 0
+                                || zz < 0
+                                || xx >= nx as i64
+                                || yy >= ny as i64
+                                || zz >= nz as i64
                             {
                                 continue;
                             }
@@ -174,13 +206,13 @@ pub fn stencil27(nx: u32, ny: u32, nz: u32) -> SparseMatrix {
 /// Banded matrix with `band` diagonals on each side (a simulation-class
 /// SuiteSparse stand-in).
 pub fn banded(n: u32, band: u32, seed: u64) -> SparseMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut triplets = Vec::new();
     for r in 0..n {
         let lo = r.saturating_sub(band);
         let hi = (r + band + 1).min(n);
         for c in lo..hi {
-            triplets.push((r, c, rng.gen_range(-1.0..1.0)));
+            triplets.push((r, c, rng.f64_range(-1.0, 1.0)));
         }
     }
     SparseMatrix::from_coo(n, n, &triplets)
@@ -190,11 +222,11 @@ pub fn banded(n: u32, band: u32, seed: u64) -> SparseMatrix {
 /// random column positions (an optimization-class stand-in; irregular
 /// column pattern).
 pub fn random_uniform(n: u32, nnz_per_row: u32, seed: u64) -> SparseMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut triplets = Vec::with_capacity((n * nnz_per_row) as usize);
     for r in 0..n {
         for _ in 0..nnz_per_row {
-            triplets.push((r, rng.gen_range(0..n), rng.gen_range(-1.0..1.0)));
+            triplets.push((r, rng.u32_below(n), rng.f64_range(-1.0, 1.0)));
         }
     }
     SparseMatrix::from_coo(n, n, &triplets)
@@ -204,9 +236,11 @@ pub fn random_uniform(n: u32, nnz_per_row: u32, seed: u64) -> SparseMatrix {
 /// matrix) with `nnz_per_row` entries per row.
 pub fn powerlaw_rows(n: u32, nnz_per_row: u32, alpha: f64, seed: u64) -> SparseMatrix {
     let el = crate::gen::zipf(n, (n * nnz_per_row) as usize, alpha, seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
-    let triplets: Vec<(u32, u32, f64)> =
-        el.iter().map(|e| (e.src, e.dst, rng.gen_range(-1.0..1.0))).collect();
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let triplets: Vec<(u32, u32, f64)> = el
+        .iter()
+        .map(|e| (e.src, e.dst, rng.f64_range(-1.0, 1.0)))
+        .collect();
     SparseMatrix::from_coo(n, n, &triplets)
 }
 
@@ -269,7 +303,7 @@ mod tests {
         let m = stencil27(4, 4, 4);
         assert_eq!(m.rows(), 64);
         // Interior point has 27 neighbors; corner has 8.
-        let interior = (1 * 4 + 1) * 4 + 1;
+        let interior = (4 + 1) * 4 + 1;
         assert_eq!(m.row(interior).count(), 27);
         assert_eq!(m.row(0).count(), 8);
         // Structurally symmetric.

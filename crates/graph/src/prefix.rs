@@ -43,7 +43,10 @@ pub fn exclusive_sum_parallel(values: &[u32], threads: usize) -> Vec<u32> {
             .iter()
             .map(|c| s.spawn(move || c.iter().map(|&v| v as u64).sum::<u64>()))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
     });
     let grand: u64 = totals.iter().sum();
     assert!(grand <= u32::MAX as u64, "prefix sum overflow");
@@ -97,7 +100,9 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial() {
-        let vals: Vec<u32> = (0..10_000).map(|i| (i * 2654435761u64 % 17) as u32).collect();
+        let vals: Vec<u32> = (0..10_000)
+            .map(|i| (i * 2654435761u64 % 17) as u32)
+            .collect();
         let serial = exclusive_sum(&vals);
         for t in [1, 2, 3, 7, 16] {
             assert_eq!(exclusive_sum_parallel(&vals, t), serial, "threads={t}");

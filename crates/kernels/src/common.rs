@@ -25,13 +25,8 @@ pub mod pc {
 
 /// Streams a flat array of `n` elements of `elem_bytes`, charging the load,
 /// the index increment, and the loop branch, then invoking `f` per element.
-pub fn stream_array<E: Engine, F>(
-    e: &mut E,
-    base: ArrayAddr,
-    n: usize,
-    elem_bytes: u32,
-    mut f: F,
-) where
+pub fn stream_array<E: Engine, F>(e: &mut E, base: ArrayAddr, n: usize, elem_bytes: u32, mut f: F)
+where
     F: FnMut(&mut E, usize),
 {
     for i in 0..n {
@@ -52,7 +47,9 @@ pub struct EdgeListAddrs {
 impl EdgeListAddrs {
     /// Allocates the edge array.
     pub fn alloc<E: Engine>(e: &mut E, el: &EdgeList) -> Self {
-        EdgeListAddrs { edges: e.alloc("edgelist", el.num_edges().max(1) as u64 * 8) }
+        EdgeListAddrs {
+            edges: e.alloc("edgelist", el.num_edges().max(1) as u64 * 8),
+        }
     }
 }
 
@@ -211,7 +208,13 @@ mod tests {
         let addrs = CsrAddrs::alloc(&mut e, &g);
         let mut edges = 0usize;
         let mut vertices = 0usize;
-        traverse_csr(&mut e, &g, addrs, |_, _| vertices += 1, |_, _, _| edges += 1);
+        traverse_csr(
+            &mut e,
+            &g,
+            addrs,
+            |_, _| vertices += 1,
+            |_, _, _| edges += 1,
+        );
         assert_eq!(edges, 600);
         assert_eq!(vertices, 100);
     }

@@ -129,7 +129,11 @@ mod tests {
         let r = e.finish();
         // The degree array (512 KB) far exceeds L1: the irregular update
         // loads should miss L1 frequently.
-        assert!(r.mem.l1d.miss_rate() > 0.15, "miss rate {}", r.mem.l1d.miss_rate());
+        assert!(
+            r.mem.l1d.miss_rate() > 0.15,
+            "miss rate {}",
+            r.mem.l1d.miss_rate()
+        );
     }
 
     #[test]

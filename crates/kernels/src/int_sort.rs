@@ -145,8 +145,7 @@ mod tests {
     #[test]
     fn pb_software_sorts() {
         let (keys, max) = input();
-        let mut b =
-            SwPb::<_, ()>::new(NullEngine::new(), max, 64, TUPLE_BYTES, keys.len() as u64);
+        let mut b = SwPb::<_, ()>::new(NullEngine::new(), max, 64, TUPLE_BYTES, keys.len() as u64);
         assert_eq!(pb(&mut b, &keys, max), reference(&keys));
     }
 

@@ -21,7 +21,8 @@
 //! [`tiling`] implements the CSR-Segmenting comparator (Figure 15) and the
 //! multi-iteration Pagerank variants it is compared against. [`suite`]
 //! provides the uniform kernel × input × mode dispatch used by the
-//! benchmark harnesses.
+//! benchmark harnesses. [`streaming`] rephrases Degree-Count and Pagerank
+//! as continuous ingestion over `cobra-stream`'s sharded pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +34,7 @@ pub mod pagerank;
 pub mod pinv;
 pub mod radii;
 pub mod spmv;
+pub mod streaming;
 pub mod suite;
 pub mod symperm;
 pub mod tiling;

@@ -82,7 +82,8 @@ pub fn pb<B: PbBackend<u32>>(b: &mut B, el: &EdgeList) -> Csr {
     for (i, &edge) in el.edges().iter().enumerate() {
         b.engine().load(addrs.edges.addr(8, i as u64), 8);
         b.engine().alu(1);
-        b.engine().branch(crate::common::pc::STREAM_LOOP, i + 1 < ne);
+        b.engine()
+            .branch(crate::common::pc::STREAM_LOOP, i + 1 < ne);
         b.insert(edge.src, edge.dst);
     }
     let storage = b.flush_and_take();

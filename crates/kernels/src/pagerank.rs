@@ -108,7 +108,8 @@ pub fn pb<B: PbBackend<f32>>(b: &mut B, g: &Csr) -> Vec<f32> {
         b.engine().load(addrs.offsets.addr(4, u as u64), 4);
         b.engine().load(addrs.offsets.addr(4, u as u64 + 1), 4);
         b.engine().alu(1);
-        b.engine().branch(crate::common::pc::VERTEX_LOOP, u + 1 < nv32);
+        b.engine()
+            .branch(crate::common::pc::VERTEX_LOOP, u + 1 < nv32);
         let deg = g.degree(u);
         if deg == 0 {
             continue;
@@ -153,7 +154,10 @@ pub fn pb<B: PbBackend<f32>>(b: &mut B, g: &Csr) -> Vec<f32> {
 /// Maximum absolute difference between two rank vectors (float summation
 /// order differs across execution modes).
 pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
 }
 
 #[cfg(test)]

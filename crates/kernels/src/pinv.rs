@@ -100,8 +100,13 @@ mod tests {
     #[test]
     fn pb_matches_reference() {
         let p = gen::random_permutation(10_000, 5);
-        let mut b =
-            SwPb::<_, u32>::new(NullEngine::new(), p.len() as u32, 32, TUPLE_BYTES, p.len() as u64);
+        let mut b = SwPb::<_, u32>::new(
+            NullEngine::new(),
+            p.len() as u32,
+            32,
+            TUPLE_BYTES,
+            p.len() as u64,
+        );
         assert_eq!(pb(&mut b, &p), reference(&p));
     }
 

@@ -35,7 +35,10 @@ impl RadiiResult {
 }
 
 fn pick_sources(g: &Csr) -> Vec<u32> {
-    (0..g.num_vertices() as u32).filter(|&v| g.degree(v) > 0).take(SOURCES).collect()
+    (0..g.num_vertices() as u32)
+        .filter(|&v| g.degree(v) > 0)
+        .take(SOURCES)
+        .collect()
 }
 
 /// Native reference.
@@ -71,7 +74,10 @@ pub fn reference(g: &Csr, max_rounds: u32) -> RadiiResult {
             break;
         }
     }
-    RadiiResult { radii, rounds: round }
+    RadiiResult {
+        radii,
+        rounds: round,
+    }
 }
 
 /// Baseline: direct push of visitor masks (irregular `|=`).
@@ -134,7 +140,10 @@ pub fn baseline<E: Engine>(e: &mut E, g: &Csr, max_rounds: u32) -> RadiiResult {
             break;
         }
     }
-    RadiiResult { radii, rounds: round }
+    RadiiResult {
+        radii,
+        rounds: round,
+    }
 }
 
 /// PB execution: per round, Binning scatters `(dst, mask)` tuples for the
@@ -233,7 +242,10 @@ pub fn pb<B: PbBackend<u64>>(b: &mut B, g: &Csr, max_rounds: u32) -> RadiiResult
             }
         }
     }
-    RadiiResult { radii, rounds: round }
+    RadiiResult {
+        radii,
+        rounds: round,
+    }
 }
 
 #[cfg(test)]

@@ -103,7 +103,10 @@ pub fn pb<B: PbBackend<f64>>(b: &mut B, m: &SparseMatrix, x: &[f64]) -> Vec<f64>
 
 /// Maximum absolute difference (summation order varies across modes).
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -130,13 +133,8 @@ mod tests {
     #[test]
     fn pb_matches_reference_within_fp_tolerance() {
         let (m, x) = input();
-        let mut b = SwPb::<_, f64>::new(
-            NullEngine::new(),
-            m.cols(),
-            64,
-            TUPLE_BYTES,
-            m.nnz() as u64,
-        );
+        let mut b =
+            SwPb::<_, f64>::new(NullEngine::new(), m.cols(), 64, TUPLE_BYTES, m.nnz() as u64);
         let got = pb(&mut b, &m, &x);
         assert!(max_abs_diff(&got, &reference(&m, &x)) < 1e-9);
     }

@@ -139,7 +139,9 @@ impl Input {
     /// deterministically).
     pub fn matrix(m: SparseMatrix) -> Self {
         let p = cobra_graph::gen::random_permutation(m.rows(), 0xC0B7A);
-        let x = (0..m.rows()).map(|i| ((i % 97) as f64) * 0.125 - 4.0).collect();
+        let x = (0..m.rows())
+            .map(|i| ((i % 97) as f64) * 0.125 - 4.0)
+            .collect();
         Input::Matrix { m, p, x }
     }
 
@@ -187,7 +189,11 @@ pub enum ModeSpec {
 impl ModeSpec {
     /// COBRA with all defaults.
     pub fn cobra_default() -> Self {
-        ModeSpec::Cobra { reserved: None, des: DesConfig::paper_default(), ctx_quantum: None }
+        ModeSpec::Cobra {
+            reserved: None,
+            des: DesConfig::paper_default(),
+            ctx_quantum: None,
+        }
     }
 
     fn mode(&self) -> Mode {
@@ -232,17 +238,25 @@ pub struct RunOutcome {
 }
 
 fn digest_f32(vals: &[f32]) -> u64 {
-    let q: Vec<u32> = vals.iter().map(|&v| (v as f64 * 1e4).round() as i64 as u32).collect();
+    let q: Vec<u32> = vals
+        .iter()
+        .map(|&v| (v as f64 * 1e4).round() as i64 as u32)
+        .collect();
     digest_u32(&q)
 }
 
 fn digest_f64(vals: &[f64]) -> u64 {
-    let q: Vec<u32> = vals.iter().map(|&v| (v * 1e4).round() as i64 as u32).collect();
+    let q: Vec<u32> = vals
+        .iter()
+        .map(|&v| (v * 1e4).round() as i64 as u32)
+        .collect();
     digest_u32(&q)
 }
 
 fn digest_csr(g: &Csr) -> u64 {
-    digest_u32(g.offsets()).wrapping_mul(31).wrapping_add(digest_u32(g.neighbors_array()))
+    digest_u32(g.offsets())
+        .wrapping_mul(31)
+        .wrapping_add(digest_u32(g.neighbors_array()))
 }
 
 fn digest_matrix(m: &SparseMatrix) -> u64 {
@@ -268,7 +282,11 @@ macro_rules! dispatch_pb {
                 let digest = ($body)(&mut b);
                 (digest, b.into_engine().finish())
             }
-            ModeSpec::Cobra { reserved, des, ctx_quantum } => {
+            ModeSpec::Cobra {
+                reserved,
+                des,
+                ctx_quantum,
+            } => {
                 let r = reserved.unwrap_or_else(|| ReservedWays::paper_default($machine));
                 let mut m = CobraMachine::<$vty>::new(
                     *$machine,
@@ -308,7 +326,10 @@ pub fn run(
     } else {
         run_pb(kernel, input, spec, machine)
     };
-    RunOutcome { metrics: RunMetrics::new(spec.mode(), result), digest }
+    RunOutcome {
+        metrics: RunMetrics::new(spec.mode(), result),
+        digest,
+    }
 }
 
 fn run_baseline(kernel: KernelId, input: &Input, e: &mut SimEngine) -> u64 {
@@ -328,9 +349,7 @@ fn run_baseline(kernel: KernelId, input: &Input, e: &mut SimEngine) -> u64 {
         (KernelId::IntSort, Input::Keys { keys, max_key }) => {
             digest_u32(&crate::int_sort::baseline(e, keys, *max_key))
         }
-        (KernelId::Spmv, Input::Matrix { m, x, .. }) => {
-            digest_f64(&crate::spmv::baseline(e, m, x))
-        }
+        (KernelId::Spmv, Input::Matrix { m, x, .. }) => digest_f64(&crate::spmv::baseline(e, m, x)),
         (KernelId::Transpose, Input::Matrix { m, .. }) => {
             digest_matrix(&crate::transpose::baseline(e, m))
         }
@@ -380,9 +399,9 @@ fn run_pb(
             ))
         }
         (KernelId::Transpose, Input::Matrix { m, .. }) => {
-            dispatch_pb!(kernel, input, machine, spec, (u32, f64), |b: &mut _| digest_matrix(
-                &crate::transpose::pb(b, m)
-            ))
+            dispatch_pb!(kernel, input, machine, spec, (u32, f64), |b: &mut _| {
+                digest_matrix(&crate::transpose::pb(b, m))
+            })
         }
         (KernelId::Pinv, Input::Matrix { p, .. }) => {
             dispatch_pb!(kernel, input, machine, spec, u32, |b: &mut _| digest_u32(
@@ -390,9 +409,9 @@ fn run_pb(
             ))
         }
         (KernelId::SymPerm, Input::Matrix { m, p, .. }) => {
-            dispatch_pb!(kernel, input, machine, spec, (u32, f64), |b: &mut _| digest_matrix(
-                &crate::symperm::pb(b, m, p)
-            ))
+            dispatch_pb!(kernel, input, machine, spec, (u32, f64), |b: &mut _| {
+                digest_matrix(&crate::symperm::pb(b, m, p))
+            })
         }
         (k, _) => panic!("kernel {k:?} incompatible with input kind"),
     }
@@ -443,7 +462,10 @@ mod tests {
         let input = Input::keys(vec![1, 2, 3], 1 << 22);
         let c = bin_choices(KernelId::IntSort, &input, &machine);
         assert!(c.binning_ideal < c.accumulate_ideal, "{c:?}");
-        assert!(c.binning_ideal <= c.sweet_spot && c.sweet_spot <= c.accumulate_ideal, "{c:?}");
+        assert!(
+            c.binning_ideal <= c.sweet_spot && c.sweet_spot <= c.accumulate_ideal,
+            "{c:?}"
+        );
     }
 
     #[test]
@@ -458,6 +480,11 @@ mod tests {
     #[should_panic]
     fn mismatched_input_panics() {
         let machine = MachineConfig::hpca22();
-        run(KernelId::IntSort, &graph_input(), &ModeSpec::Baseline, &machine);
+        run(
+            KernelId::IntSort,
+            &graph_input(),
+            &ModeSpec::Baseline,
+            &machine,
+        );
     }
 }

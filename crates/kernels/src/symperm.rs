@@ -23,7 +23,8 @@ fn target(p: &[u32], r: u32, c: u32) -> (u32, u32) {
 /// Upper-triangular entries of `m` (including the diagonal), row-major.
 fn upper_entries(m: &SparseMatrix) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
     (0..m.rows()).flat_map(move |r| {
-        m.row(r).filter_map(move |(c, v)| (c >= r).then_some((r, c, v)))
+        m.row(r)
+            .filter_map(move |(c, v)| (c >= r).then_some((r, c, v)))
     })
 }
 

@@ -3,11 +3,11 @@
 //! its column's output row — cursor updates make it *non-commutative*.
 
 use crate::common::pc;
+use crate::common::MatrixAddrs;
 use cobra_core::{count_bin_tuples, PbBackend};
 use cobra_graph::prefix::exclusive_sum;
 use cobra_graph::SparseMatrix;
 use cobra_sim::engine::Engine;
-use crate::common::MatrixAddrs;
 
 /// Tuple size: 16 B (`col` key + (`row`, `value`) payload).
 pub const TUPLE_BYTES: u32 = 16;

@@ -37,8 +37,10 @@ pub struct Bins<V> {
 }
 
 impl<V: Copy> Binner<V> {
-    /// Creates a binner for keys in `0..num_keys` with *at least*
-    /// `min_bins` bins (rounded so the bin range is a power of two).
+    /// Creates a binner for keys in `0..num_keys` with at least
+    /// `min(min_bins, num_keys)` bins (rounded so the bin range is a power
+    /// of two). The bin range can never go below one key, so asking for
+    /// more bins than keys clamps to one single-key bin per key.
     ///
     /// # Panics
     ///
@@ -46,9 +48,10 @@ impl<V: Copy> Binner<V> {
     pub fn new(num_keys: u32, min_bins: usize) -> Self {
         assert!(num_keys > 0, "need at least one key");
         assert!(min_bins > 0, "need at least one bin");
+        let min_bins = (min_bins as u64).min(num_keys as u64);
         // Largest power-of-two range with ceil(num_keys / range) >= min_bins.
-        let mut range = (num_keys as u64).div_ceil(min_bins as u64).next_power_of_two();
-        if (num_keys as u64).div_ceil(range) < min_bins as u64 && range > 1 {
+        let mut range = (num_keys as u64).div_ceil(min_bins).next_power_of_two();
+        if (num_keys as u64).div_ceil(range) < min_bins && range > 1 {
             range /= 2;
         }
         let shift = range.trailing_zeros();
@@ -58,7 +61,9 @@ impl<V: Copy> Binner<V> {
         Binner {
             shift,
             num_keys,
-            cbufs: (0..num_bins).map(|_| Vec::with_capacity(cbuf_cap)).collect(),
+            cbufs: (0..num_bins)
+                .map(|_| Vec::with_capacity(cbuf_cap))
+                .collect(),
             cbuf_cap,
             bins: vec![Vec::new(); num_bins],
         }
@@ -114,11 +119,43 @@ impl<V: Copy> Binner<V> {
 
     /// Flushes all partially-filled C-Buffers and returns the bins.
     pub fn finish(mut self) -> Bins<V> {
+        self.flush_cbufs();
+        Bins {
+            shift: self.shift,
+            num_keys: self.num_keys,
+            bins: self.bins,
+        }
+    }
+
+    /// Flushes all partially-filled C-Buffers and swaps the filled bins
+    /// out, leaving the binner empty but reusable with the same geometry.
+    ///
+    /// This is the double-buffering hook for incremental / streaming use:
+    /// the returned [`Bins`] can be accumulated while new tuples keep
+    /// flowing into this binner, with per-epoch insertion order preserved
+    /// (a tuple inserted before `take_bins` lands in the returned bins,
+    /// one inserted after lands in the next take — even mid-C-Buffer).
+    pub fn take_bins(&mut self) -> Bins<V> {
+        self.flush_cbufs();
+        let bins = std::mem::replace(&mut self.bins, vec![Vec::new(); self.cbufs.len()]);
+        Bins {
+            shift: self.shift,
+            num_keys: self.num_keys,
+            bins,
+        }
+    }
+
+    /// Tuples currently buffered (C-Buffers plus unflushed bins).
+    pub fn buffered_len(&self) -> usize {
+        self.cbufs.iter().map(Vec::len).sum::<usize>()
+            + self.bins.iter().map(Vec::len).sum::<usize>()
+    }
+
+    fn flush_cbufs(&mut self) {
         for (b, cbuf) in self.cbufs.iter_mut().enumerate() {
             self.bins[b].extend_from_slice(cbuf);
             cbuf.clear();
         }
-        Bins { shift: self.shift, num_keys: self.num_keys, bins: self.bins }
     }
 }
 
@@ -180,10 +217,22 @@ mod tests {
             b.insert(k, i as u8);
         }
         let bins = b.finish();
-        assert_eq!(bins.bin(0).iter().map(|t| t.key).collect::<Vec<_>>(), vec![0, 31]);
-        assert_eq!(bins.bin(1).iter().map(|t| t.key).collect::<Vec<_>>(), vec![40, 33]);
-        assert_eq!(bins.bin(2).iter().map(|t| t.key).collect::<Vec<_>>(), vec![64]);
-        assert_eq!(bins.bin(3).iter().map(|t| t.key).collect::<Vec<_>>(), vec![99]);
+        assert_eq!(
+            bins.bin(0).iter().map(|t| t.key).collect::<Vec<_>>(),
+            vec![0, 31]
+        );
+        assert_eq!(
+            bins.bin(1).iter().map(|t| t.key).collect::<Vec<_>>(),
+            vec![40, 33]
+        );
+        assert_eq!(
+            bins.bin(2).iter().map(|t| t.key).collect::<Vec<_>>(),
+            vec![64]
+        );
+        assert_eq!(
+            bins.bin(3).iter().map(|t| t.key).collect::<Vec<_>>(),
+            vec![99]
+        );
         assert_eq!(bins.len(), 6);
     }
 
@@ -242,7 +291,10 @@ mod tests {
         bins.accumulate(|k, _| seen.push(k >> bins.bin_shift()));
         let mut sorted = seen.clone();
         sorted.sort();
-        assert_eq!(seen, sorted, "bins must replay in ascending key-range order");
+        assert_eq!(
+            seen, sorted,
+            "bins must replay in ascending key-range order"
+        );
     }
 
     #[test]
@@ -268,5 +320,111 @@ mod tests {
         let bins = Binner::<u32>::new(8, 2).finish();
         assert!(bins.is_empty());
         assert_eq!(bins.len(), 0);
+    }
+
+    #[test]
+    fn ragged_last_bin_when_num_keys_not_multiple_of_range() {
+        // 100 keys, range 32: last bin covers only 96..100.
+        let mut b = Binner::<u32>::new(100, 4);
+        for k in 0..100 {
+            b.insert(k, k);
+        }
+        let bins = b.finish();
+        let last = bins.num_bins() - 1;
+        assert_eq!(bins.key_range(last), 96..100);
+        assert_eq!(bins.bin(last).len(), 4);
+        assert_eq!(bins.len(), 100);
+    }
+
+    #[test]
+    fn single_key_bins_route_exactly() {
+        // min_bins == num_keys forces range 1: every key gets its own bin.
+        let mut b = Binner::<u32>::new(8, 8);
+        assert_eq!(b.bin_range(), 1);
+        assert_eq!(b.num_bins(), 8);
+        for k in [5u32, 0, 5, 7] {
+            b.insert(k, k);
+        }
+        let bins = b.finish();
+        assert_eq!(bins.bin(5).len(), 2);
+        assert_eq!(bins.bin(0).len(), 1);
+        assert_eq!(bins.bin(7).len(), 1);
+        assert_eq!(bins.bin(3).len(), 0);
+    }
+
+    #[test]
+    fn min_bins_guarantee_is_min_of_request_and_keys() {
+        for (num_keys, min_bins) in [
+            (1u32, 1usize),
+            (1, 64),
+            (4, 100),
+            (5, 5),
+            (7, 3),
+            (1000, 1000),
+            (1000, 4096),
+        ] {
+            let b = Binner::<u32>::new(num_keys, min_bins);
+            let want = min_bins.min(num_keys as usize);
+            assert!(
+                b.num_bins() >= want,
+                "({num_keys}, {min_bins}): got {} bins, want >= {want}",
+                b.num_bins()
+            );
+        }
+    }
+
+    #[test]
+    fn take_bins_splits_epochs_at_the_call_even_mid_cbuffer() {
+        // (u32, u32) tuples => 8 per C-Buffer line. Insert 5 (a partial
+        // line), take, insert 3 more: the epochs must not bleed together.
+        let mut b = Binner::<u32>::new(64, 1);
+        for i in 0..5u32 {
+            b.insert(i, i);
+        }
+        assert_eq!(b.buffered_len(), 5);
+        let epoch1 = b.take_bins();
+        assert_eq!(
+            epoch1.bin(0).iter().map(|t| t.value).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(b.buffered_len(), 0);
+        for i in 5..8u32 {
+            b.insert(i, i);
+        }
+        let epoch2 = b.take_bins();
+        assert_eq!(
+            epoch2.bin(0).iter().map(|t| t.value).collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
+        // Geometry is preserved across takes.
+        assert_eq!(epoch2.num_bins(), epoch1.num_bins());
+        assert_eq!(epoch2.bin_shift(), epoch1.bin_shift());
+    }
+
+    #[test]
+    fn take_bins_then_finish_sees_only_the_tail() {
+        let mut b = Binner::<u32>::new(256, 4);
+        for k in 0..100u32 {
+            b.insert(k, k);
+        }
+        let first = b.take_bins();
+        assert_eq!(first.len(), 100);
+        for k in 100..120u32 {
+            b.insert(k, k);
+        }
+        let rest = b.finish();
+        assert_eq!(rest.len(), 20);
+        let keys: Vec<u32> = rest.bin(1).iter().map(|t| t.key).collect();
+        assert_eq!(keys, (100..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn take_bins_on_empty_binner_is_empty_with_geometry() {
+        let mut b = Binner::<u32>::new(100, 4);
+        let bins = b.take_bins();
+        assert!(bins.is_empty());
+        assert_eq!(bins.num_bins(), 4);
+        b.insert(99, 7);
+        assert_eq!(b.finish().len(), 1);
     }
 }

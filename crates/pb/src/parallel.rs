@@ -54,9 +54,15 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("binning worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("binning worker panicked"))
+            .collect()
     });
-    ThreadBins { per_thread, num_keys }
+    ThreadBins {
+        per_thread,
+        num_keys,
+    }
 }
 
 impl<V: Copy + Send + Sync> ThreadBins<V> {
@@ -70,10 +76,15 @@ impl<V: Copy + Send + Sync> ThreadBins<V> {
         let shift = per_thread[0].bin_shift();
         let n = per_thread[0].num_bins();
         assert!(
-            per_thread.iter().all(|b| b.bin_shift() == shift && b.num_bins() == n),
+            per_thread
+                .iter()
+                .all(|b| b.bin_shift() == shift && b.num_bins() == n),
             "inconsistent bin geometry across threads"
         );
-        ThreadBins { per_thread, num_keys }
+        ThreadBins {
+            per_thread,
+            num_keys,
+        }
     }
 
     /// Number of bins (identical across threads).
@@ -135,7 +146,11 @@ impl<V: Copy + Send + Sync> ThreadBins<V> {
         T: Send,
         F: Fn(&mut [T], u32, u32, &V) + Sync,
     {
-        assert_eq!(data.len(), self.num_keys as usize, "data must cover the key domain");
+        assert_eq!(
+            data.len(),
+            self.num_keys as usize,
+            "data must cover the key domain"
+        );
         assert!(threads > 0, "need at least one thread");
         let range = 1usize << self.bin_shift();
         // Distribute bin chunks round-robin across workers.
@@ -169,7 +184,9 @@ mod tests {
 
     #[test]
     fn parallel_binning_partitions_all_items() {
-        let keys: Vec<u32> = (0..10_000).map(|i| (i * 2654435761u64 % 4096) as u32).collect();
+        let keys: Vec<u32> = (0..10_000)
+            .map(|i| (i * 2654435761u64 % 4096) as u32)
+            .collect();
         let tb = bin_parallel(keys.len(), 4096, 16, 4, |i| (keys[i], i as u32));
         assert_eq!(tb.len(), keys.len());
         assert_eq!(tb.num_threads(), 4);
@@ -200,7 +217,9 @@ mod tests {
     #[test]
     fn accumulate_into_matches_serial_histogram() {
         let n_keys = 1 << 12;
-        let keys: Vec<u32> = (0..50_000).map(|i| (i * 48271 % n_keys as usize) as u32).collect();
+        let keys: Vec<u32> = (0..50_000)
+            .map(|i| (i * 48271 % n_keys as usize) as u32)
+            .collect();
         let tb = bin_parallel(keys.len(), n_keys, 64, 3, |i| (keys[i], 1u32));
 
         let mut serial = vec![0u32; n_keys as usize];

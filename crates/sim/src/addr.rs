@@ -72,7 +72,10 @@ pub struct AddressSpace {
 impl AddressSpace {
     /// Creates an empty address space.
     pub fn new() -> Self {
-        Self { next: BASE, allocs: Vec::new() }
+        Self {
+            next: BASE,
+            allocs: Vec::new(),
+        }
     }
 
     /// Allocates `bytes` bytes for the array called `name`, page-aligned.
@@ -82,7 +85,10 @@ impl AddressSpace {
         let base = self.next;
         let span = bytes.max(1); // keep bases unique even for empty arrays
         self.next += span.div_ceil(PAGE_BYTES) * PAGE_BYTES;
-        let a = ArrayAddr { base, len_bytes: bytes };
+        let a = ArrayAddr {
+            base,
+            len_bytes: bytes,
+        };
         self.allocs.push((name.to_owned(), a));
         a
     }

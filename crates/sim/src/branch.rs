@@ -49,7 +49,11 @@ impl Gshare {
         if !correct {
             self.misses += 1;
         }
-        self.table[idx] = if taken { (ctr + 1).min(3) } else { ctr.saturating_sub(1) };
+        self.table[idx] = if taken {
+            (ctr + 1).min(3)
+        } else {
+            ctr.saturating_sub(1)
+        };
         self.history = ((self.history << 1) | taken as u64) & mask;
         correct
     }
@@ -111,7 +115,9 @@ mod tests {
         let mut misses = 0;
         let n = 20000;
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 33) & 1 == 1;
             if !p.predict_and_update(0xc00, taken) {
                 misses += 1;

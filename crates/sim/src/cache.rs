@@ -210,7 +210,10 @@ impl Cache {
         let way = self.victim(set);
         let i = self.slot(set, way);
         let evicted = if self.valid[i] {
-            let ev = Evicted { line_addr: self.tags[i], dirty: self.dirty[i] };
+            let ev = Evicted {
+                line_addr: self.tags[i],
+                dirty: self.dirty[i],
+            };
             if ev.dirty {
                 self.stats.writebacks += 1;
             }
@@ -301,7 +304,7 @@ impl Cache {
                 };
                 self.rrpv[i] = if use_brrip {
                     self.brrip_ctr += 1;
-                    if self.brrip_ctr % BRRIP_EPSILON == 0 {
+                    if self.brrip_ctr.is_multiple_of(BRRIP_EPSILON) {
                         RRPV_MAX - 1
                     } else {
                         RRPV_MAX
@@ -316,8 +319,7 @@ impl Cache {
     fn set_mru(&mut self, set: u64, way: u32) {
         let i = self.slot(set, way);
         self.mru[i] = true;
-        let all_set = (self.reserved_ways..self.ways)
-            .all(|w| self.mru[self.slot(set, w)]);
+        let all_set = (self.reserved_ways..self.ways).all(|w| self.mru[self.slot(set, w)]);
         if all_set {
             for w in self.reserved_ways..self.ways {
                 if w != way {
@@ -473,7 +475,10 @@ mod tests {
             }
         }
         let survivors = ws.iter().filter(|&&a| c.probe(a)).count();
-        assert!(survivors > 32, "only {survivors}/64 of working set survived scan");
+        assert!(
+            survivors > 32,
+            "only {survivors}/64 of working set survived scan"
+        );
     }
 
     #[test]

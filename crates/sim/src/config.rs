@@ -108,7 +108,11 @@ impl MachineConfig {
             mshrs: 10,
             store_queue: 512,
             mispredict_penalty: 15,
-            prefetch: PrefetchConfig { enabled: true, degree: 4, confirm: 3 },
+            prefetch: PrefetchConfig {
+                enabled: true,
+                degree: 4,
+                confirm: 3,
+            },
         }
     }
 
@@ -117,9 +121,24 @@ impl MachineConfig {
     /// [`hpca22`](Self::hpca22).
     pub fn tiny() -> Self {
         let mut c = Self::hpca22();
-        c.l1 = CacheConfig { size_bytes: 1024, ways: 2, replacement: Replacement::BitPlru, latency: 3 };
-        c.l2 = CacheConfig { size_bytes: 4096, ways: 4, replacement: Replacement::BitPlru, latency: 8 };
-        c.llc = CacheConfig { size_bytes: 16 * 1024, ways: 4, replacement: Replacement::Drrip, latency: 21 };
+        c.l1 = CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            replacement: Replacement::BitPlru,
+            latency: 3,
+        };
+        c.l2 = CacheConfig {
+            size_bytes: 4096,
+            ways: 4,
+            replacement: Replacement::BitPlru,
+            latency: 8,
+        };
+        c.llc = CacheConfig {
+            size_bytes: 16 * 1024,
+            ways: 4,
+            replacement: Replacement::Drrip,
+            latency: 21,
+        };
         c.prefetch.enabled = false;
         c
     }

@@ -133,8 +133,7 @@ impl SimEngine {
         }
         let now = self.core.cycles();
         let start = self.dram_free_cycle.max(now);
-        self.dram_free_cycle =
-            start + bytes.div_ceil(crate::LINE_BYTES) * self.dram_line_occupancy;
+        self.dram_free_cycle = start + bytes.div_ceil(crate::LINE_BYTES) * self.dram_line_occupancy;
     }
 
     /// Queue delay a demand access generating `bytes` of DRAM traffic sees,
@@ -145,8 +144,7 @@ impl SimEngine {
         }
         let now = self.core.cycles();
         let start = self.dram_free_cycle.max(now);
-        self.dram_free_cycle =
-            start + bytes.div_ceil(crate::LINE_BYTES) * self.dram_line_occupancy;
+        self.dram_free_cycle = start + bytes.div_ceil(crate::LINE_BYTES) * self.dram_line_occupancy;
         start - now
     }
 
@@ -186,7 +184,11 @@ impl SimEngine {
         let mem = self.hierarchy.stats() - self.phase_mem_base;
         let core = self.current_core_stats() - self.phase_core_base;
         if core.instructions > 0 || mem.l1d.accesses() > 0 || core.cycles > 0 {
-            self.phases.push(PhaseStats { name: self.phase_name.to_owned(), mem, core });
+            self.phases.push(PhaseStats {
+                name: self.phase_name.to_owned(),
+                mem,
+                core,
+            });
         }
         self.phase_mem_base = self.hierarchy.stats();
         self.phase_core_base = self.current_core_stats();

@@ -144,7 +144,10 @@ impl Hierarchy {
     fn demand(&mut self, addr: u64, write: bool) -> AccessOutcome {
         let line = addr / LINE_BYTES;
         if self.l1.access(line, write) {
-            return AccessOutcome { level: Level::L1, latency: self.cfg.l1.latency };
+            return AccessOutcome {
+                level: Level::L1,
+                latency: self.cfg.l1.latency,
+            };
         }
         // L1 miss: the L2 sees the demand stream, which also trains the
         // prefetcher.

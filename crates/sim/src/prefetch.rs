@@ -33,7 +33,11 @@ pub struct StreamPrefetcher {
 impl StreamPrefetcher {
     /// Creates a prefetcher with the given configuration.
     pub fn new(cfg: PrefetchConfig) -> Self {
-        StreamPrefetcher { cfg, trackers: [Tracker::default(); TRACKERS], clock: 0 }
+        StreamPrefetcher {
+            cfg,
+            trackers: [Tracker::default(); TRACKERS],
+            clock: 0,
+        }
     }
 
     /// Observes a demand line address and returns the lines to prefetch.
@@ -110,7 +114,11 @@ mod tests {
     use super::*;
 
     fn cfg() -> PrefetchConfig {
-        PrefetchConfig { enabled: true, degree: 4, confirm: 3 }
+        PrefetchConfig {
+            enabled: true,
+            degree: 4,
+            confirm: 3,
+        }
     }
 
     #[test]
@@ -154,12 +162,19 @@ mod tests {
             p.observe(near_end - 3 + k);
         }
         let pf = p.observe(near_end + 1); // last line of page
-        assert!(pf.is_empty(), "must not prefetch into the next page: {pf:?}");
+        assert!(
+            pf.is_empty(),
+            "must not prefetch into the next page: {pf:?}"
+        );
     }
 
     #[test]
     fn disabled_prefetcher_is_silent() {
-        let mut p = StreamPrefetcher::new(PrefetchConfig { enabled: false, degree: 4, confirm: 1 });
+        let mut p = StreamPrefetcher::new(PrefetchConfig {
+            enabled: false,
+            degree: 4,
+            confirm: 1,
+        });
         for k in 0..10 {
             assert!(p.observe(k).is_empty());
         }

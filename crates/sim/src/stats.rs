@@ -196,7 +196,11 @@ mod tests {
 
     #[test]
     fn hit_and_miss_rates() {
-        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert!((s.miss_rate() - 0.25).abs() < 1e-12);
         assert_eq!(s.accesses(), 4);
@@ -206,8 +210,20 @@ mod tests {
 
     #[test]
     fn stats_subtraction() {
-        let a = CacheStats { hits: 10, misses: 5, prefetch_fills: 2, prefetch_useful: 1, writebacks: 3 };
-        let b = CacheStats { hits: 4, misses: 2, prefetch_fills: 1, prefetch_useful: 0, writebacks: 1 };
+        let a = CacheStats {
+            hits: 10,
+            misses: 5,
+            prefetch_fills: 2,
+            prefetch_useful: 1,
+            writebacks: 3,
+        };
+        let b = CacheStats {
+            hits: 4,
+            misses: 2,
+            prefetch_fills: 1,
+            prefetch_useful: 0,
+            writebacks: 1,
+        };
         let d = a - b;
         assert_eq!(d.hits, 6);
         assert_eq!(d.misses, 3);
@@ -216,7 +232,13 @@ mod tests {
 
     #[test]
     fn core_derived_metrics() {
-        let c = CoreStats { instructions: 2000, branches: 100, branch_misses: 4, cycles: 1000, binning_stall_cycles: 0 };
+        let c = CoreStats {
+            instructions: 2000,
+            branches: 100,
+            branch_misses: 4,
+            cycles: 1000,
+            binning_stall_cycles: 0,
+        };
         assert!((c.ipc() - 2.0).abs() < 1e-12);
         assert!((c.branch_mpki() - 2.0).abs() < 1e-12);
     }

@@ -1,0 +1,198 @@
+//! Epoch accumulation: the streaming Accumulate phase.
+//!
+//! Shard workers double-buffer their bins: sealing an epoch swaps the
+//! active bins out (`Binner::take_bins`) and ships them here, so binning
+//! of epoch `e+1` proceeds while this accumulator replays epoch `e` —
+//! the same overlap COBRA gets from its eviction buffers decoupling the
+//! core from the binning engines.
+//!
+//! Deltas from different shards cover disjoint key ranges, but snapshots
+//! must still be *epoch-aligned*: the accumulator defers any shard's
+//! epoch-`e` delta until every shard's epoch-`e-1` delta has been applied,
+//! then applies the aligned wave and publishes an immutable
+//! [`EpochSnapshot`]. Within a shard's delta, tuples replay in per-shard
+//! arrival order — the non-commutative correctness condition (paper,
+//! Section III).
+
+use crate::channel::Receiver;
+use crate::reducer::Reducer;
+use cobra_pb::Bins;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An immutable, epoch-aligned view of the accumulated state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSnapshot<A> {
+    epoch: u64,
+    values: Vec<A>,
+}
+
+impl<A> EpochSnapshot<A> {
+    pub(crate) fn new(epoch: u64, values: Vec<A>) -> Self {
+        EpochSnapshot { epoch, values }
+    }
+
+    /// The epoch this snapshot reflects (0 = the empty initial state; the
+    /// final drain publishes one extra epoch past the last seal).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of keys.
+    pub fn num_keys(&self) -> u32 {
+        self.values.len() as u32
+    }
+
+    /// The accumulated value of `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn get(&self, key: u32) -> &A {
+        &self.values[key as usize]
+    }
+
+    /// All accumulated values, indexed by key.
+    pub fn values(&self) -> &[A] {
+        &self.values
+    }
+}
+
+/// One sealed epoch's worth of updates from one shard, keyed by
+/// shard-local key.
+pub(crate) enum EpochDelta<R: Reducer> {
+    /// Bins replayed tuple-by-tuple in arrival order (general case).
+    Ordered(Bins<R::Value>),
+    /// Pre-reduced `(local_key, partial)` pairs (commutative fast path).
+    Reduced(Vec<(u32, R::Acc)>),
+}
+
+/// Shard-to-accumulator protocol.
+pub(crate) enum AccMsg<R: Reducer> {
+    /// A sealed epoch's delta.
+    Sealed {
+        shard: usize,
+        epoch: u64,
+        delta: EpochDelta<R>,
+    },
+    /// The shard's final drain delta; the shard has exited.
+    Done { shard: usize, delta: EpochDelta<R> },
+}
+
+/// The single accumulator thread's state. Owns the authoritative value
+/// array; publishes `Arc<EpochSnapshot>`s.
+pub(crate) struct Accumulator<R: Reducer> {
+    reducer: Arc<R>,
+    /// Key base of each shard (local key + base = global key).
+    bases: Vec<u32>,
+    state: Vec<R::Acc>,
+    /// Per-shard queue of sealed epochs not yet merged into an aligned wave.
+    pending: Vec<VecDeque<(u64, EpochDelta<R>)>>,
+    final_deltas: Vec<Option<EpochDelta<R>>>,
+    applied_epoch: u64,
+    published: Arc<Mutex<Arc<EpochSnapshot<R::Acc>>>>,
+    epochs_published: Arc<AtomicU64>,
+}
+
+impl<R: Reducer> Accumulator<R> {
+    pub(crate) fn new(
+        reducer: Arc<R>,
+        bases: Vec<u32>,
+        num_keys: u32,
+        published: Arc<Mutex<Arc<EpochSnapshot<R::Acc>>>>,
+        epochs_published: Arc<AtomicU64>,
+    ) -> Self {
+        let shards = bases.len();
+        Accumulator {
+            state: vec![reducer.identity(); num_keys as usize],
+            reducer,
+            pending: (0..shards).map(|_| VecDeque::new()).collect(),
+            final_deltas: (0..shards).map(|_| None).collect(),
+            bases,
+            applied_epoch: 0,
+            published,
+            epochs_published,
+        }
+    }
+
+    /// Consumes shard messages until every shard reports `Done`, then
+    /// applies the remaining aligned epochs and the drain deltas and
+    /// publishes the final snapshot.
+    pub(crate) fn run(mut self, rx: Receiver<AccMsg<R>>) {
+        let mut done = 0usize;
+        while done < self.bases.len() {
+            // A vanished sender side (all workers gone) terminates too.
+            let Some(msg) = rx.recv() else { break };
+            match msg {
+                AccMsg::Sealed {
+                    shard,
+                    epoch,
+                    delta,
+                } => {
+                    self.pending[shard].push_back((epoch, delta));
+                    self.advance();
+                }
+                AccMsg::Done { shard, delta } => {
+                    self.final_deltas[shard] = Some(delta);
+                    done += 1;
+                }
+            }
+        }
+        self.advance();
+        for shard in 0..self.bases.len() {
+            // Any unaligned stragglers (a shard died early) still apply in
+            // per-shard epoch order before its drain delta.
+            while let Some((_, delta)) = self.pending[shard].pop_front() {
+                self.apply(shard, delta);
+            }
+            if let Some(delta) = self.final_deltas[shard].take() {
+                self.apply(shard, delta);
+            }
+        }
+        self.publish(self.applied_epoch + 1);
+    }
+
+    /// Applies complete epoch waves in order, publishing one snapshot per
+    /// aligned epoch.
+    fn advance(&mut self) {
+        loop {
+            let next = self.applied_epoch + 1;
+            let ready = self
+                .pending
+                .iter()
+                .all(|q| q.front().is_some_and(|&(e, _)| e == next));
+            if !ready {
+                return;
+            }
+            for shard in 0..self.pending.len() {
+                let (_, delta) = self.pending[shard].pop_front().expect("checked front");
+                self.apply(shard, delta);
+            }
+            self.applied_epoch = next;
+            self.publish(next);
+        }
+    }
+
+    fn apply(&mut self, shard: usize, delta: EpochDelta<R>) {
+        let base = self.bases[shard];
+        let reducer = &self.reducer;
+        let state = &mut self.state;
+        match delta {
+            EpochDelta::Ordered(bins) => bins.accumulate(|local_key, value| {
+                reducer.apply(&mut state[(base + local_key) as usize], value);
+            }),
+            EpochDelta::Reduced(partials) => {
+                for (local_key, partial) in partials {
+                    reducer.merge(&mut state[(base + local_key) as usize], partial);
+                }
+            }
+        }
+    }
+
+    fn publish(&self, epoch: u64) {
+        let snap = Arc::new(EpochSnapshot::new(epoch, self.state.clone()));
+        *self.published.lock().expect("snapshot lock poisoned") = snap;
+        self.epochs_published.fetch_add(1, Ordering::Relaxed);
+    }
+}

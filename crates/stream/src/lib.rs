@@ -1,0 +1,63 @@
+//! Long-lived, sharded streaming ingestion of irregular updates.
+//!
+//! `cobra-pb` implements *batch* Propagation Blocking: all tuples exist up
+//! front, get binned by key range, then accumulate with a cache-resident
+//! working set. This crate turns that into a continuously running service —
+//! the software analogue of the paper's full COBRA datapath (Section V):
+//!
+//! ```text
+//!   IngestHandle ──batch──▶ bounded FIFO ──▶ ShardWorker (Binner)
+//!        │                  (eviction          │ seal: take_bins
+//!        │                   buffer)           ▼
+//!        └── more producers, more shards ──▶ Accumulator ──▶ EpochSnapshot
+//! ```
+//!
+//! * [`IngestHandle`]s coalesce `(key, value)` tuples into per-shard
+//!   batches (the C-Buffer-line analogue) and ship them into bounded FIFO
+//!   channels; a full FIFO blocks the producer, and that backpressure is
+//!   measured exactly like `cobra-core`'s simulated eviction-buffer stalls.
+//! * Each shard worker owns a [`cobra_pb::Binner`] over a disjoint key
+//!   sub-range and bins continuously.
+//! * Sealing an *epoch* double-buffers each shard's bins out
+//!   ([`cobra_pb::Binner::take_bins`]) so the accumulator replays epoch `e`
+//!   while the shards bin epoch `e+1`.
+//! * The accumulator applies epoch-aligned waves of per-shard deltas and
+//!   publishes immutable [`EpochSnapshot`]s, queryable at any time.
+//! * [`Reducer`]s define the update semantics: non-commutative reducers
+//!   replay tuples in per-shard arrival order (the paper's correctness
+//!   condition for kernels like Neighbor-Populate); commutative reducers
+//!   take a merge-on-flush fast path (the COBRA-COMM analogue).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cobra_stream::{Count, IngestPipeline, StreamConfig};
+//!
+//! let pipeline = IngestPipeline::new(1 << 16, Count, StreamConfig::new().shards(4));
+//! let mut handle = pipeline.handle();
+//! for edge in 0..100_000u64 {
+//!     let dst = (edge.wrapping_mul(2654435761) % (1 << 16)) as u32;
+//!     handle.send(dst, ()).unwrap();
+//! }
+//! handle.seal_epoch().unwrap();
+//! drop(handle);
+//! let (snapshot, stats) = pipeline.shutdown();
+//! assert_eq!(snapshot.values().iter().map(|&c| c as u64).sum::<u64>(), 100_000);
+//! assert!(stats.tuples_per_sec() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+mod epoch;
+mod pipeline;
+mod reducer;
+mod shard;
+mod stats;
+
+pub use channel::{ChannelStats, Disconnected};
+pub use epoch::EpochSnapshot;
+pub use pipeline::{IngestHandle, IngestPipeline, PipelineClosed, StreamConfig};
+pub use reducer::{Append, Count, Latest, Reducer, Sum};
+pub use stats::{ShardStats, StreamStats};

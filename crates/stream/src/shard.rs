@@ -1,0 +1,110 @@
+//! Shard workers: the streaming Binning phase.
+//!
+//! Each worker owns a [`cobra_pb::Binner`] over its disjoint key
+//! sub-range and drains one bounded FIFO — the same producer → eviction
+//! buffer → binning engine shape as the paper's Section V-D, with the
+//! ingest handle's coalescing batches standing in for evicted C-Buffer
+//! lines. Sealing an epoch swaps the active bins out
+//! ([`Binner::take_bins`]) so accumulation of the sealed epoch overlaps
+//! binning of the next.
+
+use crate::channel::{Receiver, Sender};
+use crate::epoch::{AccMsg, EpochDelta};
+use crate::reducer::Reducer;
+use crate::stats::ShardCounters;
+use cobra_pb::{Binner, Tuple};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Handle-to-shard protocol. Batches carry *global* keys; the worker
+/// rebases them into its local domain.
+pub(crate) enum ShardMsg<V> {
+    /// A coalesced batch of update tuples.
+    Batch(Vec<Tuple<V>>),
+    /// Seal epoch `e`: flush and ship the active bins.
+    Seal(u64),
+    /// Final drain: flush, ship, report done, exit.
+    Shutdown,
+}
+
+pub(crate) struct ShardWorker<R: Reducer> {
+    pub(crate) id: usize,
+    /// First global key of this shard's range.
+    pub(crate) base: u32,
+    pub(crate) binner: Binner<R::Value>,
+    pub(crate) reducer: Arc<R>,
+    pub(crate) counters: Arc<ShardCounters>,
+    pub(crate) acc_tx: Sender<AccMsg<R>>,
+    /// Reused merge-on-flush scratch (one slot per local key).
+    pub(crate) delta_buf: Vec<Option<R::Acc>>,
+}
+
+impl<R: Reducer> ShardWorker<R> {
+    /// The worker loop: bin batches, flush on seal, drain on shutdown.
+    /// Accumulator-side disconnects are ignored — the worker keeps
+    /// draining its FIFO so producers are never wedged.
+    pub(crate) fn run(mut self, rx: Receiver<ShardMsg<R::Value>>) {
+        loop {
+            match rx.recv() {
+                Some(ShardMsg::Batch(tuples)) => {
+                    self.counters
+                        .tuples_binned
+                        .fetch_add(tuples.len() as u64, Ordering::Relaxed);
+                    for t in &tuples {
+                        self.binner.insert(t.key - self.base, t.value);
+                    }
+                }
+                Some(ShardMsg::Seal(epoch)) => {
+                    let delta = self.flush();
+                    let _ = self.acc_tx.send(AccMsg::Sealed {
+                        shard: self.id,
+                        epoch,
+                        delta,
+                    });
+                }
+                Some(ShardMsg::Shutdown) | None => {
+                    let delta = self.flush();
+                    let _ = self.acc_tx.send(AccMsg::Done {
+                        shard: self.id,
+                        delta,
+                    });
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Swaps the active bins out (double-buffering) and converts them into
+    /// an epoch delta. Commutative reducers take the merge-on-flush fast
+    /// path: each bin's tuples fold into per-key partials — the bin's key
+    /// range keeps the scratch accesses cache-resident, exactly the
+    /// Accumulate-phase locality argument — and only the touched
+    /// `(key, partial)` pairs ship.
+    fn flush(&mut self) -> EpochDelta<R> {
+        let bins = self.binner.take_bins();
+        let tuples = bins.len() as u64;
+        self.counters.record_flush(tuples, R::COMMUTATIVE);
+        if !R::COMMUTATIVE {
+            return EpochDelta::Ordered(bins);
+        }
+        let mut touched: Vec<u32> = Vec::new();
+        {
+            let reducer = &self.reducer;
+            let buf = &mut self.delta_buf;
+            bins.accumulate(|local_key, value| {
+                let slot = &mut buf[local_key as usize];
+                if slot.is_none() {
+                    *slot = Some(reducer.identity());
+                    touched.push(local_key);
+                }
+                reducer.apply(slot.as_mut().expect("just initialized"), value);
+            });
+        }
+        touched.sort_unstable();
+        let partials = touched
+            .iter()
+            .map(|&k| (k, self.delta_buf[k as usize].take().expect("touched slot")))
+            .collect();
+        EpochDelta::Reduced(partials)
+    }
+}

@@ -1,0 +1,159 @@
+//! Pipeline-wide counters: the native-code counterpart of
+//! `cobra-core::evict`'s DES stall accounting, so the Figure 13a
+//! methodology (producer stall fraction vs. buffer capacity) can be
+//! applied to the real streaming pipeline as well as to the simulated
+//! eviction buffers.
+
+use crate::channel::ChannelStats;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Live per-shard counters, updated by the shard worker.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    pub tuples_binned: AtomicU64,
+    pub epoch_flushes: AtomicU64,
+    pub flushed_tuples: AtomicU64,
+    pub max_flush_tuples: AtomicU64,
+    pub reduced_flushes: AtomicU64,
+}
+
+impl ShardCounters {
+    pub(crate) fn record_flush(&self, tuples: u64, reduced: bool) {
+        self.epoch_flushes.fetch_add(1, Ordering::Relaxed);
+        self.flushed_tuples.fetch_add(tuples, Ordering::Relaxed);
+        self.max_flush_tuples.fetch_max(tuples, Ordering::Relaxed);
+        if reduced {
+            self.reduced_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time statistics of one shard worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// The key sub-range this shard owns.
+    pub key_range: Range<u32>,
+    /// Tuples routed into this shard's binner.
+    pub tuples_binned: u64,
+    /// Epoch flushes (seals + the final drain) performed.
+    pub epoch_flushes: u64,
+    /// Tuples carried by all flushes.
+    pub flushed_tuples: u64,
+    /// Largest single flush, in tuples.
+    pub max_flush_tuples: u64,
+    /// Flushes that took the commutative merge-on-flush fast path.
+    pub reduced_flushes: u64,
+    /// The shard's ingest FIFO: occupancy and producer-stall counters.
+    pub channel: ChannelStats,
+}
+
+/// Point-in-time statistics of a whole [`IngestPipeline`].
+///
+/// [`IngestPipeline`]: crate::IngestPipeline
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Tuples accepted by ingest handles.
+    pub tuples_sent: u64,
+    /// Batches shipped into shard FIFOs.
+    pub batches_sent: u64,
+    /// Epochs sealed (by `seal_epoch` or the auto-seal threshold).
+    pub epochs_sealed: u64,
+    /// Epoch snapshots published by the accumulator.
+    pub epochs_published: u64,
+    /// Wall-clock time since the pipeline was built.
+    pub elapsed: Duration,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardStats>,
+}
+
+impl StreamStats {
+    /// Ingest throughput over the pipeline's lifetime.
+    pub fn tuples_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.tuples_sent as f64 / secs
+        }
+    }
+
+    /// Total wall-clock time producers spent blocked on full shard FIFOs,
+    /// summed across shards (can exceed `elapsed` when several producers
+    /// stall concurrently).
+    pub fn total_send_stall(&self) -> Duration {
+        Duration::from_nanos(self.shards.iter().map(|s| s.channel.send_stall_nanos).sum())
+    }
+
+    /// Producer stall time as a fraction of elapsed wall-clock (the
+    /// Figure 13a quantity; >1.0 means multiple producers stalled in
+    /// parallel).
+    pub fn stall_fraction(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.total_send_stall().as_secs_f64() / secs
+        }
+    }
+
+    /// Total backpressure events (sends that found a full FIFO).
+    pub fn total_send_blocks(&self) -> u64 {
+        self.shards.iter().map(|s| s.channel.send_blocks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(stall_nanos: u64, blocks: u64) -> ShardStats {
+        ShardStats {
+            shard: 0,
+            key_range: 0..16,
+            tuples_binned: 0,
+            epoch_flushes: 0,
+            flushed_tuples: 0,
+            max_flush_tuples: 0,
+            reduced_flushes: 0,
+            channel: ChannelStats {
+                send_stall_nanos: stall_nanos,
+                send_blocks: blocks,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = StreamStats {
+            tuples_sent: 1_000_000,
+            batches_sent: 100,
+            epochs_sealed: 2,
+            epochs_published: 3,
+            elapsed: Duration::from_secs(2),
+            shards: vec![shard(500_000_000, 3), shard(1_500_000_000, 4)],
+        };
+        assert_eq!(s.tuples_per_sec(), 500_000.0);
+        assert_eq!(s.total_send_stall(), Duration::from_secs(2));
+        assert!((s.stall_fraction() - 1.0).abs() < 1e-9);
+        assert_eq!(s.total_send_blocks(), 7);
+    }
+
+    #[test]
+    fn zero_elapsed_is_not_a_division_by_zero() {
+        let s = StreamStats {
+            tuples_sent: 0,
+            batches_sent: 0,
+            epochs_sealed: 0,
+            epochs_published: 0,
+            elapsed: Duration::ZERO,
+            shards: vec![],
+        };
+        assert_eq!(s.tuples_per_sec(), 0.0);
+        assert_eq!(s.stall_fraction(), 0.0);
+    }
+}

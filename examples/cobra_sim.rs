@@ -15,8 +15,7 @@ fn main() {
     let num_keys = 1 << 20;
 
     // ---- bininit: per-level C-Buffer geometry. ----
-    let hier =
-        BinHierarchy::bininit(&machine, ReservedWays::paper_default(&machine), num_keys, 8);
+    let hier = BinHierarchy::bininit(&machine, ReservedWays::paper_default(&machine), num_keys, 8);
     println!("bininit for {num_keys} keys, 8B tuples:");
     for l in &hier.levels {
         println!(
@@ -38,9 +37,15 @@ fn main() {
     // ---- Eviction-buffer sizing via the DES (Figure 13a). ----
     let el = gen::rmat(18, 8, 3);
     let keys: Vec<u32> = el.edges().iter().map(|e| e.dst % num_keys).collect();
-    println!("\neviction-buffer DES on a {}-edge RMAT tuple trace:", keys.len());
+    println!(
+        "\neviction-buffer DES on a {}-edge RMAT tuple trace:",
+        keys.len()
+    );
     for entries in [1, 4, 14, 32] {
-        let cfg = DesConfig { l1_evict_entries: entries, l2_evict_entries: 8 };
+        let cfg = DesConfig {
+            l1_evict_entries: entries,
+            l2_evict_entries: 8,
+        };
         let rep = simulate_fixed_rate(&hier, cfg, keys.iter().copied(), 1);
         println!(
             "  {entries:>2}-entry L1->L2 buffer: {:>5.1}% of cycles stalled",
@@ -54,7 +59,10 @@ fn main() {
     let (phi, _) = run_phi(keys.iter().copied(), &hier);
     let (comm, _) = run_cobra_comm(keys.iter().copied(), &hier);
     println!("\ncommutative update coalescing on the same trace:");
-    println!("  COBRA (no coalescing): {:>9} bytes of bin writes", plain.dram_write_bytes);
+    println!(
+        "  COBRA (no coalescing): {:>9} bytes of bin writes",
+        plain.dram_write_bytes
+    );
     println!(
         "  PHI (all levels):      {:>9} bytes ({:.0}% coalesced, {:.0}% of that at LLC)",
         phi.dram_write_bytes,

@@ -21,17 +21,31 @@ fn main() {
     let input = Input::graph(el);
     let machine = MachineConfig::hpca22();
 
-    for kernel in [KernelId::DegreeCount, KernelId::NeighborPopulate, KernelId::Pagerank] {
+    for kernel in [
+        KernelId::DegreeCount,
+        KernelId::NeighborPopulate,
+        KernelId::Pagerank,
+    ] {
         println!("\n--- {} ---", kernel.name());
         println!(
             "commutative updates: {}",
-            if kernel.is_commutative() { "yes" } else { "NO (PB still applies!)" }
+            if kernel.is_commutative() {
+                "yes"
+            } else {
+                "NO (PB still applies!)"
+            }
         );
         let baseline = run(kernel, &input, &ModeSpec::Baseline, &machine);
         let pb = run(kernel, &input, &ModeSpec::PbSw { min_bins: 256 }, &machine);
         let cobra = run(kernel, &input, &ModeSpec::cobra_default(), &machine);
-        assert_eq!(baseline.digest, pb.digest, "PB must preserve the kernel's output");
-        assert_eq!(baseline.digest, cobra.digest, "COBRA must preserve the kernel's output");
+        assert_eq!(
+            baseline.digest, pb.digest,
+            "PB must preserve the kernel's output"
+        );
+        assert_eq!(
+            baseline.digest, cobra.digest,
+            "COBRA must preserve the kernel's output"
+        );
 
         let report = |name: &str, o: &cobra_repro::kernels::RunOutcome| {
             let mem = &o.metrics.result.mem;

@@ -14,8 +14,9 @@ fn main() {
     // A histogram over a large key domain: direct increments would walk all
     // over `counts`; PB routes them through bins first.
     let num_keys = 1 << 20;
-    let updates: Vec<u32> =
-        (0..200_000u64).map(|i| ((i * 2654435761) % num_keys as u64) as u32).collect();
+    let updates: Vec<u32> = (0..200_000u64)
+        .map(|i| ((i * 2654435761) % num_keys as u64) as u32)
+        .collect();
 
     let mut binner = Binner::<u32>::new(num_keys, 4096);
     for &k in &updates {
@@ -39,8 +40,12 @@ fn main() {
     // ---- 2. The same updates on the simulated COBRA machine. ----
     // One `binupdate` instruction per tuple; the cache hierarchy does the
     // binning (HPCA'22, Sections IV-V).
-    let mut machine =
-        CobraMachine::<u32>::with_defaults(MachineConfig::hpca22(), num_keys, 8, updates.len() as u64);
+    let mut machine = CobraMachine::<u32>::with_defaults(
+        MachineConfig::hpca22(),
+        num_keys,
+        8,
+        updates.len() as u64,
+    );
     for &k in &updates {
         machine.insert(k, 1);
     }
@@ -54,9 +59,7 @@ fn main() {
     let result = machine.finish();
     println!(
         "simulated: {} instructions, {} cycles, {} bytes written to bins in DRAM",
-        result.core.instructions,
-        result.core.cycles,
-        result.mem.dram_write_bytes
+        result.core.instructions, result.core.cycles, result.mem.dram_write_bytes
     );
 
     // The hardware-binned result matches the software-binned one.

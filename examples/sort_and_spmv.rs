@@ -52,9 +52,7 @@ fn main() {
     let t_pb = t1.elapsed();
 
     assert_eq!(std_sorted, pb_sorted);
-    println!(
-        "sorted {n} keys (domain 2^24): sort_unstable {t_std:?} vs PB counting sort {t_pb:?}"
-    );
+    println!("sorted {n} keys (domain 2^24): sort_unstable {t_std:?} vs PB counting sort {t_pb:?}");
 
     // ---- 2. Sparse linear algebra under simulation. ----
     let m = matrix::random_uniform(1 << 17, 8, 99);
@@ -68,7 +66,11 @@ fn main() {
         println!(
             "{:>9} ({}): COBRA speedup {:.2}x over baseline (L1 miss {:.1}% -> {:.1}%)",
             kernel.name(),
-            if kernel.is_commutative() { "commutative" } else { "non-commutative" },
+            if kernel.is_commutative() {
+                "commutative"
+            } else {
+                "non-commutative"
+            },
             baseline.metrics.cycles() as f64 / cobra.metrics.cycles() as f64,
             100.0 * baseline.metrics.result.mem.l1d.miss_rate(),
             100.0 * cobra.metrics.result.mem.l1d.miss_rate(),

@@ -11,6 +11,8 @@
 //! * [`cobra`] — the COBRA hardware model and execution harness (the paper's
 //!   contribution)
 //! * [`kernels`] — the nine evaluated workloads
+//! * [`stream`] — long-lived sharded streaming ingestion of irregular
+//!   updates (epochs, snapshots, backpressure)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,3 +21,4 @@ pub use cobra_graph as graph;
 pub use cobra_kernels as kernels;
 pub use cobra_pb as pb;
 pub use cobra_sim as sim;
+pub use cobra_stream as stream;

@@ -34,7 +34,12 @@ fn all_kernels_agree_across_modes_and_bin_counts() {
             );
         }
         let cobra = run(k, &input, &ModeSpec::cobra_default(), &machine);
-        assert_eq!(cobra.digest, base.digest, "{} under COBRA diverged", k.name());
+        assert_eq!(
+            cobra.digest,
+            base.digest,
+            "{} under COBRA diverged",
+            k.name()
+        );
     }
 }
 
@@ -43,7 +48,11 @@ fn skewed_inputs_preserve_correctness() {
     // Power-law/Zipf inputs exercise hot-bin paths (C-Buffer eviction
     // bursts, coalescing windows).
     let machine = MachineConfig::hpca22();
-    for &k in &[KernelId::DegreeCount, KernelId::NeighborPopulate, KernelId::Pagerank] {
+    for &k in &[
+        KernelId::DegreeCount,
+        KernelId::NeighborPopulate,
+        KernelId::Pagerank,
+    ] {
         let input = Input::graph(gen::zipf(16_000, 100_000, 1.2, 7));
         let base = run(k, &input, &ModeSpec::Baseline, &machine);
         let cobra = run(k, &input, &ModeSpec::cobra_default(), &machine);
@@ -67,7 +76,12 @@ fn cobra_with_context_switches_is_still_correct() {
     // Forced partial-line evictions must never lose or duplicate tuples.
     let machine = MachineConfig::hpca22();
     let input = input_for(KernelId::NeighborPopulate, 0xC7C7);
-    let base = run(KernelId::NeighborPopulate, &input, &ModeSpec::Baseline, &machine);
+    let base = run(
+        KernelId::NeighborPopulate,
+        &input,
+        &ModeSpec::Baseline,
+        &machine,
+    );
     let spec = ModeSpec::Cobra {
         reserved: None,
         des: cobra_repro::cobra::DesConfig::paper_default(),
@@ -85,7 +99,10 @@ fn cobra_with_minimal_buffers_is_still_correct() {
     let base = run(KernelId::IntSort, &input, &ModeSpec::Baseline, &machine);
     let spec = ModeSpec::Cobra {
         reserved: None,
-        des: cobra_repro::cobra::DesConfig { l1_evict_entries: 1, l2_evict_entries: 1 },
+        des: cobra_repro::cobra::DesConfig {
+            l1_evict_entries: 1,
+            l2_evict_entries: 1,
+        },
         ctx_quantum: None,
     };
     let cobra = run(KernelId::IntSort, &input, &spec, &machine);

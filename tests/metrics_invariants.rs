@@ -32,8 +32,18 @@ fn cobra_executes_fewer_instructions_than_software_pb() {
 fn cobra_binning_has_no_management_branches() {
     let machine = MachineConfig::hpca22();
     let input = Input::keys(gen::random_keys(200_000, 1 << 20, 1), 1 << 20);
-    let pb = run(KernelId::IntSort, &input, &ModeSpec::PbSw { min_bins: 512 }, &machine);
-    let cobra = run(KernelId::IntSort, &input, &ModeSpec::cobra_default(), &machine);
+    let pb = run(
+        KernelId::IntSort,
+        &input,
+        &ModeSpec::PbSw { min_bins: 512 },
+        &machine,
+    );
+    let cobra = run(
+        KernelId::IntSort,
+        &input,
+        &ModeSpec::cobra_default(),
+        &machine,
+    );
     let pb_bin = pb.metrics.result.phase("binning").expect("binning");
     let co_bin = cobra.metrics.result.phase("binning").expect("binning");
     // Software PB branches at least once per tuple in Binning; COBRA only
@@ -46,8 +56,17 @@ fn pb_accumulate_has_better_l1_locality_than_baseline() {
     let machine = MachineConfig::hpca22();
     let input = graph_input();
     let base = run(KernelId::DegreeCount, &input, &ModeSpec::Baseline, &machine);
-    let cobra = run(KernelId::DegreeCount, &input, &ModeSpec::cobra_default(), &machine);
-    let acc = cobra.metrics.result.phase("accumulate").expect("accumulate");
+    let cobra = run(
+        KernelId::DegreeCount,
+        &input,
+        &ModeSpec::cobra_default(),
+        &machine,
+    );
+    let acc = cobra
+        .metrics
+        .result
+        .phase("accumulate")
+        .expect("accumulate");
     assert!(
         acc.mem.l1d.miss_rate() < base.metrics.result.mem.l1d.miss_rate(),
         "accumulate {} vs baseline {}",
@@ -101,11 +120,22 @@ fn speedup_ordering_on_oversized_working_sets() {
 fn phases_partition_total_cycles() {
     let machine = MachineConfig::hpca22();
     let input = graph_input();
-    let pb = run(KernelId::DegreeCount, &input, &ModeSpec::PbSw { min_bins: 128 }, &machine);
+    let pb = run(
+        KernelId::DegreeCount,
+        &input,
+        &ModeSpec::PbSw { min_bins: 128 },
+        &machine,
+    );
     let total: u64 = pb.metrics.result.phases.iter().map(|p| p.core.cycles).sum();
     // Whole-run cycle counter equals the per-phase cycle total.
     assert_eq!(total, pb.metrics.cycles());
-    let names: Vec<&str> = pb.metrics.result.phases.iter().map(|p| p.name.as_str()).collect();
+    let names: Vec<&str> = pb
+        .metrics
+        .result
+        .phases
+        .iter()
+        .map(|p| p.name.as_str())
+        .collect();
     assert_eq!(names, ["init", "binning", "accumulate"]);
 }
 

@@ -1,144 +1,246 @@
-//! Property-based tests (proptest) over the core invariants of the
+//! Randomized property tests over the core invariants of the
 //! reproduction: binning is an order-preserving range partition (through
 //! both the software library and the COBRA hardware model), the kernels
-//! preserve their semantics under PB, and the simulator conserves events.
+//! preserve their semantics under PB, the simulator conserves events, and
+//! streaming ingestion converges to the batch result.
+//!
+//! Cases are generated with the in-repo [`SplitMix64`] generator from
+//! fixed seeds, so every run exercises the same (reproducible) inputs.
 
 use cobra_repro::cobra::{CobraMachine, DesConfig, PbBackend, ReservedWays, SwPb};
 use cobra_repro::graph::prefix::{exclusive_sum, exclusive_sum_parallel};
-use cobra_repro::graph::{Csr, Edge, EdgeList};
+use cobra_repro::graph::{Csr, Edge, EdgeList, SplitMix64};
 use cobra_repro::pb::Binner;
 use cobra_repro::sim::engine::NullEngine;
 use cobra_repro::sim::MachineConfig;
-use proptest::prelude::*;
+use cobra_repro::stream::{Append, Count, IngestPipeline, StreamConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Software binning is a permutation of the input, partitioned by key
-    /// range, order-preserving within each bin.
-    #[test]
-    fn binner_is_an_order_preserving_partition(
-        keys in prop::collection::vec(0u32..5000, 1..2000),
-        min_bins in 1usize..64,
-    ) {
+/// A length in `min..max`.
+fn random_len(rng: &mut SplitMix64, min: usize, max: usize) -> usize {
+    min + rng.u32_below((max - min) as u32) as usize
+}
+
+/// A vec of random length in `min_len..max_len` with values in `0..bound`.
+fn random_vec_len(rng: &mut SplitMix64, min_len: usize, max_len: usize, bound: u32) -> Vec<u32> {
+    let len = random_len(rng, min_len, max_len);
+    (0..len).map(|_| rng.u32_below(bound)).collect()
+}
+
+/// Software binning is a permutation of the input, partitioned by key
+/// range, order-preserving within each bin.
+#[test]
+fn binner_is_an_order_preserving_partition() {
+    let mut rng = SplitMix64::seed_from_u64(0xB1);
+    for case in 0..CASES {
+        let keys = random_vec_len(&mut rng, 1, 2000, 5000);
+        let min_bins = 1 + rng.u32_below(63) as usize;
         let mut b = Binner::<u32>::new(5000, min_bins);
         for (i, &k) in keys.iter().enumerate() {
             b.insert(k, i as u32);
         }
         let bins = b.finish();
-        prop_assert_eq!(bins.len(), keys.len());
+        assert_eq!(bins.len(), keys.len(), "case {case}");
         let shift = bins.bin_shift();
         let mut seen = vec![false; keys.len()];
         for bin_id in 0..bins.num_bins() {
             let mut last_idx_for_key = std::collections::HashMap::new();
             for t in bins.bin(bin_id) {
-                prop_assert_eq!((t.key >> shift) as usize, bin_id);
-                prop_assert_eq!(keys[t.value as usize], t.key);
-                prop_assert!(!seen[t.value as usize], "duplicate tuple");
+                assert_eq!((t.key >> shift) as usize, bin_id, "case {case}");
+                assert_eq!(keys[t.value as usize], t.key, "case {case}");
+                assert!(!seen[t.value as usize], "case {case}: duplicate tuple");
                 seen[t.value as usize] = true;
                 // Per-key order preserved (indices ascend).
                 if let Some(prev) = last_idx_for_key.insert(t.key, t.value) {
-                    prop_assert!(prev < t.value);
+                    assert!(prev < t.value, "case {case}");
                 }
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s), "case {case}");
     }
+}
 
-    /// The COBRA hardware model produces exactly the same bins as the
-    /// software binner when configured with the same geometry.
-    #[test]
-    fn cobra_binning_equals_software_binning(
-        keys in prop::collection::vec(0u32..(1u32 << 14), 1..1500),
-    ) {
-        let machine = MachineConfig::hpca22();
-        let domain = 1u32 << 14;
-        let mut hw = CobraMachine::<u32>::with_defaults(
-            machine, domain, 8, keys.len() as u64);
+/// The COBRA hardware model produces exactly the same bins as the
+/// software binner when configured with the same geometry.
+#[test]
+fn cobra_binning_equals_software_binning() {
+    let mut rng = SplitMix64::seed_from_u64(0xB2);
+    let machine = MachineConfig::hpca22();
+    let domain = 1u32 << 14;
+    for case in 0..CASES {
+        let keys = random_vec_len(&mut rng, 1, 1500, domain);
+        let mut hw = CobraMachine::<u32>::with_defaults(machine, domain, 8, keys.len() as u64);
         let nbins = PbBackend::<u32>::num_bins(&hw);
-        let mut sw = SwPb::<_, u32>::new(
-            NullEngine::new(), domain, nbins, 8, keys.len() as u64);
-        prop_assert_eq!(PbBackend::<u32>::bin_shift(&hw), PbBackend::<u32>::bin_shift(&sw));
+        let mut sw = SwPb::<_, u32>::new(NullEngine::new(), domain, nbins, 8, keys.len() as u64);
+        assert_eq!(
+            PbBackend::<u32>::bin_shift(&hw),
+            PbBackend::<u32>::bin_shift(&sw),
+            "case {case}"
+        );
         for (i, &k) in keys.iter().enumerate() {
             hw.insert(k, i as u32);
             sw.insert(k, i as u32);
         }
         let a = hw.flush_and_take();
         let b = sw.flush_and_take();
-        prop_assert_eq!(a.bins(), b.bins());
+        assert_eq!(a.bins(), b.bins(), "case {case}");
     }
+}
 
-    /// Edgelist -> CSR -> edgelist round-trips the edge multiset, and the
-    /// PB'd Neighbor-Populate matches the direct construction bit-for-bit.
-    #[test]
-    fn neighbor_populate_pb_equals_reference(
-        raw in prop::collection::vec((0u32..300, 0u32..300), 0..600),
-    ) {
-        let el = EdgeList::new(300, raw.iter().map(|&(s, d)| Edge::new(s, d)).collect());
+/// Edgelist -> CSR -> edgelist round-trips the edge multiset, and the
+/// PB'd Neighbor-Populate matches the direct construction bit-for-bit.
+#[test]
+fn neighbor_populate_pb_equals_reference() {
+    let mut rng = SplitMix64::seed_from_u64(0xB3);
+    for case in 0..CASES {
+        let len = random_len(&mut rng, 0, 600);
+        let raw: Vec<Edge> = (0..len)
+            .map(|_| Edge::new(rng.u32_below(300), rng.u32_below(300)))
+            .collect();
+        let el = EdgeList::new(300, raw);
         let reference = Csr::from_edgelist(&el);
-        let mut b = SwPb::<_, u32>::new(
-            NullEngine::new(), 300, 8, 8, el.num_edges().max(1) as u64);
+        let mut b = SwPb::<_, u32>::new(NullEngine::new(), 300, 8, 8, el.num_edges().max(1) as u64);
         let got = cobra_repro::kernels::neighbor_populate::pb(&mut b, &el);
-        prop_assert_eq!(got, reference);
+        assert_eq!(got, reference, "case {case}");
     }
+}
 
-    /// PB counting sort sorts (equals std sort) for arbitrary inputs.
-    #[test]
-    fn pb_counting_sort_sorts(
-        keys in prop::collection::vec(0u32..(1 << 12), 0..3000),
-    ) {
-        let mut b = SwPb::<_, ()>::new(
-            NullEngine::new(), 1 << 12, 16, 4, keys.len().max(1) as u64);
+/// PB counting sort sorts (equals std sort) for arbitrary inputs.
+#[test]
+fn pb_counting_sort_sorts() {
+    let mut rng = SplitMix64::seed_from_u64(0xB4);
+    for case in 0..CASES {
+        let keys = random_vec_len(&mut rng, 0, 3000, 1 << 12);
+        let mut b = SwPb::<_, ()>::new(NullEngine::new(), 1 << 12, 16, 4, keys.len().max(1) as u64);
         let got = cobra_repro::kernels::int_sort::pb(&mut b, &keys, 1 << 12);
         let mut want = keys.clone();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    /// Parallel prefix sum equals serial for any input and thread count.
-    #[test]
-    fn prefix_sums_agree(
-        vals in prop::collection::vec(0u32..1000, 0..2000),
-        threads in 1usize..9,
-    ) {
-        prop_assert_eq!(exclusive_sum_parallel(&vals, threads), exclusive_sum(&vals));
+/// Parallel prefix sum equals serial for any input and thread count.
+#[test]
+fn prefix_sums_agree() {
+    let mut rng = SplitMix64::seed_from_u64(0xB5);
+    for case in 0..CASES {
+        let vals = random_vec_len(&mut rng, 0, 2000, 1000);
+        let threads = 1 + rng.u32_below(8) as usize;
+        assert_eq!(
+            exclusive_sum_parallel(&vals, threads),
+            exclusive_sum(&vals),
+            "case {case}"
+        );
     }
+}
 
-    /// Cache-simulator conservation: hits + misses == accesses at every
-    /// level, and inner-level misses equal outer-level accesses.
-    #[test]
-    fn hierarchy_conserves_accesses(
-        addrs in prop::collection::vec(0u64..(1 << 22), 1..3000),
-        writes in prop::collection::vec(any::<bool>(), 1..3000),
-    ) {
+/// Cache-simulator conservation: hits + misses == accesses at every
+/// level, and inner-level misses equal outer-level accesses.
+#[test]
+fn hierarchy_conserves_accesses() {
+    let mut rng = SplitMix64::seed_from_u64(0xB6);
+    for case in 0..CASES {
+        let len = random_len(&mut rng, 1, 3000);
         let mut h = cobra_repro::sim::hierarchy::Hierarchy::new(MachineConfig::tiny());
-        for (a, w) in addrs.iter().zip(writes.iter().cycle()) {
-            if *w {
+        for _ in 0..len {
+            let a = rng.next_u64() % (1 << 22);
+            if rng.next_u64() & 1 == 0 {
                 h.store(0x1000_0000 + a * 8);
             } else {
                 h.load(0x1000_0000 + a * 8);
             }
         }
         let s = h.stats();
-        prop_assert_eq!(s.l1d.accesses(), addrs.len() as u64);
-        prop_assert_eq!(s.l2.accesses(), s.l1d.misses);
-        prop_assert_eq!(s.llc.accesses(), s.l2.misses);
-        prop_assert_eq!(s.dram_read_bytes, s.llc.misses * 64);
+        assert_eq!(s.l1d.accesses(), len as u64, "case {case}");
+        assert_eq!(s.l2.accesses(), s.l1d.misses, "case {case}");
+        assert_eq!(s.llc.accesses(), s.l2.misses, "case {case}");
+        assert_eq!(s.dram_read_bytes, s.llc.misses * 64, "case {case}");
     }
+}
 
-    /// Every tuple pushed through the eviction DES reaches memory exactly
-    /// once (full lines + flush partials).
-    #[test]
-    fn eviction_des_conserves_tuples(
-        keys in prop::collection::vec(0u32..(1 << 16), 1..4000),
-        l1_entries in 1usize..40,
-    ) {
-        let machine = MachineConfig::hpca22();
+/// Every tuple pushed through the eviction DES reaches memory exactly
+/// once (full lines + flush partials).
+#[test]
+fn eviction_des_conserves_tuples() {
+    let mut rng = SplitMix64::seed_from_u64(0xB7);
+    let machine = MachineConfig::hpca22();
+    for case in 0..CASES {
+        let keys = random_vec_len(&mut rng, 1, 4000, 1 << 16);
+        let l1_entries = 1 + rng.u32_below(39) as usize;
         let hier = cobra_repro::cobra::BinHierarchy::bininit(
-            &machine, ReservedWays::paper_default(&machine), 1 << 16, 8);
-        let cfg = DesConfig { l1_evict_entries: l1_entries, l2_evict_entries: 4 };
-        let rep = cobra_repro::cobra::evict::simulate_fixed_rate(
-            &hier, cfg, keys.iter().copied(), 2);
-        prop_assert_eq!(rep.stats.llc_tuples_written, keys.len() as u64);
+            &machine,
+            ReservedWays::paper_default(&machine),
+            1 << 16,
+            8,
+        );
+        let cfg = DesConfig {
+            l1_evict_entries: l1_entries,
+            l2_evict_entries: 4,
+        };
+        let rep =
+            cobra_repro::cobra::evict::simulate_fixed_rate(&hier, cfg, keys.iter().copied(), 2);
+        assert_eq!(
+            rep.stats.llc_tuples_written,
+            keys.len() as u64,
+            "case {case}"
+        );
+    }
+}
+
+/// A streamed epoch snapshot equals batch PB (bin + accumulate) over the
+/// same tuples — for a commutative reducer (Count, merge-on-flush path)
+/// regardless of producer interleaving, and for a non-commutative reducer
+/// (Append, ordered-replay path) with a single producer.
+#[test]
+fn stream_snapshot_equals_batch_pb() {
+    let mut rng = SplitMix64::seed_from_u64(0xB8);
+    for case in 0..24 {
+        let num_keys = 1 + rng.u32_below(4000);
+        let keys = random_vec_len(&mut rng, 1, 3000, num_keys);
+        let shards = 1 + rng.u32_below(6) as usize;
+        let batch = 1 + rng.u32_below(64) as usize;
+        let seals = rng.u32_below(4);
+
+        // Batch reference: one binner over the full domain.
+        let mut binner = Binner::<u32>::new(num_keys, 16.min(num_keys as usize));
+        for (i, &k) in keys.iter().enumerate() {
+            binner.insert(k, i as u32);
+        }
+        let mut want_counts = vec![0u32; num_keys as usize];
+        let mut want_logs = vec![Vec::new(); num_keys as usize];
+        binner.finish().accumulate(|k, &v| {
+            want_counts[k as usize] += 1;
+            want_logs[k as usize].push(v);
+        });
+
+        let cfg = StreamConfig::new().shards(shards).batch_tuples(batch);
+        let counting = IngestPipeline::new(num_keys, Count, cfg);
+        let ordered = IngestPipeline::new(num_keys, Append, cfg);
+        let mut hc = counting.handle();
+        let mut ho = ordered.handle();
+        for (i, &k) in keys.iter().enumerate() {
+            hc.send(k, ()).unwrap();
+            ho.send(k, i as u32).unwrap();
+            // Sprinkle mid-stream epoch seals: they must not change totals.
+            if seals > 0 && i > 0 && i % (keys.len() / (seals as usize + 1)).max(1) == 0 {
+                hc.seal_epoch().unwrap();
+                ho.seal_epoch().unwrap();
+            }
+        }
+        drop(hc);
+        drop(ho);
+        let (counts, _) = counting.shutdown();
+        let (logs, _) = ordered.shutdown();
+        assert_eq!(
+            counts.values(),
+            &want_counts[..],
+            "case {case}: counts diverge"
+        );
+        assert_eq!(
+            logs.values(),
+            &want_logs[..],
+            "case {case}: per-key order diverges"
+        );
     }
 }
