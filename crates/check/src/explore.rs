@@ -1,0 +1,815 @@
+//! Bounded exhaustive schedule exploration (mini-loom, no deps) of the
+//! `cobra-stream` channel/seal/epoch protocol.
+//!
+//! The explorer runs a faithful executable model of the protocol — the
+//! bounded FIFO of `channel.rs` (mutex + two condvars with explicit wait
+//! sets), the seal broadcast of `pipeline.rs` (epoch counter under the
+//! seal lock, marker sent through the same FIFO as data), the shard
+//! worker loop of `shard.rs`, and the accumulator of `epoch.rs` — through
+//! **every** interleaving of small scenarios (2–3 producers, capacity 1–2
+//! queues) via DFS over explicit states with memoization.
+//!
+//! Condvars are modelled with real wait sets: a blocked thread is only
+//! runnable again after a matching `notify`, and `notify_one` branches
+//! over each possible wakee. Lost-wakeup bugs therefore show up as
+//! deadlocks (a non-empty wait set with no runnable thread), which the
+//! self-test provokes deliberately with a `notify_one`-on-drop mutation.
+//!
+//! Invariants asserted at every state / terminal state:
+//! * queue occupancy never exceeds capacity;
+//! * per-producer batch order is preserved end-to-end (FIFO);
+//! * **epoch-snapshot-equals-batch**: when the worker processes `Seal(e)`
+//!   it has binned exactly the tuples enqueued before the `e`-th marker,
+//!   and the accumulator's running total at epoch `e` equals that count;
+//! * epochs are applied in aligned order `1, 2, 3, …`;
+//! * no deadlock, and every thread terminates.
+
+use std::collections::HashSet;
+
+/// A producer-script operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum POp {
+    /// Send a batch of `n` tuples (blocking).
+    Send(u8),
+    /// Seal an epoch: take the seal lock, broadcast the marker, release.
+    Seal,
+}
+
+/// One bounded scenario to exhaust.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display name.
+    pub name: &'static str,
+    /// Data-FIFO capacity (producers/main → worker).
+    pub cap_data: usize,
+    /// Accumulator-FIFO capacity (worker → accumulator).
+    pub cap_acc: usize,
+    /// Producer scripts.
+    pub producers: Vec<Vec<POp>>,
+    /// If set, the worker exits (dropping both channel ends) after
+    /// consuming this many messages — the receiver-drop-mid-epoch case.
+    pub worker_exit_after: Option<u8>,
+    /// Mutation for the self-test: receiver drop wakes only one blocked
+    /// sender (`notify_one` instead of `notify_all`) — a lost-wakeup bug
+    /// the explorer must expose as a deadlock.
+    pub buggy_drop_notify_one: bool,
+    /// Assert conservation (every enqueued tuple applied) at exit; off for
+    /// crash scenarios where losing queued tuples is expected.
+    pub strict_totals: bool,
+}
+
+/// A message in the data FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Msg {
+    Batch { from: u8, seq: u8, n: u8 },
+    Seal(u8),
+    Shutdown,
+}
+
+/// A message in the accumulator FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum AMsg {
+    Sealed { epoch: u8, delta: u8 },
+    Done { delta: u8 },
+}
+
+/// A bounded FIFO with condvar wait sets, mirroring `channel.rs`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Chan<M> {
+    q: Vec<M>,
+    cap: usize,
+    senders: u8,
+    receiver_alive: bool,
+    /// Threads parked in `send` (cond `not_full`), sorted.
+    wait_full: Vec<u8>,
+    /// Threads parked in `recv` (cond `not_empty`), sorted.
+    wait_empty: Vec<u8>,
+}
+
+impl<M: Clone> Chan<M> {
+    fn new(cap: usize, senders: u8) -> Self {
+        Chan {
+            q: Vec::new(),
+            cap,
+            senders,
+            receiver_alive: true,
+            wait_full: Vec::new(),
+            wait_empty: Vec::new(),
+        }
+    }
+}
+
+fn park(set: &mut Vec<u8>, tid: u8) {
+    if let Err(pos) = set.binary_search(&tid) {
+        set.insert(pos, tid);
+    }
+}
+
+/// Worker phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum WPhase {
+    Loop,
+    SendSealed { epoch: u8, delta: u8 },
+    SendDone { delta: u8 },
+    Exited,
+}
+
+/// Producer run state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Prod {
+    pc: u8,
+    seq: u8,
+    /// Epoch marker in flight while holding the seal lock.
+    sealing: Option<u8>,
+    done: bool,
+}
+
+/// Main-thread phases: join producers, broadcast shutdown, drop sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum MPhase {
+    Join,
+    SendShutdown,
+    Done,
+}
+
+/// One explicit protocol state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct St {
+    data: Chan<Msg>,
+    acc: Chan<AMsg>,
+    prods: Vec<Prod>,
+    main: MPhase,
+    worker: WPhase,
+    /// Messages the worker has consumed (for `worker_exit_after`).
+    worker_consumed: u8,
+    /// Tuples binned by the worker, cumulative.
+    cum_binned: u8,
+    /// Tuples already shipped to the accumulator, cumulative.
+    cum_shipped: u8,
+    /// Highest per-producer sequence number seen by the worker.
+    last_seq: Vec<Option<u8>>,
+    /// Accumulator: epochs applied and running total.
+    applied_epoch: u8,
+    total: u8,
+    acc_done: bool,
+    /// Seal lock: holder tid and parked waiters.
+    lock_holder: Option<u8>,
+    lock_waiters: Vec<u8>,
+    epochs_sealed: u8,
+    /// `(epoch, cumulative tuples enqueued before its marker)`.
+    expected: Vec<(u8, u8)>,
+    /// Tuples enqueued into the data FIFO so far.
+    enqueued: u8,
+    /// Tuples bounced with `Disconnected`.
+    bounced: u8,
+}
+
+/// Thread ids: 0 = worker, 1 = accumulator, 2.. = producers, last = main.
+const WORKER: u8 = 0;
+const ACCUM: u8 = 1;
+const PROD0: u8 = 2;
+
+/// An invariant violation or deadlock, with a human-readable description.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Scenario that produced it.
+    pub scenario: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.scenario, self.message)
+    }
+}
+
+/// Exploration statistics for one scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreStats {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Terminal (all-threads-done) states reached.
+    pub terminals: usize,
+}
+
+struct Explorer<'a> {
+    sc: &'a Scenario,
+}
+
+impl<'a> Explorer<'a> {
+    fn violation(&self, msg: String) -> Violation {
+        Violation {
+            scenario: self.sc.name,
+            message: msg,
+        }
+    }
+
+    fn initial(&self) -> St {
+        let p = self.sc.producers.len();
+        St {
+            // Senders on data: every producer plus main's handle.
+            data: Chan::new(self.sc.cap_data, p as u8 + 1),
+            // Sender on acc: the worker.
+            acc: Chan::new(self.sc.cap_acc, 1),
+            prods: vec![
+                Prod {
+                    pc: 0,
+                    seq: 0,
+                    sealing: None,
+                    done: false
+                };
+                p
+            ],
+            main: MPhase::Join,
+            worker: WPhase::Loop,
+            worker_consumed: 0,
+            cum_binned: 0,
+            cum_shipped: 0,
+            last_seq: vec![None; p],
+            applied_epoch: 0,
+            total: 0,
+            acc_done: false,
+            lock_holder: None,
+            lock_waiters: Vec::new(),
+            epochs_sealed: 0,
+            expected: Vec::new(),
+            enqueued: 0,
+            bounced: 0,
+        }
+    }
+
+    fn thread_count(&self) -> u8 {
+        PROD0 + self.sc.producers.len() as u8 + 1
+    }
+
+    fn main_tid(&self) -> u8 {
+        self.thread_count() - 1
+    }
+
+    fn is_parked(&self, st: &St, tid: u8) -> bool {
+        st.data.wait_full.contains(&tid)
+            || st.data.wait_empty.contains(&tid)
+            || st.acc.wait_full.contains(&tid)
+            || st.acc.wait_empty.contains(&tid)
+            || st.lock_waiters.contains(&tid)
+    }
+
+    fn is_done(&self, st: &St, tid: u8) -> bool {
+        match tid {
+            WORKER => st.worker == WPhase::Exited,
+            ACCUM => st.acc_done,
+            t if t == self.main_tid() => st.main == MPhase::Done,
+            t => st.prods[(t - PROD0) as usize].done,
+        }
+    }
+
+    fn runnable(&self, st: &St, tid: u8) -> bool {
+        if self.is_done(st, tid) || self.is_parked(st, tid) {
+            return false;
+        }
+        if tid == self.main_tid() && st.main == MPhase::Join {
+            // join() blocks until every producer thread has exited.
+            return st.prods.iter().all(|p| p.done);
+        }
+        true
+    }
+
+    /// All successor states from scheduling `tid` for one protocol step.
+    /// Nondeterminism (which parked thread a `notify_one` wakes) yields
+    /// multiple successors.
+    fn step(&self, st: &St, tid: u8) -> Result<Vec<St>, Violation> {
+        match tid {
+            WORKER => self.step_worker(st),
+            ACCUM => self.step_accum(st),
+            t if t == self.main_tid() => self.step_main(st),
+            t => self.step_producer(st, (t - PROD0) as usize),
+        }
+    }
+
+    /// `notify_one`: branch over every possible wakee (unparking it);
+    /// an empty wait set is a silent no-op.
+    fn notify_one<F: Fn(&mut St) -> &mut Vec<u8>>(&self, st: St, set: F) -> Vec<St> {
+        let waiters = set(&mut st.clone()).clone();
+        if waiters.is_empty() {
+            return vec![st];
+        }
+        waiters
+            .iter()
+            .map(|&w| {
+                let mut next = st.clone();
+                set(&mut next).retain(|&x| x != w);
+                next
+            })
+            .collect()
+    }
+
+    fn notify_all<F: Fn(&mut St) -> &mut Vec<u8>>(&self, mut st: St, set: F) -> St {
+        set(&mut st).clear();
+        st
+    }
+
+    fn step_producer(&self, st: &St, p: usize) -> Result<Vec<St>, Violation> {
+        let tid = PROD0 + p as u8;
+        let script = &self.sc.producers[p];
+        let prod = &st.prods[p];
+
+        // Mid-seal: the marker send is in progress while holding the lock.
+        if let Some(epoch) = prod.sealing {
+            return Ok(self.send_seal_marker(st, p, tid, epoch));
+        }
+        let Some(&op) = script.get(prod.pc as usize) else {
+            // Script exhausted: drop this producer's sender handle.
+            let mut next = st.clone();
+            next.prods[p].done = true;
+            next.data.senders -= 1;
+            if next.data.senders == 0 {
+                next = self.notify_all(next, |s| &mut s.data.wait_empty);
+            }
+            return Ok(vec![next]);
+        };
+        match op {
+            POp::Send(n) => {
+                if !st.data.receiver_alive {
+                    // send() returns Err(Disconnected(batch)).
+                    let mut next = st.clone();
+                    next.bounced += n;
+                    next.prods[p].pc += 1;
+                    next.prods[p].seq += 1;
+                    return Ok(vec![next]);
+                }
+                if st.data.q.len() >= st.data.cap {
+                    let mut next = st.clone();
+                    park(&mut next.data.wait_full, tid);
+                    return Ok(vec![next]);
+                }
+                let mut next = st.clone();
+                let msg = Msg::Batch {
+                    from: p as u8,
+                    seq: next.prods[p].seq,
+                    n,
+                };
+                next.data.q.push(msg);
+                if next.data.q.len() > next.data.cap {
+                    return Err(
+                        self.violation(format!("data queue exceeded capacity {}", next.data.cap))
+                    );
+                }
+                next.enqueued += n;
+                next.prods[p].pc += 1;
+                next.prods[p].seq += 1;
+                Ok(self.notify_one(next, |s| &mut s.data.wait_empty))
+            }
+            POp::Seal => {
+                // pipeline.rs Core::seal — lock, count, send marker, unlock.
+                match st.lock_holder {
+                    Some(h) if h != tid => {
+                        let mut next = st.clone();
+                        park(&mut next.lock_waiters, tid);
+                        Ok(vec![next])
+                    }
+                    Some(_) => unreachable!("non-reentrant seal lock"),
+                    None => {
+                        let mut next = st.clone();
+                        next.lock_holder = Some(tid);
+                        let epoch = next.epochs_sealed + 1;
+                        next.epochs_sealed = epoch;
+                        next.prods[p].sealing = Some(epoch);
+                        Ok(self.send_seal_marker(&next, p, tid, epoch))
+                    }
+                }
+            }
+        }
+    }
+
+    /// The seal's marker send (run while holding the seal lock — blocking
+    /// here keeps the lock held, exactly like the real `Core::seal`).
+    fn send_seal_marker(&self, st: &St, p: usize, tid: u8, epoch: u8) -> Vec<St> {
+        if st.data.receiver_alive && st.data.q.len() >= st.data.cap {
+            let mut next = st.clone();
+            park(&mut next.data.wait_full, tid);
+            return vec![next];
+        }
+        let mut next = st.clone();
+        if next.data.receiver_alive {
+            next.data.q.push(Msg::Seal(epoch));
+            next.expected.push((epoch, next.enqueued));
+        }
+        // else: `let _ = tx.send(..)` — marker silently dropped.
+        next.prods[p].sealing = None;
+        next.prods[p].pc += 1;
+        next.lock_holder = None;
+        let mut out = Vec::new();
+        // Unlock wakes one lock waiter (any of them), then the marker
+        // enqueue wakes one not_empty waiter: branch over both choices.
+        let after_unlock: Vec<St> = if next.lock_waiters.is_empty() {
+            vec![next]
+        } else {
+            self.notify_one(next, |s| &mut s.lock_waiters)
+        };
+        for s in after_unlock {
+            if s.data.receiver_alive {
+                out.extend(self.notify_one(s, |x| &mut x.data.wait_empty));
+            } else {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    fn step_main(&self, st: &St) -> Result<Vec<St>, Violation> {
+        let tid = self.main_tid();
+        match st.main {
+            MPhase::Join => {
+                // Runnable only once all producers are done (see runnable).
+                let mut next = st.clone();
+                next.main = MPhase::SendShutdown;
+                Ok(vec![next])
+            }
+            MPhase::SendShutdown => {
+                if !st.data.receiver_alive {
+                    let mut next = st.clone();
+                    next.main = MPhase::Done;
+                    next.data.senders -= 1;
+                    return Ok(vec![next]);
+                }
+                if st.data.q.len() >= st.data.cap {
+                    let mut next = st.clone();
+                    park(&mut next.data.wait_full, tid);
+                    return Ok(vec![next]);
+                }
+                let mut next = st.clone();
+                next.data.q.push(Msg::Shutdown);
+                next.main = MPhase::Done;
+                // Drop main's sender right after the shutdown marker.
+                next.data.senders -= 1;
+                let mut out = Vec::new();
+                if next.data.senders == 0 {
+                    out.push(self.notify_all(next, |s| &mut s.data.wait_empty));
+                } else {
+                    out.extend(self.notify_one(next, |s| &mut s.data.wait_empty));
+                }
+                Ok(out)
+            }
+            MPhase::Done => Ok(vec![st.clone()]),
+        }
+    }
+
+    /// Worker drops both of its channel ends (on exit or crash).
+    fn worker_drop_ends(&self, st: St) -> St {
+        let mut next = st;
+        next.worker = WPhase::Exited;
+        // Drop the data Receiver: wake blocked senders.
+        next.data.receiver_alive = false;
+        if self.sc.buggy_drop_notify_one {
+            // The seeded lost-wakeup bug: only one sender wakes.
+            if let Some(&w) = next.data.wait_full.first() {
+                next.data.wait_full.retain(|&x| x != w);
+            }
+        } else {
+            next = self.notify_all(next, |s| &mut s.data.wait_full);
+        }
+        // Drop the acc Sender.
+        next.acc.senders -= 1;
+        if next.acc.senders == 0 {
+            next = self.notify_all(next, |s| &mut s.acc.wait_empty);
+        }
+        next
+    }
+
+    fn step_worker(&self, st: &St) -> Result<Vec<St>, Violation> {
+        match st.worker {
+            WPhase::Exited => Ok(vec![st.clone()]),
+            WPhase::SendSealed { epoch, delta } => {
+                self.worker_send_acc(st, AMsg::Sealed { epoch, delta })
+            }
+            WPhase::SendDone { delta } => self.worker_send_acc(st, AMsg::Done { delta }),
+            WPhase::Loop => {
+                if let Some(limit) = self.sc.worker_exit_after {
+                    if st.worker_consumed >= limit {
+                        // Simulated crash: exit without draining or Done.
+                        return Ok(vec![self.worker_drop_ends(st.clone())]);
+                    }
+                }
+                if st.data.q.is_empty() {
+                    if st.data.senders == 0 {
+                        // recv() -> None: final drain then exit.
+                        let mut next = st.clone();
+                        let delta = next.cum_binned - next.cum_shipped;
+                        next.worker = WPhase::SendDone { delta };
+                        return Ok(vec![next]);
+                    }
+                    let mut next = st.clone();
+                    park(&mut next.data.wait_empty, WORKER);
+                    return Ok(vec![next]);
+                }
+                let mut next = st.clone();
+                let msg = next.data.q.remove(0);
+                next.worker_consumed += 1;
+                match msg {
+                    Msg::Batch { from, seq, n } => {
+                        if let Some(prev) = next.last_seq[from as usize] {
+                            if seq <= prev {
+                                return Err(self.violation(format!(
+                                    "producer {from} batches reordered: seq {seq} after {prev}"
+                                )));
+                            }
+                        }
+                        next.last_seq[from as usize] = Some(seq);
+                        next.cum_binned += n;
+                    }
+                    Msg::Seal(epoch) => {
+                        let Some(&(_, want)) = next.expected.iter().find(|&&(e, _)| e == epoch)
+                        else {
+                            return Err(self.violation(format!(
+                                "worker saw Seal({epoch}) with no enqueue record"
+                            )));
+                        };
+                        if next.cum_binned != want {
+                            return Err(self.violation(format!(
+                                "epoch {epoch} snapshot mismatch: binned {} tuples, \
+                                 {want} were enqueued before the marker",
+                                next.cum_binned
+                            )));
+                        }
+                        let delta = next.cum_binned - next.cum_shipped;
+                        next.worker = WPhase::SendSealed { epoch, delta };
+                    }
+                    Msg::Shutdown => {
+                        let delta = next.cum_binned - next.cum_shipped;
+                        next.worker = WPhase::SendDone { delta };
+                    }
+                }
+                // Pop → notify_one(not_full), as in Receiver::recv.
+                Ok(self.notify_one(next, |s| &mut s.data.wait_full))
+            }
+        }
+    }
+
+    fn worker_send_acc(&self, st: &St, msg: AMsg) -> Result<Vec<St>, Violation> {
+        if !st.acc.receiver_alive {
+            // Accumulator gone: worker ignores the error and keeps going
+            // (shard.rs: "Accumulator-side disconnects are ignored").
+            let mut next = st.clone();
+            next.cum_shipped = next.cum_binned;
+            next.worker = match msg {
+                AMsg::Done { .. } => return Ok(vec![self.worker_drop_ends(next)]),
+                _ => WPhase::Loop,
+            };
+            return Ok(vec![next]);
+        }
+        if st.acc.q.len() >= st.acc.cap {
+            let mut next = st.clone();
+            park(&mut next.acc.wait_full, WORKER);
+            return Ok(vec![next]);
+        }
+        let mut next = st.clone();
+        next.acc.q.push(msg);
+        next.cum_shipped = next.cum_binned;
+        let done = matches!(msg, AMsg::Done { .. });
+        next.worker = WPhase::Loop;
+        let mut out = Vec::new();
+        for s in self.notify_one(next, |x| &mut x.acc.wait_empty) {
+            if done {
+                out.push(self.worker_drop_ends(s));
+            } else {
+                out.push(s);
+            }
+        }
+        Ok(out)
+    }
+
+    fn step_accum(&self, st: &St) -> Result<Vec<St>, Violation> {
+        if st.acc.q.is_empty() {
+            if st.acc.senders == 0 {
+                // recv() -> None: accumulator publishes its drain and exits.
+                let mut next = st.clone();
+                next.acc_done = true;
+                next.acc.receiver_alive = false;
+                next = self.notify_all(next, |s| &mut s.acc.wait_full);
+                return Ok(vec![next]);
+            }
+            let mut next = st.clone();
+            park(&mut next.acc.wait_empty, ACCUM);
+            return Ok(vec![next]);
+        }
+        let mut next = st.clone();
+        let msg = next.acc.q.remove(0);
+        match msg {
+            AMsg::Sealed { epoch, delta } => {
+                if epoch != next.applied_epoch + 1 {
+                    return Err(self.violation(format!(
+                        "epoch wave misaligned: applied {} then got {epoch}",
+                        next.applied_epoch
+                    )));
+                }
+                next.applied_epoch = epoch;
+                next.total += delta;
+                if let Some(&(_, want)) = next.expected.iter().find(|&&(e, _)| e == epoch) {
+                    if next.total != want {
+                        return Err(self.violation(format!(
+                            "epoch {epoch} published total {} != {want} tuples \
+                             enqueued before its seal",
+                            next.total
+                        )));
+                    }
+                }
+            }
+            AMsg::Done { delta } => {
+                next.total += delta;
+            }
+        }
+        Ok(self.notify_one(next, |s| &mut s.acc.wait_full))
+    }
+
+    fn check_terminal(&self, st: &St) -> Result<(), Violation> {
+        if self.sc.strict_totals {
+            if st.cum_binned != st.enqueued {
+                return Err(self.violation(format!(
+                    "worker binned {} of {} enqueued tuples",
+                    st.cum_binned, st.enqueued
+                )));
+            }
+            if st.total != st.cum_binned {
+                return Err(self.violation(format!(
+                    "accumulator total {} != {} binned tuples",
+                    st.total, st.cum_binned
+                )));
+            }
+        } else if st.total > st.enqueued {
+            return Err(self.violation(format!(
+                "accumulator invented tuples: total {} > enqueued {}",
+                st.total, st.enqueued
+            )));
+        }
+        Ok(())
+    }
+
+    fn run(&self) -> Result<ExploreStats, Violation> {
+        let mut visited: HashSet<St> = HashSet::new();
+        let mut stack = vec![self.initial()];
+        let mut terminals = 0usize;
+        while let Some(st) = stack.pop() {
+            if !visited.insert(st.clone()) {
+                continue;
+            }
+            let runnable: Vec<u8> = (0..self.thread_count())
+                .filter(|&t| self.runnable(&st, t))
+                .collect();
+            if runnable.is_empty() {
+                let all_done = (0..self.thread_count()).all(|t| self.is_done(&st, t));
+                if all_done {
+                    terminals += 1;
+                    self.check_terminal(&st)?;
+                    continue;
+                }
+                let stuck: Vec<u8> = (0..self.thread_count())
+                    .filter(|&t| !self.is_done(&st, t))
+                    .collect();
+                return Err(self.violation(format!(
+                    "deadlock: threads {stuck:?} blocked with no runnable thread \
+                     (lost wakeup or protocol hole)"
+                )));
+            }
+            for tid in runnable {
+                for next in self.step(&st, tid)? {
+                    if !visited.contains(&next) {
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        Ok(ExploreStats {
+            states: visited.len(),
+            terminals,
+        })
+    }
+}
+
+/// Explores one scenario exhaustively.
+pub fn explore(sc: &Scenario) -> Result<ExploreStats, Violation> {
+    Explorer { sc }.run()
+}
+
+/// The standard scenario suite: seal/data contention, seal racing blocked
+/// sends, competing sealers through the lock, and receiver drops.
+pub fn standard_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "two_producers_one_seal",
+            cap_data: 1,
+            cap_acc: 1,
+            producers: vec![
+                vec![POp::Send(1), POp::Send(1), POp::Seal],
+                vec![POp::Send(1), POp::Send(1)],
+            ],
+            worker_exit_after: None,
+            buggy_drop_notify_one: false,
+            strict_totals: true,
+        },
+        Scenario {
+            name: "seal_during_blocked_send",
+            cap_data: 1,
+            cap_acc: 1,
+            producers: vec![
+                vec![POp::Send(1), POp::Send(1), POp::Send(1)],
+                vec![POp::Seal],
+            ],
+            worker_exit_after: None,
+            buggy_drop_notify_one: false,
+            strict_totals: true,
+        },
+        Scenario {
+            name: "competing_sealers",
+            cap_data: 1,
+            cap_acc: 2,
+            producers: vec![
+                vec![POp::Send(1), POp::Seal, POp::Send(1)],
+                vec![POp::Seal, POp::Send(1)],
+            ],
+            worker_exit_after: None,
+            buggy_drop_notify_one: false,
+            strict_totals: true,
+        },
+        Scenario {
+            name: "capacity_two_pipelining",
+            cap_data: 2,
+            cap_acc: 1,
+            producers: vec![
+                vec![POp::Send(2), POp::Send(1), POp::Seal],
+                vec![POp::Send(1), POp::Send(2)],
+            ],
+            worker_exit_after: None,
+            buggy_drop_notify_one: false,
+            strict_totals: true,
+        },
+        Scenario {
+            name: "receiver_drop_mid_epoch",
+            cap_data: 1,
+            cap_acc: 1,
+            producers: vec![
+                vec![POp::Send(1), POp::Send(1), POp::Seal],
+                vec![POp::Send(1)],
+            ],
+            worker_exit_after: Some(1),
+            buggy_drop_notify_one: false,
+            strict_totals: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_scenarios_exhaust_cleanly() {
+        for sc in standard_scenarios() {
+            let stats = explore(&sc).unwrap_or_else(|v| panic!("{v}"));
+            assert!(stats.states > 10, "{}: suspiciously small space", sc.name);
+            assert!(stats.terminals > 0, "{}: no terminal state", sc.name);
+        }
+    }
+
+    #[test]
+    fn seeded_lost_wakeup_is_detected_as_deadlock() {
+        // Two producers both end up blocked on the full FIFO; the buggy
+        // receiver drop wakes only one; the other sleeps forever. The
+        // explorer must find that schedule.
+        let sc = Scenario {
+            name: "buggy_drop_notify_one",
+            cap_data: 1,
+            cap_acc: 1,
+            producers: vec![vec![POp::Send(1), POp::Send(1)], vec![POp::Send(1)]],
+            worker_exit_after: Some(0),
+            buggy_drop_notify_one: true,
+            strict_totals: false,
+        };
+        let err = explore(&sc).expect_err("lost wakeup must deadlock some schedule");
+        assert!(err.message.contains("deadlock"), "got: {err}");
+    }
+
+    #[test]
+    fn misaligned_epoch_would_be_caught() {
+        // Sanity-check the checker: corrupt the expected table by hand and
+        // confirm the worker-side assert fires. (Drive the model directly.)
+        let sc = Scenario {
+            name: "self_check",
+            cap_data: 1,
+            cap_acc: 1,
+            producers: vec![vec![POp::Send(1), POp::Seal]],
+            worker_exit_after: None,
+            buggy_drop_notify_one: false,
+            strict_totals: true,
+        };
+        let ex = Explorer { sc: &sc };
+        let mut st = ex.initial();
+        // Pretend a marker for epoch 1 was enqueued claiming 5 tuples.
+        st.data.q.push(Msg::Seal(1));
+        st.expected.push((1, 5));
+        let err = ex
+            .step_worker(&st)
+            .expect_err("mismatched seal must violate");
+        assert!(err.message.contains("snapshot mismatch"), "got: {err}");
+    }
+}

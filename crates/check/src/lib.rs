@@ -1,0 +1,32 @@
+//! cobra-check: dynamic and static checking for the PB/stream stack.
+//!
+//! Three analyses, one crate (paper, Section III-B: correctness of
+//! propagation blocking rests on bin disjointness, epoch alignment and
+//! declared commutativity — this crate re-proves all three mechanically):
+//!
+//! 1. [`race`] — a FastTrack-style vector-clock detector over the event
+//!    logs emitted by the `check`-instrumented binning/accumulate paths
+//!    ([`fixtures`] drives the real machinery and captures the logs), plus
+//!    routing/ownership invariant checks on every recorded write.
+//! 2. [`oracle`] — commutativity oracles: replay each kernel's scatter
+//!    function and each streaming reducer under permuted update orders and
+//!    compare the observation against the declared commutative/ordered
+//!    mode.
+//! 3. [`explore`] — a dependency-free bounded schedule explorer (mini
+//!    loom) that exhausts every interleaving of small configurations of
+//!    the `cobra-stream` channel/seal/epoch protocol.
+//!
+//! [`lint`] adds source-level invariant linting (ordering justifications,
+//! hot-path panic hygiene, no locks on binning paths).
+//!
+//! The `cobra-check` binary exposes each analysis as a subcommand and
+//! `all` runs the full battery; any violation exits non-zero.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod fixtures;
+pub mod lint;
+pub mod oracle;
+pub mod race;

@@ -1,0 +1,438 @@
+//! Invariant linting for the PB/stream stack.
+//!
+//! Three rules, each tuned to a failure mode this codebase has actually
+//! worried about:
+//!
+//! * **R1 `ordering-justification`** — every `Ordering::…` use in the
+//!   concurrency-protocol files must carry a `// ordering:` comment (same
+//!   line, or in the comment block directly above the statement)
+//!   explaining why that ordering is sufficient. Atomics without a
+//!   written-down argument rot.
+//! * **R2 `no-hot-path-unwrap`** — no `unwrap()` / `expect()` in the
+//!   hot-path crates (`pb`, `core`, `stream`, `sim`) outside `#[cfg(test)]`
+//!   modules. Panics in a binning worker poison locks and wedge the
+//!   pipeline; fallible paths must return errors or document why the
+//!   panic is unreachable via the allowlist.
+//! * **R3 `no-mutex-on-binning-path`** — no `std::sync::Mutex` in the
+//!   binning/accumulate hot-path files. The whole point of propagation
+//!   blocking is that bin ownership makes locks unnecessary there.
+//!
+//! False positives are suppressed through `crates/check/lint-allow.txt`:
+//! one `path-suffix|needle` entry per line; a violation is allowed when
+//! the file path ends with `path-suffix` and the offending line contains
+//! `needle`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Which rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// R1: `Ordering::` without a `// ordering:` justification.
+    OrderingJustification,
+    /// R2: `unwrap()` / `expect()` on a hot path.
+    HotPathUnwrap,
+    /// R3: `Mutex` on a binning hot-path file.
+    MutexOnBinningPath,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::OrderingJustification => "ordering-justification",
+            Rule::HotPathUnwrap => "no-hot-path-unwrap",
+            Rule::MutexOnBinningPath => "no-mutex-on-binning-path",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct LintViolation {
+    /// Rule that fired.
+    pub rule: Rule,
+    /// File (workspace-relative when possible).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub text: String,
+}
+
+impl fmt::Display for LintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.text
+        )
+    }
+}
+
+/// An allowlist entry: `path-suffix|needle`.
+#[derive(Debug, Clone)]
+struct Allow {
+    path_suffix: String,
+    needle: String,
+}
+
+/// Parses `lint-allow.txt` content (`#` comments and blanks ignored).
+fn parse_allowlist(text: &str) -> Vec<Allow> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (path, needle) = l.split_once('|')?;
+            Some(Allow {
+                path_suffix: path.trim().to_string(),
+                needle: needle.trim().to_string(),
+            })
+        })
+        .collect()
+}
+
+fn is_allowed(allows: &[Allow], file: &str, line: &str) -> bool {
+    allows
+        .iter()
+        .any(|a| file.ends_with(&a.path_suffix) && line.contains(&a.needle))
+}
+
+/// Masks string/char literal contents with spaces so brace tracking and
+/// needle matching ignore them. Line-local (multi-line literals are not
+/// used in the linted sources); `//` comments are stripped too.
+fn mask_line(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    let mut in_str = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_str {
+            if c == '\\' {
+                out.push(' ');
+                if i + 1 < bytes.len() {
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+            } else if c == '"' {
+                in_str = false;
+                out.push('"');
+            } else {
+                out.push(' ');
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push('"');
+                i += 1;
+            }
+            '\'' => {
+                // Char literal like 'a' or '\\n' — mask it. Lifetimes
+                // ('a without a closing quote nearby) pass through.
+                let rest = &line[i + 1..];
+                let close = rest
+                    .char_indices()
+                    .take(3)
+                    .find(|&(j, ch)| ch == '\'' && j > 0)
+                    .map(|(j, _)| j);
+                if let Some(j) = close {
+                    out.push('\'');
+                    for _ in 0..j {
+                        out.push(' ');
+                    }
+                    out.push('\'');
+                    i += j + 2;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Files subject to R1 (atomics must justify their `Ordering`).
+fn r1_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = list_rs(&root.join("crates/stream/src"));
+    files.push(root.join("crates/pb/src/trace.rs"));
+    files
+}
+
+/// Crates subject to R2.
+const R2_CRATES: [&str; 4] = ["pb", "core", "stream", "sim"];
+
+/// Files subject to R3 (the binning/accumulate hot path).
+const R3_FILES: [&str; 5] = [
+    "crates/pb/src/binner.rs",
+    "crates/pb/src/parallel.rs",
+    "crates/core/src/backend.rs",
+    "crates/core/src/cobra.rs",
+    "crates/stream/src/shard.rs",
+];
+
+fn list_rs(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            out.extend(list_rs(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// R1 over one file's contents.
+fn lint_ordering(file: &str, text: &str, out: &mut Vec<LintViolation>) {
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("//") || trimmed.starts_with("use ") {
+            continue;
+        }
+        if !raw.contains("Ordering::") {
+            continue;
+        }
+        // Same line, or anywhere in the contiguous `//` comment block
+        // immediately above the statement.
+        let mut justified = raw.contains("// ordering:");
+        let mut j = i;
+        while !justified && j > 0 {
+            j -= 1;
+            let above = lines[j].trim_start();
+            if !above.starts_with("//") {
+                break;
+            }
+            justified = above.contains("// ordering:");
+        }
+        if !justified {
+            out.push(LintViolation {
+                rule: Rule::OrderingJustification,
+                file: file.to_string(),
+                line: i + 1,
+                text: trimmed.trim_end().to_string(),
+            });
+        }
+    }
+}
+
+/// R2 over one file's contents. Skips `#[cfg(test)] mod …` blocks by
+/// brace tracking on masked lines.
+fn lint_unwrap(file: &str, text: &str, out: &mut Vec<LintViolation>) {
+    let mut in_test_mod = false;
+    let mut depth_at_entry = 0i32;
+    let mut depth = 0i32;
+    let mut pending_cfg_test = false;
+    for (i, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let masked = mask_line(raw);
+        if masked.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if !in_test_mod && pending_cfg_test && masked.trim_start().starts_with("mod ") {
+            in_test_mod = true;
+            depth_at_entry = depth;
+            pending_cfg_test = false;
+        } else if pending_cfg_test && !masked.trim().is_empty() {
+            pending_cfg_test = false;
+        }
+        for ch in masked.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if in_test_mod {
+            if depth <= depth_at_entry {
+                in_test_mod = false;
+            }
+            continue;
+        }
+        if masked.contains(".unwrap()") || masked.contains(".expect(") {
+            out.push(LintViolation {
+                rule: Rule::HotPathUnwrap,
+                file: file.to_string(),
+                line: i + 1,
+                text: trimmed.trim_end().to_string(),
+            });
+        }
+    }
+}
+
+/// R3 over one file's contents.
+fn lint_mutex(file: &str, text: &str, out: &mut Vec<LintViolation>) {
+    for (i, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let masked = mask_line(raw);
+        if masked.contains("Mutex<") || masked.contains("Mutex::new") {
+            out.push(LintViolation {
+                rule: Rule::MutexOnBinningPath,
+                file: file.to_string(),
+                line: i + 1,
+                text: trimmed.trim_end().to_string(),
+            });
+        }
+    }
+}
+
+/// Runs every rule over the workspace rooted at `root`, filtering through
+/// the allowlist at `crates/check/lint-allow.txt` (missing file = empty).
+pub fn run_lints(root: &Path) -> std::io::Result<Vec<LintViolation>> {
+    let allow_text =
+        std::fs::read_to_string(root.join("crates/check/lint-allow.txt")).unwrap_or_default();
+    let allows = parse_allowlist(&allow_text);
+    let mut raw = Vec::new();
+
+    for path in r1_files(root) {
+        let file = rel(root, &path);
+        let text = std::fs::read_to_string(&path)?;
+        lint_ordering(&file, &text, &mut raw);
+    }
+    for krate in R2_CRATES {
+        for path in list_rs(&root.join("crates").join(krate).join("src")) {
+            let file = rel(root, &path);
+            let text = std::fs::read_to_string(&path)?;
+            lint_unwrap(&file, &text, &mut raw);
+        }
+    }
+    for name in R3_FILES {
+        let path = root.join(name);
+        if !path.is_file() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        lint_mutex(name, &text, &mut raw);
+    }
+
+    Ok(raw
+        .into_iter()
+        .filter(|v| !is_allowed(&allows, &v.file, &v.text))
+        .collect())
+}
+
+/// Locates the workspace root by walking up from the current directory
+/// until a `Cargo.toml` declaring `[workspace]` is found.
+pub fn find_workspace_root() -> std::io::Result<PathBuf> {
+    let mut dir = std::env::current_dir()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "no workspace Cargo.toml above the current directory",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_without_comment_is_flagged() {
+        let src = "let x = a.load(Ordering::Relaxed);\n";
+        let mut out = Vec::new();
+        lint_ordering("f.rs", src, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::OrderingJustification);
+    }
+
+    #[test]
+    fn ordering_with_trailing_or_preceding_comment_passes() {
+        let src = "\
+let x = a.load(Ordering::Relaxed); // ordering: stats only
+// ordering: release pairs with the acquire in recv
+// (two-line justification is fine)
+let y = b.store(1, Ordering::Release);
+use std::sync::atomic::Ordering;
+";
+        let mut out = Vec::new();
+        lint_ordering("f.rs", src, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unwrap_outside_tests_is_flagged_inside_tests_is_not() {
+        let src = "\
+fn hot() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.expect(\"fine in tests\"); }
+}
+fn also_hot() { z.expect(\"bad\"); }
+";
+        let mut out = Vec::new();
+        lint_unwrap("f.rs", src, &mut out);
+        let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![1, 6], "{out:?}");
+    }
+
+    #[test]
+    fn unwrap_inside_string_literal_is_ignored() {
+        let src = "let s = \"docs mention .unwrap() here\";\n";
+        let mut out = Vec::new();
+        lint_unwrap("f.rs", src, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn mutex_is_flagged_on_hot_path() {
+        let src = "let m: Mutex<u32> = Mutex::new(0);\n";
+        let mut out = Vec::new();
+        lint_mutex("crates/pb/src/binner.rs", src, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::MutexOnBinningPath);
+    }
+
+    #[test]
+    fn allowlist_suppresses_matching_entries() {
+        let allows =
+            parse_allowlist("# comment\n\ncrates/pb/src/parallel.rs | binning worker panicked\n");
+        assert!(is_allowed(
+            &allows,
+            "crates/pb/src/parallel.rs",
+            "let b = h.join().expect(\"binning worker panicked\");",
+        ));
+        assert!(!is_allowed(
+            &allows,
+            "crates/pb/src/parallel.rs",
+            "let b = h.join().expect(\"other\");",
+        ));
+    }
+}

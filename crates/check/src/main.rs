@@ -1,0 +1,199 @@
+//! The `cobra-check` binary: race detection, commutativity oracles,
+//! schedule exploration and invariant linting under one entry point.
+//!
+//! ```text
+//! cobra-check races     # vector-clock race + invariant check, all kernels
+//! cobra-check oracle    # commutativity oracles (models, reducers, replays)
+//! cobra-check explore   # bounded exhaustive schedule exploration
+//! cobra-check lint      # source-level invariant lints
+//! cobra-check selftest  # the seeded racy fixture must be caught
+//! cobra-check all       # everything above; non-zero exit on any failure
+//! ```
+
+use cobra_check::{explore, fixtures, lint, oracle, race};
+use cobra_kernels::ALL_KERNELS;
+
+/// Permuted orders tried per oracle subject.
+const ORACLE_PERMS: usize = 6;
+
+fn run_races() -> bool {
+    println!("== race detection (FastTrack over instrumented runs) ==");
+    let mut ok = true;
+    for &k in ALL_KERNELS.iter() {
+        let cap = fixtures::kernel_parallel_capture(k);
+        let report = race::check_trace(&cap.events);
+        println!(
+            "  {:\u{2007}<18} {:>7} events  {:>2} threads  {:>6} bin writes  {:>6} acc writes  {}",
+            format!("{k:?}"),
+            report.events,
+            report.threads,
+            report.bin_writes,
+            report.acc_writes,
+            if report.is_clean() { "clean" } else { "RACY" },
+        );
+        for f in &report.findings {
+            println!("    {f}");
+        }
+        ok &= report.is_clean();
+    }
+    let core = race::check_trace(&fixtures::core_exec_capture());
+    println!(
+        "  {:\u{2007}<18} {:>7} events  {:>2} threads  {:>6} bin writes  (core exec path)  {}",
+        "SwPb-exec",
+        core.events,
+        core.threads,
+        core.bin_writes,
+        if core.is_clean() { "clean" } else { "RACY" },
+    );
+    for f in &core.findings {
+        println!("    {f}");
+    }
+    ok && core.is_clean()
+}
+
+fn run_oracle() -> bool {
+    println!("== commutativity oracle (permuted replays) ==");
+    let mut ok = true;
+    println!("  scatter models:");
+    for r in oracle::check_all_scatter_models(ORACLE_PERMS) {
+        println!("    {r}");
+        ok &= r.agrees();
+    }
+    println!("  streaming reducers:");
+    for r in oracle::check_reducers(ORACLE_PERMS) {
+        println!("    {r}");
+        ok &= r.agrees();
+    }
+    println!("  whole-kernel replays (shuffled bins end to end):");
+    for r in oracle::check_kernel_replays(ORACLE_PERMS) {
+        println!("    {r}");
+        ok &= r.agrees();
+    }
+    ok
+}
+
+fn run_explore() -> bool {
+    println!("== schedule exploration (stream channel/seal/epoch protocol) ==");
+    let mut ok = true;
+    for sc in explore::standard_scenarios() {
+        match explore::explore(&sc) {
+            Ok(stats) => println!(
+                "  {:32} {:>7} states, {:>4} terminal schedules, all invariants hold",
+                sc.name, stats.states, stats.terminals
+            ),
+            Err(v) => {
+                println!("  {:32} VIOLATION: {v}", sc.name);
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+fn run_lint() -> bool {
+    println!("== invariant lints ==");
+    let root = match lint::find_workspace_root() {
+        Ok(r) => r,
+        Err(e) => {
+            println!("  cannot locate workspace root: {e}");
+            return false;
+        }
+    };
+    match lint::run_lints(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("  clean (3 rules over pb/core/stream/sim sources)");
+            true
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("  {v}");
+            }
+            println!("  {} violation(s)", violations.len());
+            false
+        }
+        Err(e) => {
+            println!("  lint failed to read sources: {e}");
+            false
+        }
+    }
+}
+
+fn run_selftest() -> bool {
+    println!("== self-test (seeded defects must be caught) ==");
+    let racy = race::check_trace(&fixtures::racy_degree_count_events());
+    let racy_caught = racy
+        .findings
+        .iter()
+        .any(|f| matches!(f, race::Finding::WriteRace { .. }));
+    println!(
+        "  seeded cross-bin write race:    {}",
+        if racy_caught {
+            "detected"
+        } else {
+            "MISSED — detector is broken"
+        }
+    );
+    let clean = race::check_trace(&fixtures::clean_degree_count_events());
+    println!(
+        "  clean control run:              {}",
+        if clean.is_clean() {
+            "clean"
+        } else {
+            "FALSE POSITIVE"
+        }
+    );
+    let buggy = explore::Scenario {
+        name: "lost_wakeup_mutation",
+        cap_data: 1,
+        cap_acc: 1,
+        producers: vec![
+            vec![explore::POp::Send(1), explore::POp::Send(1)],
+            vec![explore::POp::Send(1)],
+        ],
+        worker_exit_after: Some(0),
+        buggy_drop_notify_one: true,
+        strict_totals: false,
+    };
+    let deadlock_found = explore::explore(&buggy).is_err();
+    println!(
+        "  lost-wakeup mutation:           {}",
+        if deadlock_found {
+            "deadlock exposed"
+        } else {
+            "MISSED — explorer is broken"
+        }
+    );
+    racy_caught && clean.is_clean() && deadlock_found
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let ok = match mode.as_str() {
+        "races" => run_races(),
+        "oracle" => run_oracle(),
+        "explore" => run_explore(),
+        "lint" => run_lint(),
+        "selftest" => run_selftest(),
+        "all" => {
+            let mut ok = true;
+            // Run every analysis even after a failure: one report, all news.
+            ok &= run_races();
+            ok &= run_oracle();
+            ok &= run_explore();
+            ok &= run_lint();
+            ok &= run_selftest();
+            ok
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`");
+            eprintln!("usage: cobra-check [races|oracle|explore|lint|selftest|all]");
+            std::process::exit(2);
+        }
+    };
+    if ok {
+        println!("cobra-check: PASS");
+    } else {
+        println!("cobra-check: FAIL");
+        std::process::exit(1);
+    }
+}

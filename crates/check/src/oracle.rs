@@ -1,0 +1,517 @@
+//! Commutativity oracle: validates every kernel's and reducer's declared
+//! commutative-vs-ordered mode by *replaying updates in permuted orders*
+//! and diffing outputs.
+//!
+//! Three layers, strongest first:
+//!
+//! 1. **Whole-kernel replay** — [`ShuffledPb`] is a [`PbBackend`] whose
+//!    `flush_and_take` shuffles each bin's tuples before handing them to
+//!    the Accumulate phase. Running the real `pb()` kernels over it checks
+//!    that the four declared-commutative kernels produce reference output
+//!    under *any* within-bin replay order (seed 0 keeps arrival order as a
+//!    control).
+//! 2. **Scatter models** — a small executable model of each of the nine
+//!    kernels' per-update scatter function, driven by collision-rich
+//!    synthetic update streams. Declared-commutative kernels must be
+//!    insensitive to stream permutation; declared-ordered kernels must be
+//!    provably sensitive (at least one permutation diverges), so a stale
+//!    declaration in either direction fails.
+//! 3. **Reducer oracle** — the `cobra-stream` [`Reducer`]s: permuted apply
+//!    order, plus split/merge consistency for the merge-on-flush path.
+//!
+//! Floating-point values in the models are dyadic rationals small enough
+//! that every partial sum is exact, so commutativity comparisons are
+//! bit-exact rather than tolerance-based; the whole-kernel Pagerank replay
+//! (real ranks) uses the suite's own 1e-4 tolerance instead.
+
+use cobra_core::backend::{BinStorage, PbBackend};
+use cobra_graph::rng::SplitMix64;
+use cobra_graph::{gen, Csr, SparseMatrix};
+use cobra_kernels::{degree_count, pagerank, radii, spmv, KernelId};
+use cobra_pb::Binner;
+use cobra_sim::addr::ArrayAddr;
+use cobra_sim::engine::{Engine, NullEngine};
+use cobra_stream::{Append, Count, Latest, Reducer, Sum};
+
+/// In-place Fisher–Yates shuffle driven by the repo's deterministic RNG.
+fn shuffle<T>(items: &mut [T], rng: &mut SplitMix64) {
+    for i in (1..items.len()).rev() {
+        let j = rng.u32_below(i as u32 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// A [`PbBackend`] over [`NullEngine`] + the software [`Binner`] that
+/// permutes each bin's tuples at flush time. Seed 0 is the identity
+/// (arrival order); any other seed is a deterministic shuffle.
+pub struct ShuffledPb<V> {
+    engine: NullEngine,
+    binner: Binner<V>,
+    tuple_bytes: u32,
+    seed: u64,
+    base: Option<ArrayAddr>,
+}
+
+impl<V: Copy> ShuffledPb<V> {
+    /// Creates a backend for keys `0..num_keys` with at least `min_bins`
+    /// bins, shuffling with `seed` (0 = keep arrival order).
+    pub fn new(num_keys: u32, min_bins: usize, seed: u64) -> Self {
+        ShuffledPb {
+            engine: NullEngine::new(),
+            binner: Binner::new(num_keys, min_bins),
+            tuple_bytes: std::mem::size_of::<(u32, V)>() as u32,
+            seed,
+            base: None,
+        }
+    }
+}
+
+impl<V: Copy> PbBackend<V> for ShuffledPb<V> {
+    type Eng = NullEngine;
+
+    fn engine(&mut self) -> &mut NullEngine {
+        &mut self.engine
+    }
+
+    fn bin_shift(&self) -> u32 {
+        self.binner.bin_shift()
+    }
+
+    fn num_bins(&self) -> usize {
+        self.binner.num_bins()
+    }
+
+    fn presize(&mut self, _counts: &[u64]) {}
+
+    fn insert(&mut self, key: u32, value: V) {
+        self.binner.insert(key, value);
+    }
+
+    fn flush_and_take(&mut self) -> BinStorage<V> {
+        let bins = self.binner.take_bins();
+        let shift = bins.bin_shift();
+        let mut raw: Vec<Vec<(u32, V)>> = (0..bins.num_bins())
+            .map(|b| bins.bin(b).iter().map(|t| (t.key, t.value)).collect())
+            .collect();
+        if self.seed != 0 {
+            let mut rng = SplitMix64::seed_from_u64(self.seed);
+            for bin in &mut raw {
+                shuffle(bin, &mut rng);
+            }
+        }
+        let bytes = (bins.len().max(1) as u64) * self.tuple_bytes as u64;
+        let base = *self
+            .base
+            .get_or_insert_with(|| self.engine.alloc("shuffled_bins", bytes));
+        BinStorage::new(base, self.tuple_bytes, shift, raw)
+    }
+}
+
+/// Outcome of one oracle check.
+#[derive(Debug, Clone)]
+pub struct OracleResult {
+    /// What was checked (kernel or reducer name, with the layer).
+    pub subject: String,
+    /// The declared mode under test.
+    pub declared_commutative: bool,
+    /// What the permutation replay actually observed.
+    pub observed_commutative: bool,
+    /// Orders tried beyond the reference order.
+    pub permutations: usize,
+}
+
+impl OracleResult {
+    /// The declaration matches the observation.
+    pub fn agrees(&self) -> bool {
+        self.declared_commutative == self.observed_commutative
+    }
+}
+
+impl std::fmt::Display for OracleResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:40} declared={:11} observed={:11} ({} permutations) {}",
+            self.subject,
+            if self.declared_commutative {
+                "commutative"
+            } else {
+                "ordered"
+            },
+            if self.observed_commutative {
+                "commutative"
+            } else {
+                "ordered"
+            },
+            self.permutations,
+            if self.agrees() { "OK" } else { "MISMATCH" },
+        )
+    }
+}
+
+/// Per-key model state: a list per key (single-slot kernels use index 0).
+type ModelState = Vec<Vec<u64>>;
+
+/// An executable model of one kernel's per-update scatter function.
+pub struct ScatterModel {
+    /// The kernel being modelled.
+    pub kernel: KernelId,
+    /// Key domain of the synthetic stream.
+    pub num_keys: u32,
+    /// The collision-rich synthetic update stream.
+    pub updates: Vec<(u32, u64)>,
+    /// Applies one `(key, value)` update to the model state.
+    pub apply: fn(&mut ModelState, u32, u64),
+}
+
+impl ScatterModel {
+    fn run(&self, updates: &[(u32, u64)]) -> ModelState {
+        let mut state: ModelState = vec![Vec::new(); self.num_keys as usize];
+        for &(k, v) in updates {
+            (self.apply)(&mut state, k, v);
+        }
+        state
+    }
+}
+
+fn slot(state: &mut ModelState, k: u32) -> &mut u64 {
+    let s = &mut state[k as usize];
+    if s.is_empty() {
+        s.push(0);
+    }
+    &mut s[0]
+}
+
+/// A collision-rich stream: `n` updates over `keys` keys, every key hit
+/// repeatedly with distinct values so any within-key reorder is visible
+/// to an order-sensitive scatter function.
+fn collision_stream(n: usize, keys: u32, seed: u64) -> Vec<(u32, u64)> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    (0..n).map(|i| (rng.u32_below(keys), i as u64)).collect()
+}
+
+/// The nine kernels' scatter models with their probe streams.
+///
+/// Values double as exact dyadic floats where the kernel sums: `Pagerank`
+/// stores `f32` bits, `SpMV` stores `f64` bits, both multiples of 0.25 so
+/// addition never rounds and order-insensitivity is bit-exact.
+///
+/// `IntSort` and `PINV` deserve a note: at whole-kernel granularity on
+/// *valid* inputs they look order-insensitive (sorted output / unique
+/// keys), but their scatter functions — stable record placement and
+/// slot overwrite — are order-sensitive, which is why the paper classifies
+/// them as ordered. The probe streams use duplicate keys with distinct
+/// values to test the scatter function itself, not the lucky input.
+pub fn scatter_models() -> Vec<ScatterModel> {
+    let keys = 16u32;
+    let n = 160usize;
+    vec![
+        ScatterModel {
+            kernel: KernelId::DegreeCount,
+            num_keys: keys,
+            updates: collision_stream(n, keys, 11),
+            apply: |s, k, _| *slot(s, k) += 1,
+        },
+        ScatterModel {
+            kernel: KernelId::NeighborPopulate,
+            num_keys: keys,
+            updates: collision_stream(n, keys, 12),
+            apply: |s, k, v| s[k as usize].push(v),
+        },
+        ScatterModel {
+            kernel: KernelId::Pagerank,
+            num_keys: keys,
+            updates: collision_stream(n, keys, 13)
+                .into_iter()
+                .map(|(k, v)| (k, f32::to_bits((v % 8 + 1) as f32 * 0.25) as u64))
+                .collect(),
+            apply: |s, k, v| {
+                let cur = f32::from_bits(*slot(s, k) as u32);
+                *slot(s, k) = f32::to_bits(cur + f32::from_bits(v as u32)) as u64;
+            },
+        },
+        ScatterModel {
+            kernel: KernelId::Radii,
+            num_keys: keys,
+            updates: collision_stream(n, keys, 14)
+                .into_iter()
+                .map(|(k, v)| (k, 1u64 << (v % 64)))
+                .collect(),
+            apply: |s, k, v| *slot(s, k) |= v,
+        },
+        ScatterModel {
+            kernel: KernelId::IntSort,
+            num_keys: keys,
+            // Counting sort's scatter places record i at the next cursor of
+            // bucket key(i): stable, hence order-sensitive per bucket.
+            updates: collision_stream(n, keys, 15),
+            apply: |s, k, v| s[k as usize].push(v),
+        },
+        ScatterModel {
+            kernel: KernelId::Spmv,
+            num_keys: keys,
+            updates: collision_stream(n, keys, 16)
+                .into_iter()
+                .map(|(k, v)| (k, f64::to_bits((v % 16 + 1) as f64 * 0.25)))
+                .collect(),
+            apply: |s, k, v| {
+                let cur = f64::from_bits(*slot(s, k));
+                *slot(s, k) = f64::to_bits(cur + f64::from_bits(v));
+            },
+        },
+        ScatterModel {
+            kernel: KernelId::Transpose,
+            num_keys: keys,
+            // Column-major scatter appends (row, value) records at the
+            // column's cursor: order-sensitive.
+            updates: collision_stream(n, keys, 17),
+            apply: |s, k, v| s[k as usize].push(v),
+        },
+        ScatterModel {
+            kernel: KernelId::Pinv,
+            num_keys: keys,
+            // pinv[p[i]] = i is a slot overwrite; probe with duplicate
+            // keys so last-writer-wins order sensitivity is exposed.
+            updates: collision_stream(n, keys, 18),
+            apply: |s, k, v| *slot(s, k) = v,
+        },
+        ScatterModel {
+            kernel: KernelId::SymPerm,
+            num_keys: keys,
+            updates: collision_stream(n, keys, 19),
+            apply: |s, k, v| s[k as usize].push(v),
+        },
+    ]
+}
+
+/// Permutes a scatter model's stream `perms` times and compares outputs.
+pub fn check_scatter_model(model: &ScatterModel, perms: usize) -> OracleResult {
+    let reference = model.run(&model.updates);
+    let mut observed_commutative = true;
+    for seed in 1..=perms as u64 {
+        let mut shuffled = model.updates.clone();
+        let mut rng = SplitMix64::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+        shuffle(&mut shuffled, &mut rng);
+        if model.run(&shuffled) != reference {
+            observed_commutative = false;
+            break;
+        }
+    }
+    OracleResult {
+        subject: format!("scatter-model {}", model.kernel.name()),
+        declared_commutative: model.kernel.is_commutative(),
+        observed_commutative,
+        permutations: perms,
+    }
+}
+
+/// Runs the scatter-model oracle over all nine kernels.
+pub fn check_all_scatter_models(perms: usize) -> Vec<OracleResult> {
+    scatter_models()
+        .iter()
+        .map(|m| check_scatter_model(m, perms))
+        .collect()
+}
+
+/// Generic reducer probe: applies `values` in order, in `perms` shuffled
+/// orders, and (for the commutative contract) via a split + merge.
+fn probe_reducer<R, EQ>(
+    name: &str,
+    reducer: &R,
+    values: Vec<R::Value>,
+    perms: usize,
+    eq: EQ,
+) -> OracleResult
+where
+    R: Reducer,
+    EQ: Fn(&R::Acc, &R::Acc) -> bool,
+{
+    let apply_all = |vals: &[R::Value]| {
+        let mut acc = reducer.identity();
+        for v in vals {
+            reducer.apply(&mut acc, v);
+        }
+        acc
+    };
+    let reference = apply_all(&values);
+    let mut observed_commutative = true;
+    for seed in 1..=perms as u64 {
+        let mut shuffled = values.clone();
+        let mut rng = SplitMix64::seed_from_u64(seed.wrapping_mul(0x517c_c1b7));
+        shuffle(&mut shuffled, &mut rng);
+        if !eq(&apply_all(&shuffled), &reference) {
+            observed_commutative = false;
+            break;
+        }
+    }
+    if R::COMMUTATIVE && observed_commutative {
+        // The merge-on-flush path must agree with straight-line apply.
+        for split in [1, values.len() / 2, values.len().saturating_sub(1)] {
+            let (a, b) = values.split_at(split.min(values.len()));
+            let mut left = apply_all(a);
+            reducer.merge(&mut left, apply_all(b));
+            if !eq(&left, &reference) {
+                observed_commutative = false;
+            }
+        }
+    }
+    OracleResult {
+        subject: format!("reducer {name}"),
+        declared_commutative: R::COMMUTATIVE,
+        observed_commutative,
+        permutations: perms,
+    }
+}
+
+/// Runs the reducer oracle over all four `cobra-stream` reducers.
+pub fn check_reducers(perms: usize) -> Vec<OracleResult> {
+    let mut rng = SplitMix64::seed_from_u64(23);
+    let counts: Vec<()> = vec![(); 64];
+    // Dyadic values: f64 sums are exact, so shuffles compare bit-equal.
+    let sums: Vec<f64> = (0..64).map(|_| rng.u32_below(32) as f64 * 0.25).collect();
+    let appends: Vec<u32> = (0..64).map(|i| i as u32).collect();
+    let latests: Vec<u64> = (0..64).map(|i| i as u64).collect();
+    vec![
+        probe_reducer("Count", &Count, counts, perms, |a, b| a == b),
+        probe_reducer("Sum", &Sum, sums, perms, |a, b| a == b),
+        probe_reducer("Append", &Append, appends, perms, |a, b| a == b),
+        probe_reducer("Latest", &Latest, latests, perms, |a, b| a == b),
+    ]
+}
+
+/// Whole-kernel replay through [`ShuffledPb`]: the four declared-
+/// commutative kernels must reproduce reference output under shuffled
+/// within-bin replay order.
+pub fn check_kernel_replays(perms: usize) -> Vec<OracleResult> {
+    let mut results = Vec::new();
+
+    // Degree-Count over a random graph: exact equality.
+    {
+        let el = gen::uniform_random(512, 4_000, 7);
+        let expected = degree_count::reference(&el);
+        let mut ok = true;
+        for seed in 0..=perms as u64 {
+            let mut b = ShuffledPb::<()>::new(512, 8, seed);
+            if degree_count::pb(&mut b, &el) != expected {
+                ok = false;
+                break;
+            }
+        }
+        results.push(OracleResult {
+            subject: "kernel-replay Degree-Count".into(),
+            declared_commutative: KernelId::DegreeCount.is_commutative(),
+            observed_commutative: ok,
+            permutations: perms,
+        });
+    }
+
+    // Radii (bitset OR): exact equality of the radii vector.
+    {
+        let g = Csr::from_edgelist(&gen::rmat(8, 8, 3));
+        let nv = g.num_vertices() as u32;
+        let expected = radii::reference(&g, 4);
+        let mut ok = true;
+        for seed in 0..=perms as u64 {
+            let mut b = ShuffledPb::<u64>::new(nv, 8, seed);
+            let got = radii::pb(&mut b, &g, 4);
+            if got.radii != expected.radii {
+                ok = false;
+                break;
+            }
+        }
+        results.push(OracleResult {
+            subject: "kernel-replay Radii".into(),
+            declared_commutative: KernelId::Radii.is_commutative(),
+            observed_commutative: ok,
+            permutations: perms,
+        });
+    }
+
+    // Pagerank contributions: fp sums, suite tolerance (1e-4).
+    {
+        let g = Csr::from_edgelist(&gen::rmat(8, 8, 5));
+        let nv = g.num_vertices() as u32;
+        let expected = pagerank::reference(&g);
+        let mut ok = true;
+        for seed in 0..=perms as u64 {
+            let mut b = ShuffledPb::<f32>::new(nv.max(1), 8, seed);
+            let got = pagerank::pb(&mut b, &g);
+            if pagerank::max_abs_diff(&got, &expected) > 1e-4 {
+                ok = false;
+                break;
+            }
+        }
+        results.push(OracleResult {
+            subject: "kernel-replay Pagerank".into(),
+            declared_commutative: KernelId::Pagerank.is_commutative(),
+            observed_commutative: ok,
+            permutations: perms,
+        });
+    }
+
+    // SpMV scatter: fp sums, tight tolerance (few terms per row).
+    {
+        let m: SparseMatrix = cobra_graph::matrix::banded(256, 8, 5);
+        let mut rng = SplitMix64::seed_from_u64(9);
+        let x: Vec<f64> = (0..m.cols()).map(|_| rng.f64_range(-1.0, 1.0)).collect();
+        let expected = spmv::reference(&m, &x);
+        let mut ok = true;
+        for seed in 0..=perms as u64 {
+            let mut b = ShuffledPb::<f64>::new(m.rows().max(1), 8, seed);
+            let got = spmv::pb(&mut b, &m, &x);
+            if spmv::max_abs_diff(&got, &expected) > 1e-9 {
+                ok = false;
+                break;
+            }
+        }
+        results.push(OracleResult {
+            subject: "kernel-replay SpMV".into(),
+            declared_commutative: KernelId::Spmv.is_commutative(),
+            observed_commutative: ok,
+            permutations: perms,
+        });
+    }
+
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_models_all_agree_with_declarations() {
+        for r in check_all_scatter_models(6) {
+            assert!(r.agrees(), "{r}");
+        }
+    }
+
+    #[test]
+    fn reducers_all_agree_with_declarations() {
+        for r in check_reducers(6) {
+            assert!(r.agrees(), "{r}");
+        }
+    }
+
+    #[test]
+    fn kernel_replays_are_permutation_stable() {
+        for r in check_kernel_replays(3) {
+            assert!(r.agrees(), "{r}");
+        }
+    }
+
+    #[test]
+    fn a_wrong_declaration_is_caught() {
+        // Model an overwrite scatter but declare it commutative (use a
+        // commutative KernelId): the oracle must observe "ordered" and
+        // therefore disagree.
+        let lying = ScatterModel {
+            kernel: KernelId::DegreeCount, // declared commutative
+            num_keys: 8,
+            updates: collision_stream(64, 8, 42),
+            apply: |s, k, v| *slot(s, k) = v, // actually order-sensitive
+        };
+        let r = check_scatter_model(&lying, 8);
+        assert!(!r.agrees(), "oracle failed to expose the lie: {r}");
+    }
+}

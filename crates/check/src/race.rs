@@ -1,0 +1,457 @@
+//! FastTrack-style vector-clock race detection over `cobra_pb::trace`
+//! event logs.
+//!
+//! The detector consumes the flat event stream captured from an
+//! instrumented binning/accumulate run and checks the three properties the
+//! paper's "unordered parallelism suffices" argument rests on:
+//!
+//! 1. **Routing**: every Binning-phase tuple lands in the bin that owns its
+//!    key (`key >> shift == bin`) — the invariant that makes bins disjoint.
+//! 2. **Ownership**: every Accumulate-phase write touches a key owned by
+//!    the bin being replayed — the invariant that makes Accumulate safe
+//!    without atomics.
+//! 3. **Happens-before**: no two threads write the same output key without
+//!    an ordering edge between them. Edges come only from the fork/join
+//!    token protocol ([`cobra_pb::trace::Event::Fork`] /
+//!    [`ChildStart`](cobra_pb::trace::Event::ChildStart) /
+//!    [`Join`](cobra_pb::trace::Event::Join)); this is the classic
+//!    FastTrack *write-write* check with a last-write epoch per key.
+//!
+//! Routing and ownership are what *imply* race freedom for a correct PB
+//! run, so on a healthy trace all three hold; a seeded cross-bin tuple
+//! (see `fixtures`) trips ownership *and* shows up as a real vector-clock
+//! race between the two accumulate workers that share the key.
+
+use cobra_pb::trace::Event;
+use std::collections::{HashMap, HashSet};
+
+/// One defect found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Finding {
+    /// Two threads wrote output key `key` with no happens-before edge.
+    WriteRace {
+        /// The contended output key.
+        key: u32,
+        /// Trace thread id of the earlier (logged-first) writer.
+        first_thread: u32,
+        /// Trace thread id of the later writer.
+        second_thread: u32,
+    },
+    /// An Accumulate write to a key outside the replayed bin's range.
+    OwnershipViolation {
+        /// Writing thread.
+        thread: u32,
+        /// Bin being replayed.
+        bin: u32,
+        /// The out-of-range key.
+        key: u32,
+        /// log2 bin range in force.
+        shift: u32,
+    },
+    /// A Binning write routed a tuple into a bin that does not own its key.
+    RoutingViolation {
+        /// Writing thread.
+        thread: u32,
+        /// Bin the tuple was appended to.
+        bin: u32,
+        /// The mis-routed key.
+        key: u32,
+        /// log2 bin range in force.
+        shift: u32,
+    },
+    /// A `ChildStart` with no preceding `Fork` of the same token: the
+    /// thread's work cannot be ordered against its parent.
+    OrphanChild {
+        /// The unparented thread.
+        thread: u32,
+        /// The unmatched token.
+        token: u64,
+    },
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Finding::WriteRace {
+                key,
+                first_thread,
+                second_thread,
+            } => write!(
+                f,
+                "write-write race on key {key}: threads {first_thread} and \
+                 {second_thread} are unordered"
+            ),
+            Finding::OwnershipViolation {
+                thread,
+                bin,
+                key,
+                shift,
+            } => write!(
+                f,
+                "ownership violation: thread {thread} replaying bin {bin} \
+                 wrote key {key} (owner bin {})",
+                key >> shift
+            ),
+            Finding::RoutingViolation {
+                thread,
+                bin,
+                key,
+                shift,
+            } => write!(
+                f,
+                "routing violation: thread {thread} binned key {key} into \
+                 bin {bin} (owner bin {})",
+                key >> shift
+            ),
+            Finding::OrphanChild { thread, token } => write!(
+                f,
+                "orphan child: thread {thread} started with unmatched fork \
+                 token {token}"
+            ),
+        }
+    }
+}
+
+/// Result of checking one trace.
+#[derive(Debug, Clone, Default)]
+pub struct RaceReport {
+    /// Defects, deduplicated per key / per site.
+    pub findings: Vec<Finding>,
+    /// Total events processed.
+    pub events: usize,
+    /// Distinct threads observed.
+    pub threads: usize,
+    /// Binning-phase writes checked.
+    pub bin_writes: usize,
+    /// Accumulate-phase writes checked.
+    pub acc_writes: usize,
+}
+
+impl RaceReport {
+    /// Whether the trace is free of defects.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Per-thread vector clock, grown on demand.
+#[derive(Debug, Clone, Default)]
+struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, i: usize) -> u64 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, i: usize) {
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] += 1;
+    }
+
+    fn merge_from(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+/// Replays `events` through the vector-clock state machine and reports
+/// every routing, ownership and happens-before defect.
+pub fn check_trace(events: &[Event]) -> RaceReport {
+    let mut report = RaceReport {
+        events: events.len(),
+        ..RaceReport::default()
+    };
+    // Raw trace thread ids are process-global; densify them per trace.
+    let mut dense: HashMap<u32, usize> = HashMap::new();
+    let mut raw_ids: Vec<u32> = Vec::new();
+    let mut clocks: Vec<VClock> = Vec::new();
+    let mut fork_snapshots: HashMap<u64, VClock> = HashMap::new();
+    let mut token_child: HashMap<u64, usize> = HashMap::new();
+    // FastTrack last-write epoch per output key: (writer, writer clock).
+    let mut last_write: HashMap<u32, (usize, u64)> = HashMap::new();
+    let mut raced_keys: HashSet<u32> = HashSet::new();
+    let mut bad_routes: HashSet<(u32, u32)> = HashSet::new();
+    let mut bad_owners: HashSet<(u32, u32)> = HashSet::new();
+
+    let idx_of = |tid: u32,
+                  clocks: &mut Vec<VClock>,
+                  dense: &mut HashMap<u32, usize>,
+                  raw_ids: &mut Vec<u32>| {
+        *dense.entry(tid).or_insert_with(|| {
+            let i = clocks.len();
+            let mut vc = VClock::default();
+            vc.bump(i);
+            clocks.push(vc);
+            raw_ids.push(tid);
+            i
+        })
+    };
+
+    for ev in events {
+        match *ev {
+            Event::Fork { parent, token } => {
+                let p = idx_of(parent, &mut clocks, &mut dense, &mut raw_ids);
+                fork_snapshots.insert(token, clocks[p].clone());
+                // Advance the parent past the fork so its later work is
+                // not ordered before the child by accident.
+                clocks[p].bump(p);
+            }
+            Event::ChildStart { thread, token } => {
+                let c = idx_of(thread, &mut clocks, &mut dense, &mut raw_ids);
+                match fork_snapshots.remove(&token) {
+                    Some(snap) => clocks[c].merge_from(&snap),
+                    None => report.findings.push(Finding::OrphanChild { thread, token }),
+                }
+                token_child.insert(token, c);
+                clocks[c].bump(c);
+            }
+            Event::Join { parent, token } => {
+                let p = idx_of(parent, &mut clocks, &mut dense, &mut raw_ids);
+                if let Some(&c) = token_child.get(&token) {
+                    let child_vc = clocks[c].clone();
+                    clocks[p].merge_from(&child_vc);
+                }
+                clocks[p].bump(p);
+            }
+            Event::BinWrite {
+                thread,
+                bin,
+                key,
+                shift,
+            } => {
+                report.bin_writes += 1;
+                // Binning writes go to thread-private C-Buffers — no race
+                // check needed, but count the thread in the report.
+                idx_of(thread, &mut clocks, &mut dense, &mut raw_ids);
+                if key >> shift != bin && bad_routes.insert((bin, key)) {
+                    report.findings.push(Finding::RoutingViolation {
+                        thread,
+                        bin,
+                        key,
+                        shift,
+                    });
+                }
+            }
+            Event::BinFlush { .. } => {}
+            Event::AccWrite {
+                thread,
+                bin,
+                key,
+                shift,
+            } => {
+                report.acc_writes += 1;
+                if key >> shift != bin && bad_owners.insert((bin, key)) {
+                    report.findings.push(Finding::OwnershipViolation {
+                        thread,
+                        bin,
+                        key,
+                        shift,
+                    });
+                }
+                let t = idx_of(thread, &mut clocks, &mut dense, &mut raw_ids);
+                if let Some(&(u, at)) = last_write.get(&key) {
+                    // Unordered iff the previous write's epoch is not
+                    // covered by this thread's view of the writer.
+                    if u != t && at > clocks[t].get(u) && raced_keys.insert(key) {
+                        report.findings.push(Finding::WriteRace {
+                            key,
+                            first_thread: raw_ids[u],
+                            second_thread: thread,
+                        });
+                    }
+                }
+                last_write.insert(key, (t, clocks[t].get(t)));
+            }
+        }
+    }
+    report.threads = clocks.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_writes_are_ordered() {
+        let events = vec![
+            Event::AccWrite {
+                thread: 0,
+                bin: 0,
+                key: 5,
+                shift: 4,
+            },
+            Event::AccWrite {
+                thread: 0,
+                bin: 0,
+                key: 5,
+                shift: 4,
+            },
+        ];
+        assert!(check_trace(&events).is_clean());
+    }
+
+    #[test]
+    fn sibling_writes_to_same_key_race() {
+        // Parent forks two children; both write key 5; no join between.
+        let events = vec![
+            Event::Fork {
+                parent: 0,
+                token: 1,
+            },
+            Event::Fork {
+                parent: 0,
+                token: 2,
+            },
+            Event::ChildStart {
+                thread: 1,
+                token: 1,
+            },
+            Event::ChildStart {
+                thread: 2,
+                token: 2,
+            },
+            Event::AccWrite {
+                thread: 1,
+                bin: 0,
+                key: 5,
+                shift: 4,
+            },
+            Event::AccWrite {
+                thread: 2,
+                bin: 0,
+                key: 5,
+                shift: 4,
+            },
+        ];
+        let report = check_trace(&events);
+        assert!(matches!(
+            report.findings.as_slice(),
+            [Finding::WriteRace { key: 5, .. }]
+        ));
+    }
+
+    #[test]
+    fn join_orders_parent_after_child() {
+        // Child writes key 5, parent joins, then parent writes key 5:
+        // ordered, no race.
+        let events = vec![
+            Event::Fork {
+                parent: 0,
+                token: 1,
+            },
+            Event::ChildStart {
+                thread: 1,
+                token: 1,
+            },
+            Event::AccWrite {
+                thread: 1,
+                bin: 0,
+                key: 5,
+                shift: 4,
+            },
+            Event::Join {
+                parent: 0,
+                token: 1,
+            },
+            Event::AccWrite {
+                thread: 0,
+                bin: 0,
+                key: 5,
+                shift: 4,
+            },
+        ];
+        assert!(check_trace(&events).is_clean());
+    }
+
+    #[test]
+    fn fork_chain_transitivity() {
+        // t0 forks t1 (writes), joins; then forks t2 (writes): ordered
+        // through the parent even though t1 and t2 never met.
+        let events = vec![
+            Event::Fork {
+                parent: 0,
+                token: 1,
+            },
+            Event::ChildStart {
+                thread: 1,
+                token: 1,
+            },
+            Event::AccWrite {
+                thread: 1,
+                bin: 0,
+                key: 9,
+                shift: 4,
+            },
+            Event::Join {
+                parent: 0,
+                token: 1,
+            },
+            Event::Fork {
+                parent: 0,
+                token: 2,
+            },
+            Event::ChildStart {
+                thread: 2,
+                token: 2,
+            },
+            Event::AccWrite {
+                thread: 2,
+                bin: 0,
+                key: 9,
+                shift: 4,
+            },
+        ];
+        assert!(check_trace(&events).is_clean());
+    }
+
+    #[test]
+    fn routing_and_ownership_violations_are_flagged() {
+        let events = vec![
+            Event::BinWrite {
+                thread: 0,
+                bin: 3,
+                key: 5,
+                shift: 4,
+            },
+            Event::AccWrite {
+                thread: 0,
+                bin: 3,
+                key: 5,
+                shift: 4,
+            },
+        ];
+        let report = check_trace(&events);
+        assert_eq!(report.findings.len(), 2);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::RoutingViolation { key: 5, bin: 3, .. })));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::OwnershipViolation { key: 5, bin: 3, .. })));
+    }
+
+    #[test]
+    fn orphan_child_is_flagged() {
+        let events = vec![Event::ChildStart {
+            thread: 7,
+            token: 99,
+        }];
+        let report = check_trace(&events);
+        assert!(matches!(
+            report.findings.as_slice(),
+            [Finding::OrphanChild {
+                thread: 7,
+                token: 99
+            }]
+        ));
+    }
+}

@@ -296,6 +296,12 @@ impl<V: Copy> PbBackend<V> for CobraMachine<V> {
         }
         self.maybe_context_switch();
         // Functional effect: program order per memory bin.
+        #[cfg(feature = "check")]
+        cobra_pb::trace::bin_write(
+            (key >> self.hier.memory_bin_shift()) as usize,
+            key,
+            self.hier.memory_bin_shift(),
+        );
         self.bins[(key >> self.hier.memory_bin_shift()) as usize].push((key, value));
         // Timing effect: L1 C-Buffer occupancy and eviction cascade.
         let b = (key >> self.hier.levels[0].shift) as usize;
@@ -315,6 +321,8 @@ impl<V: Copy> PbBackend<V> for CobraMachine<V> {
     /// forcing residual tuples to in-memory bins; the core waits for the
     /// walk to complete.
     fn flush_and_take(&mut self) -> BinStorage<V> {
+        #[cfg(feature = "check")]
+        cobra_pb::trace::bin_flush_all();
         // One instruction to trigger the flush.
         self.sim.alu(1);
         for b in 0..self.l1.len() {

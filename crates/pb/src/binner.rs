@@ -12,6 +12,31 @@ pub struct Tuple<V> {
 /// Cache-line size assumed for C-Buffer capacity computation.
 const LINE_BYTES: usize = 64;
 
+/// An update key outside the binner's configured domain.
+///
+/// Returned by [`Binner::try_insert`]; with the `check` feature enabled
+/// the infallible [`Binner::insert`] also takes this checked path (and
+/// panics with the error) instead of a `debug_assert`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinError {
+    /// The offending key.
+    pub key: u32,
+    /// The binner's key domain is `0..num_keys`.
+    pub num_keys: u32,
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "key {} out of range (domain is 0..{})",
+            self.key, self.num_keys
+        )
+    }
+}
+
+impl std::error::Error for BinError {}
+
 /// A binner: routes `(key, value)` tuples into per-range bins through
 /// cacheline-sized coalescing buffers (C-Buffers), exactly as software PB's
 /// Binning phase does (paper, Section III).
@@ -102,11 +127,39 @@ impl<V: Copy> Binner<V> {
     ///
     /// # Panics
     ///
-    /// In debug builds, panics if `key >= num_keys`.
+    /// In debug builds — and in all builds when the `check` feature is
+    /// enabled — panics if `key >= num_keys`.
     #[inline]
     pub fn insert(&mut self, key: u32, value: V) {
-        debug_assert!(key < self.num_keys, "key {key} out of range");
+        #[cfg(feature = "check")]
+        if let Err(e) = self.try_insert(key, value) {
+            panic!("{e}");
+        }
+        #[cfg(not(feature = "check"))]
+        {
+            debug_assert!(key < self.num_keys, "key {key} out of range");
+            self.insert_unchecked(key, value);
+        }
+    }
+
+    /// Routes one update tuple, rejecting keys outside `0..num_keys`.
+    #[inline]
+    pub fn try_insert(&mut self, key: u32, value: V) -> Result<(), BinError> {
+        if key >= self.num_keys {
+            return Err(BinError {
+                key,
+                num_keys: self.num_keys,
+            });
+        }
+        self.insert_unchecked(key, value);
+        Ok(())
+    }
+
+    #[inline]
+    fn insert_unchecked(&mut self, key: u32, value: V) {
         let b = (key >> self.shift) as usize;
+        #[cfg(feature = "check")]
+        crate::trace::bin_write(b, key, self.shift);
         let cbuf = &mut self.cbufs[b];
         cbuf.push(Tuple { key, value });
         if cbuf.len() == self.cbuf_cap {
@@ -152,9 +205,29 @@ impl<V: Copy> Binner<V> {
     }
 
     fn flush_cbufs(&mut self) {
+        #[cfg(feature = "check")]
+        crate::trace::bin_flush_all();
         for (b, cbuf) in self.cbufs.iter_mut().enumerate() {
             self.bins[b].extend_from_slice(cbuf);
             cbuf.clear();
+        }
+    }
+}
+
+#[cfg(feature = "check")]
+impl<V> Bins<V> {
+    /// Builds bins directly from raw parts, **bypassing routing**.
+    ///
+    /// Checker-fixture constructor only: `cobra-check` uses it to seed
+    /// deliberately-corrupted bins (e.g. a tuple placed in a bin that does
+    /// not own its key) that the race detector must flag. Every API that
+    /// *produces* bins normally ([`Binner::insert`]) enforces routing, so
+    /// this is the only way to manufacture a violation.
+    pub fn from_raw(shift: u32, num_keys: u32, bins: Vec<Vec<Tuple<V>>>) -> Self {
+        Bins {
+            shift,
+            num_keys,
+            bins,
         }
     }
 }
@@ -416,6 +489,34 @@ mod tests {
         assert_eq!(rest.len(), 20);
         let keys: Vec<u32> = rest.bin(1).iter().map(|t| t.key).collect();
         assert_eq!(keys, (100..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_insert_rejects_out_of_range_key() {
+        let mut b = Binner::<u32>::new(100, 4);
+        let err = b.try_insert(100, 7).expect_err("key 100 is out of range");
+        assert_eq!(
+            err,
+            BinError {
+                key: 100,
+                num_keys: 100
+            }
+        );
+        assert!(err.to_string().contains("key 100"));
+        // Nothing was buffered by the rejected insert.
+        assert_eq!(b.buffered_len(), 0);
+        b.try_insert(99, 7).expect("key 99 is in range");
+        assert_eq!(b.finish().len(), 1);
+    }
+
+    #[cfg(feature = "check")]
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn checked_insert_panics_on_out_of_range_key() {
+        // With the `check` feature on, the infallible path is promoted from
+        // a debug_assert to an always-on checked insert.
+        let mut b = Binner::<u32>::new(100, 4);
+        b.insert(100, 7);
     }
 
     #[test]

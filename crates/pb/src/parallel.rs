@@ -42,7 +42,11 @@ where
         let produce = &produce;
         let handles: Vec<_> = (0..threads)
             .map(|t| {
-                s.spawn(move || {
+                #[cfg(feature = "check")]
+                let token = crate::trace::fork();
+                let handle = s.spawn(move || {
+                    #[cfg(feature = "check")]
+                    crate::trace::child_start(token);
                     let lo = (t * chunk).min(num_items);
                     let hi = ((t + 1) * chunk).min(num_items);
                     let mut binner = Binner::new(num_keys, min_bins);
@@ -51,13 +55,26 @@ where
                         binner.insert(k, v);
                     }
                     binner.finish()
-                })
+                });
+                #[cfg(feature = "check")]
+                let handle = (handle, token);
+                handle
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("binning worker panicked"))
-            .collect()
+        let mut joined = Vec::with_capacity(handles.len());
+        for h in handles {
+            #[cfg(feature = "check")]
+            let bins = {
+                let (h, token) = h;
+                let bins = h.join().expect("binning worker panicked");
+                crate::trace::join(token);
+                bins
+            };
+            #[cfg(not(feature = "check"))]
+            let bins = h.join().expect("binning worker panicked");
+            joined.push(bins);
+        }
+        joined
     });
     ThreadBins {
         per_thread,
@@ -162,17 +179,37 @@ impl<V: Copy + Send + Sync> ThreadBins<V> {
         std::thread::scope(|s| {
             let f = &f;
             let this = &*self;
+            let mut handles = Vec::with_capacity(threads);
             for worker in per_worker {
-                s.spawn(move || {
+                #[cfg(feature = "check")]
+                let token = crate::trace::fork();
+                let handle = s.spawn(move || {
+                    #[cfg(feature = "check")]
+                    crate::trace::child_start(token);
                     for (b, chunk) in worker {
                         let base = (b as u64 * range as u64) as u32;
                         for slice in this.bin_slices(b) {
                             for t in slice {
+                                #[cfg(feature = "check")]
+                                crate::trace::acc_write(b, t.key, this.bin_shift());
                                 f(chunk, base, t.key, &t.value);
                             }
                         }
                     }
                 });
+                #[cfg(feature = "check")]
+                let handle = (handle, token);
+                handles.push(handle);
+            }
+            for h in handles {
+                #[cfg(feature = "check")]
+                {
+                    let (h, token) = h;
+                    h.join().expect("accumulate worker panicked");
+                    crate::trace::join(token);
+                }
+                #[cfg(not(feature = "check"))]
+                h.join().expect("accumulate worker panicked");
             }
         });
     }

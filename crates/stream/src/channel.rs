@@ -38,13 +38,17 @@ impl ChannelCounters {
     /// A consistent-enough copy of the counters (each counter is read
     /// atomically; the set is not snapshotted under a lock).
     pub fn snapshot(&self) -> ChannelStats {
+        // ordering: Relaxed throughout — monotonic statistics counters; no
+        // payload is published through them (message data always crosses
+        // threads under the channel's state mutex), so no acquire/release
+        // pairing is needed and per-counter atomicity suffices.
         ChannelStats {
-            sends: self.sends.load(Ordering::Relaxed),
-            recvs: self.recvs.load(Ordering::Relaxed),
-            send_blocks: self.send_blocks.load(Ordering::Relaxed),
-            send_stall_nanos: self.send_stall_nanos.load(Ordering::Relaxed),
-            occupancy_hwm: self.occupancy_hwm.load(Ordering::Relaxed),
-            occupancy_sum: self.occupancy_sum.load(Ordering::Relaxed),
+            sends: self.sends.load(Ordering::Relaxed), // ordering: stats
+            recvs: self.recvs.load(Ordering::Relaxed), // ordering: stats
+            send_blocks: self.send_blocks.load(Ordering::Relaxed), // ordering: stats
+            send_stall_nanos: self.send_stall_nanos.load(Ordering::Relaxed), // ordering: stats
+            occupancy_hwm: self.occupancy_hwm.load(Ordering::Relaxed), // ordering: stats
+            occupancy_sum: self.occupancy_sum.load(Ordering::Relaxed), // ordering: stats
         }
     }
 }
@@ -144,6 +148,8 @@ impl<T> Sender<T> {
         let sh = &*self.shared;
         let mut st = sh.state.lock().expect("channel poisoned");
         if st.queue.len() >= sh.capacity && st.receiver_alive {
+            // ordering: Relaxed — stats counter; the queue itself is
+            // mutex-protected, nothing is published through this atomic.
             sh.counters.send_blocks.fetch_add(1, Ordering::Relaxed);
             let t0 = Instant::now();
             while st.queue.len() >= sh.capacity && st.receiver_alive {
@@ -151,6 +157,7 @@ impl<T> Sender<T> {
             }
             sh.counters
                 .send_stall_nanos
+                // ordering: Relaxed — stats counter, as above.
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         if !st.receiver_alive {
@@ -158,9 +165,11 @@ impl<T> Sender<T> {
         }
         st.queue.push_back(value);
         let occ = st.queue.len() as u64;
+        // ordering: Relaxed (×3) — stats counters sampled under the state
+        // mutex; monotonic, no cross-thread payload publication.
         sh.counters.occupancy_sum.fetch_add(occ, Ordering::Relaxed);
-        sh.counters.occupancy_hwm.fetch_max(occ, Ordering::Relaxed);
-        sh.counters.sends.fetch_add(1, Ordering::Relaxed);
+        sh.counters.occupancy_hwm.fetch_max(occ, Ordering::Relaxed); // ordering: stats
+        sh.counters.sends.fetch_add(1, Ordering::Relaxed); // ordering: stats
         drop(st);
         sh.not_empty.notify_one();
         Ok(())
@@ -201,6 +210,8 @@ impl<T> Receiver<T> {
         let mut st = sh.state.lock().expect("channel poisoned");
         loop {
             if let Some(v) = st.queue.pop_front() {
+                // ordering: Relaxed — stats counter; `v` itself was handed
+                // over by the state mutex, not by this atomic.
                 sh.counters.recvs.fetch_add(1, Ordering::Relaxed);
                 drop(st);
                 sh.not_full.notify_one();

@@ -193,6 +193,10 @@ impl<R: Reducer> Accumulator<R> {
     fn publish(&self, epoch: u64) {
         let snap = Arc::new(EpochSnapshot::new(epoch, self.state.clone()));
         *self.published.lock().expect("snapshot lock poisoned") = snap;
+        // ordering: Relaxed — audited: the snapshot itself is published by
+        // the mutexed Arc swap above (observers that see the new count and
+        // then read the snapshot do so through that lock, which provides
+        // the happens-before edge); this counter is progress telemetry.
         self.epochs_published.fetch_add(1, Ordering::Relaxed);
     }
 }

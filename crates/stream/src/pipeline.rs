@@ -112,6 +112,12 @@ struct Core<V> {
 impl<V: Copy> Core<V> {
     fn seal(&self) -> u64 {
         let _guard = self.seal_lock.lock().expect("seal lock poisoned");
+        // ordering: Relaxed — audited: every mutation happens under
+        // `seal_lock`, which already orders sealers against each other, so
+        // epoch numbers are assigned in the same order the Seal markers are
+        // broadcast (the alignment invariant the accumulator needs). The
+        // epoch *value* reaches the shards through the channel mutex, never
+        // through this atomic, so no release/acquire pairing is required.
         let epoch = self.epochs_sealed.fetch_add(1, Ordering::Relaxed) + 1;
         for tx in &self.senders {
             // A closed channel means shutdown already drained everything.
@@ -179,7 +185,13 @@ impl<V: Copy> IngestHandle<V> {
         self.core.senders[shard]
             .send(ShardMsg::Batch(batch))
             .map_err(|_| PipelineClosed)?;
+        // ordering: Relaxed — stats counter, no payload published through it.
         self.core.batches_sent.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — audited: the auto-seal decision below needs
+        // only the atomicity of fetch_add (its linearization guarantees
+        // exactly one flusher observes each `epoch_tuples` threshold
+        // crossing, so exactly one triggers the seal); the seal itself
+        // synchronizes via `seal_lock` and the channel mutexes.
         let before = self.core.tuples_sent.fetch_add(n, Ordering::Relaxed);
         if let Some(every) = self.core.epoch_tuples {
             if (before + n) / every > before / every {
@@ -209,8 +221,11 @@ impl<V> Drop for IngestHandle<V> {
                     .send(ShardMsg::Batch(batch))
                     .is_ok()
                 {
+                    // ordering: Relaxed (×2) — stats counters; the batch
+                    // was handed over by the channel mutex. No auto-seal
+                    // check here: a dropping handle no longer seals.
                     self.core.batches_sent.fetch_add(1, Ordering::Relaxed);
-                    self.core.tuples_sent.fetch_add(n, Ordering::Relaxed);
+                    self.core.tuples_sent.fetch_add(n, Ordering::Relaxed); // ordering: stats
                 }
             }
         }
@@ -412,11 +427,14 @@ impl<R: Reducer> IngestPipeline<R> {
 
     /// Point-in-time pipeline statistics.
     pub fn stats(&self) -> StreamStats {
+        // ordering: Relaxed throughout — point-in-time statistics reads;
+        // each counter is individually atomic and monotonic, and no decision
+        // with correctness consequences is taken from the combination.
         StreamStats {
-            tuples_sent: self.core.tuples_sent.load(Ordering::Relaxed),
-            batches_sent: self.core.batches_sent.load(Ordering::Relaxed),
-            epochs_sealed: self.core.epochs_sealed.load(Ordering::Relaxed),
-            epochs_published: self.epochs_published.load(Ordering::Relaxed),
+            tuples_sent: self.core.tuples_sent.load(Ordering::Relaxed), // ordering: stats
+            batches_sent: self.core.batches_sent.load(Ordering::Relaxed), // ordering: stats
+            epochs_sealed: self.core.epochs_sealed.load(Ordering::Relaxed), // ordering: stats
+            epochs_published: self.epochs_published.load(Ordering::Relaxed), // ordering: stats
             elapsed: self.started.elapsed(),
             shards: (0..self.num_shards())
                 .map(|s| {
@@ -424,11 +442,11 @@ impl<R: Reducer> IngestPipeline<R> {
                     ShardStats {
                         shard: s,
                         key_range: self.shard_ranges[s].clone(),
-                        tuples_binned: c.tuples_binned.load(Ordering::Relaxed),
-                        epoch_flushes: c.epoch_flushes.load(Ordering::Relaxed),
-                        flushed_tuples: c.flushed_tuples.load(Ordering::Relaxed),
-                        max_flush_tuples: c.max_flush_tuples.load(Ordering::Relaxed),
-                        reduced_flushes: c.reduced_flushes.load(Ordering::Relaxed),
+                        tuples_binned: c.tuples_binned.load(Ordering::Relaxed), // ordering: stats
+                        epoch_flushes: c.epoch_flushes.load(Ordering::Relaxed), // ordering: stats
+                        flushed_tuples: c.flushed_tuples.load(Ordering::Relaxed), // ordering: stats
+                        max_flush_tuples: c.max_flush_tuples.load(Ordering::Relaxed), // ordering: stats
+                        reduced_flushes: c.reduced_flushes.load(Ordering::Relaxed), // ordering: stats
                         channel: self.channel_counters[s].snapshot(),
                     }
                 })

@@ -49,6 +49,8 @@ impl<R: Reducer> ShardWorker<R> {
                 Some(ShardMsg::Batch(tuples)) => {
                     self.counters
                         .tuples_binned
+                        // ordering: Relaxed — stats counter; the batch
+                        // arrived through the channel mutex.
                         .fetch_add(tuples.len() as u64, Ordering::Relaxed);
                     for t in &tuples {
                         self.binner.insert(t.key - self.base, t.value);

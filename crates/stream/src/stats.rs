@@ -21,11 +21,14 @@ pub(crate) struct ShardCounters {
 
 impl ShardCounters {
     pub(crate) fn record_flush(&self, tuples: u64, reduced: bool) {
-        self.epoch_flushes.fetch_add(1, Ordering::Relaxed);
-        self.flushed_tuples.fetch_add(tuples, Ordering::Relaxed);
-        self.max_flush_tuples.fetch_max(tuples, Ordering::Relaxed);
+        // ordering: Relaxed throughout — monotonic statistics counters
+        // written only by the owning shard worker; readers take advisory
+        // point-in-time snapshots, no payload crosses through them.
+        self.epoch_flushes.fetch_add(1, Ordering::Relaxed); // ordering: stats
+        self.flushed_tuples.fetch_add(tuples, Ordering::Relaxed); // ordering: stats
+        self.max_flush_tuples.fetch_max(tuples, Ordering::Relaxed); // ordering: stats
         if reduced {
-            self.reduced_flushes.fetch_add(1, Ordering::Relaxed);
+            self.reduced_flushes.fetch_add(1, Ordering::Relaxed); // ordering: stats
         }
     }
 }
