@@ -1,0 +1,241 @@
+//! Closed-loop load generator for the `cobra-serve` network layer.
+//!
+//! N client threads each drive one connection: UPDATE batches with a
+//! periodic SEAL, interleaved with a skewed QUERY mix (90% of queries on
+//! 10% of the key space — the workload the S3-FIFO snapshot cache is
+//! for). Query latency is measured per round-trip; ingest throughput is
+//! wall-clock over the total tuples the server accepted.
+//!
+//! The run is also a correctness gate, not just a measurement:
+//!
+//! * **Zero loss** — after a graceful shutdown, the sum over the final
+//!   snapshot must equal the sum of every value the clients sent
+//!   (`SumU64` makes this a single equality).
+//! * **Warm cache** — the skewed query mix must produce a non-zero
+//!   cache hit rate.
+//!
+//! Either failure exits non-zero. A `scale,…` row is appended (not
+//! rewritten) to `results/serve_throughput.csv`, so successive runs form
+//! a series.
+
+use cobra_bench::{report, Scale, Table};
+use cobra_graph::rng::SplitMix64;
+use cobra_serve::{ServeClient, ServeConfig, Server};
+use cobra_stream::StreamConfig;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy)]
+struct Load {
+    num_keys: u32,
+    clients: usize,
+    batches_per_client: usize,
+    batch_tuples: usize,
+    queries_per_batch: usize,
+    seal_every_batches: usize,
+}
+
+impl Load {
+    fn for_scale(scale: Scale) -> Load {
+        match scale {
+            Scale::Quick => Load {
+                num_keys: 1 << 14,
+                clients: 4,
+                batches_per_client: 60,
+                batch_tuples: 256,
+                queries_per_batch: 8,
+                seal_every_batches: 10,
+            },
+            Scale::Standard => Load {
+                num_keys: 1 << 18,
+                clients: 8,
+                batches_per_client: 400,
+                batch_tuples: 512,
+                queries_per_batch: 8,
+                seal_every_batches: 25,
+            },
+            Scale::Full => Load {
+                num_keys: 1 << 20,
+                clients: 16,
+                batches_per_client: 1_000,
+                batch_tuples: 1_024,
+                queries_per_batch: 8,
+                seal_every_batches: 50,
+            },
+        }
+    }
+}
+
+struct ClientReport {
+    sent_sum: u64,
+    sent_tuples: u64,
+    busy_rounds: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn run_client(addr: std::net::SocketAddr, load: &Load, id: u64) -> ClientReport {
+    let mut client = ServeClient::connect(addr).expect("loadgen connect");
+    let mut rng = SplitMix64::seed_from_u64(0xC0BA + id);
+    let hot_keys = (load.num_keys / 10).max(1);
+    let mut sent_sum = 0u64;
+    let mut sent_tuples = 0u64;
+    let mut busy_rounds = 0u64;
+    let mut latencies_us = Vec::with_capacity(load.batches_per_client * load.queries_per_batch);
+
+    for batch_no in 0..load.batches_per_client {
+        let batch: Vec<(u32, u64)> = (0..load.batch_tuples)
+            .map(|_| {
+                let key = rng.u32_below(load.num_keys);
+                let value = rng.next_u64() >> 40; // small, sums stay < u64::MAX
+                sent_sum += value;
+                sent_tuples += 1;
+                (key, value)
+            })
+            .collect();
+        busy_rounds += client.update_all(&batch).expect("loadgen update");
+
+        if batch_no % load.seal_every_batches == load.seal_every_batches - 1 {
+            client.seal().expect("loadgen seal");
+        }
+
+        for _ in 0..load.queries_per_batch {
+            // 90% of queries land on the first 10% of keys: the skew the
+            // snapshot cache exists to absorb.
+            let key = if rng.u32_below(10) < 9 {
+                rng.u32_below(hot_keys)
+            } else {
+                rng.u32_below(load.num_keys)
+            };
+            let t0 = Instant::now();
+            client.query(key).expect("loadgen query");
+            latencies_us.push(t0.elapsed().as_micros() as u64);
+        }
+    }
+
+    ClientReport {
+        sent_sum,
+        sent_tuples,
+        busy_rounds,
+        latencies_us,
+    }
+}
+
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let load = Load::for_scale(scale);
+
+    let stream_cfg = StreamConfig::new()
+        .shards(4)
+        .channel_capacity(64)
+        .batch_tuples(load.batch_tuples);
+    let serve_cfg = ServeConfig::new()
+        .workers(load.clients)
+        .cache_blocks(256)
+        .cache_block_keys(512)
+        .read_timeout(Duration::from_millis(20));
+    let server = Server::start(load.num_keys, stream_cfg, serve_cfg).expect("bind loadgen server");
+    let addr = server.local_addr();
+
+    println!(
+        "serve loadgen ({scale:?}): {} clients x {} batches x {} tuples over {} keys @ {addr}",
+        load.clients, load.batches_per_client, load.batch_tuples, load.num_keys
+    );
+
+    let t0 = Instant::now();
+    let joins: Vec<_> = (0..load.clients)
+        .map(|c| std::thread::spawn(move || run_client(addr, &load, c as u64)))
+        .collect();
+    let reports: Vec<ClientReport> = joins
+        .into_iter()
+        .map(|j| j.join().expect("client thread"))
+        .collect();
+    let elapsed = t0.elapsed();
+
+    let (snapshot, stats) = server.shutdown();
+
+    let sent_sum: u64 = reports.iter().map(|r| r.sent_sum).sum();
+    let sent_tuples: u64 = reports.iter().map(|r| r.sent_tuples).sum();
+    let busy_rounds: u64 = reports.iter().map(|r| r.busy_rounds).sum();
+    let server_sum: u64 = snapshot.values().iter().sum();
+
+    let mut lat: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.latencies_us.iter().copied())
+        .collect();
+    lat.sort_unstable();
+    let p50 = percentile_us(&lat, 0.50);
+    let p99 = percentile_us(&lat, 0.99);
+    let tuples_per_sec = sent_tuples as f64 / elapsed.as_secs_f64();
+    let queries_per_sec = lat.len() as f64 / elapsed.as_secs_f64();
+
+    let mut t = Table::new(
+        "serve loadgen (closed loop)",
+        &[
+            "scale",
+            "clients",
+            "tuples",
+            "Mtuples/s",
+            "busy_rounds",
+            "queries",
+            "q/s",
+            "p50_us",
+            "p99_us",
+            "cache_hit_rate",
+        ],
+    );
+    t.row(vec![
+        format!("{scale:?}").to_lowercase(),
+        load.clients.to_string(),
+        sent_tuples.to_string(),
+        report::f2(tuples_per_sec / 1e6),
+        busy_rounds.to_string(),
+        lat.len().to_string(),
+        format!("{queries_per_sec:.0}"),
+        p50.to_string(),
+        p99.to_string(),
+        report::f2(stats.cache_hit_rate()),
+    ]);
+    t.print();
+    t.append_csv("serve_throughput");
+
+    println!(
+        "ingested {} tuples ({} refused then retried), {} epochs sealed, {} published",
+        stats.tuples_ingested, stats.busy_tuples, stats.epochs_sealed, stats.epochs_published
+    );
+
+    // Correctness gates.
+    let mut ok = true;
+    if server_sum != sent_sum {
+        println!("LOST UPDATES: clients sent sum {sent_sum}, server accumulated {server_sum}");
+        ok = false;
+    } else {
+        println!("zero-loss check: server sum == client sum ({server_sum})");
+    }
+    if stats.tuples_ingested != sent_tuples {
+        println!(
+            "TUPLE COUNT MISMATCH: clients sent {sent_tuples}, server ingested {}",
+            stats.tuples_ingested
+        );
+        ok = false;
+    }
+    if stats.cache_hits == 0 {
+        println!("COLD CACHE: skewed query mix produced no cache hits ({stats:?})");
+        ok = false;
+    } else {
+        println!(
+            "cache check: hit rate {:.1}% over {} queries",
+            100.0 * stats.cache_hit_rate(),
+            stats.queries
+        );
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

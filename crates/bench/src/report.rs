@@ -88,6 +88,41 @@ impl Table {
         println!("[csv] {}", path.display());
         path
     }
+
+    /// Appends the table's rows to `results/<name>.csv`, writing the
+    /// header only when the file does not exist yet — for longitudinal
+    /// series (e.g. one loadgen row per run) rather than regenerated
+    /// figures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an existing file's header does not match this table's
+    /// columns: silently mixing schemas would corrupt the series.
+    pub fn append_csv(&self, name: &str) -> PathBuf {
+        let dir = results_dir();
+        let path = dir.join(format!("{name}.csv"));
+        let header = self.headers.join(",");
+        let existing = fs::read_to_string(&path).ok();
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open csv for append");
+        match existing.as_deref().and_then(|t| t.lines().next()) {
+            None => writeln!(f, "{header}").expect("write csv header"),
+            Some(first) => assert_eq!(
+                first,
+                header,
+                "refusing to append: {} has a different column set",
+                path.display()
+            ),
+        }
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(",")).expect("write csv");
+        }
+        println!("[csv+] {}", path.display());
+        path
+    }
 }
 
 /// The `results/` directory (created on demand).

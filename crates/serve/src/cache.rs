@@ -1,0 +1,402 @@
+//! An in-repo S3-FIFO cache for the read path.
+//!
+//! S3-FIFO (Yang et al., SOSP'23 — "FIFO queues are all you need for
+//! cache eviction") keeps three queues:
+//!
+//! * a **small** probationary FIFO (~10% of capacity) that new entries
+//!   enter,
+//! * a **main** FIFO (~90%) holding entries that proved themselves, and
+//! * a **ghost** FIFO of recently evicted *keys* (no values).
+//!
+//! An entry evicted from `small` with fewer than two hits is a one-hit
+//! wonder: its key goes to `ghost` and its value is dropped, so a flood
+//! of cold keys can never displace the hot set resident in `main` —
+//! that is the scan resistance the QUERY path wants, because every new
+//! epoch's blocks arrive as a burst of first-time keys. An entry whose
+//! key is still in `ghost` when it is re-inserted skips probation and
+//! goes straight to `main` (it was evicted too early). Entries in `main`
+//! get a second chance per round: eviction decrements their hit counter
+//! and only removes them at zero.
+//!
+//! The implementation is dependency-free and interior-locking: one
+//! [`Mutex`] guards the queues and the key index, which also lets the
+//! hit counters be plain integers (the upstream design this is ported
+//! from — `djc/s3-fifo` — shares immutable entries and needs atomics;
+//! our values are `Arc`-cheap to clone, so handing out owned clones
+//! under the lock is simpler and keeps the hot path allocation-free).
+//!
+//! `cobra-check`'s `no-hot-path-unwrap` lint covers this crate: the only
+//! `expect`s here are lock-poisoning propagation, allowlisted like the
+//! stream crate's.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+use std::sync::Mutex;
+
+/// Hit counter ceiling (two bits of state per entry, as in the paper).
+const FREQ_MAX: u8 = 3;
+
+/// Hits required for promotion from `small` to `main` at eviction time.
+const PROMOTE_AT: u8 = 2;
+
+/// Point-in-time counters of one [`S3FifoCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found their key resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Values inserted (re-inserts of a resident key count too).
+    pub insertions: u64,
+    /// Values dropped from the cache (small-queue demotions and
+    /// main-queue evictions combined).
+    pub evictions: u64,
+    /// Entries promoted `small` → `main` at eviction time.
+    pub promotions: u64,
+    /// Inserts that skipped probation because the key was in `ghost`.
+    pub ghost_promotions: u64,
+    /// Entries resident right now.
+    pub len: u64,
+    /// Configured capacity (small + main).
+    pub capacity: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups so far (0.0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    freq: u8,
+    in_main: bool,
+}
+
+struct Inner<K, V> {
+    map: HashMap<K, Entry<V>>,
+    small: VecDeque<K>,
+    main: VecDeque<K>,
+    ghost: VecDeque<K>,
+    ghost_set: HashSet<K>,
+    small_cap: usize,
+    main_cap: usize,
+    ghost_cap: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    promotions: u64,
+    ghost_promotions: u64,
+}
+
+/// A thread-safe S3-FIFO cache handing out owned clones of its values
+/// (use `Arc<…>` values to make those clones cheap).
+pub struct S3FifoCache<K, V> {
+    inner: Mutex<Inner<K, V>>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> S3FifoCache<K, V> {
+    /// A cache holding at most `capacity` entries (~10% probationary,
+    /// ~90% main), remembering up to `capacity` evicted keys as ghosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` (both queues need at least one slot).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "cache capacity must be at least 2");
+        let small_cap = (capacity / 10).max(1);
+        S3FifoCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::with_capacity(capacity),
+                small: VecDeque::with_capacity(small_cap),
+                main: VecDeque::with_capacity(capacity - small_cap),
+                ghost: VecDeque::with_capacity(capacity),
+                ghost_set: HashSet::with_capacity(capacity),
+                small_cap,
+                main_cap: capacity - small_cap,
+                ghost_cap: capacity,
+                hits: 0,
+                misses: 0,
+                insertions: 0,
+                evictions: 0,
+                promotions: 0,
+                ghost_promotions: 0,
+            }),
+        }
+    }
+
+    /// Looks `key` up, bumping its hit counter on success.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.freq = (entry.freq + 1).min(FREQ_MAX);
+                let value = entry.value.clone();
+                inner.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value`. A resident key just has its value replaced
+    /// (keeping its queue position and hit count); a ghost key skips the
+    /// probationary queue.
+    pub fn insert(&self, key: K, value: V) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.insertions += 1;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            entry.value = value;
+            return;
+        }
+        if inner.ghost_set.remove(&key) {
+            // Evicted too early last time: straight into main.
+            inner.ghost_promotions += 1;
+            if inner.main.len() >= inner.main_cap {
+                inner.evict_main();
+            }
+            inner.main.push_back(key.clone());
+            inner.map.insert(
+                key,
+                Entry {
+                    value,
+                    freq: 0,
+                    in_main: true,
+                },
+            );
+            return;
+        }
+        if inner.small.len() >= inner.small_cap {
+            inner.evict_small();
+        }
+        inner.small.push_back(key.clone());
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                freq: 0,
+                in_main: false,
+            },
+        );
+    }
+
+    /// Entries resident right now.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        inner.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            promotions: inner.promotions,
+            ghost_promotions: inner.ghost_promotions,
+            len: inner.map.len() as u64,
+            capacity: (inner.small_cap + inner.main_cap) as u64,
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> Inner<K, V> {
+    /// Frees one probationary slot: entries with enough hits move to
+    /// `main`, the first one-hit wonder found is demoted to a ghost.
+    fn evict_small(&mut self) {
+        while let Some(key) = self.small.pop_front() {
+            let Some(entry) = self.map.get_mut(&key) else {
+                // Unreachable by construction (queues and map move in
+                // lockstep) but harmless to skip.
+                continue;
+            };
+            if entry.freq >= PROMOTE_AT {
+                entry.in_main = true;
+                entry.freq = 0;
+                self.promotions += 1;
+                if self.main.len() >= self.main_cap {
+                    self.evict_main();
+                }
+                self.main.push_back(key);
+                continue;
+            }
+            self.map.remove(&key);
+            self.evictions += 1;
+            self.push_ghost(key);
+            return;
+        }
+    }
+
+    /// Frees one main slot, giving each entry one round of reprieve per
+    /// accumulated hit. Terminates because every pass decrements some
+    /// entry's counter and counters never increase here.
+    fn evict_main(&mut self) {
+        while let Some(key) = self.main.pop_front() {
+            let Some(entry) = self.map.get_mut(&key) else {
+                continue;
+            };
+            if entry.freq > 0 {
+                entry.freq -= 1;
+                self.main.push_back(key);
+                continue;
+            }
+            self.map.remove(&key);
+            self.evictions += 1;
+            self.push_ghost(key);
+            return;
+        }
+    }
+
+    fn push_ghost(&mut self, key: K) {
+        if self.ghost.len() >= self.ghost_cap {
+            if let Some(old) = self.ghost.pop_front() {
+                self.ghost_set.remove(&old);
+            }
+        }
+        self.ghost_set.insert(key.clone());
+        self.ghost.push_back(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_replacement_basics() {
+        let c: S3FifoCache<u32, u32> = S3FifoCache::new(10);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), Some(10));
+        c.insert(1, 11); // resident re-insert replaces the value
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.len(), 1);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (2, 1, 2));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghost_queue_promotes_reinserted_keys_to_main() {
+        // capacity 20 → small holds 2. Push three cold keys through the
+        // probationary queue: key 1 is demoted to a ghost.
+        let c: S3FifoCache<u32, u32> = S3FifoCache::new(20);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.insert(3, 3); // evicts 1 (freq 0) to ghost
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.stats().evictions, 1);
+        // Re-inserting the ghost key goes straight to main…
+        c.insert(1, 100);
+        assert_eq!(c.stats().ghost_promotions, 1);
+        assert_eq!(c.get(&1), Some(100));
+        // …where a later one-hit-wonder flood through small can't touch it.
+        for k in 10..40 {
+            c.insert(k, k);
+        }
+        assert_eq!(c.get(&1), Some(100));
+    }
+
+    #[test]
+    fn scan_resistance_hot_set_survives_one_hit_wonder_flood() {
+        let c: S3FifoCache<u32, u32> = S3FifoCache::new(50); // small 5, main 45
+                                                             // Establish a hot set: each key is hit twice while still on
+                                                             // probation, so small-queue overflow promotes it into main.
+        for k in 0..20u32 {
+            c.insert(k, k * 10);
+            assert_eq!(c.get(&k), Some(k * 10));
+            assert_eq!(c.get(&k), Some(k * 10));
+        }
+        // Flood: 500 keys seen exactly once each.
+        for k in 1000..1500u32 {
+            c.insert(k, 0);
+        }
+        // The entire hot set survived the scan.
+        for k in 0..20u32 {
+            assert_eq!(c.get(&k), Some(k * 10), "hot key {k} evicted by scan");
+        }
+        let s = c.stats();
+        assert!(s.promotions >= 20, "hot set promoted to main: {s:?}");
+        assert!(s.evictions >= 450, "flood was evicted: {s:?}");
+    }
+
+    #[test]
+    fn capacity_accounting_never_exceeds_bound() {
+        let cap = 30;
+        let c: S3FifoCache<u32, u32> = S3FifoCache::new(cap);
+        for k in 0..10_000u32 {
+            c.insert(k, k);
+            // Mixed gets keep some frequencies hot so both promotion and
+            // second-chance paths run.
+            if k % 3 == 0 {
+                let _ = c.get(&k);
+                let _ = c.get(&k.saturating_sub(5));
+            }
+            assert!(c.len() <= cap, "len {} exceeded capacity {cap}", c.len());
+        }
+        let s = c.stats();
+        assert_eq!(s.capacity, cap as u64);
+        assert_eq!(s.len as usize, c.len());
+        // Conservation: everything inserted was either evicted or resident.
+        assert_eq!(s.insertions, 10_000);
+        assert_eq!(s.evictions + s.len, 10_000);
+    }
+
+    #[test]
+    fn main_queue_second_chance_decays_frequencies() {
+        // Tiny cache: capacity 2 → small 1, main 1.
+        let c: S3FifoCache<u32, u32> = S3FifoCache::new(2);
+        c.insert(1, 1);
+        let _ = c.get(&1);
+        let _ = c.get(&1); // freq 2 → promotable
+        c.insert(2, 2); // evict_small promotes 1 to main
+        assert_eq!(c.get(&1), Some(1));
+        assert_eq!(c.stats().promotions, 1);
+        // Key 2 (freq 0) is demoted by the next insert; key 1 stays.
+        c.insert(3, 3);
+        assert_eq!(c.get(&1), Some(1));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_conserves_counts() {
+        use std::sync::Arc;
+        let c: Arc<S3FifoCache<u64, u64>> = Arc::new(S3FifoCache::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let k = (t * 1000 + i) % 97;
+                    if c.get(&k).is_none() {
+                        c.insert(k, k * 2);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("cache worker");
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 8_000);
+        assert!(c.len() <= 64);
+    }
+}

@@ -1,0 +1,200 @@
+//! A blocking client for the COBRA wire protocol.
+//!
+//! [`ServeClient`] is deliberately minimal: one TCP connection, one
+//! request in flight at a time, every call a frame round-trip. The
+//! loadgen and tests drive many of these from separate threads; a
+//! connection-pooling client would only obscure what the server is
+//! being measured on.
+//!
+//! The one piece of policy it carries is [`update_all`]: the server
+//! answers admission-control refusals with `Busy { accepted }` naming
+//! the exact prefix of the batch it took, and `update_all` resubmits the
+//! untaken suffix until the whole batch lands — the retry loop that
+//! makes "zero lost updates" a client-side guarantee too.
+//!
+//! [`update_all`]: ServeClient::update_all
+
+use crate::protocol::{
+    self, ErrorCode, Frame, ReadError, WireError, WireStats, MAX_FRAME, MAX_UPDATE_TUPLES,
+};
+use std::fmt;
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Everything that can go wrong on a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server sent bytes that do not decode as a frame.
+    Wire(WireError),
+    /// The server answered with an explicit `Error` frame.
+    Server {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable context from the server.
+        detail: String,
+    },
+    /// The server closed the connection mid-conversation.
+    Disconnected,
+    /// The server answered with a frame kind that does not match the
+    /// request (protocol bug, not an I/O condition).
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "undecodable response: {e}"),
+            ClientError::Server { code, detail } => {
+                write!(f, "server error {code:?}: {detail}")
+            }
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Outcome of a single `UPDATE` round-trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Tuples the server took (always a prefix of the batch).
+    pub accepted: u32,
+    /// True when the server refused the rest with `BUSY`.
+    pub busy: bool,
+}
+
+/// One blocking connection to a [`Server`](crate::Server).
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    scratch: Vec<u8>,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(ServeClient {
+            reader,
+            writer,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// One request/response round-trip.
+    fn call(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        protocol::write_frame(&mut self.writer, request, &mut self.scratch)?;
+        loop {
+            match protocol::read_frame(&mut self.reader, MAX_FRAME) {
+                Ok(Some(frame)) => return Ok(frame),
+                Ok(None) => return Err(ClientError::Disconnected),
+                // No read timeout is set on the client socket, but be
+                // robust to one: between-frames idleness just means the
+                // response has not arrived yet.
+                Err(ReadError::Idle) => continue,
+                Err(ReadError::Io(e)) => return Err(ClientError::Io(e)),
+                Err(ReadError::Wire(e)) => return Err(ClientError::Wire(e)),
+            }
+        }
+    }
+
+    /// Sends one `UPDATE` batch and reports how much of it the server
+    /// took. Batches larger than [`MAX_UPDATE_TUPLES`] are refused
+    /// locally — the server would reject the frame anyway.
+    pub fn update(&mut self, tuples: &[(u32, u64)]) -> Result<UpdateOutcome, ClientError> {
+        if tuples.len() > MAX_UPDATE_TUPLES as usize {
+            return Err(ClientError::Unexpected(
+                "update batch exceeds MAX_UPDATE_TUPLES",
+            ));
+        }
+        match self.call(&Frame::Update(tuples.to_vec()))? {
+            Frame::Accepted { accepted } => Ok(UpdateOutcome {
+                accepted,
+                busy: false,
+            }),
+            Frame::Busy { accepted } => Ok(UpdateOutcome {
+                accepted,
+                busy: true,
+            }),
+            Frame::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected("non-update response to UPDATE")),
+        }
+    }
+
+    /// Sends a batch to completion, resubmitting the refused suffix after
+    /// each `BUSY` (backing off briefly so the pipeline can drain).
+    /// Returns the number of `BUSY` round-trips absorbed.
+    pub fn update_all(&mut self, tuples: &[(u32, u64)]) -> Result<u64, ClientError> {
+        let mut offset = 0usize;
+        let mut busy_rounds = 0u64;
+        while offset < tuples.len() {
+            let chunk_end = tuples.len().min(offset + MAX_UPDATE_TUPLES as usize);
+            let outcome = self.update(&tuples[offset..chunk_end])?;
+            offset += outcome.accepted as usize;
+            if outcome.busy {
+                busy_rounds += 1;
+                if outcome.accepted == 0 {
+                    // Nothing moved: give the shard workers a beat.
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+        Ok(busy_rounds)
+    }
+
+    /// Seals the current epoch; returns the sealed epoch number.
+    pub fn seal(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Frame::Seal)? {
+            Frame::Sealed { epoch } => Ok(epoch),
+            Frame::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected("non-sealed response to SEAL")),
+        }
+    }
+
+    /// Queries one key; returns `(epoch, value)` from the snapshot the
+    /// server answered out of.
+    pub fn query(&mut self, key: u32) -> Result<(u64, u64), ClientError> {
+        match self.call(&Frame::Query { key })? {
+            Frame::Value { epoch, value } => Ok((epoch, value)),
+            Frame::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected("non-value response to QUERY")),
+        }
+    }
+
+    /// Fetches `[lo, hi)` of a published snapshot. `epoch == 0` means
+    /// "latest". Returns `(epoch, lo, values)`.
+    pub fn snapshot(
+        &mut self,
+        epoch: u64,
+        lo: u32,
+        hi: u32,
+    ) -> Result<(u64, u32, Vec<u64>), ClientError> {
+        match self.call(&Frame::Snapshot { epoch, lo, hi })? {
+            Frame::SnapshotSlice { epoch, lo, values } => Ok((epoch, lo, values)),
+            Frame::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected("non-slice response to SNAPSHOT")),
+        }
+    }
+
+    /// Fetches the server's statistics counters.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        match self.call(&Frame::Stats)? {
+            Frame::StatsReport(stats) => Ok(stats),
+            Frame::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected("non-stats response to STATS")),
+        }
+    }
+}

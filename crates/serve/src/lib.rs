@@ -1,0 +1,59 @@
+//! # cobra-serve — a dependency-free network service over cobra-stream
+//!
+//! This crate turns the [`cobra_stream`] ingest pipeline into a network
+//! service using nothing beyond `std::net`:
+//!
+//! * [`protocol`] — a length-prefixed binary wire protocol (`UPDATE`,
+//!   `SEAL`, `QUERY`, `SNAPSHOT`, `STATS`) with total decoders: no byte
+//!   sequence a client can send will panic a worker.
+//! * [`Server`] — a fixed worker pool behind one acceptor. Backpressure
+//!   is never hidden: a full shard FIFO becomes an explicit
+//!   `BUSY { accepted }` response (tuple-level admission control), and a
+//!   full worker queue refuses the connection (connection-level).
+//! * [`S3FifoCache`] — the read path. `QUERY` is answered from cached
+//!   `(epoch, block)` slices of published epoch snapshots, evicted with
+//!   the S3-FIFO policy (small/main/ghost queues), so skewed query
+//!   workloads stop contending on the snapshot publish lock.
+//! * [`ServeClient`] — a blocking round-trip client whose
+//!   [`update_all`](ServeClient::update_all) retry loop extends the
+//!   pipeline's zero-loss guarantee across the wire.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cobra_serve::{ServeClient, ServeConfig, Server};
+//! use cobra_stream::StreamConfig;
+//!
+//! let server = Server::start(1024, StreamConfig::new(), ServeConfig::new())
+//!     .expect("bind");
+//! let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+//!
+//! client.update_all(&[(7, 40), (7, 2)]).expect("update");
+//! client.seal().expect("seal");
+//!
+//! // Publication is asynchronous; poll until the sealed epoch lands.
+//! let value = loop {
+//!     let (epoch, value) = client.query(7).expect("query");
+//!     if epoch >= 1 {
+//!         break value;
+//!     }
+//!     std::thread::yield_now();
+//! };
+//! assert_eq!(value, 42);
+//!
+//! let (snapshot, stats) = server.shutdown();
+//! assert_eq!(*snapshot.get(7), 42);
+//! assert_eq!(stats.tuples_ingested, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, S3FifoCache};
+pub use client::{ClientError, ServeClient, UpdateOutcome};
+pub use protocol::{ErrorCode, Frame, WireError, WireStats};
+pub use server::{ServeConfig, Server, SumU64};

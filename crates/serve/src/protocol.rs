@@ -1,0 +1,702 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame is `[u32 LE length][u8 opcode][payload]`; the length
+//! covers the opcode byte and the payload. Integers are little-endian
+//! throughout. The protocol is deliberately tiny — five request kinds and
+//! their responses — and every decoder is total: truncated payloads,
+//! oversized lengths and unknown opcodes come back as [`WireError`]s,
+//! never panics, because frames arrive from untrusted clients.
+//!
+//! ```text
+//! requests                         responses
+//! ----------------------------     ---------------------------------
+//! Update { (key, value)… }    ───▶ Accepted { accepted } | Busy { accepted }
+//! Seal                        ───▶ Sealed { epoch }
+//! Query { key }               ───▶ Value { epoch, value } | Error
+//! Snapshot { epoch, lo, hi }  ───▶ SnapshotSlice { epoch, lo, values } | Error
+//! Stats                       ───▶ StatsReport { … }
+//! ```
+//!
+//! `Busy { accepted }` is the admission-control refusal: the first
+//! `accepted` tuples of the batch were taken, the rest were not — resend
+//! exactly the remainder. Nothing is ever dropped silently or duplicated.
+
+use std::io::{self, Read, Write};
+
+/// Default ceiling on one frame's length field. Requests are small; the
+/// largest legitimate frames are snapshot-slice responses, bounded by
+/// [`MAX_SNAPSHOT_KEYS`] values.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Most keys one `Snapshot` request may ask for (keeps every response
+/// frame under [`MAX_FRAME`]).
+pub const MAX_SNAPSHOT_KEYS: u32 = 65_536;
+
+/// Largest tuple count one `Update` frame may carry.
+pub const MAX_UPDATE_TUPLES: u32 = 65_536;
+
+/// Raw opcode bytes (request kinds in `0x01..=0x7F`, response kinds
+/// with the high bit set) — public so raw-socket tooling and tests can
+/// speak the protocol without going through [`Frame`].
+pub mod opcodes {
+    #![allow(missing_docs)]
+    pub const UPDATE: u8 = 0x01;
+    pub const SEAL: u8 = 0x02;
+    pub const QUERY: u8 = 0x03;
+    pub const SNAPSHOT: u8 = 0x04;
+    pub const STATS: u8 = 0x05;
+    pub const ACCEPTED: u8 = 0x81;
+    pub const BUSY: u8 = 0x82;
+    pub const SEALED: u8 = 0x83;
+    pub const VALUE: u8 = 0x84;
+    pub const SNAPSHOT_SLICE: u8 = 0x85;
+    pub const STATS_REPORT: u8 = 0x86;
+    pub const ERROR: u8 = 0x8F;
+}
+
+use opcodes as op;
+
+/// Machine-readable error category carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The requested key is `>= num_keys`.
+    KeyOutOfRange = 1,
+    /// A snapshot range with `lo >= hi`, `hi > num_keys`, or more than
+    /// [`MAX_SNAPSHOT_KEYS`] keys.
+    BadRange = 2,
+    /// The requested epoch is not the currently published one (only the
+    /// latest snapshot is retained).
+    SnapshotUnavailable = 3,
+    /// The request frame failed to decode.
+    Malformed = 4,
+    /// The server is draining and no longer accepts this request.
+    ShuttingDown = 5,
+}
+
+impl ErrorCode {
+    fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::KeyOutOfRange,
+            2 => ErrorCode::BadRange,
+            3 => ErrorCode::SnapshotUnavailable,
+            4 => ErrorCode::Malformed,
+            5 => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// Server-side counters shipped in a [`Frame::StatsReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Tuples accepted into the pipeline.
+    pub tuples_ingested: u64,
+    /// Tuples refused with `Busy` (admission control).
+    pub busy_tuples: u64,
+    /// Epochs sealed.
+    pub epochs_sealed: u64,
+    /// Epoch snapshots published.
+    pub epochs_published: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request frames served.
+    pub frames: u64,
+    /// `Query` requests served.
+    pub queries: u64,
+    /// Snapshot-cache hits.
+    pub cache_hits: u64,
+    /// Snapshot-cache misses.
+    pub cache_misses: u64,
+    /// Snapshot-cache insertions.
+    pub cache_insertions: u64,
+    /// Snapshot-cache evictions (small- and main-queue combined).
+    pub cache_evictions: u64,
+    /// Entries resident in the cache right now.
+    pub cache_len: u64,
+}
+
+impl WireStats {
+    /// Cache hit rate over all lookups so far (0.0 when none happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    const FIELDS: usize = 12;
+
+    fn to_words(self) -> [u64; Self::FIELDS] {
+        [
+            self.tuples_ingested,
+            self.busy_tuples,
+            self.epochs_sealed,
+            self.epochs_published,
+            self.connections,
+            self.frames,
+            self.queries,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_insertions,
+            self.cache_evictions,
+            self.cache_len,
+        ]
+    }
+
+    fn from_words(w: [u64; Self::FIELDS]) -> WireStats {
+        WireStats {
+            tuples_ingested: w[0],
+            busy_tuples: w[1],
+            epochs_sealed: w[2],
+            epochs_published: w[3],
+            connections: w[4],
+            frames: w[5],
+            queries: w[6],
+            cache_hits: w[7],
+            cache_misses: w[8],
+            cache_insertions: w[9],
+            cache_evictions: w[10],
+            cache_len: w[11],
+        }
+    }
+}
+
+/// One protocol frame, request or response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A batch of `(key, value)` updates.
+    Update(Vec<(u32, u64)>),
+    /// Seal the current epoch.
+    Seal,
+    /// Read one key's latest published value.
+    Query {
+        /// Key to look up.
+        key: u32,
+    },
+    /// Read a slice of a published snapshot. `epoch == 0` means "the
+    /// latest"; any other value must match the published epoch exactly.
+    Snapshot {
+        /// Requested epoch (0 = latest).
+        epoch: u64,
+        /// First key of the slice (inclusive).
+        lo: u32,
+        /// One past the last key of the slice.
+        hi: u32,
+    },
+    /// Fetch server statistics.
+    Stats,
+    /// Whole update batch accepted.
+    Accepted {
+        /// Number of tuples taken (the full batch).
+        accepted: u32,
+    },
+    /// Admission control refused part of the batch: the first `accepted`
+    /// tuples were taken, the remainder must be retried.
+    Busy {
+        /// Number of tuples taken before the refusal.
+        accepted: u32,
+    },
+    /// Epoch sealed.
+    Sealed {
+        /// The sealed epoch number.
+        epoch: u64,
+    },
+    /// A key's value as of `epoch`.
+    Value {
+        /// Epoch the value was read from.
+        epoch: u64,
+        /// The accumulated value.
+        value: u64,
+    },
+    /// A snapshot slice.
+    SnapshotSlice {
+        /// Epoch of the snapshot served.
+        epoch: u64,
+        /// First key of the slice.
+        lo: u32,
+        /// Values for keys `lo..lo + values.len()`.
+        values: Vec<u64>,
+    },
+    /// Server statistics.
+    StatsReport(WireStats),
+    /// Request-level failure.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// Why a frame failed to decode. Every variant is a protocol violation by
+/// the peer (or a truncated stream), never an internal state problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended (or the payload ran out) mid-frame.
+    Truncated,
+    /// The length prefix exceeds the frame ceiling.
+    Oversized {
+        /// Claimed frame length.
+        len: usize,
+        /// The enforced ceiling.
+        max: usize,
+    },
+    /// Unknown opcode byte.
+    UnknownOpcode(u8),
+    /// The payload's structure contradicts its own header fields.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte ceiling")
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A forward-only payload reader that turns every out-of-bounds access
+/// into [`WireError::Truncated`].
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+/// Serializes `frame` into `out` (cleared first): length prefix, opcode,
+/// payload.
+pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&[0; 4]); // length back-patched below
+    match frame {
+        Frame::Update(tuples) => {
+            out.push(op::UPDATE);
+            put_u32(out, tuples.len() as u32);
+            for &(k, v) in tuples {
+                put_u32(out, k);
+                put_u64(out, v);
+            }
+        }
+        Frame::Seal => out.push(op::SEAL),
+        Frame::Query { key } => {
+            out.push(op::QUERY);
+            put_u32(out, *key);
+        }
+        Frame::Snapshot { epoch, lo, hi } => {
+            out.push(op::SNAPSHOT);
+            put_u64(out, *epoch);
+            put_u32(out, *lo);
+            put_u32(out, *hi);
+        }
+        Frame::Stats => out.push(op::STATS),
+        Frame::Accepted { accepted } => {
+            out.push(op::ACCEPTED);
+            put_u32(out, *accepted);
+        }
+        Frame::Busy { accepted } => {
+            out.push(op::BUSY);
+            put_u32(out, *accepted);
+        }
+        Frame::Sealed { epoch } => {
+            out.push(op::SEALED);
+            put_u64(out, *epoch);
+        }
+        Frame::Value { epoch, value } => {
+            out.push(op::VALUE);
+            put_u64(out, *epoch);
+            put_u64(out, *value);
+        }
+        Frame::SnapshotSlice { epoch, lo, values } => {
+            out.push(op::SNAPSHOT_SLICE);
+            put_u64(out, *epoch);
+            put_u32(out, *lo);
+            put_u32(out, values.len() as u32);
+            for &v in values {
+                put_u64(out, v);
+            }
+        }
+        Frame::StatsReport(stats) => {
+            out.push(op::STATS_REPORT);
+            for w in stats.to_words() {
+                put_u64(out, w);
+            }
+        }
+        Frame::Error { code, detail } => {
+            out.push(op::ERROR);
+            out.push(*code as u8);
+            let bytes = detail.as_bytes();
+            let n = bytes.len().min(u16::MAX as usize);
+            out.extend_from_slice(&(n as u16).to_le_bytes());
+            out.extend_from_slice(&bytes[..n]);
+        }
+    }
+    let len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Decodes one frame body (opcode + payload, the length prefix already
+/// stripped).
+pub fn decode(body: &[u8]) -> Result<Frame, WireError> {
+    let mut c = Cursor::new(body);
+    let opcode = c.u8()?;
+    let frame = match opcode {
+        op::UPDATE => {
+            let count = c.u32()?;
+            if count > MAX_UPDATE_TUPLES {
+                return Err(WireError::Malformed("update batch too large"));
+            }
+            let mut tuples = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let k = c.u32()?;
+                let v = c.u64()?;
+                tuples.push((k, v));
+            }
+            Frame::Update(tuples)
+        }
+        op::SEAL => Frame::Seal,
+        op::QUERY => Frame::Query { key: c.u32()? },
+        op::SNAPSHOT => Frame::Snapshot {
+            epoch: c.u64()?,
+            lo: c.u32()?,
+            hi: c.u32()?,
+        },
+        op::STATS => Frame::Stats,
+        op::ACCEPTED => Frame::Accepted { accepted: c.u32()? },
+        op::BUSY => Frame::Busy { accepted: c.u32()? },
+        op::SEALED => Frame::Sealed { epoch: c.u64()? },
+        op::VALUE => Frame::Value {
+            epoch: c.u64()?,
+            value: c.u64()?,
+        },
+        op::SNAPSHOT_SLICE => {
+            let epoch = c.u64()?;
+            let lo = c.u32()?;
+            let count = c.u32()?;
+            if count > MAX_SNAPSHOT_KEYS {
+                return Err(WireError::Malformed("snapshot slice too large"));
+            }
+            let mut values = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                values.push(c.u64()?);
+            }
+            Frame::SnapshotSlice { epoch, lo, values }
+        }
+        op::STATS_REPORT => {
+            let mut words = [0u64; WireStats::FIELDS];
+            for w in &mut words {
+                *w = c.u64()?;
+            }
+            Frame::StatsReport(WireStats::from_words(words))
+        }
+        op::ERROR => {
+            let code =
+                ErrorCode::from_u8(c.u8()?).ok_or(WireError::Malformed("unknown error code"))?;
+            let len = {
+                let b = c.take(2)?;
+                u16::from_le_bytes([b[0], b[1]]) as usize
+            };
+            let detail = String::from_utf8_lossy(c.take(len)?).into_owned();
+            Frame::Error { code, detail }
+        }
+        other => return Err(WireError::UnknownOpcode(other)),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+/// What went wrong while reading a frame off a stream.
+#[derive(Debug)]
+pub enum ReadError {
+    /// A read timeout fired **between** frames: no byte of the next frame
+    /// had arrived, the stream is still in sync, and the caller may simply
+    /// try again (servers use this to poll their shutdown flag).
+    Idle,
+    /// Transport-level failure, including a timeout that struck mid-frame
+    /// (the stream can no longer be trusted to be frame-aligned).
+    Io(io::Error),
+    /// The bytes arrived but were not a valid frame.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Idle => write!(f, "idle: read timed out between frames"),
+            ReadError::Io(e) => write!(f, "i/o: {e}"),
+            ReadError::Wire(e) => write!(f, "wire: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<WireError> for ReadError {
+    fn from(e: WireError) -> Self {
+        ReadError::Wire(e)
+    }
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer closed
+/// between frames); EOF mid-frame is [`WireError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> Result<Option<Frame>, ReadError> {
+    let mut len_buf = [0u8; 4];
+    // A clean close may surface as 0 bytes read or as an EOF error kind,
+    // but only before any length byte has arrived.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated.into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if filled == 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Err(ReadError::Idle)
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max_frame {
+        return Err(WireError::Oversized {
+            len,
+            max: max_frame,
+        }
+        .into());
+    }
+    if len == 0 {
+        return Err(WireError::Malformed("empty frame body").into());
+    }
+    let mut body = vec![0u8; len];
+    if let Err(e) = r.read_exact(&mut body) {
+        return Err(match e.kind() {
+            io::ErrorKind::UnexpectedEof => WireError::Truncated.into(),
+            _ => e.into(),
+        });
+    }
+    Ok(Some(decode(&body)?))
+}
+
+/// Serializes `frame` and writes it to `w` (one `write_all`, no flush —
+/// `TcpStream` is unbuffered).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame, scratch: &mut Vec<u8>) -> io::Result<()> {
+    encode(frame, scratch);
+    w.write_all(scratch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let mut buf = Vec::new();
+        encode(&f, &mut buf);
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        assert_eq!(len, buf.len() - 4, "length prefix covers the body");
+        let got = decode(&buf[4..]).expect("decode");
+        assert_eq!(got, f);
+        // And through the stream reader too.
+        let mut cursor = io::Cursor::new(buf);
+        let via_stream = read_frame(&mut cursor, MAX_FRAME)
+            .expect("read")
+            .expect("some");
+        assert_eq!(via_stream, f);
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        roundtrip(Frame::Update(vec![]));
+        roundtrip(Frame::Update(vec![(0, 0), (7, u64::MAX), (u32::MAX, 1)]));
+        roundtrip(Frame::Seal);
+        roundtrip(Frame::Query { key: 42 });
+        roundtrip(Frame::Snapshot {
+            epoch: 3,
+            lo: 10,
+            hi: 20,
+        });
+        roundtrip(Frame::Stats);
+        roundtrip(Frame::Accepted { accepted: 256 });
+        roundtrip(Frame::Busy { accepted: 3 });
+        roundtrip(Frame::Sealed { epoch: 9 });
+        roundtrip(Frame::Value {
+            epoch: 2,
+            value: 77,
+        });
+        roundtrip(Frame::SnapshotSlice {
+            epoch: 5,
+            lo: 128,
+            values: vec![1, 2, 3],
+        });
+        roundtrip(Frame::StatsReport(WireStats {
+            tuples_ingested: 1,
+            busy_tuples: 2,
+            epochs_sealed: 3,
+            epochs_published: 4,
+            connections: 5,
+            frames: 6,
+            queries: 7,
+            cache_hits: 8,
+            cache_misses: 9,
+            cache_insertions: 10,
+            cache_evictions: 11,
+            cache_len: 12,
+        }));
+        roundtrip(Frame::Error {
+            code: ErrorCode::KeyOutOfRange,
+            detail: "key 9 >= 8".into(),
+        });
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected_not_panics() {
+        let mut buf = Vec::new();
+        encode(&Frame::Update(vec![(1, 2), (3, 4)]), &mut buf);
+        // Chop the body at every possible point: each must error cleanly.
+        for cut in 0..buf.len() - 4 {
+            let r = decode(&buf[4..4 + cut]);
+            assert!(r.is_err(), "cut at {cut} decoded: {r:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_distinguished_from_clean_eof() {
+        // Clean EOF before any byte: None.
+        let mut empty = io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut empty, MAX_FRAME), Ok(None)));
+        // EOF mid-length-prefix: Truncated.
+        let mut partial = io::Cursor::new(vec![5u8, 0]);
+        assert!(matches!(
+            read_frame(&mut partial, MAX_FRAME),
+            Err(ReadError::Wire(WireError::Truncated))
+        ));
+        // EOF mid-body: Truncated.
+        let mut buf = Vec::new();
+        encode(&Frame::Sealed { epoch: 1 }, &mut buf);
+        buf.truncate(buf.len() - 3);
+        let mut cut = io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cut, MAX_FRAME),
+            Err(ReadError::Wire(WireError::Truncated))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.push(op::SEAL);
+        let mut cursor = io::Cursor::new(buf);
+        match read_frame(&mut cursor, MAX_FRAME) {
+            Err(ReadError::Wire(WireError::Oversized { len, max })) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, MAX_FRAME);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lying_counts_and_trailing_bytes_are_malformed() {
+        // Update frame whose count claims more tuples than the payload holds.
+        let mut body = vec![op::UPDATE];
+        body.extend_from_slice(&10u32.to_le_bytes());
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&2u64.to_le_bytes());
+        assert_eq!(decode(&body), Err(WireError::Truncated));
+        // Update batch count over the ceiling is refused outright.
+        let mut huge = vec![op::UPDATE];
+        huge.extend_from_slice(&(MAX_UPDATE_TUPLES + 1).to_le_bytes());
+        assert!(matches!(decode(&huge), Err(WireError::Malformed(_))));
+        // Trailing garbage after a well-formed payload.
+        let mut buf = Vec::new();
+        encode(&Frame::Seal, &mut buf);
+        let mut body = buf[4..].to_vec();
+        body.push(0xAA);
+        assert!(matches!(decode(&body), Err(WireError::Malformed(_))));
+        // Unknown opcode.
+        assert_eq!(decode(&[0x7F]), Err(WireError::UnknownOpcode(0x7F)));
+        // Empty body via the stream path.
+        let mut zero = io::Cursor::new(0u32.to_le_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut zero, MAX_FRAME),
+            Err(ReadError::Wire(WireError::Malformed(_)))
+        ));
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut s = WireStats::default();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,561 @@
+//! The TCP server: a fixed worker pool fronting one [`IngestPipeline`].
+//!
+//! ```text
+//!   clients ──TCP──▶ acceptor ──bounded queue──▶ worker pool
+//!                                                  │  UPDATE: IngestHandle::try_send
+//!                                                  │          (full FIFO → BUSY frame)
+//!                                                  │  QUERY:  S3-FIFO snapshot cache
+//!                                                  │  SEAL/SNAPSHOT/STATS
+//!                                                  ▼
+//!                                            IngestPipeline ──▶ EpochSnapshot
+//! ```
+//!
+//! Admission control happens at two levels, both non-blocking:
+//!
+//! * **Connections**: the acceptor hands sockets to the worker pool
+//!   through a bounded queue with [`try_send`]; when every worker is busy
+//!   and the queue is full, the connection is refused (closed) instead of
+//!   queueing without bound.
+//! * **Updates**: workers feed the pipeline with
+//!   [`IngestHandle::try_send`]; a full shard FIFO turns into an explicit
+//!   `Busy { accepted }` response naming how many tuples of the batch
+//!   were taken, so an I/O worker is never parked on a pipeline condvar
+//!   and the client decides whether to retry, shed, or back off.
+//!
+//! The read path never touches the pipeline's accumulators: QUERY is
+//! served from `(epoch, block)` slices of published [`EpochSnapshot`]s,
+//! cached in an [`S3FifoCache`] so a hot skewed key set is answered
+//! without even taking the snapshot publish lock.
+//!
+//! Shutdown is a graceful drain: stop accepting, let workers finish and
+//! flush their coalescing buffers, seal a final epoch, then drain the
+//! pipeline and return the final snapshot — no accepted update is lost.
+//!
+//! [`try_send`]: cobra_stream::channel::Sender::try_send
+//! [`EpochSnapshot`]: cobra_stream::EpochSnapshot
+
+use crate::cache::S3FifoCache;
+use crate::protocol::{self, ErrorCode, Frame, ReadError, WireStats, MAX_FRAME, MAX_SNAPSHOT_KEYS};
+use cobra_stream::channel::{self, Sender, TrySendError};
+use cobra_stream::{
+    EpochSnapshot, IngestHandle, IngestPipeline, Reducer, StreamConfig, TryIngestError,
+};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// `u64` summation — the server's update semantics. Commutative, so the
+/// pipeline takes the merge-on-flush fast path, and "zero lost updates"
+/// is checkable end-to-end by comparing value sums.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumU64;
+
+impl Reducer for SumU64 {
+    type Value = u64;
+    type Acc = u64;
+    const COMMUTATIVE: bool = true;
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, acc: &mut u64, value: &u64) {
+        *acc = acc.wrapping_add(*value);
+    }
+
+    fn merge(&self, into: &mut u64, from: u64) {
+        *into = into.wrapping_add(from);
+    }
+}
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (use port 0 for an ephemeral port).
+    pub addr: String,
+    /// Worker threads; also the number of connections served concurrently.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before the
+    /// acceptor starts refusing new ones.
+    pub conn_backlog: usize,
+    /// Per-frame length ceiling (both directions).
+    pub max_frame: usize,
+    /// Snapshot-cache capacity, in blocks.
+    pub cache_blocks: usize,
+    /// Keys per cached snapshot block.
+    pub cache_block_keys: u32,
+    /// Socket read timeout; also the granularity at which an idle worker
+    /// notices the shutdown flag.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            conn_backlog: 32,
+            max_frame: MAX_FRAME,
+            cache_blocks: 128,
+            cache_block_keys: 1024,
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the bind address.
+    pub fn addr(mut self, addr: &str) -> Self {
+        self.addr = addr.to_string();
+        self
+    }
+
+    /// Sets the worker-pool size.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the accepted-connection backlog.
+    pub fn conn_backlog(mut self, backlog: usize) -> Self {
+        self.conn_backlog = backlog;
+        self
+    }
+
+    /// Sets the snapshot-cache capacity in blocks.
+    pub fn cache_blocks(mut self, blocks: usize) -> Self {
+        self.cache_blocks = blocks;
+        self
+    }
+
+    /// Sets the keys-per-block granularity of the snapshot cache.
+    pub fn cache_block_keys(mut self, keys: u32) -> Self {
+        self.cache_block_keys = keys;
+        self
+    }
+
+    /// Sets the socket read timeout (shutdown-poll granularity).
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+}
+
+/// Live server counters (the serve-layer complement of the pipeline's
+/// [`StreamStats`](cobra_stream::StreamStats)).
+#[derive(Debug, Default)]
+struct ServeCounters {
+    connections: AtomicU64,
+    refused_conns: AtomicU64,
+    frames: AtomicU64,
+    queries: AtomicU64,
+    busy_tuples: AtomicU64,
+}
+
+/// Everything a worker needs, shared by reference.
+struct Ctx {
+    pipeline: IngestPipeline<SumU64>,
+    cache: S3FifoCache<(u64, u32), Arc<Vec<u64>>>,
+    counters: ServeCounters,
+    stop: AtomicBool,
+    num_keys: u32,
+    block_keys: u32,
+    max_frame: usize,
+    read_timeout: Duration,
+}
+
+impl Ctx {
+    fn wire_stats(&self) -> WireStats {
+        let s = self.pipeline.stats();
+        let c = self.cache.stats();
+        // ordering: Relaxed throughout — point-in-time statistics reads;
+        // monotonic counters, nothing is published through them.
+        WireStats {
+            tuples_ingested: s.tuples_sent,
+            busy_tuples: self.counters.busy_tuples.load(Ordering::Relaxed), // ordering: stats
+            epochs_sealed: s.epochs_sealed,
+            epochs_published: s.epochs_published,
+            connections: self.counters.connections.load(Ordering::Relaxed), // ordering: stats
+            frames: self.counters.frames.load(Ordering::Relaxed),           // ordering: stats
+            queries: self.counters.queries.load(Ordering::Relaxed),         // ordering: stats
+            cache_hits: c.hits,
+            cache_misses: c.misses,
+            cache_insertions: c.insertions,
+            cache_evictions: c.evictions,
+            cache_len: c.len,
+        }
+    }
+
+    fn stopping(&self) -> bool {
+        // ordering: Relaxed — audited: the flag is a pure boolean signal
+        // with no associated payload; workers re-check it every read
+        // timeout, so propagation delay only adds (bounded) latency.
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// A running COBRA network service. Binds on [`start`](Self::start),
+/// serves until [`shutdown`](Self::shutdown).
+pub struct Server {
+    ctx: Arc<Ctx>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds the pipeline, binds the listener and starts the acceptor
+    /// and worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers`, `cfg.conn_backlog`, `cfg.cache_blocks < 2`
+    /// or `cfg.cache_block_keys` are out of range (programmer error — the
+    /// config is server-side, not client input).
+    pub fn start(num_keys: u32, stream_cfg: StreamConfig, cfg: ServeConfig) -> io::Result<Server> {
+        assert!(cfg.workers > 0, "need at least one worker");
+        assert!(cfg.conn_backlog > 0, "need a connection backlog");
+        assert!(cfg.cache_blocks >= 2, "cache needs at least two blocks");
+        assert!(
+            cfg.cache_block_keys > 0,
+            "cache blocks need at least one key"
+        );
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let ctx = Arc::new(Ctx {
+            pipeline: IngestPipeline::new(num_keys, SumU64, stream_cfg),
+            cache: S3FifoCache::new(cfg.cache_blocks),
+            counters: ServeCounters::default(),
+            stop: AtomicBool::new(false),
+            num_keys,
+            block_keys: cfg.cache_block_keys,
+            max_frame: cfg.max_frame,
+            read_timeout: cfg.read_timeout,
+        });
+
+        let (conn_tx, conn_rx) = channel::bounded::<TcpStream>(cfg.conn_backlog);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for w in 0..cfg.workers {
+            let ctx = Arc::clone(&ctx);
+            let conn_rx = Arc::clone(&conn_rx);
+            let handle = ctx.pipeline.handle();
+            let worker = std::thread::Builder::new()
+                .name(format!("cobra-serve-worker-{w}"))
+                .spawn(move || worker_loop(&ctx, &conn_rx, handle))
+                .expect("spawn serve worker");
+            workers.push(worker);
+        }
+
+        let acceptor = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name("cobra-serve-acceptor".into())
+                .spawn(move || acceptor_loop(&ctx, &listener, &conn_tx))
+                .expect("spawn serve acceptor")
+        };
+
+        Ok(Server {
+            ctx,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Point-in-time server statistics (same numbers a `STATS` frame
+    /// reports).
+    pub fn stats(&self) -> WireStats {
+        self.ctx.wire_stats()
+    }
+
+    /// Graceful drain: stops accepting, seals a final epoch so in-flight
+    /// updates become queryable state, waits for the workers to finish
+    /// their connections and flush their coalescing buffers, then drains
+    /// the pipeline. Returns the final snapshot (containing every
+    /// accepted update) and the final statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server thread panicked.
+    pub fn shutdown(mut self) -> (Arc<EpochSnapshot<u64>>, WireStats) {
+        // ordering: Relaxed — audited: pure stop signal (see
+        // Ctx::stopping); the acceptor additionally gets a wake-up
+        // connection below, and workers poll at read-timeout granularity.
+        self.ctx.stop.store(true, Ordering::Relaxed);
+        // Seal the final epoch while sockets are still draining: sealed
+        // work becomes queryable, and whatever trickles in afterwards is
+        // captured by the pipeline drain below.
+        self.ctx.pipeline.seal_epoch();
+        // Unblock the acceptor's `accept()`.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().expect("serve acceptor panicked");
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("serve worker panicked");
+        }
+        let stats = self.ctx.wire_stats();
+        let ctx = Arc::try_unwrap(self.ctx)
+            .ok()
+            .expect("server threads joined, ctx uniquely owned");
+        let (snapshot, _) = ctx.pipeline.shutdown();
+        (snapshot, stats)
+    }
+}
+
+fn acceptor_loop(ctx: &Ctx, listener: &TcpListener, conn_tx: &Sender<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if ctx.stopping() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if ctx.stopping() {
+            // The stream (possibly the shutdown wake-up) is dropped;
+            // conn_tx drops with this return, closing the worker queue.
+            return;
+        }
+        // Connection-level admission control: a full worker queue refuses
+        // the connection instead of queueing without bound.
+        match conn_tx.try_send(stream) {
+            Ok(()) => {
+                // ordering: Relaxed — stats counter.
+                ctx.counters.connections.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                // ordering: Relaxed — stats counter; the refused stream
+                // drops here, which closes the socket.
+                ctx.counters.refused_conns.fetch_add(1, Ordering::Relaxed);
+                let disconnected = matches!(e, TrySendError::Disconnected(_));
+                drop(e.into_inner());
+                if disconnected {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    ctx: &Ctx,
+    conn_rx: &Mutex<channel::Receiver<TcpStream>>,
+    mut handle: IngestHandle<u64>,
+) {
+    loop {
+        // Holding the lock while blocked in recv is intentional: exactly
+        // one idle worker camps on the queue, the rest wait their turn at
+        // the mutex; a worker serving a connection holds neither.
+        let next = {
+            let rx = conn_rx.lock().expect("connection queue poisoned");
+            rx.recv()
+        };
+        let Some(stream) = next else {
+            // Queue closed (acceptor exited): flush and leave. A closed
+            // pipeline just means there is nothing left to flush into.
+            let _ = handle.flush();
+            return;
+        };
+        serve_connection(ctx, stream, &mut handle);
+        // Batches coalesced for a closed connection must not linger in
+        // this worker's buffers while it waits for the next connection.
+        let _ = handle.flush();
+    }
+}
+
+/// Serves one connection until EOF, a fatal error, or shutdown.
+fn serve_connection(ctx: &Ctx, stream: TcpStream, handle: &mut IngestHandle<u64>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut scratch = Vec::new();
+    loop {
+        match protocol::read_frame(&mut reader, ctx.max_frame) {
+            Ok(Some(frame)) => {
+                // ordering: Relaxed — stats counter.
+                ctx.counters.frames.fetch_add(1, Ordering::Relaxed);
+                let response = handle_frame(ctx, handle, frame);
+                if protocol::write_frame(&mut writer, &response, &mut scratch).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean close
+            Err(ReadError::Idle) => {
+                // Timed out between frames: the stream is still aligned,
+                // so just poll the shutdown flag and keep listening.
+                if ctx.stopping() {
+                    return;
+                }
+            }
+            Err(ReadError::Io(_)) => return,
+            Err(ReadError::Wire(e)) => {
+                // Framing is lost; tell the client why, then hang up.
+                let response = Frame::Error {
+                    code: ErrorCode::Malformed,
+                    detail: e.to_string(),
+                };
+                let _ = protocol::write_frame(&mut writer, &response, &mut scratch);
+                return;
+            }
+        }
+    }
+}
+
+fn handle_frame(ctx: &Ctx, handle: &mut IngestHandle<u64>, frame: Frame) -> Frame {
+    match frame {
+        Frame::Update(tuples) => handle_update(ctx, handle, &tuples),
+        Frame::Seal => match handle.seal_epoch() {
+            Ok(epoch) => Frame::Sealed { epoch },
+            Err(_) => Frame::Error {
+                code: ErrorCode::ShuttingDown,
+                detail: "pipeline closed".to_string(),
+            },
+        },
+        Frame::Query { key } => {
+            // ordering: Relaxed — stats counter.
+            ctx.counters.queries.fetch_add(1, Ordering::Relaxed);
+            handle_query(ctx, key)
+        }
+        Frame::Snapshot { epoch, lo, hi } => handle_snapshot(ctx, epoch, lo, hi),
+        Frame::Stats => Frame::StatsReport(ctx.wire_stats()),
+        // A client sending response-kind frames is confused; refuse
+        // politely instead of guessing.
+        _ => Frame::Error {
+            code: ErrorCode::Malformed,
+            detail: "response-kind frame sent as a request".to_string(),
+        },
+    }
+}
+
+fn handle_update(ctx: &Ctx, handle: &mut IngestHandle<u64>, tuples: &[(u32, u64)]) -> Frame {
+    let mut accepted: u32 = 0;
+    for &(key, value) in tuples {
+        if key >= ctx.num_keys {
+            // One malformed key must not kill a worker (try_send would
+            // panic) nor silently drop the batch's remainder.
+            return Frame::Error {
+                code: ErrorCode::KeyOutOfRange,
+                detail: format!(
+                    "key {key} >= {} (first {accepted} tuples of the batch were accepted)",
+                    ctx.num_keys
+                ),
+            };
+        }
+        match handle.try_send(key, value) {
+            Ok(()) => accepted += 1,
+            Err(TryIngestError::Busy) => {
+                let refused = (tuples.len() - accepted as usize) as u64;
+                ctx.counters
+                    .busy_tuples
+                    .fetch_add(refused, Ordering::Relaxed); // ordering: stats counter
+
+                return Frame::Busy { accepted };
+            }
+            Err(TryIngestError::Closed) => {
+                return Frame::Error {
+                    code: ErrorCode::ShuttingDown,
+                    detail: format!("pipeline closed after {accepted} tuples"),
+                }
+            }
+        }
+    }
+    Frame::Accepted { accepted }
+}
+
+/// QUERY: served from the S3-FIFO cache of `(epoch, block)` snapshot
+/// slices; a miss materializes the block from the latest published
+/// snapshot (never from the pipeline's live accumulators).
+fn handle_query(ctx: &Ctx, key: u32) -> Frame {
+    if key >= ctx.num_keys {
+        return Frame::Error {
+            code: ErrorCode::KeyOutOfRange,
+            detail: format!("key {key} >= {}", ctx.num_keys),
+        };
+    }
+    let block = key / ctx.block_keys;
+    let lo = block * ctx.block_keys;
+    let epoch = ctx.pipeline.published_epoch();
+    if let Some(slice) = ctx.cache.get(&(epoch, block)) {
+        if let Some(&value) = slice.get((key - lo) as usize) {
+            return Frame::Value { epoch, value };
+        }
+    }
+    // Miss (or a stale hint): materialize the block from the latest
+    // snapshot and insert it under the epoch the snapshot actually has.
+    let snap = ctx.pipeline.snapshot();
+    let epoch = snap.epoch();
+    let hi = lo.saturating_add(ctx.block_keys).min(ctx.num_keys);
+    let Some(values) = snap.values().get(lo as usize..hi as usize) else {
+        // Unreachable: snapshots always span num_keys. Refuse, don't panic.
+        return Frame::Error {
+            code: ErrorCode::KeyOutOfRange,
+            detail: format!("snapshot shorter than key {key}"),
+        };
+    };
+    let slice = Arc::new(values.to_vec());
+    let value = slice.get((key - lo) as usize).copied();
+    ctx.cache.insert((epoch, block), slice);
+    match value {
+        Some(value) => Frame::Value { epoch, value },
+        None => Frame::Error {
+            code: ErrorCode::KeyOutOfRange,
+            detail: format!("key {key} outside materialized block"),
+        },
+    }
+}
+
+fn handle_snapshot(ctx: &Ctx, epoch: u64, lo: u32, hi: u32) -> Frame {
+    if lo >= hi || hi > ctx.num_keys || hi - lo > MAX_SNAPSHOT_KEYS {
+        return Frame::Error {
+            code: ErrorCode::BadRange,
+            detail: format!(
+                "range {lo}..{hi} invalid (num_keys {}, max slice {MAX_SNAPSHOT_KEYS})",
+                ctx.num_keys
+            ),
+        };
+    }
+    let snap = ctx.pipeline.snapshot();
+    if epoch != 0 && snap.epoch() != epoch {
+        return Frame::Error {
+            code: ErrorCode::SnapshotUnavailable,
+            detail: format!(
+                "epoch {epoch} not retained; latest published epoch is {}",
+                snap.epoch()
+            ),
+        };
+    }
+    let Some(values) = snap.values().get(lo as usize..hi as usize) else {
+        return Frame::Error {
+            code: ErrorCode::BadRange,
+            detail: format!("range {lo}..{hi} outside the snapshot"),
+        };
+    };
+    Frame::SnapshotSlice {
+        epoch: snap.epoch(),
+        lo,
+        values: values.to_vec(),
+    }
+}

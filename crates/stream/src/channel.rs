@@ -22,6 +22,25 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Disconnected<T>(pub T);
 
+/// Error returned by [`Sender::try_send`]. Carries the rejected message
+/// back to the caller in both cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue was at capacity; sending would have blocked.
+    Full(T),
+    /// The receiver is gone; sending can never succeed.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// The rejected message.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+}
+
 /// Live (atomic) counters of one channel. Shared by the producer and
 /// consumer sides; snapshot with [`ChannelCounters::snapshot`].
 #[derive(Debug, Default)]
@@ -32,6 +51,7 @@ pub struct ChannelCounters {
     send_stall_nanos: AtomicU64,
     occupancy_hwm: AtomicU64,
     occupancy_sum: AtomicU64,
+    try_send_fulls: AtomicU64,
 }
 
 impl ChannelCounters {
@@ -49,6 +69,7 @@ impl ChannelCounters {
             send_stall_nanos: self.send_stall_nanos.load(Ordering::Relaxed), // ordering: stats
             occupancy_hwm: self.occupancy_hwm.load(Ordering::Relaxed), // ordering: stats
             occupancy_sum: self.occupancy_sum.load(Ordering::Relaxed), // ordering: stats
+            try_send_fulls: self.try_send_fulls.load(Ordering::Relaxed), // ordering: stats
         }
     }
 }
@@ -72,6 +93,10 @@ pub struct ChannelStats {
     /// Sum of the queue occupancy sampled just after every send (divide by
     /// [`sends`](Self::sends) for the mean occupancy seen by producers).
     pub occupancy_sum: u64,
+    /// [`Sender::try_send`] attempts rejected because the queue was full
+    /// (admission-control refusals — the non-blocking counterpart of
+    /// [`send_blocks`](Self::send_blocks)).
+    pub try_send_fulls: u64,
 }
 
 impl ChannelStats {
@@ -162,6 +187,35 @@ impl<T> Sender<T> {
         }
         if !st.receiver_alive {
             return Err(Disconnected(value));
+        }
+        st.queue.push_back(value);
+        let occ = st.queue.len() as u64;
+        // ordering: Relaxed (×3) — stats counters sampled under the state
+        // mutex; monotonic, no cross-thread payload publication.
+        sh.counters.occupancy_sum.fetch_add(occ, Ordering::Relaxed);
+        sh.counters.occupancy_hwm.fetch_max(occ, Ordering::Relaxed); // ordering: stats
+        sh.counters.sends.fetch_add(1, Ordering::Relaxed); // ordering: stats
+        drop(st);
+        sh.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues a message only if the channel has room right now; never
+    /// blocks. A [`TrySendError::Full`] rejection is counted in
+    /// [`ChannelStats::try_send_fulls`] so admission-control refusals are
+    /// as observable as blocking-send stalls.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let sh = &*self.shared;
+        let mut st = sh.state.lock().expect("channel poisoned");
+        if !st.receiver_alive {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if st.queue.len() >= sh.capacity {
+            drop(st);
+            // ordering: Relaxed — stats counter; the rejection itself is
+            // decided under the state mutex, nothing is published here.
+            sh.counters.try_send_fulls.fetch_add(1, Ordering::Relaxed);
+            return Err(TrySendError::Full(value));
         }
         st.queue.push_back(value);
         let occ = st.queue.len() as u64;
@@ -296,6 +350,32 @@ mod tests {
         assert!(stats.send_blocks > 0, "expected backpressure: {stats:?}");
         assert!(stats.send_stall_nanos > 0);
         assert_eq!(stats.occupancy_hwm, 1);
+    }
+
+    #[test]
+    fn try_send_rejects_on_full_and_counts_it() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1u32).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(tx.try_send(4), Err(TrySendError::Full(4)));
+        let stats = tx.counters().snapshot();
+        assert_eq!(stats.try_send_fulls, 2);
+        assert_eq!(stats.sends, 2);
+        // Draining one slot makes the next try_send succeed.
+        assert_eq!(rx.recv(), Some(1));
+        tx.try_send(5).unwrap();
+        drop(tx);
+        let got: Vec<u32> = std::iter::from_fn(|| rx.recv()).collect();
+        assert_eq!(got, vec![2, 5]);
+    }
+
+    #[test]
+    fn try_send_reports_disconnected_receiver() {
+        let (tx, rx) = bounded::<u32>(4);
+        drop(rx);
+        assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+        assert_eq!(TrySendError::Full(7u32).into_inner(), 7);
     }
 
     #[test]

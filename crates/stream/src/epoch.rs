@@ -53,6 +53,14 @@ impl<A> EpochSnapshot<A> {
         &self.values[key as usize]
     }
 
+    /// The accumulated value of `key`, or `None` when `key` is out of
+    /// range. Use this (not [`get`](Self::get)) for keys that come from
+    /// untrusted input: a malformed key must produce an error response,
+    /// not a panic in whichever worker handled the request.
+    pub fn try_get(&self, key: u32) -> Option<&A> {
+        self.values.get(key as usize)
+    }
+
     /// All accumulated values, indexed by key.
     pub fn values(&self) -> &[A] {
         &self.values

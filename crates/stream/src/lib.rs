@@ -56,8 +56,8 @@ mod reducer;
 mod shard;
 mod stats;
 
-pub use channel::{ChannelStats, Disconnected};
+pub use channel::{ChannelStats, Disconnected, TrySendError};
 pub use epoch::EpochSnapshot;
-pub use pipeline::{IngestHandle, IngestPipeline, PipelineClosed, StreamConfig};
+pub use pipeline::{IngestHandle, IngestPipeline, PipelineClosed, StreamConfig, TryIngestError};
 pub use reducer::{Append, Count, Latest, Reducer, Sum};
 pub use stats::{ShardStats, StreamStats};

@@ -24,6 +24,28 @@ impl std::fmt::Display for PipelineClosed {
 
 impl std::error::Error for PipelineClosed {}
 
+/// Error returned by [`IngestHandle::try_send`]. In both cases the
+/// offered tuple was **not** accepted and may simply be retried later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryIngestError {
+    /// The destination shard's FIFO is full right now; accepting the
+    /// tuple would have required blocking (`WouldBlock` analogue).
+    Busy,
+    /// The pipeline has shut down; the tuple can never be delivered.
+    Closed,
+}
+
+impl std::fmt::Display for TryIngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryIngestError::Busy => write!(f, "shard FIFO full, tuple not accepted"),
+            TryIngestError::Closed => write!(f, "ingest pipeline has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for TryIngestError {}
+
 /// Tuning knobs of an [`IngestPipeline`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamConfig {
@@ -179,12 +201,83 @@ impl<V: Copy> IngestHandle<V> {
         Ok(self.core.seal())
     }
 
+    /// Routes one `(key, value)` update without ever blocking.
+    ///
+    /// The tuple coalesces into the destination shard's batch buffer
+    /// exactly like [`send`](Self::send); when the buffer reaches the
+    /// batch size the batch ships via the FIFO's non-blocking `try_send`.
+    /// A full FIFO refuses the whole call: on [`TryIngestError::Busy`]
+    /// *this* tuple was not accepted (earlier buffered tuples stay
+    /// buffered, nothing is duplicated) and the caller may retry it
+    /// verbatim once the consumer has drained. This turns channel
+    /// backpressure into an explicit refusal instead of parking the
+    /// caller — an I/O worker, say — on a pipeline condvar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= num_keys`.
+    pub fn try_send(&mut self, key: u32, value: V) -> Result<(), TryIngestError> {
+        assert!(key < self.core.num_keys, "key {key} out of range");
+        let shard = (key >> self.core.shard_shift) as usize;
+        self.buffers[shard].push(Tuple { key, value });
+        if self.buffers[shard].len() >= self.core.batch_tuples {
+            if let Err(e) = self.try_flush_shard(shard) {
+                // The refused batch went back into the buffer; take this
+                // call's tuple back out so Busy means "not accepted".
+                self.buffers[shard].pop();
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Attempts to ship every partially-filled batch buffer without
+    /// blocking. Stops at the first shard whose FIFO is full; already
+    /// shipped shards stay shipped, the refused shard's batch stays
+    /// buffered for a later retry.
+    pub fn try_flush(&mut self) -> Result<(), TryIngestError> {
+        for shard in 0..self.buffers.len() {
+            if !self.buffers[shard].is_empty() {
+                self.try_flush_shard(shard)?;
+            }
+        }
+        Ok(())
+    }
+
     fn flush_shard(&mut self, shard: usize) -> Result<(), PipelineClosed> {
         let batch = std::mem::take(&mut self.buffers[shard]);
         let n = batch.len() as u64;
         self.core.senders[shard]
             .send(ShardMsg::Batch(batch))
             .map_err(|_| PipelineClosed)?;
+        self.note_batch_sent(n);
+        Ok(())
+    }
+
+    fn try_flush_shard(&mut self, shard: usize) -> Result<(), TryIngestError> {
+        let batch = std::mem::take(&mut self.buffers[shard]);
+        let n = batch.len() as u64;
+        match self.core.senders[shard].try_send(ShardMsg::Batch(batch)) {
+            Ok(()) => {
+                self.note_batch_sent(n);
+                Ok(())
+            }
+            Err(e) => {
+                // Refused: put the batch back so no tuple is lost; the
+                // caller decides whether to retry or give up.
+                let err = match e {
+                    channel::TrySendError::Full(_) => TryIngestError::Busy,
+                    channel::TrySendError::Disconnected(_) => TryIngestError::Closed,
+                };
+                if let ShardMsg::Batch(batch) = e.into_inner() {
+                    self.buffers[shard] = batch;
+                }
+                Err(err)
+            }
+        }
+    }
+
+    fn note_batch_sent(&self, n: u64) {
         // ordering: Relaxed — stats counter, no payload published through it.
         self.core.batches_sent.fetch_add(1, Ordering::Relaxed);
         // ordering: Relaxed — audited: the auto-seal decision below needs
@@ -198,7 +291,6 @@ impl<V: Copy> IngestHandle<V> {
                 self.core.seal();
             }
         }
-        Ok(())
     }
 }
 
@@ -425,6 +517,24 @@ impl<R: Reducer> IngestPipeline<R> {
         self.snapshot().get(key).clone()
     }
 
+    /// The latest published value of `key`, or `None` when `key` is out
+    /// of range — the panic-free lookup a server must use on keys that
+    /// arrive from untrusted clients.
+    pub fn try_get(&self, key: u32) -> Option<R::Acc> {
+        self.snapshot().try_get(key).cloned()
+    }
+
+    /// The epoch number of the latest published snapshot. One relaxed
+    /// atomic load — cheap enough to call per request (cache keying),
+    /// unlike [`snapshot`](Self::snapshot) which takes the publish lock.
+    pub fn published_epoch(&self) -> u64 {
+        // ordering: Relaxed — audited: epochs publish sequentially
+        // (1, 2, …) so the publish counter equals the latest snapshot's
+        // epoch number; readers that then fetch the snapshot synchronize
+        // through the publish mutex, never through this atomic.
+        self.epochs_published.load(Ordering::Relaxed)
+    }
+
     /// Point-in-time pipeline statistics.
     pub fn stats(&self) -> StreamStats {
         // ordering: Relaxed throughout — point-in-time statistics reads;
@@ -647,5 +757,121 @@ mod tests {
         let p = IngestPipeline::new(8, Count, StreamConfig::default());
         let mut h = p.handle();
         let _ = h.send(8, ());
+    }
+
+    /// A handle over a hand-built core whose single shard FIFO has no
+    /// worker draining it: the channel fills deterministically, which a
+    /// live pipeline never guarantees.
+    fn unserviced_handle(
+        capacity: usize,
+        batch_tuples: usize,
+    ) -> (IngestHandle<()>, crate::channel::Receiver<ShardMsg<()>>) {
+        let (tx, rx) = channel::bounded::<ShardMsg<()>>(capacity);
+        let core = Arc::new(Core {
+            senders: vec![tx],
+            shard_shift: 4, // one shard spanning keys 0..16
+            num_keys: 16,
+            batch_tuples,
+            epoch_tuples: None,
+            tuples_sent: AtomicU64::new(0),
+            batches_sent: AtomicU64::new(0),
+            epochs_sealed: AtomicU64::new(0),
+            seal_lock: Mutex::new(()),
+        });
+        (
+            IngestHandle {
+                core,
+                buffers: vec![Vec::new()],
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn try_send_against_full_channel_is_busy_and_lossless() {
+        let (mut h, rx) = unserviced_handle(1, 1);
+        h.try_send(0, ()).unwrap(); // fills the 1-slot FIFO
+        assert_eq!(h.try_send(1, ()), Err(TryIngestError::Busy));
+        assert_eq!(h.try_send(2, ()), Err(TryIngestError::Busy));
+        // Refused tuples were taken back out: nothing is buffered, and
+        // exactly one tuple was accepted.
+        assert!(h.buffers[0].is_empty());
+        // ordering: Relaxed — test-side stats read.
+        assert_eq!(h.core.tuples_sent.load(Ordering::Relaxed), 1);
+
+        // Draining the FIFO makes the retry succeed, without duplicates.
+        let Some(ShardMsg::Batch(b)) = rx.recv() else {
+            panic!("expected the accepted batch")
+        };
+        assert_eq!(b.len(), 1);
+        h.try_send(1, ()).unwrap();
+        let Some(ShardMsg::Batch(b)) = rx.recv() else {
+            panic!("expected the retried batch")
+        };
+        assert_eq!(b[0].key, 1);
+    }
+
+    #[test]
+    fn try_send_below_batch_size_buffers_without_touching_channel() {
+        let (mut h, rx) = unserviced_handle(1, 8);
+        for k in 0..7 {
+            h.try_send(k, ()).unwrap();
+        }
+        assert_eq!(h.buffers[0].len(), 7);
+        h.try_flush().unwrap(); // fits: channel empty
+        let Some(ShardMsg::Batch(b)) = rx.recv() else {
+            panic!("expected flushed batch")
+        };
+        assert_eq!(b.len(), 7);
+        // Channel full again → try_flush refuses but keeps the batch.
+        for k in 0..8 {
+            h.try_send(k, ()).unwrap();
+        }
+        assert!(h.buffers[0].is_empty(), "8th tuple shipped the batch");
+        h.try_send(3, ()).unwrap();
+        assert_eq!(h.try_flush(), Err(TryIngestError::Busy));
+        assert_eq!(h.buffers[0].len(), 1, "refused batch stays buffered");
+    }
+
+    #[test]
+    fn try_send_after_shutdown_is_closed() {
+        let p = IngestPipeline::new(16, Count, StreamConfig::new().batch_tuples(1));
+        let mut h = p.handle();
+        h.try_send(3, ()).unwrap();
+        let (snap, _) = p.shutdown();
+        assert_eq!(*snap.get(3), 1);
+        assert_eq!(h.try_send(4, ()), Err(TryIngestError::Closed));
+    }
+
+    #[test]
+    fn try_get_is_total_over_any_key() {
+        let p = IngestPipeline::new(8, Count, StreamConfig::new().batch_tuples(1));
+        let mut h = p.handle();
+        h.send(5, ()).unwrap();
+        drop(h);
+        let (snap, _) = p.shutdown();
+        assert_eq!(snap.try_get(5), Some(&1));
+        assert_eq!(snap.try_get(7), Some(&0));
+        assert_eq!(snap.try_get(8), None);
+        assert_eq!(snap.try_get(u32::MAX), None);
+    }
+
+    #[test]
+    fn published_epoch_tracks_snapshot_epoch() {
+        let p = IngestPipeline::new(64, Count, StreamConfig::new().shards(2));
+        assert_eq!(p.published_epoch(), 0);
+        let mut h = p.handle();
+        h.send(1, ()).unwrap();
+        h.seal_epoch().unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while p.published_epoch() < 1 {
+            assert!(Instant::now() < deadline, "epoch 1 never published");
+            std::thread::yield_now();
+        }
+        assert_eq!(p.snapshot().epoch(), 1);
+        assert_eq!(p.try_get(1), Some(1));
+        assert_eq!(p.try_get(64), None);
+        drop(h);
+        p.shutdown();
     }
 }

@@ -13,6 +13,8 @@
 //! * [`kernels`] — the nine evaluated workloads
 //! * [`stream`] — long-lived sharded streaming ingestion of irregular
 //!   updates (epochs, snapshots, backpressure)
+//! * [`serve`] — dependency-free TCP service over the stream pipeline
+//!   (binary wire protocol, admission control, S3-FIFO snapshot cache)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,5 +22,6 @@ pub use cobra_core as cobra;
 pub use cobra_graph as graph;
 pub use cobra_kernels as kernels;
 pub use cobra_pb as pb;
+pub use cobra_serve as serve;
 pub use cobra_sim as sim;
 pub use cobra_stream as stream;
