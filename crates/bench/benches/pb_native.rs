@@ -66,7 +66,7 @@ fn bench_counting_sort() {
         for bin_id in 0..bins.num_bins() {
             let base = (bin_id * range) as u32;
             let mut local = vec![0u32; range];
-            for t in bins.bin(bin_id) {
+            for t in bins.iter_bin(bin_id) {
                 local[(t.key - base) as usize] += 1;
             }
             for (off, &cnt) in local.iter().enumerate() {

@@ -6,6 +6,7 @@
 //! non-commutative kernels); COBRA alone is the general optimization.
 
 use cobra_bench::{inputs, report, Scale, Table};
+use cobra_bins::BinStore;
 use cobra_core::comm::{run_cobra_comm, run_phi, run_plain};
 use cobra_core::{BinHierarchy, ReservedWays};
 use cobra_kernels::{bin_choices, Input, KernelId};
@@ -38,15 +39,22 @@ fn accumulate_l1_misses(
     e.finish().mem.l1d.misses
 }
 
+/// All coalesced tuples of a columnar bin store, in bin order.
+fn store_tuples(bins: &BinStore<u32>) -> impl Iterator<Item = (u32, u32)> + '_ {
+    (0..bins.num_bins()).flat_map(|b| bins.iter_bin(b).map(|(&k, &c)| (k, c)))
+}
+
 /// Regroups coalesced tuples into `1 << shift`-key bins (PHI inherits
 /// PB-SW's compromise bin count; COBRA-COMM uses the LLC bin count).
-fn regroup(bins: &[Vec<(u32, u32)>], shift: u32, num_keys: u32) -> Vec<Vec<(u32, u32)>> {
+fn regroup(
+    tuples: impl Iterator<Item = (u32, u32)>,
+    shift: u32,
+    num_keys: u32,
+) -> Vec<Vec<(u32, u32)>> {
     let n = ((num_keys as u64).div_ceil(1 << shift)) as usize;
     let mut out = vec![Vec::new(); n.max(1)];
-    for bin in bins {
-        for &(k, c) in bin {
-            out[(k >> shift) as usize].push((k, c));
-        }
+    for (k, c) in tuples {
+        out[(k >> shift) as usize].push((k, c));
     }
     out
 }
@@ -106,28 +114,28 @@ fn main() {
             .next_power_of_two()
             .trailing_zeros();
         let opt_shift = hier.memory_bin_shift();
-        let uncoalesced: Vec<Vec<(u32, u32)>> = vec![stream().map(|k| (k, 1)).collect::<Vec<_>>()];
+        let uncoalesced = || stream().map(|k| (k, 1));
         let pb_sw_m = accumulate_l1_misses(
             &machine,
-            &regroup(&uncoalesced, sw_shift, keys),
+            &regroup(uncoalesced(), sw_shift, keys),
             keys,
             kernel.tuple_bytes(),
         );
         let phi_m = accumulate_l1_misses(
             &machine,
-            &regroup(&phi_bins, sw_shift, keys),
+            &regroup(store_tuples(&phi_bins), sw_shift, keys),
             keys,
             kernel.tuple_bytes(),
         );
         let cobra_m = accumulate_l1_misses(
             &machine,
-            &regroup(&uncoalesced, opt_shift, keys),
+            &regroup(uncoalesced(), opt_shift, keys),
             keys,
             kernel.tuple_bytes(),
         );
         let comm_m = accumulate_l1_misses(
             &machine,
-            &regroup(&comm_bins, opt_shift, keys),
+            &regroup(store_tuples(&comm_bins), opt_shift, keys),
             keys,
             kernel.tuple_bytes(),
         );

@@ -163,7 +163,7 @@ fn main() {
     let sent_sum: u64 = reports.iter().map(|r| r.sent_sum).sum();
     let sent_tuples: u64 = reports.iter().map(|r| r.sent_tuples).sum();
     let busy_rounds: u64 = reports.iter().map(|r| r.busy_rounds).sum();
-    let server_sum: u64 = snapshot.values().iter().sum();
+    let server_sum: u64 = snapshot.iter().sum();
 
     let mut lat: Vec<u64> = reports
         .iter()
@@ -188,6 +188,9 @@ fn main() {
             "p50_us",
             "p99_us",
             "cache_hit_rate",
+            "bins_bytes",
+            "bin_segments",
+            "cbuf_occupancy",
         ],
     );
     t.row(vec![
@@ -201,6 +204,9 @@ fn main() {
         p50.to_string(),
         p99.to_string(),
         report::f2(stats.cache_hit_rate()),
+        stats.bins_bytes.to_string(),
+        stats.bin_segments.to_string(),
+        report::f2(stats.cbuf_occupancy()),
     ]);
     t.print();
     t.append_csv("serve_throughput");

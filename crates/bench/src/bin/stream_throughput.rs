@@ -24,10 +24,23 @@ fn main() {
 
     let mut t = Table::new(
         "Streaming ingest: Mtuples/s (producer stall fraction)",
-        &["shards", "cap 1", "cap 16", "cap 64", "cap 1024"],
+        &[
+            "shards",
+            "cap 1",
+            "cap 16",
+            "cap 64",
+            "cap 1024",
+            "bins_bytes",
+            "bin_segments",
+            "cbuf_occupancy",
+        ],
     );
     for shards in [1usize, 2, 4, 8] {
         let mut row = vec![shards.to_string()];
+        // Bin-memory footprint from the deepest-FIFO run (the memory
+        // high-water mark is a property of the shard/bin geometry, not of
+        // the channel bound).
+        let mut mem = (0u64, 0u64, 0.0f64);
         for cap in [1usize, 16, 64, 1024] {
             let cfg = StreamConfig::new()
                 .shards(shards)
@@ -39,7 +52,15 @@ fn main() {
                 stats.tuples_per_sec() / 1e6,
                 100.0 * stats.stall_fraction()
             ));
+            mem = (
+                stats.total_bins_bytes(),
+                stats.total_bin_segments(),
+                stats.cbuf_occupancy(),
+            );
         }
+        row.push(mem.0.to_string());
+        row.push(mem.1.to_string());
+        row.push(format!("{:.2}", mem.2));
         t.row(row);
         eprintln!("[done] {shards} shards");
     }

@@ -1,0 +1,30 @@
+//! # cobra-bins — the one bin representation
+//!
+//! Every Propagation Blocking layer in this workspace — software PB
+//! (`cobra-pb`), the simulated backends (`cobra-core`), streaming shards
+//! (`cobra-stream`) and the network read path (`cobra-serve`) — buffers
+//! `(key, value)` update tuples in per-key-range bins. This crate is the
+//! single storage layer they all share:
+//!
+//! * [`BinStore`] — structure-of-arrays bins: each bin is a pair of
+//!   contiguous `keys`/`values` columns whose capacity is acquired in
+//!   cacheline-granular slab segments, so the Accumulate phase streams
+//!   two dense arrays instead of pointer-chasing tuple `Vec`s.
+//! * [`CBufFrame`] — a cacheline-aligned C-Buffer frame (the paper's
+//!   coalescing buffer): tuples are staged here and transferred to the
+//!   store a full line at a time.
+//! * [`BinSink`] / [`BinReader`] — the write- and read-side traits, with
+//!   exact-count [`BinSink::reserve`] fed by the Init phase's counting
+//!   pre-pass.
+//! * Freeze-to-`Arc` publishing ([`BinStore::freeze`]): an immutable
+//!   store is shared by reference count in O(1) — `take_bins`, epoch
+//!   snapshots and caches never deep-copy bin data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod store;
+
+pub use frame::{cbuf_capacity, CBufFrame, FrameFlushStats, FRAME_KEYS, LINE_BYTES};
+pub use store::{bin_geometry, BinMemory, BinReader, BinSink, BinStore, FrozenBins};

@@ -1,6 +1,6 @@
 //! Invariant linting for the PB/stream stack.
 //!
-//! Three rules, each tuned to a failure mode this codebase has actually
+//! Four rules, each tuned to a failure mode this codebase has actually
 //! worried about:
 //!
 //! * **R1 `ordering-justification`** — every `Ordering::…` use in the
@@ -16,6 +16,14 @@
 //! * **R3 `no-mutex-on-binning-path`** — no `std::sync::Mutex` in the
 //!   binning/accumulate hot-path files. The whole point of propagation
 //!   blocking is that bin ownership makes locks unnecessary there.
+//! * **R4 `no-raw-aos-bins`** — no array-of-structs bin storage
+//!   (`Vec<Vec<(u32, …)>>` / `Vec<Vec<Tuple<…>>>`) in the hot-path
+//!   files. Bins live in the columnar `cobra_bins::BinStore`; a raw
+//!   nested-Vec representation reintroduces per-bin reallocation and
+//!   deep-copy publishing. The two surviving uses (the check-only
+//!   `Bins::from_raw` compat constructor and the producer-side ingest
+//!   coalescing buffers, which are not bin storage) are audited in the
+//!   allowlist.
 //!
 //! False positives are suppressed through `crates/check/lint-allow.txt`:
 //! one `path-suffix|needle` entry per line; a violation is allowed when
@@ -34,6 +42,8 @@ pub enum Rule {
     HotPathUnwrap,
     /// R3: `Mutex` on a binning hot-path file.
     MutexOnBinningPath,
+    /// R4: raw array-of-structs bins (`Vec<Vec<(u32, …)>>`) on a hot path.
+    RawAosBins,
 }
 
 impl fmt::Display for Rule {
@@ -42,6 +52,7 @@ impl fmt::Display for Rule {
             Rule::OrderingJustification => "ordering-justification",
             Rule::HotPathUnwrap => "no-hot-path-unwrap",
             Rule::MutexOnBinningPath => "no-mutex-on-binning-path",
+            Rule::RawAosBins => "no-raw-aos-bins",
         };
         f.write_str(s)
     }
@@ -182,6 +193,20 @@ const R3_FILES: [&str; 5] = [
     "crates/stream/src/shard.rs",
 ];
 
+/// Files subject to R4 (bins must stay columnar — `cobra_bins::BinStore`).
+const R4_FILES: [&str; 10] = [
+    "crates/pb/src/binner.rs",
+    "crates/pb/src/parallel.rs",
+    "crates/core/src/backend.rs",
+    "crates/core/src/cobra.rs",
+    "crates/core/src/comm.rs",
+    "crates/stream/src/shard.rs",
+    "crates/stream/src/epoch.rs",
+    "crates/stream/src/pipeline.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/cache.rs",
+];
+
 fn list_rs(dir: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let Ok(entries) = std::fs::read_dir(dir) else {
@@ -305,6 +330,26 @@ fn lint_mutex(file: &str, text: &str, out: &mut Vec<LintViolation>) {
     }
 }
 
+/// R4 over one file's contents. Whitespace is squeezed out of the masked
+/// line before matching so `Vec<Vec< (u32` formatting variants still trip.
+fn lint_raw_aos_bins(file: &str, text: &str, out: &mut Vec<LintViolation>) {
+    for (i, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let masked: String = mask_line(raw).split_whitespace().collect();
+        if masked.contains("Vec<Vec<(u32") || masked.contains("Vec<Vec<Tuple") {
+            out.push(LintViolation {
+                rule: Rule::RawAosBins,
+                file: file.to_string(),
+                line: i + 1,
+                text: trimmed.trim_end().to_string(),
+            });
+        }
+    }
+}
+
 /// Runs every rule over the workspace rooted at `root`, filtering through
 /// the allowlist at `crates/check/lint-allow.txt` (missing file = empty).
 pub fn run_lints(root: &Path) -> std::io::Result<Vec<LintViolation>> {
@@ -332,6 +377,14 @@ pub fn run_lints(root: &Path) -> std::io::Result<Vec<LintViolation>> {
         }
         let text = std::fs::read_to_string(&path)?;
         lint_mutex(name, &text, &mut raw);
+    }
+    for name in R4_FILES {
+        let path = root.join(name);
+        if !path.is_file() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        lint_raw_aos_bins(name, &text, &mut raw);
     }
 
     Ok(raw
@@ -419,6 +472,23 @@ fn also_hot() { z.expect(\"bad\"); }
         lint_mutex("crates/pb/src/binner.rs", src, &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, Rule::MutexOnBinningPath);
+    }
+
+    #[test]
+    fn raw_aos_bins_are_flagged_despite_formatting() {
+        let src = "\
+let bins: Vec<Vec<(u32, V)>> = Vec::new();
+let spaced: Vec < Vec < (u32, f32) > > = Vec::new();
+let tuples: Vec<Vec<Tuple<V>>> = Vec::new();
+let fine: Vec<Vec<u32>> = Vec::new();
+// commented out: Vec<Vec<(u32, V)>>
+let s = \"doc says Vec<Vec<(u32, V)>>\";
+";
+        let mut out = Vec::new();
+        lint_raw_aos_bins("crates/pb/src/binner.rs", src, &mut out);
+        let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![1, 2, 3], "{out:?}");
+        assert!(out.iter().all(|v| v.rule == Rule::RawAosBins));
     }
 
     #[test]

@@ -101,7 +101,7 @@ fn run_lint() -> bool {
     };
     match lint::run_lints(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("  clean (3 rules over pb/core/stream/sim/serve sources)");
+            println!("  clean (4 rules over pb/core/stream/sim/serve sources)");
             true
         }
         Ok(violations) => {

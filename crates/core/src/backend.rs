@@ -9,6 +9,7 @@
 //! machine), and [`CobraMachine`](crate::cobra::CobraMachine) the hardware
 //! one.
 
+use cobra_bins::{bin_geometry, BinMemory, BinStore, CBufFrame};
 use cobra_sim::addr::ArrayAddr;
 use cobra_sim::engine::Engine;
 use cobra_sim::LINE_BYTES;
@@ -16,43 +17,45 @@ use cobra_sim::LINE_BYTES;
 /// In-memory bins produced by a Binning phase, with the synthetic addresses
 /// at which their tuples live (sequential per bin, bins contiguous — the
 /// paper's Figure 9 layout).
+///
+/// Backed by the workspace-shared columnar [`BinStore`]: the simulated
+/// address mapping lives here, the tuple data lives in the store's
+/// per-bin `keys`/`values` columns.
 #[derive(Debug, Clone)]
 pub struct BinStorage<V> {
     base: ArrayAddr,
     tuple_bytes: u32,
-    shift: u32,
-    bins: Vec<Vec<(u32, V)>>,
+    store: BinStore<V>,
 }
 
 impl<V> BinStorage<V> {
-    /// Assembles storage from functional bins.
-    pub fn new(base: ArrayAddr, tuple_bytes: u32, shift: u32, bins: Vec<Vec<(u32, V)>>) -> Self {
+    /// Assembles storage from a functional columnar store.
+    pub fn new(base: ArrayAddr, tuple_bytes: u32, store: BinStore<V>) -> Self {
         BinStorage {
             base,
             tuple_bytes,
-            shift,
-            bins,
+            store,
         }
     }
 
     /// Number of bins.
     pub fn num_bins(&self) -> usize {
-        self.bins.len()
+        self.store.num_bins()
     }
 
     /// log2 of the key range per bin.
     pub fn bin_shift(&self) -> u32 {
-        self.shift
+        self.store.bin_shift()
     }
 
     /// Total tuples.
     pub fn len(&self) -> usize {
-        self.bins.iter().map(Vec::len).sum()
+        self.store.len()
     }
 
     /// Whether the storage holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.store.is_empty()
     }
 
     /// Bytes per tuple.
@@ -66,9 +69,34 @@ impl<V> BinStorage<V> {
         self.base.base()
     }
 
-    /// The functional bins.
-    pub fn bins(&self) -> &[Vec<(u32, V)>] {
-        &self.bins
+    /// The backing columnar store.
+    pub fn store(&self) -> &BinStore<V> {
+        &self.store
+    }
+
+    /// Unwraps into the backing store (e.g. to freeze and share it).
+    pub fn into_store(self) -> BinStore<V> {
+        self.store
+    }
+
+    /// The key column of bin `b`, in insertion order.
+    pub fn keys(&self, b: usize) -> &[u32] {
+        self.store.keys(b)
+    }
+
+    /// The value column of bin `b`, in insertion order.
+    pub fn values(&self, b: usize) -> &[V] {
+        self.store.values(b)
+    }
+
+    /// Borrowed iteration over bin `b`'s tuples (nothing is cloned).
+    pub fn iter_bin(&self, b: usize) -> impl Iterator<Item = (u32, &V)> {
+        self.store.iter_bin(b).map(|(&k, v)| (k, v))
+    }
+
+    /// Bin-memory footprint of the backing columns.
+    pub fn memory(&self) -> BinMemory {
+        self.store.memory()
     }
 
     /// Iterates tuples bin-major with their memory addresses (sequential —
@@ -76,11 +104,10 @@ impl<V> BinStorage<V> {
     pub fn iter(&self) -> impl Iterator<Item = (u64, u32, &V)> {
         let base = self.base.base();
         let tb = self.tuple_bytes as u64;
-        self.bins
-            .iter()
-            .flat_map(|b| b.iter())
+        (0..self.store.num_bins())
+            .flat_map(move |b| self.store.iter_bin(b))
             .enumerate()
-            .map(move |(i, (k, v))| (base + i as u64 * tb, *k, v))
+            .map(move |(i, (&k, v))| (base + i as u64 * tb, k, v))
     }
 }
 
@@ -151,9 +178,8 @@ pub struct SwPb<E, V> {
     shift: u32,
     num_keys: u32,
     tuple_bytes: u32,
-    cap: usize,
-    cbufs: Vec<Vec<(u32, V)>>,
-    bins: Vec<Vec<(u32, V)>>,
+    cbufs: Vec<CBufFrame<V>>,
+    bins: BinStore<V>,
     cbuf_base: ArrayAddr,
     occ_base: ArrayAddr,
     binoff_base: ArrayAddr,
@@ -185,16 +211,8 @@ impl<E: Engine, V: Copy> SwPb<E, V> {
             (4..=LINE_BYTES as u32).contains(&tuple_bytes) && tuple_bytes.is_power_of_two(),
             "bad tuple size {tuple_bytes}"
         );
-        // Same rounding as cobra_pb::Binner: largest power-of-two range
-        // giving at least min_bins bins.
-        let mut range = (num_keys as u64)
-            .div_ceil(min_bins as u64)
-            .next_power_of_two();
-        if (num_keys as u64).div_ceil(range) < min_bins as u64 && range > 1 {
-            range /= 2;
-        }
-        let shift = range.trailing_zeros();
-        let num_bins = (num_keys as u64).div_ceil(range) as usize;
+        // Workspace-standard geometry (same rounding as cobra_pb::Binner).
+        let (shift, num_bins) = bin_geometry(num_keys, min_bins);
         let cap = (LINE_BYTES / tuple_bytes as u64) as usize;
         let cbuf_base = engine.alloc("pb_cbufs", num_bins as u64 * LINE_BYTES);
         let occ_base = engine.alloc("pb_cbuf_occ", num_bins as u64 * 4);
@@ -205,9 +223,10 @@ impl<E: Engine, V: Copy> SwPb<E, V> {
             shift,
             num_keys,
             tuple_bytes,
-            cap,
-            cbufs: vec![Vec::new(); num_bins],
-            bins: vec![Vec::new(); num_bins],
+            cbufs: (0..num_bins)
+                .map(|_| CBufFrame::with_capacity(cap))
+                .collect(),
+            bins: BinStore::with_geometry(shift, num_keys, num_bins),
             cbuf_base,
             occ_base,
             binoff_base,
@@ -226,6 +245,7 @@ impl<E: Engine, V: Copy> SwPb<E, V> {
     fn flush_cbuf(&mut self, b: usize) {
         // Bulk transfer: read the bin cursor, read the C-Buffer line, write
         // it to the bin with a non-temporal store, advance the cursor.
+        let n = self.cbufs[b].len();
         let cursor = self.bin_start[b] + self.bin_written[b];
         self.engine.load(self.binoff_base.addr(8, b as u64), 8);
         self.engine.load(
@@ -233,13 +253,12 @@ impl<E: Engine, V: Copy> SwPb<E, V> {
             LINE_BYTES as u32,
         );
         let dst = self.bin_base.base() + cursor * self.tuple_bytes as u64;
-        let bytes = (self.cbufs[b].len() * self.tuple_bytes as usize) as u32;
+        let bytes = (n * self.tuple_bytes as usize) as u32;
         self.engine.nt_store(dst, bytes);
         self.engine.alu(4); // SIMD copy-loop arithmetic + cursor update
         self.engine.store(self.binoff_base.addr(8, b as u64), 8);
-        self.bin_written[b] += self.cbufs[b].len() as u64;
-        let drained = std::mem::take(&mut self.cbufs[b]);
-        self.bins[b].extend(drained);
+        self.bin_written[b] += n as u64;
+        self.cbufs[b].flush_into(&mut self.bins, b);
     }
 }
 
@@ -255,11 +274,11 @@ impl<E: Engine, V: Copy> PbBackend<V> for SwPb<E, V> {
     }
 
     fn num_bins(&self) -> usize {
-        self.bins.len()
+        self.bins.num_bins()
     }
 
     fn presize(&mut self, counts: &[u64]) {
-        assert_eq!(counts.len(), self.bins.len(), "one count per bin");
+        assert_eq!(counts.len(), self.bins.num_bins(), "one count per bin");
         let mut acc = 0u64;
         for (b, &c) in counts.iter().enumerate() {
             self.bin_start[b] = acc;
@@ -290,8 +309,8 @@ impl<E: Engine, V: Copy> PbBackend<V> for SwPb<E, V> {
         );
         self.engine.alu(1);
         self.engine.store(self.occ_base.addr(4, b as u64), 4);
-        self.cbufs[b].push((key, value));
-        let full = self.cbufs[b].len() == self.cap;
+        self.cbufs[b].push(key, value);
+        let full = self.cbufs[b].is_full();
         self.engine.branch(0x100 + b as u64 % 16, full);
         if full {
             self.flush_cbuf(b);
@@ -310,9 +329,9 @@ impl<E: Engine, V: Copy> PbBackend<V> for SwPb<E, V> {
                 self.flush_cbuf(b);
             }
         }
-        let bins = std::mem::replace(&mut self.bins, vec![Vec::new(); self.bin_start.len()]);
+        let store = self.bins.take();
         self.bin_written.iter_mut().for_each(|w| *w = 0);
-        BinStorage::new(self.bin_base, self.tuple_bytes, self.shift, bins)
+        BinStorage::new(self.bin_base, self.tuple_bytes, store)
     }
 }
 
@@ -342,9 +361,13 @@ mod tests {
         assert_eq!(got.num_bins(), want.num_bins());
         assert_eq!(got.bin_shift(), want.bin_shift());
         for b in 0..got.num_bins() {
-            let g: Vec<(u32, u32)> = got.bins()[b].clone();
-            let w: Vec<(u32, u32)> = want.bin(b).iter().map(|t| (t.key, t.value)).collect();
-            assert_eq!(g, w, "bin {b}");
+            // Borrowed column iteration on both sides — no bin is cloned.
+            assert!(
+                got.iter_bin(b)
+                    .map(|(k, &v)| (k, v))
+                    .eq(want.iter_bin(b).map(|t| (t.key, t.value))),
+                "bin {b}"
+            );
         }
     }
 

@@ -25,6 +25,7 @@
 use crate::backend::{BinStorage, PbBackend};
 use crate::evict::{DesConfig, EvictStats, EvictionDes};
 use crate::isa::{BinHierarchy, ReservedWays};
+use cobra_bins::BinStore;
 use cobra_sim::addr::ArrayAddr;
 use cobra_sim::engine::{Engine, SimEngine, SimResult};
 use cobra_sim::stats::Level;
@@ -38,8 +39,8 @@ pub struct CobraMachine<V> {
     des: EvictionDes,
     /// Keys buffered in each L1 C-Buffer.
     l1: Vec<Vec<u32>>,
-    /// Functional in-memory bins (indexed by LLC bin id).
-    bins: Vec<Vec<(u32, V)>>,
+    /// Functional in-memory bins (columnar, indexed by LLC bin id).
+    bins: BinStore<V>,
     bin_base: ArrayAddr,
     /// DRAM bytes from the DES already pushed into the hierarchy counters.
     synced_dram_bytes: u64,
@@ -93,7 +94,11 @@ impl<V: Copy> CobraMachine<V> {
             .alloc("cobra_bins", expected_tuples.max(1) * tuple_bytes as u64);
         let des = EvictionDes::new(&hier, des_cfg);
         let l1 = (0..hier.levels[0].buffers).map(|_| Vec::new()).collect();
-        let bins = (0..hier.levels[2].buffers).map(|_| Vec::new()).collect();
+        let bins = BinStore::with_geometry(
+            hier.memory_bin_shift(),
+            num_keys,
+            hier.levels[2].buffers as usize,
+        );
         CobraMachine {
             sim,
             hier,
@@ -187,7 +192,7 @@ impl<V: Copy> CobraMachine<V> {
     /// Finishes the run and returns the simulation result. Any un-flushed
     /// tuples are flushed first (as `binflush` would on process exit).
     pub fn finish(mut self) -> SimResult {
-        if self.l1.iter().any(|b| !b.is_empty()) || self.bins.iter().any(|b| !b.is_empty()) {
+        if self.l1.iter().any(|b| !b.is_empty()) || !self.bins.is_empty() {
             let _ = self.flush_and_take();
         }
         self.sync_dram();
@@ -302,7 +307,7 @@ impl<V: Copy> PbBackend<V> for CobraMachine<V> {
             key,
             self.hier.memory_bin_shift(),
         );
-        self.bins[(key >> self.hier.memory_bin_shift()) as usize].push((key, value));
+        self.bins.insert(key, value);
         // Timing effect: L1 C-Buffer occupancy and eviction cascade.
         let b = (key >> self.hier.levels[0].shift) as usize;
         self.l1[b].push(key);
@@ -341,18 +346,8 @@ impl<V: Copy> PbBackend<V> for CobraMachine<V> {
             self.sim.core_mut().stall(end - now);
         }
         self.sync_dram();
-        let bins = std::mem::replace(
-            &mut self.bins,
-            (0..self.hier.levels[2].buffers)
-                .map(|_| Vec::new())
-                .collect(),
-        );
-        BinStorage::new(
-            self.bin_base,
-            self.hier.tuple_bytes,
-            self.hier.memory_bin_shift(),
-            bins,
-        )
+        let store = self.bins.take();
+        BinStorage::new(self.bin_base, self.hier.tuple_bytes, store)
     }
 }
 
@@ -380,10 +375,10 @@ mod tests {
             m.insert(k, i as u32);
         }
         let st = m.flush_and_take();
-        for bin in st.bins() {
+        for b in 0..st.num_bins() {
             // Values are insertion indices: within a bin they must ascend.
-            for w in bin.windows(2) {
-                assert!(w[0].1 < w[1].1, "bin order violated: {:?}", &w);
+            for w in st.values(b).windows(2) {
+                assert!(w[0] < w[1], "bin order violated: {:?}", &w);
             }
         }
         assert_eq!(st.len(), ks.len());
@@ -413,8 +408,8 @@ mod tests {
         let a = m.flush_and_take();
         let b = sw.flush_and_take();
         assert_eq!(
-            a.bins(),
-            b.bins(),
+            a.store(),
+            b.store(),
             "hardware and software binning must agree"
         );
     }
@@ -566,7 +561,7 @@ mod unpartitioned_tests {
         }
         let a = pinned.flush_and_take();
         let b = free.flush_and_take();
-        assert_eq!(a.bins(), b.bins());
+        assert_eq!(a.store(), b.store());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! *idealized* (zero management overhead), as the paper models PHI.
 
 use crate::isa::BinHierarchy;
+use cobra_bins::BinStore;
 use cobra_sim::LINE_BYTES;
 
 /// Traffic outcome of a coalescing scheme over one update stream.
@@ -128,19 +129,27 @@ impl LineCache {
 }
 
 fn emit(
-    bins: &mut [Vec<(u32, u32)>],
+    bins: &mut BinStore<u32>,
     report: &mut CoalesceReport,
-    shift: u32,
     keys_per_line: u32,
     line: &UpdateLine,
 ) {
     for (slot, &c) in line.counts.iter().enumerate() {
         if c > 0 {
             let key = line.line_id * keys_per_line + slot as u32;
-            bins[(key >> shift) as usize].push((key, c));
+            bins.insert(key, c);
             report.tuples_to_memory += 1;
         }
     }
+}
+
+/// The coalesced `(key, multiplicity)` bins for `hier`'s memory geometry.
+fn comm_bins(hier: &BinHierarchy) -> BinStore<u32> {
+    BinStore::with_geometry(
+        hier.memory_bin_shift(),
+        hier.num_keys,
+        hier.num_memory_bins() as usize,
+    )
 }
 
 /// Packed bin traffic: tuples are written to bins through write-combining
@@ -153,8 +162,8 @@ fn packed_bytes(tuples: u64, tuples_per_line: u64) -> u64 {
 /// Idealized PHI: hierarchical line-granular coalescing at L1, L2 and LLC,
 /// sized by each level's reserved C-Buffer capacity, zero management
 /// overhead. Returns the traffic report and the coalesced
-/// `(key, multiplicity)` tuples grouped by in-memory bin.
-pub fn run_phi<I>(keys: I, hier: &BinHierarchy) -> (CoalesceReport, Vec<Vec<(u32, u32)>>)
+/// `(key, multiplicity)` tuples grouped by in-memory bin (columnar).
+pub fn run_phi<I>(keys: I, hier: &BinHierarchy) -> (CoalesceReport, BinStore<u32>)
 where
     I: IntoIterator<Item = u32>,
 {
@@ -165,8 +174,7 @@ where
         LineCache::new(hier.levels[2].buffers, 16, kpl),
     ];
     let mut report = CoalesceReport::default();
-    let shift = hier.memory_bin_shift();
-    let mut bins: Vec<Vec<(u32, u32)>> = vec![Vec::new(); hier.num_memory_bins() as usize];
+    let mut bins = comm_bins(hier);
     for key in keys {
         report.updates += 1;
         let mut pending = Some(levels[0].single(key));
@@ -180,7 +188,7 @@ where
             pending = evicted;
         }
         if let Some(line) = pending {
-            emit(&mut bins, &mut report, shift, kpl, &line);
+            emit(&mut bins, &mut report, kpl, &line);
         }
     }
     // Flush: drain each level downward; memory gets whatever survives.
@@ -193,7 +201,7 @@ where
                 pending = evicted;
             }
             if let Some(line) = pending {
-                emit(&mut bins, &mut report, shift, kpl, &line);
+                emit(&mut bins, &mut report, kpl, &line);
             }
         }
     }
@@ -205,15 +213,14 @@ where
 /// only — the LLC C-Buffer capacity acts as one line-granular coalescing
 /// stage; tuples passing through L1/L2 C-Buffers are merely delayed, never
 /// merged.
-pub fn run_cobra_comm<I>(keys: I, hier: &BinHierarchy) -> (CoalesceReport, Vec<Vec<(u32, u32)>>)
+pub fn run_cobra_comm<I>(keys: I, hier: &BinHierarchy) -> (CoalesceReport, BinStore<u32>)
 where
     I: IntoIterator<Item = u32>,
 {
     let kpl = hier.tuples_per_line();
     let mut llc = LineCache::new(hier.levels[2].buffers, 16, kpl);
     let mut report = CoalesceReport::default();
-    let shift = hier.memory_bin_shift();
-    let mut bins: Vec<Vec<(u32, u32)>> = vec![Vec::new(); hier.num_memory_bins() as usize];
+    let mut bins = comm_bins(hier);
     for key in keys {
         report.updates += 1;
         let line = llc.single(key);
@@ -222,11 +229,11 @@ where
             report.coalesced[2] += 1;
         }
         if let Some(e) = evicted {
-            emit(&mut bins, &mut report, shift, kpl, &e);
+            emit(&mut bins, &mut report, kpl, &e);
         }
     }
     for line in llc.drain() {
-        emit(&mut bins, &mut report, shift, kpl, &line);
+        emit(&mut bins, &mut report, kpl, &line);
     }
     report.dram_write_bytes = packed_bytes(report.tuples_to_memory, kpl as u64);
     (report, bins)
@@ -288,10 +295,9 @@ mod tests {
             run_phi(ks.iter().copied(), &h),
             run_cobra_comm(ks.iter().copied(), &h),
         ] {
-            let total: u64 = bins
-                .iter()
-                .flat_map(|b| b.iter())
-                .map(|&(_, c)| c as u64)
+            let total: u64 = (0..bins.num_bins())
+                .flat_map(|b| bins.values(b))
+                .map(|&c| c as u64)
                 .sum();
             assert_eq!(
                 total,
@@ -307,8 +313,8 @@ mod tests {
         let h = hier(1 << 16);
         let ks = skewed(20_000, 1 << 16);
         let (_, bins) = run_cobra_comm(ks.iter().copied(), &h);
-        for (b, bin) in bins.iter().enumerate() {
-            for &(k, _) in bin {
+        for b in 0..bins.num_bins() {
+            for &k in bins.keys(b) {
                 assert_eq!((k >> h.memory_bin_shift()) as usize, b);
             }
         }
@@ -383,10 +389,9 @@ mod tests {
         let ks = vec![42u32; 10_000];
         let (phi, bins) = run_phi(ks.iter().copied(), &h);
         assert_eq!(phi.tuples_to_memory, 1);
-        let total: u64 = bins
-            .iter()
-            .flat_map(|b| b.iter())
-            .map(|&(_, c)| c as u64)
+        let total: u64 = (0..bins.num_bins())
+            .flat_map(|b| bins.values(b))
+            .map(|&c| c as u64)
             .sum();
         assert_eq!(total, 10_000);
         let (comm, _) = run_cobra_comm(ks.iter().copied(), &h);

@@ -96,17 +96,18 @@ pub fn pb<B: PbBackend<()>>(b: &mut B, keys: &[u32], _max_key: u32) -> Vec<u32> 
     let e = b.engine();
     let mut out = Vec::with_capacity(n);
     let mut tuple_addr_cursor = storage.base_addr();
-    for (bin_id, bin) in storage.bins().iter().enumerate() {
+    for bin_id in 0..storage.num_bins() {
         let base_key = (bin_id << storage.bin_shift()) as u32;
         let mut local = vec![0u32; bin_range];
         // Local histogram over this bin's key range (cache-resident).
-        for (j, &(k, ())) in bin.iter().enumerate() {
+        let bin_keys = storage.keys(bin_id);
+        for (j, &k) in bin_keys.iter().enumerate() {
             e.load(tuple_addr_cursor, TUPLE_BYTES); // sequential tuple reads
             tuple_addr_cursor += TUPLE_BYTES as u64;
             e.load(local_addr.addr(4, (k - base_key) as u64), 4);
             e.alu(2);
             e.store(local_addr.addr(4, (k - base_key) as u64), 4);
-            e.branch(pc::STREAM_LOOP, j + 1 < bin.len());
+            e.branch(pc::STREAM_LOOP, j + 1 < bin_keys.len());
             local[(k - base_key) as usize] += 1;
         }
         // Emit the bin's keys in order (sequential output writes).

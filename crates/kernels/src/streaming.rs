@@ -34,7 +34,7 @@ pub fn degree_count(el: &EdgeList, producers: usize, cfg: StreamConfig) -> (Vec<
         }
     });
     let (snapshot, stats) = pipeline.shutdown();
-    (snapshot.values().to_vec(), stats)
+    (snapshot.to_vec(), stats)
 }
 
 /// Streaming Pagerank contribution pass: every edge `(u, v)` streams the
@@ -72,11 +72,7 @@ pub fn pagerank_delta(g: &Csr, producers: usize, cfg: StreamConfig) -> (Vec<f32>
     let (snapshot, stats) = pipeline.shutdown();
     let base = (1.0 - crate::pagerank::DAMPING as f64) / nv as f64;
     let d = crate::pagerank::DAMPING as f64;
-    let ranks = snapshot
-        .values()
-        .iter()
-        .map(|&s| (base + d * s) as f32)
-        .collect();
+    let ranks = snapshot.iter().map(|&s| (base + d * s) as f32).collect();
     (ranks, stats)
 }
 

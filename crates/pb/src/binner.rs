@@ -1,4 +1,10 @@
 //! Single-threaded binning with cacheline-sized coalescing buffers.
+//!
+//! Storage is the workspace-shared columnar [`BinStore`] (`cobra-bins`):
+//! the binner stages tuples in cacheline-aligned [`CBufFrame`]s and
+//! transfers full lines into the store's per-bin `keys`/`values` columns.
+
+use cobra_bins::{cbuf_capacity, BinMemory, BinStore, CBufFrame, FrameFlushStats, FrozenBins};
 
 /// One buffered update: apply `value` to the datum identified by `key`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -8,9 +14,6 @@ pub struct Tuple<V> {
     /// The update payload.
     pub value: V,
 }
-
-/// Cache-line size assumed for C-Buffer capacity computation.
-const LINE_BYTES: usize = 64;
 
 /// An update key outside the binner's configured domain.
 ///
@@ -45,20 +48,20 @@ impl std::error::Error for BinError {}
 /// a division (Section V-A notes real implementations do the same).
 #[derive(Debug, Clone)]
 pub struct Binner<V> {
-    shift: u32,
     num_keys: u32,
-    /// C-Buffers, one per bin, each bounded at `cbuf_cap` tuples.
-    cbufs: Vec<Vec<Tuple<V>>>,
-    cbuf_cap: usize,
-    bins: Vec<Vec<Tuple<V>>>,
+    /// C-Buffers, one per bin, each a cacheline-aligned staging frame.
+    cbufs: Vec<CBufFrame<V>>,
+    store: BinStore<V>,
+    flush_stats: FrameFlushStats,
 }
 
 /// The bins produced by a [`Binner`], ready for the Accumulate phase.
+///
+/// A thin wrapper over the shared columnar [`BinStore`]; freeze it with
+/// [`Bins::freeze`] to publish the columns zero-copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bins<V> {
-    shift: u32,
-    num_keys: u32,
-    bins: Vec<Vec<Tuple<V>>>,
+    store: BinStore<V>,
 }
 
 impl<V: Copy> Binner<V> {
@@ -71,26 +74,18 @@ impl<V: Copy> Binner<V> {
     ///
     /// Panics if `num_keys == 0` or `min_bins == 0`.
     pub fn new(num_keys: u32, min_bins: usize) -> Self {
-        assert!(num_keys > 0, "need at least one key");
-        assert!(min_bins > 0, "need at least one bin");
-        let min_bins = (min_bins as u64).min(num_keys as u64);
-        // Largest power-of-two range with ceil(num_keys / range) >= min_bins.
-        let mut range = (num_keys as u64).div_ceil(min_bins).next_power_of_two();
-        if (num_keys as u64).div_ceil(range) < min_bins && range > 1 {
-            range /= 2;
-        }
-        let shift = range.trailing_zeros();
-        let num_bins = (num_keys as u64).div_ceil(range) as usize;
-        let tuple_bytes = std::mem::size_of::<Tuple<V>>().max(1);
-        let cbuf_cap = (LINE_BYTES / tuple_bytes).max(1);
+        let store = BinStore::new(num_keys, min_bins);
+        let cbuf_cap = cbuf_capacity(std::mem::size_of::<Tuple<V>>());
         Binner {
-            shift,
             num_keys,
-            cbufs: (0..num_bins)
-                .map(|_| Vec::with_capacity(cbuf_cap))
+            cbufs: (0..store.num_bins())
+                .map(|_| CBufFrame::with_capacity(cbuf_cap))
                 .collect(),
-            cbuf_cap,
-            bins: vec![Vec::new(); num_bins],
+            flush_stats: FrameFlushStats {
+                frame_capacity: cbuf_cap as u32,
+                ..Default::default()
+            },
+            store,
         }
     }
 
@@ -102,25 +97,22 @@ impl<V: Copy> Binner<V> {
     ///
     /// Panics if `counts.len() != num_bins()`.
     pub fn reserve(&mut self, counts: &[u32]) {
-        assert_eq!(counts.len(), self.bins.len(), "one count per bin");
-        for (bin, &c) in self.bins.iter_mut().zip(counts) {
-            bin.reserve(c as usize);
-        }
+        self.store.reserve(counts);
     }
 
     /// Number of bins.
     pub fn num_bins(&self) -> usize {
-        self.bins.len()
+        self.store.num_bins()
     }
 
     /// log2 of the bin range.
     pub fn bin_shift(&self) -> u32 {
-        self.shift
+        self.store.bin_shift()
     }
 
     /// Number of keys per bin (a power of two).
     pub fn bin_range(&self) -> u64 {
-        1u64 << self.shift
+        self.store.bin_range()
     }
 
     /// Routes one update tuple.
@@ -157,27 +149,23 @@ impl<V: Copy> Binner<V> {
 
     #[inline]
     fn insert_unchecked(&mut self, key: u32, value: V) {
-        let b = (key >> self.shift) as usize;
+        let b = (key >> self.store.bin_shift()) as usize;
         #[cfg(feature = "check")]
-        crate::trace::bin_write(b, key, self.shift);
+        crate::trace::bin_write(b, key, self.store.bin_shift());
         let cbuf = &mut self.cbufs[b];
-        cbuf.push(Tuple { key, value });
-        if cbuf.len() == self.cbuf_cap {
+        cbuf.push(key, value);
+        if cbuf.is_full() {
             // Full line: bulk-transfer to the in-memory bin (software PB
             // uses non-temporal stores here).
-            self.bins[b].extend_from_slice(cbuf);
-            cbuf.clear();
+            let n = cbuf.flush_into(&mut self.store, b);
+            self.flush_stats.record(n);
         }
     }
 
     /// Flushes all partially-filled C-Buffers and returns the bins.
     pub fn finish(mut self) -> Bins<V> {
         self.flush_cbufs();
-        Bins {
-            shift: self.shift,
-            num_keys: self.num_keys,
-            bins: self.bins,
-        }
+        Bins { store: self.store }
     }
 
     /// Flushes all partially-filled C-Buffers and swaps the filled bins
@@ -190,26 +178,37 @@ impl<V: Copy> Binner<V> {
     /// one inserted after lands in the next take — even mid-C-Buffer).
     pub fn take_bins(&mut self) -> Bins<V> {
         self.flush_cbufs();
-        let bins = std::mem::replace(&mut self.bins, vec![Vec::new(); self.cbufs.len()]);
         Bins {
-            shift: self.shift,
-            num_keys: self.num_keys,
-            bins,
+            store: self.store.take(),
         }
     }
 
     /// Tuples currently buffered (C-Buffers plus unflushed bins).
     pub fn buffered_len(&self) -> usize {
-        self.cbufs.iter().map(Vec::len).sum::<usize>()
-            + self.bins.iter().map(Vec::len).sum::<usize>()
+        self.cbufs.iter().map(CBufFrame::len).sum::<usize>() + self.store.len()
+    }
+
+    /// Bin-memory footprint of the backing store (column bytes, tuples,
+    /// slab segments). C-Buffer staging frames are not counted — they are
+    /// fixed-size and cache resident by design.
+    pub fn memory(&self) -> BinMemory {
+        self.store.memory()
+    }
+
+    /// Running C-Buffer flush statistics (occupancy of transferred
+    /// frames; partial end-of-epoch flushes lower the average).
+    pub fn flush_stats(&self) -> FrameFlushStats {
+        self.flush_stats
     }
 
     fn flush_cbufs(&mut self) {
         #[cfg(feature = "check")]
         crate::trace::bin_flush_all();
         for (b, cbuf) in self.cbufs.iter_mut().enumerate() {
-            self.bins[b].extend_from_slice(cbuf);
-            cbuf.clear();
+            let n = cbuf.flush_into(&mut self.store, b);
+            if n > 0 {
+                self.flush_stats.record(n);
+            }
         }
     }
 }
@@ -224,55 +223,96 @@ impl<V> Bins<V> {
     /// *produces* bins normally ([`Binner::insert`]) enforces routing, so
     /// this is the only way to manufacture a violation.
     pub fn from_raw(shift: u32, num_keys: u32, bins: Vec<Vec<Tuple<V>>>) -> Self {
-        Bins {
-            shift,
-            num_keys,
-            bins,
+        let mut store = BinStore::with_geometry(shift, num_keys, bins.len());
+        for (b, bin) in bins.into_iter().enumerate() {
+            for t in bin {
+                store.push(b, t.key, t.value);
+            }
         }
+        Bins { store }
     }
 }
 
 impl<V> Bins<V> {
+    /// Wraps an already-routed columnar store (the store's bin of a key
+    /// must be `key >> bin_shift`; producers in this workspace guarantee
+    /// it by construction).
+    pub fn from_store(store: BinStore<V>) -> Self {
+        Bins { store }
+    }
+
     /// Number of bins.
     pub fn num_bins(&self) -> usize {
-        self.bins.len()
+        self.store.num_bins()
     }
 
     /// log2 of the bin range.
     pub fn bin_shift(&self) -> u32 {
-        self.shift
+        self.store.bin_shift()
     }
 
     /// The key range covered by bin `b`.
     pub fn key_range(&self, b: usize) -> std::ops::Range<u32> {
-        let lo = (b as u64) << self.shift;
-        let hi = ((b as u64 + 1) << self.shift).min(self.num_keys as u64);
-        lo as u32..hi as u32
+        self.store.key_range(b)
     }
 
-    /// The tuples of bin `b`, in insertion order.
-    pub fn bin(&self, b: usize) -> &[Tuple<V>] {
-        &self.bins[b]
+    /// The key column of bin `b`, in insertion order.
+    pub fn keys(&self, b: usize) -> &[u32] {
+        self.store.keys(b)
+    }
+
+    /// The value column of bin `b`, in insertion order.
+    pub fn values(&self, b: usize) -> &[V] {
+        self.store.values(b)
+    }
+
+    /// Tuples in bin `b`.
+    pub fn bin_len(&self, b: usize) -> usize {
+        self.store.bin_len(b)
     }
 
     /// Total buffered tuples across bins.
     pub fn len(&self) -> usize {
-        self.bins.iter().map(Vec::len).sum()
+        self.store.len()
     }
 
     /// Whether no tuples were buffered.
     pub fn is_empty(&self) -> bool {
-        self.bins.iter().all(Vec::is_empty)
+        self.store.is_empty()
+    }
+
+    /// The shared columnar store backing these bins.
+    pub fn store(&self) -> &BinStore<V> {
+        &self.store
+    }
+
+    /// Unwraps into the backing store.
+    pub fn into_store(self) -> BinStore<V> {
+        self.store
+    }
+
+    /// Freezes the bins behind an `Arc` — O(1), no column is copied —
+    /// so snapshots and caches can share them by reference count.
+    pub fn freeze(self) -> FrozenBins<V> {
+        self.store.freeze()
     }
 
     /// Replays every bin in bin order, tuples in insertion order
-    /// (the Accumulate phase, serial).
-    pub fn accumulate<F: FnMut(u32, &V)>(&self, mut f: F) {
-        for bin in &self.bins {
-            for t in bin {
-                f(t.key, &t.value);
-            }
-        }
+    /// (the Accumulate phase, serial): streams the two columns.
+    pub fn accumulate<F: FnMut(u32, &V)>(&self, f: F) {
+        self.store.accumulate(f);
+    }
+}
+
+impl<V: Copy> Bins<V> {
+    /// Borrowed iteration over bin `b`'s tuples in insertion order.
+    ///
+    /// Zips the bin's key/value columns; no tuple array is materialised
+    /// and nothing is cloned.
+    pub fn iter_bin(&self, b: usize) -> impl Iterator<Item = Tuple<V>> + '_ {
+        self.store
+            .iter_bin(b)
+            .map(|(&key, &value)| Tuple { key, value })
     }
 }
 
@@ -290,22 +330,10 @@ mod tests {
             b.insert(k, i as u8);
         }
         let bins = b.finish();
-        assert_eq!(
-            bins.bin(0).iter().map(|t| t.key).collect::<Vec<_>>(),
-            vec![0, 31]
-        );
-        assert_eq!(
-            bins.bin(1).iter().map(|t| t.key).collect::<Vec<_>>(),
-            vec![40, 33]
-        );
-        assert_eq!(
-            bins.bin(2).iter().map(|t| t.key).collect::<Vec<_>>(),
-            vec![64]
-        );
-        assert_eq!(
-            bins.bin(3).iter().map(|t| t.key).collect::<Vec<_>>(),
-            vec![99]
-        );
+        assert_eq!(bins.keys(0), &[0, 31]);
+        assert_eq!(bins.keys(1), &[40, 33]);
+        assert_eq!(bins.keys(2), &[64]);
+        assert_eq!(bins.keys(3), &[99]);
         assert_eq!(bins.len(), 6);
     }
 
@@ -318,8 +346,9 @@ mod tests {
             b.insert(i % 64, i);
         }
         let bins = b.finish();
-        let vals: Vec<u32> = bins.bin(0).iter().map(|t| t.value).collect();
+        let vals: Vec<u32> = bins.iter_bin(0).map(|t| t.value).collect();
         assert_eq!(vals, (0..20).collect::<Vec<_>>());
+        assert_eq!(bins.values(0), &(0..20).collect::<Vec<_>>()[..]);
     }
 
     #[test]
@@ -405,7 +434,7 @@ mod tests {
         let bins = b.finish();
         let last = bins.num_bins() - 1;
         assert_eq!(bins.key_range(last), 96..100);
-        assert_eq!(bins.bin(last).len(), 4);
+        assert_eq!(bins.bin_len(last), 4);
         assert_eq!(bins.len(), 100);
     }
 
@@ -419,10 +448,10 @@ mod tests {
             b.insert(k, k);
         }
         let bins = b.finish();
-        assert_eq!(bins.bin(5).len(), 2);
-        assert_eq!(bins.bin(0).len(), 1);
-        assert_eq!(bins.bin(7).len(), 1);
-        assert_eq!(bins.bin(3).len(), 0);
+        assert_eq!(bins.bin_len(5), 2);
+        assert_eq!(bins.bin_len(0), 1);
+        assert_eq!(bins.bin_len(7), 1);
+        assert_eq!(bins.bin_len(3), 0);
     }
 
     #[test]
@@ -457,7 +486,7 @@ mod tests {
         assert_eq!(b.buffered_len(), 5);
         let epoch1 = b.take_bins();
         assert_eq!(
-            epoch1.bin(0).iter().map(|t| t.value).collect::<Vec<_>>(),
+            epoch1.iter_bin(0).map(|t| t.value).collect::<Vec<_>>(),
             vec![0, 1, 2, 3, 4]
         );
         assert_eq!(b.buffered_len(), 0);
@@ -466,7 +495,7 @@ mod tests {
         }
         let epoch2 = b.take_bins();
         assert_eq!(
-            epoch2.bin(0).iter().map(|t| t.value).collect::<Vec<_>>(),
+            epoch2.iter_bin(0).map(|t| t.value).collect::<Vec<_>>(),
             vec![5, 6, 7]
         );
         // Geometry is preserved across takes.
@@ -487,8 +516,7 @@ mod tests {
         }
         let rest = b.finish();
         assert_eq!(rest.len(), 20);
-        let keys: Vec<u32> = rest.bin(1).iter().map(|t| t.key).collect();
-        assert_eq!(keys, (100..120).collect::<Vec<_>>());
+        assert_eq!(rest.keys(1), &(100..120).collect::<Vec<_>>()[..]);
     }
 
     #[test]
@@ -527,5 +555,37 @@ mod tests {
         assert_eq!(bins.num_bins(), 4);
         b.insert(99, 7);
         assert_eq!(b.finish().len(), 1);
+    }
+
+    #[test]
+    fn freeze_shares_columns_zero_copy() {
+        let mut b = Binner::<u32>::new(64, 2);
+        for k in 0..64u32 {
+            b.insert(k, k);
+        }
+        let bins = b.take_bins();
+        let col_ptr = bins.keys(0).as_ptr();
+        let frozen = bins.freeze();
+        let other = frozen.clone();
+        assert!(cobra_bins::FrozenBins::ptr_eq(&frozen, &other));
+        // take_bins -> freeze never copied the key column.
+        assert_eq!(other.keys(0).as_ptr(), col_ptr);
+    }
+
+    #[test]
+    fn flush_stats_track_occupancy() {
+        // 8-byte tuples => 8 per line. 12 inserts into one bin = one full
+        // flush (8) + one partial flush (4) at finish.
+        let mut b = Binner::<u32>::new(64, 1);
+        for i in 0..12u32 {
+            b.insert(0, i);
+        }
+        let stats_mid = b.flush_stats();
+        assert_eq!(stats_mid.frames, 1);
+        assert_eq!(stats_mid.tuples, 8);
+        let mem = b.memory();
+        assert_eq!(mem.tuples, 8, "only the flushed line reached the store");
+        let bins = b.finish();
+        assert_eq!(bins.len(), 12);
     }
 }

@@ -32,12 +32,10 @@
 //!     binner.insert(k, i as u32); // remember where each key came from
 //! }
 //! let bins = binner.finish();
-//! // Bin 0 covers keys [0, 64): all the small keys, in arrival order.
-//! assert_eq!(
-//!     bins.bin(0).iter().map(|t| t.key).collect::<Vec<_>>(),
-//!     vec![5, 1, 7, 1, 3, 7, 5],
-//! );
-//! assert_eq!(bins.bin(3).iter().map(|t| t.key).collect::<Vec<_>>(), vec![200]);
+//! // Bin 0 covers keys [0, 64): all the small keys, in arrival order,
+//! // stored as two contiguous columns.
+//! assert_eq!(bins.keys(0), &[5, 1, 7, 1, 3, 7, 5]);
+//! assert_eq!(bins.keys(3), &[200]);
 //! ```
 //!
 //! ## Parallel use

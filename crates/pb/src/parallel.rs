@@ -6,7 +6,7 @@
 //! disjoint, so threads update disjoint slices of the output without
 //! atomics — including for non-commutative kernels.
 
-use crate::binner::{Binner, Bins, Tuple};
+use crate::binner::{Binner, Bins};
 
 /// The per-thread bins produced by [`bin_parallel`].
 #[derive(Debug, Clone)]
@@ -129,19 +129,21 @@ impl<V: Copy + Send + Sync> ThreadBins<V> {
         self.len() == 0
     }
 
-    /// The tuple slices of bin `b`, one per producing thread, in thread
-    /// order (Algorithm 2's Accumulate iterates exactly this way).
-    pub fn bin_slices(&self, b: usize) -> impl Iterator<Item = &[Tuple<V>]> {
-        self.per_thread.iter().map(move |bins| bins.bin(b))
+    /// The key/value column pair of bin `b`, one per producing thread, in
+    /// thread order (Algorithm 2's Accumulate iterates exactly this way).
+    pub fn bin_slices(&self, b: usize) -> impl Iterator<Item = (&[u32], &[V])> {
+        self.per_thread
+            .iter()
+            .map(move |bins| (bins.keys(b), bins.values(b)))
     }
 
     /// Serial Accumulate: bins in ascending key order, threads in order
     /// within a bin, tuples in insertion order within a thread.
     pub fn accumulate_serial<F: FnMut(u32, &V)>(&self, mut f: F) {
         for b in 0..self.num_bins() {
-            for slice in self.bin_slices(b) {
-                for t in slice {
-                    f(t.key, &t.value);
+            for (keys, values) in self.bin_slices(b) {
+                for (&k, v) in keys.iter().zip(values) {
+                    f(k, v);
                 }
             }
         }
@@ -188,11 +190,11 @@ impl<V: Copy + Send + Sync> ThreadBins<V> {
                     crate::trace::child_start(token);
                     for (b, chunk) in worker {
                         let base = (b as u64 * range as u64) as u32;
-                        for slice in this.bin_slices(b) {
-                            for t in slice {
+                        for (keys, values) in this.bin_slices(b) {
+                            for (&k, v) in keys.iter().zip(values) {
                                 #[cfg(feature = "check")]
-                                crate::trace::acc_write(b, t.key, this.bin_shift());
-                                f(chunk, base, t.key, &t.value);
+                                crate::trace::acc_write(b, k, this.bin_shift());
+                                f(chunk, base, k, v);
                             }
                         }
                     }
@@ -227,11 +229,13 @@ mod tests {
         let tb = bin_parallel(keys.len(), 4096, 16, 4, |i| (keys[i], i as u32));
         assert_eq!(tb.len(), keys.len());
         assert_eq!(tb.num_threads(), 4);
-        // Every tuple lives in the bin covering its key.
+        // Every tuple lives in the bin covering its key, and the two
+        // columns of every slice stay parallel.
         for b in 0..tb.num_bins() {
-            for slice in tb.bin_slices(b) {
-                for t in slice {
-                    assert_eq!((t.key >> tb.bin_shift()) as usize, b);
+            for (keys, values) in tb.bin_slices(b) {
+                assert_eq!(keys.len(), values.len());
+                for &k in keys {
+                    assert_eq!((k >> tb.bin_shift()) as usize, b);
                 }
             }
         }

@@ -1,0 +1,142 @@
+//! Golden equivalence of the columnar [`cobra_bins::BinStore`] path
+//! against the array-of-structs representation it replaced.
+//!
+//! The original seed stored each bin as a `Vec<(u32, V)>`; the storage
+//! unification moved every layer onto per-bin `keys`/`values` columns.
+//! These tests rebuild the AoS semantics inline (plain nested Vecs, the
+//! exact insert logic the seed used) and assert the library path is
+//! bit-identical: same bin routing, same within-bin arrival order, same
+//! values, same accumulate visitation order. Kernel-level equivalence
+//! across all nine kernels (batch and streaming) is covered by
+//! `cobra_kernels::suite::tests::every_kernel_runs_in_every_mode_with_matching_digests`
+//! and the streaming tests; this file pins down the storage layer itself.
+
+use cobra_pb::Binner;
+
+/// Local SplitMix64 (`cobra-pb` has no dependency on `cobra-graph`;
+/// same constants as `cobra_graph::rng::SplitMix64`).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn u32_below(&mut self, bound: u32) -> u32 {
+        (self.next_u64() % bound.max(1) as u64) as u32
+    }
+}
+
+/// The seed's AoS binning: route by shift, push in arrival order.
+fn aos_bins(tuples: &[(u32, u64)], shift: u32, num_bins: usize) -> Vec<Vec<(u32, u64)>> {
+    let mut bins = vec![Vec::new(); num_bins];
+    for &(k, v) in tuples {
+        bins[(k >> shift) as usize].push((k, v));
+    }
+    bins
+}
+
+fn skewed_tuples(n: usize, num_keys: u32, seed: u64) -> Vec<(u32, u64)> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // 80% of tuples on the low 10% of keys: exercises uneven bin
+            // growth (some bins span many slab segments, some stay empty).
+            let key = if rng.u32_below(10) < 8 {
+                rng.u32_below((num_keys / 10).max(1))
+            } else {
+                rng.u32_below(num_keys)
+            };
+            (key, rng.next_u64())
+        })
+        .collect()
+}
+
+#[test]
+fn binner_is_bit_identical_to_aos_reference() {
+    let num_keys = 1 << 14;
+    let tuples = skewed_tuples(200_000, num_keys, 0xA05);
+
+    let mut binner = Binner::<u64>::new(num_keys, 64);
+    for &(k, v) in &tuples {
+        binner.insert(k, v);
+    }
+    let bins = binner.finish();
+    let want = aos_bins(&tuples, bins.bin_shift(), bins.num_bins());
+
+    assert_eq!(
+        bins.len(),
+        tuples.len(),
+        "columnar store lost or duplicated tuples"
+    );
+    for (b, want_bin) in want.iter().enumerate() {
+        let got: Vec<(u32, u64)> = bins.iter_bin(b).map(|t| (t.key, t.value)).collect();
+        assert_eq!(&got, want_bin, "bin {b} differs from the AoS reference");
+    }
+}
+
+#[test]
+fn accumulate_visits_in_aos_iteration_order() {
+    let num_keys = 1 << 10;
+    let tuples = skewed_tuples(20_000, num_keys, 0xACC);
+
+    let mut binner = Binner::<u64>::new(num_keys, 16);
+    for &(k, v) in &tuples {
+        binner.insert(k, v);
+    }
+    let bins = binner.finish();
+    let want: Vec<(u32, u64)> = aos_bins(&tuples, bins.bin_shift(), bins.num_bins())
+        .into_iter()
+        .flatten()
+        .collect();
+
+    let mut got = Vec::with_capacity(want.len());
+    bins.accumulate(|k, &v| got.push((k, v)));
+    assert_eq!(got, want, "accumulate order diverged from AoS bin order");
+}
+
+#[test]
+fn exact_reserve_path_matches_unsized_path() {
+    // The Init pre-pass reserves exact per-bin counts; binning into a
+    // pre-sized store must produce the same columns as growing on demand.
+    let num_keys = 1 << 12;
+    let tuples = skewed_tuples(50_000, num_keys, 0x5E5);
+
+    let mut grown = Binner::<u64>::new(num_keys, 32);
+    let mut sized = Binner::<u64>::new(num_keys, 32);
+    let shift = grown.bin_shift();
+    let mut counts = vec![0u32; grown.num_bins()];
+    for &(k, _) in &tuples {
+        counts[(k >> shift) as usize] += 1;
+    }
+    sized.reserve(&counts);
+    for &(k, v) in &tuples {
+        grown.insert(k, v);
+        sized.insert(k, v);
+    }
+    let (grown, sized) = (grown.finish(), sized.finish());
+    // Every capacity acquisition counts as a grow event, so an exact
+    // reserve shows one per non-empty bin and no mid-binning regrowth;
+    // the on-demand path pays extra doubling grows on the hot bins.
+    let nonempty = counts.iter().filter(|&&c| c > 0).count() as u64;
+    assert_eq!(
+        sized.store().grow_events(),
+        nonempty,
+        "exact reserve should acquire each bin's capacity exactly once"
+    );
+    assert!(
+        grown.store().grow_events() > sized.store().grow_events(),
+        "on-demand growth should regrow hot bins"
+    );
+    for b in 0..grown.num_bins() {
+        assert!(grown.iter_bin(b).eq(sized.iter_bin(b)), "bin {b} differs");
+    }
+}

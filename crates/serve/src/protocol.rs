@@ -114,6 +114,13 @@ pub struct WireStats {
     pub cache_evictions: u64,
     /// Entries resident in the cache right now.
     pub cache_len: u64,
+    /// Peak bin-store column bytes, summed across the pipeline's shards.
+    pub bins_bytes: u64,
+    /// Peak slab segment count backing those columns, summed across shards.
+    pub bin_segments: u64,
+    /// Average C-Buffer flush occupancy in basis points (10_000 = every
+    /// flushed frame was full).
+    pub cbuf_occupancy_bp: u64,
 }
 
 impl WireStats {
@@ -127,7 +134,13 @@ impl WireStats {
         }
     }
 
-    const FIELDS: usize = 12;
+    /// Average C-Buffer flush occupancy as a fraction (from the
+    /// wire-encoded basis points).
+    pub fn cbuf_occupancy(&self) -> f64 {
+        self.cbuf_occupancy_bp as f64 / 10_000.0
+    }
+
+    const FIELDS: usize = 15;
 
     fn to_words(self) -> [u64; Self::FIELDS] {
         [
@@ -143,6 +156,9 @@ impl WireStats {
             self.cache_insertions,
             self.cache_evictions,
             self.cache_len,
+            self.bins_bytes,
+            self.bin_segments,
+            self.cbuf_occupancy_bp,
         ]
     }
 
@@ -160,6 +176,9 @@ impl WireStats {
             cache_insertions: w[9],
             cache_evictions: w[10],
             cache_len: w[11],
+            bins_bytes: w[12],
+            bin_segments: w[13],
+            cbuf_occupancy_bp: w[14],
         }
     }
 }
@@ -608,6 +627,9 @@ mod tests {
             cache_insertions: 10,
             cache_evictions: 11,
             cache_len: 12,
+            bins_bytes: 13,
+            bin_segments: 14,
+            cbuf_occupancy_bp: 9_500,
         }));
         roundtrip(Frame::Error {
             code: ErrorCode::KeyOutOfRange,
@@ -698,5 +720,7 @@ mod tests {
         s.cache_hits = 3;
         s.cache_misses = 1;
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        s.cbuf_occupancy_bp = 9_500;
+        assert!((s.cbuf_occupancy() - 0.95).abs() < 1e-12);
     }
 }

@@ -191,6 +191,9 @@ impl Ctx {
             cache_insertions: c.insertions,
             cache_evictions: c.evictions,
             cache_len: c.len,
+            bins_bytes: s.total_bins_bytes(),
+            bin_segments: s.total_bin_segments(),
+            cbuf_occupancy_bp: (s.cbuf_occupancy() * 10_000.0).round() as u64,
         }
     }
 
@@ -220,7 +223,11 @@ impl Server {
     /// Panics if `cfg.workers`, `cfg.conn_backlog`, `cfg.cache_blocks < 2`
     /// or `cfg.cache_block_keys` are out of range (programmer error — the
     /// config is server-side, not client input).
-    pub fn start(num_keys: u32, stream_cfg: StreamConfig, cfg: ServeConfig) -> io::Result<Server> {
+    pub fn start(
+        num_keys: u32,
+        mut stream_cfg: StreamConfig,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
         assert!(cfg.workers > 0, "need at least one worker");
         assert!(cfg.conn_backlog > 0, "need a connection backlog");
         assert!(cfg.cache_blocks >= 2, "cache needs at least two blocks");
@@ -228,6 +235,10 @@ impl Server {
             cfg.cache_block_keys > 0,
             "cache blocks need at least one key"
         );
+        // Align the pipeline's copy-on-write snapshot segments with the
+        // cache blocks: a cache fill then shares the snapshot's segment
+        // `Arc` directly instead of copying the block's values.
+        stream_cfg.snapshot_segment_keys = cfg.cache_block_keys as usize;
 
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
@@ -503,19 +514,18 @@ fn handle_query(ctx: &Ctx, key: u32) -> Frame {
             return Frame::Value { epoch, value };
         }
     }
-    // Miss (or a stale hint): materialize the block from the latest
-    // snapshot and insert it under the epoch the snapshot actually has.
+    // Miss (or a stale hint): fill the block from the latest snapshot.
+    // Blocks are segment-aligned (Server::start forces it), so the fill
+    // shares the snapshot's copy-on-write segment Arc — no value copied.
     let snap = ctx.pipeline.snapshot();
     let epoch = snap.epoch();
-    let hi = lo.saturating_add(ctx.block_keys).min(ctx.num_keys);
-    let Some(values) = snap.values().get(lo as usize..hi as usize) else {
-        // Unreachable: snapshots always span num_keys. Refuse, don't panic.
-        return Frame::Error {
-            code: ErrorCode::KeyOutOfRange,
-            detail: format!("snapshot shorter than key {key}"),
-        };
+    let slice = if snap.segment_keys() == ctx.block_keys && (block as usize) < snap.num_segments() {
+        Arc::clone(snap.segment(block as usize))
+    } else {
+        // Misaligned pipeline (foreign config): fall back to copying.
+        let hi = lo.saturating_add(ctx.block_keys).min(ctx.num_keys);
+        Arc::new((lo..hi).map(|k| *snap.get(k)).collect())
     };
-    let slice = Arc::new(values.to_vec());
     let value = slice.get((key - lo) as usize).copied();
     ctx.cache.insert((epoch, block), slice);
     match value {
@@ -547,15 +557,107 @@ fn handle_snapshot(ctx: &Ctx, epoch: u64, lo: u32, hi: u32) -> Frame {
             ),
         };
     }
-    let Some(values) = snap.values().get(lo as usize..hi as usize) else {
+    if hi > snap.num_keys() {
         return Frame::Error {
             code: ErrorCode::BadRange,
             detail: format!("range {lo}..{hi} outside the snapshot"),
         };
-    };
+    }
+    // The wire copy is inherent here — the slice is serialized anyway.
     Frame::SnapshotSlice {
         epoch: snap.epoch(),
         lo,
-        values: values.to_vec(),
+        values: (lo..hi).map(|k| *snap.get(k)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn test_ctx(num_keys: u32, block_keys: u32) -> Ctx {
+        let stream_cfg = StreamConfig::new()
+            .shards(2)
+            .snapshot_segment_keys(block_keys as usize);
+        Ctx {
+            pipeline: IngestPipeline::new(num_keys, SumU64, stream_cfg),
+            cache: S3FifoCache::new(16),
+            counters: ServeCounters::default(),
+            stop: AtomicBool::new(false),
+            num_keys,
+            block_keys,
+            max_frame: MAX_FRAME,
+            read_timeout: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn query_miss_fills_cache_with_the_snapshot_segment_zero_copy() {
+        let ctx = test_ctx(4096, 512);
+        let mut h = ctx.pipeline.handle();
+        for k in 0..4096u32 {
+            h.send(k, u64::from(k)).unwrap();
+        }
+        h.seal_epoch().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ctx.pipeline.published_epoch() < 1 {
+            assert!(Instant::now() < deadline, "epoch never published");
+            std::thread::yield_now();
+        }
+
+        // Miss path: the fill must share the snapshot's segment Arc, not
+        // copy the block's values.
+        let key = 1000u32; // block 1 (keys 512..1024)
+        let Frame::Value { epoch, value } = handle_query(&ctx, key) else {
+            panic!("expected a value response");
+        };
+        assert_eq!((epoch, value), (1, 1000));
+        let snap = ctx.pipeline.snapshot();
+        let cached = ctx.cache.get(&(1, 1)).expect("block cached by the miss");
+        assert!(
+            Arc::ptr_eq(&cached, snap.segment(1)),
+            "cache fill must alias the snapshot segment"
+        );
+
+        // Hit path returns the same shared slice.
+        let Frame::Value { value, .. } = handle_query(&ctx, 513) else {
+            panic!("expected a value response");
+        };
+        assert_eq!(value, 513);
+        // Two hits: the test's own aliasing check above plus this query.
+        assert_eq!(ctx.cache.stats().hits, 2);
+        drop(h);
+        ctx.pipeline.shutdown();
+    }
+
+    #[test]
+    fn misaligned_block_size_falls_back_to_copying() {
+        // Foreign pipeline config: segments of 256 keys, blocks of 512.
+        let stream_cfg = StreamConfig::new().snapshot_segment_keys(256);
+        let ctx = Ctx {
+            pipeline: IngestPipeline::new(1024, SumU64, stream_cfg),
+            cache: S3FifoCache::new(16),
+            counters: ServeCounters::default(),
+            stop: AtomicBool::new(false),
+            num_keys: 1024,
+            block_keys: 512,
+            max_frame: MAX_FRAME,
+            read_timeout: Duration::from_millis(10),
+        };
+        let mut h = ctx.pipeline.handle();
+        h.send(700, 7).unwrap();
+        h.seal_epoch().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ctx.pipeline.published_epoch() < 1 {
+            assert!(Instant::now() < deadline, "epoch never published");
+            std::thread::yield_now();
+        }
+        let Frame::Value { value, .. } = handle_query(&ctx, 700) else {
+            panic!("expected a value response");
+        };
+        assert_eq!(value, 7);
+        drop(h);
+        ctx.pipeline.shutdown();
     }
 }

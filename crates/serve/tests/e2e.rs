@@ -87,7 +87,7 @@ fn multi_client_shutdown_loses_nothing() {
     }
 
     let (snapshot, stats) = server.shutdown();
-    let server_sum: u64 = snapshot.values().iter().sum();
+    let server_sum: u64 = snapshot.iter().sum();
     assert_eq!(
         server_sum, sent_sum,
         "accepted updates were lost or duplicated"

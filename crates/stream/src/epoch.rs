@@ -13,6 +13,17 @@
 //! [`EpochSnapshot`]. Within a shard's delta, tuples replay in per-shard
 //! arrival order — the non-commutative correctness condition (paper,
 //! Section III).
+//!
+//! # Copy-on-write segmented state
+//!
+//! The authoritative value array is split into fixed-size *segments*, each
+//! an `Arc<Vec<A>>`. Publishing a snapshot clones only the segment
+//! handles (O(num_segments), independent of key count and value size);
+//! the first write into a segment after a publish triggers exactly one
+//! copy of that segment (`Arc::make_mut`), so epochs that touch a sparse
+//! key set pay for the touched segments only. Downstream consumers — the
+//! serve-layer block cache in particular — hold the same `Arc`s, making
+//! snapshot-to-cache handoff zero-copy and pointer-identity testable.
 
 use crate::channel::Receiver;
 use crate::reducer::Reducer;
@@ -21,16 +32,51 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// An immutable, epoch-aligned view of the accumulated state.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// An immutable, epoch-aligned view of the accumulated state, backed by
+/// shared copy-on-write segments.
+#[derive(Debug, Clone)]
 pub struct EpochSnapshot<A> {
     epoch: u64,
-    values: Vec<A>,
+    num_keys: u32,
+    segment_keys: u32,
+    segments: Vec<Arc<Vec<A>>>,
 }
 
 impl<A> EpochSnapshot<A> {
-    pub(crate) fn new(epoch: u64, values: Vec<A>) -> Self {
-        EpochSnapshot { epoch, values }
+    pub(crate) fn new(
+        epoch: u64,
+        num_keys: u32,
+        segment_keys: u32,
+        segments: Vec<Arc<Vec<A>>>,
+    ) -> Self {
+        EpochSnapshot {
+            epoch,
+            num_keys,
+            segment_keys,
+            segments,
+        }
+    }
+
+    /// Builds a snapshot from a flat value array, chunked into segments of
+    /// `segment_keys` keys (the last may be shorter).
+    pub(crate) fn from_values(epoch: u64, segment_keys: u32, values: Vec<A>) -> Self {
+        assert!(segment_keys > 0, "need a positive segment size");
+        let num_keys = values.len() as u32;
+        let mut segments = Vec::new();
+        let mut values = values.into_iter();
+        loop {
+            let seg: Vec<A> = values.by_ref().take(segment_keys as usize).collect();
+            if seg.is_empty() {
+                break;
+            }
+            segments.push(Arc::new(seg));
+        }
+        EpochSnapshot {
+            epoch,
+            num_keys,
+            segment_keys,
+            segments,
+        }
     }
 
     /// The epoch this snapshot reflects (0 = the empty initial state; the
@@ -41,7 +87,29 @@ impl<A> EpochSnapshot<A> {
 
     /// Number of keys.
     pub fn num_keys(&self) -> u32 {
-        self.values.len() as u32
+        self.num_keys
+    }
+
+    /// Keys per segment (the last segment may hold fewer).
+    pub fn segment_keys(&self) -> u32 {
+        self.segment_keys
+    }
+
+    /// Number of copy-on-write segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The shared handle of segment `i` (keys
+    /// `i * segment_keys .. (i + 1) * segment_keys`). Cloning the `Arc`
+    /// shares the segment zero-copy; `Arc::ptr_eq` across snapshots tells
+    /// whether the segment was rewritten between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn segment(&self, i: usize) -> &Arc<Vec<A>> {
+        &self.segments[i]
     }
 
     /// The accumulated value of `key`.
@@ -50,7 +118,8 @@ impl<A> EpochSnapshot<A> {
     ///
     /// Panics if `key` is out of range.
     pub fn get(&self, key: u32) -> &A {
-        &self.values[key as usize]
+        assert!(key < self.num_keys, "key {key} out of range");
+        &self.segments[(key / self.segment_keys) as usize][(key % self.segment_keys) as usize]
     }
 
     /// The accumulated value of `key`, or `None` when `key` is out of
@@ -58,14 +127,42 @@ impl<A> EpochSnapshot<A> {
     /// untrusted input: a malformed key must produce an error response,
     /// not a panic in whichever worker handled the request.
     pub fn try_get(&self, key: u32) -> Option<&A> {
-        self.values.get(key as usize)
+        if key < self.num_keys {
+            Some(self.get(key))
+        } else {
+            None
+        }
     }
 
-    /// All accumulated values, indexed by key.
-    pub fn values(&self) -> &[A] {
-        &self.values
+    /// Iterates all accumulated values in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &A> {
+        self.segments.iter().flat_map(|s| s.iter())
+    }
+
+    /// Collects all accumulated values into a flat key-indexed vector
+    /// (a deep copy — use [`segment`](Self::segment) / [`iter`](Self::iter)
+    /// where zero-copy access suffices).
+    pub fn to_vec(&self) -> Vec<A>
+    where
+        A: Clone,
+    {
+        let mut out = Vec::with_capacity(self.num_keys as usize);
+        for seg in &self.segments {
+            out.extend_from_slice(seg);
+        }
+        out
     }
 }
+
+impl<A: PartialEq> PartialEq for EpochSnapshot<A> {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical equality: same epoch, same per-key values; segment
+        // geometry is a layout detail.
+        self.epoch == other.epoch && self.num_keys == other.num_keys && self.iter().eq(other.iter())
+    }
+}
+
+impl<A: Eq> Eq for EpochSnapshot<A> {}
 
 /// One sealed epoch's worth of updates from one shard, keyed by
 /// shard-local key.
@@ -88,13 +185,16 @@ pub(crate) enum AccMsg<R: Reducer> {
     Done { shard: usize, delta: EpochDelta<R> },
 }
 
-/// The single accumulator thread's state. Owns the authoritative value
-/// array; publishes `Arc<EpochSnapshot>`s.
+/// The single accumulator thread's state. Owns the authoritative
+/// copy-on-write segments; publishes `Arc<EpochSnapshot>`s by cloning
+/// segment handles only.
 pub(crate) struct Accumulator<R: Reducer> {
     reducer: Arc<R>,
     /// Key base of each shard (local key + base = global key).
     bases: Vec<u32>,
-    state: Vec<R::Acc>,
+    num_keys: u32,
+    segment_keys: u32,
+    state: Vec<Arc<Vec<R::Acc>>>,
     /// Per-shard queue of sealed epochs not yet merged into an aligned wave.
     pending: Vec<VecDeque<(u64, EpochDelta<R>)>>,
     final_deltas: Vec<Option<EpochDelta<R>>>,
@@ -108,16 +208,26 @@ impl<R: Reducer> Accumulator<R> {
         reducer: Arc<R>,
         bases: Vec<u32>,
         num_keys: u32,
+        segment_keys: u32,
         published: Arc<Mutex<Arc<EpochSnapshot<R::Acc>>>>,
         epochs_published: Arc<AtomicU64>,
     ) -> Self {
         let shards = bases.len();
+        let mut state = Vec::new();
+        let mut remaining = num_keys as usize;
+        while remaining > 0 {
+            let n = remaining.min(segment_keys as usize);
+            state.push(Arc::new(vec![reducer.identity(); n]));
+            remaining -= n;
+        }
         Accumulator {
-            state: vec![reducer.identity(); num_keys as usize],
+            state,
             reducer,
             pending: (0..shards).map(|_| VecDeque::new()).collect(),
             final_deltas: (0..shards).map(|_| None).collect(),
             bases,
+            num_keys,
+            segment_keys,
             applied_epoch: 0,
             published,
             epochs_published,
@@ -184,22 +294,37 @@ impl<R: Reducer> Accumulator<R> {
 
     fn apply(&mut self, shard: usize, delta: EpochDelta<R>) {
         let base = self.bases[shard];
+        let seg_keys = self.segment_keys;
         let reducer = &self.reducer;
         let state = &mut self.state;
+        // First write into a segment since the last publish copies it
+        // (make_mut); subsequent writes hit the now-unique segment free.
         match delta {
             EpochDelta::Ordered(bins) => bins.accumulate(|local_key, value| {
-                reducer.apply(&mut state[(base + local_key) as usize], value);
+                let key = base + local_key;
+                let slot = &mut Arc::make_mut(&mut state[(key / seg_keys) as usize])
+                    [(key % seg_keys) as usize];
+                reducer.apply(slot, value);
             }),
             EpochDelta::Reduced(partials) => {
                 for (local_key, partial) in partials {
-                    reducer.merge(&mut state[(base + local_key) as usize], partial);
+                    let key = base + local_key;
+                    let slot = &mut Arc::make_mut(&mut state[(key / seg_keys) as usize])
+                        [(key % seg_keys) as usize];
+                    reducer.merge(slot, partial);
                 }
             }
         }
     }
 
     fn publish(&self, epoch: u64) {
-        let snap = Arc::new(EpochSnapshot::new(epoch, self.state.clone()));
+        // O(num_segments) handle clones — no per-key copy.
+        let snap = Arc::new(EpochSnapshot::new(
+            epoch,
+            self.num_keys,
+            self.segment_keys,
+            self.state.iter().map(Arc::clone).collect(),
+        ));
         *self.published.lock().expect("snapshot lock poisoned") = snap;
         // ordering: Relaxed — audited: the snapshot itself is published by
         // the mutexed Arc swap above (observers that see the new count and

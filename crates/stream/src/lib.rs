@@ -42,7 +42,7 @@
 //! handle.seal_epoch().unwrap();
 //! drop(handle);
 //! let (snapshot, stats) = pipeline.shutdown();
-//! assert_eq!(snapshot.values().iter().map(|&c| c as u64).sum::<u64>(), 100_000);
+//! assert_eq!(snapshot.iter().map(|&c| c as u64).sum::<u64>(), 100_000);
 //! assert!(stats.tuples_per_sec() > 0.0);
 //! ```
 

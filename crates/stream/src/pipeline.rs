@@ -65,6 +65,13 @@ pub struct StreamConfig {
     /// only explicit [`seal_epoch`](IngestPipeline::seal_epoch) calls and
     /// the final drain).
     pub epoch_tuples: Option<u64>,
+    /// Keys per copy-on-write snapshot segment. Publishing an epoch clones
+    /// one `Arc` per segment; an epoch's first write into a segment copies
+    /// just that segment. Smaller segments → cheaper sparse epochs, more
+    /// handles per publish. A serving layer that caches value blocks
+    /// should set this to its block size so cache fills can share the
+    /// snapshot segments zero-copy.
+    pub snapshot_segment_keys: usize,
 }
 
 impl Default for StreamConfig {
@@ -75,6 +82,7 @@ impl Default for StreamConfig {
             batch_tuples: 64,
             min_bins_per_shard: 16,
             epoch_tuples: None,
+            snapshot_segment_keys: 1024,
         }
     }
 }
@@ -112,6 +120,12 @@ impl StreamConfig {
     /// Seals an epoch automatically every `tuples` ingested tuples.
     pub fn epoch_tuples(mut self, tuples: u64) -> Self {
         self.epoch_tuples = Some(tuples);
+        self
+    }
+
+    /// Sets the copy-on-write snapshot segment size in keys.
+    pub fn snapshot_segment_keys(mut self, keys: usize) -> Self {
+        self.snapshot_segment_keys = keys;
         self
     }
 }
@@ -364,6 +378,11 @@ impl<R: Reducer> IngestPipeline<R> {
         if let Some(t) = cfg.epoch_tuples {
             assert!(t > 0, "epoch_tuples must be positive");
         }
+        assert!(
+            cfg.snapshot_segment_keys > 0 && cfg.snapshot_segment_keys <= u32::MAX as usize,
+            "snapshot_segment_keys must be in 1..=u32::MAX"
+        );
+        let segment_keys = cfg.snapshot_segment_keys as u32;
 
         // Power-of-two shard span, mirroring Binner's bin-range rounding:
         // routing is a shift, and the shard count is as close to the
@@ -378,8 +397,9 @@ impl<R: Reducer> IngestPipeline<R> {
         let num_shards = (num_keys as u64).div_ceil(span) as usize;
 
         let reducer = Arc::new(reducer);
-        let published = Arc::new(Mutex::new(Arc::new(EpochSnapshot::new(
+        let published = Arc::new(Mutex::new(Arc::new(EpochSnapshot::from_values(
             0,
+            segment_keys,
             vec![reducer.identity(); num_keys as usize],
         ))));
         let epochs_published = Arc::new(AtomicU64::new(0));
@@ -440,6 +460,7 @@ impl<R: Reducer> IngestPipeline<R> {
                 Arc::clone(&reducer),
                 bases,
                 num_keys,
+                segment_keys,
                 Arc::clone(&published),
                 Arc::clone(&epochs_published),
             );
@@ -508,20 +529,29 @@ impl<R: Reducer> IngestPipeline<R> {
         Arc::clone(&self.published.lock().expect("snapshot lock poisoned"))
     }
 
-    /// The latest published value of `key`.
+    /// The latest published value of `key`, cloned out of the snapshot.
+    /// Prefer [`with_value`](Self::with_value) when a borrow suffices —
+    /// for accumulators like `Append`'s `Vec` this clone is a deep copy.
     ///
     /// # Panics
     ///
     /// Panics if `key >= num_keys`.
     pub fn get(&self, key: u32) -> R::Acc {
-        self.snapshot().get(key).clone()
+        self.with_value(key, |v| v.expect("key out of range").clone())
+    }
+
+    /// Applies `f` to a *borrow* of the latest published value of `key`
+    /// (`None` when `key` is out of range) — no clone, no deep copy; the
+    /// snapshot's segment stays shared for the duration of the call.
+    pub fn with_value<T>(&self, key: u32, f: impl FnOnce(Option<&R::Acc>) -> T) -> T {
+        f(self.snapshot().try_get(key))
     }
 
     /// The latest published value of `key`, or `None` when `key` is out
     /// of range — the panic-free lookup a server must use on keys that
     /// arrive from untrusted clients.
     pub fn try_get(&self, key: u32) -> Option<R::Acc> {
-        self.snapshot().try_get(key).cloned()
+        self.with_value(key, |v| v.cloned())
     }
 
     /// The epoch number of the latest published snapshot. One relaxed
@@ -557,6 +587,14 @@ impl<R: Reducer> IngestPipeline<R> {
                         flushed_tuples: c.flushed_tuples.load(Ordering::Relaxed), // ordering: stats
                         max_flush_tuples: c.max_flush_tuples.load(Ordering::Relaxed), // ordering: stats
                         reduced_flushes: c.reduced_flushes.load(Ordering::Relaxed), // ordering: stats
+                        bins_bytes: c.max_bins_bytes.load(Ordering::Relaxed), // ordering: stats
+                        bin_segments: c.max_bin_segments.load(Ordering::Relaxed), // ordering: stats
+                        bin_grow_events: c.bin_grow_events.load(Ordering::Relaxed), // ordering: stats
+                        cbuf_flushes: cobra_bins::FrameFlushStats {
+                            frames: c.cbuf_flush_frames.load(Ordering::Relaxed), // ordering: stats
+                            tuples: c.cbuf_flush_tuples.load(Ordering::Relaxed), // ordering: stats
+                            frame_capacity: c.cbuf_frame_capacity.load(Ordering::Relaxed) as u32, // ordering: stats
+                        },
                         channel: self.channel_counters[s].snapshot(),
                     }
                 })
@@ -612,13 +650,17 @@ mod tests {
         }
         drop(h);
         let (snap, stats) = p.shutdown();
-        assert_eq!(snap.values(), &direct[..]);
+        assert_eq!(snap.to_vec(), direct);
         assert_eq!(stats.tuples_sent, 50_000);
         assert_eq!(stats.epochs_published, 1, "final drain publishes once");
         assert_eq!(
             stats.shards.iter().map(|s| s.tuples_binned).sum::<u64>(),
             50_000
         );
+        // Bin-memory accounting: every shard sealed a non-empty store.
+        assert!(stats.total_bins_bytes() > 0);
+        assert!(stats.total_bin_segments() > 0);
+        assert!(stats.cbuf_occupancy() > 0.0 && stats.cbuf_occupancy() <= 1.0);
     }
 
     #[test]
@@ -650,7 +692,7 @@ mod tests {
         loop {
             let s = p.snapshot();
             if s.epoch() >= 1 {
-                assert!(s.values().iter().all(|&c| c == 1));
+                assert!(s.iter().all(|&c| c == 1));
                 break;
             }
             assert!(Instant::now() < deadline, "epoch snapshot never published");
@@ -685,9 +727,80 @@ mod tests {
         let (snap, stats) = p.shutdown();
         assert!(stats.epochs_sealed >= 9, "sealed {}", stats.epochs_sealed);
         // 10_000 = 78 * 128 + 16: keys below 16 get one extra tuple.
-        for (k, &c) in snap.values().iter().enumerate() {
+        for (k, &c) in snap.iter().enumerate() {
             assert_eq!(c, 78 + u32::from(k < 16), "key {k}");
         }
+    }
+
+    #[test]
+    fn untouched_segments_are_shared_across_epochs() {
+        // Keys 0..1024 live in segment 0, 1024..2048 in segment 1 (with
+        // 512-key segments: 0..512 → seg 0, etc.). Touch only segment 0
+        // between two seals: segment 0's Arc must differ across the two
+        // snapshots while every untouched segment is pointer-identical.
+        let p = IngestPipeline::new(
+            4096,
+            Count,
+            StreamConfig::new().shards(2).snapshot_segment_keys(512),
+        );
+        let mut h = p.handle();
+        for k in 0..4096u32 {
+            h.send(k, ()).unwrap();
+        }
+        h.seal_epoch().unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while p.published_epoch() < 1 {
+            assert!(Instant::now() < deadline, "epoch 1 never published");
+            std::thread::yield_now();
+        }
+        let s1 = p.snapshot();
+        assert_eq!(s1.num_segments(), 8);
+
+        // Epoch 2 touches keys 0..100 only — all in segment 0.
+        for k in 0..100u32 {
+            h.send(k, ()).unwrap();
+        }
+        h.seal_epoch().unwrap();
+        while p.published_epoch() < 2 {
+            assert!(Instant::now() < deadline, "epoch 2 never published");
+            std::thread::yield_now();
+        }
+        let s2 = p.snapshot();
+        assert!(
+            !Arc::ptr_eq(s1.segment(0), s2.segment(0)),
+            "touched segment must have been copied"
+        );
+        for seg in 1..8 {
+            assert!(
+                Arc::ptr_eq(s1.segment(seg), s2.segment(seg)),
+                "untouched segment {seg} must be shared zero-copy"
+            );
+        }
+        assert_eq!(*s2.get(5), 2);
+        assert_eq!(*s2.get(2000), 1);
+        drop(h);
+        p.shutdown();
+    }
+
+    #[test]
+    fn with_value_borrows_without_cloning() {
+        let p = IngestPipeline::new(64, Append, StreamConfig::new().batch_tuples(1));
+        let mut h = p.handle();
+        for v in [7u32, 8, 9] {
+            h.send(3, v).unwrap();
+        }
+        h.seal_epoch().unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while p.published_epoch() < 1 {
+            assert!(Instant::now() < deadline, "epoch never published");
+            std::thread::yield_now();
+        }
+        let len = p.with_value(3, |v| v.map(Vec::len));
+        assert_eq!(len, Some(3));
+        assert!(p.with_value(64, |v| v.is_none()));
+        assert_eq!(p.get(3), vec![7, 8, 9]);
+        drop(h);
+        p.shutdown();
     }
 
     #[test]

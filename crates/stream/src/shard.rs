@@ -86,6 +86,11 @@ impl<R: Reducer> ShardWorker<R> {
         let bins = self.binner.take_bins();
         let tuples = bins.len() as u64;
         self.counters.record_flush(tuples, R::COMMUTATIVE);
+        self.counters.record_memory(
+            bins.store().memory(),
+            bins.store().grow_events(),
+            self.binner.flush_stats(),
+        );
         if !R::COMMUTATIVE {
             return EpochDelta::Ordered(bins);
         }

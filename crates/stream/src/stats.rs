@@ -5,6 +5,7 @@
 //! eviction buffers.
 
 use crate::channel::ChannelStats;
+use cobra_bins::{BinMemory, FrameFlushStats};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -17,6 +18,12 @@ pub(crate) struct ShardCounters {
     pub flushed_tuples: AtomicU64,
     pub max_flush_tuples: AtomicU64,
     pub reduced_flushes: AtomicU64,
+    pub max_bins_bytes: AtomicU64,
+    pub max_bin_segments: AtomicU64,
+    pub bin_grow_events: AtomicU64,
+    pub cbuf_flush_frames: AtomicU64,
+    pub cbuf_flush_tuples: AtomicU64,
+    pub cbuf_frame_capacity: AtomicU64,
 }
 
 impl ShardCounters {
@@ -30,6 +37,23 @@ impl ShardCounters {
         if reduced {
             self.reduced_flushes.fetch_add(1, Ordering::Relaxed); // ordering: stats
         }
+    }
+
+    /// Records the sealed epoch's bin-store footprint and the binner's
+    /// running C-Buffer flush statistics.
+    pub(crate) fn record_memory(&self, mem: BinMemory, grows: u64, frames: FrameFlushStats) {
+        // ordering: Relaxed throughout — advisory footprint/occupancy
+        // telemetry written only by the owning shard worker.
+        self.max_bins_bytes.fetch_max(mem.bytes, Ordering::Relaxed); // ordering: stats
+        self.max_bin_segments
+            .fetch_max(mem.segments, Ordering::Relaxed); // ordering: stats
+        self.bin_grow_events.fetch_add(grows, Ordering::Relaxed); // ordering: stats
+        self.cbuf_flush_frames
+            .store(frames.frames, Ordering::Relaxed); // ordering: stats
+        self.cbuf_flush_tuples
+            .store(frames.tuples, Ordering::Relaxed); // ordering: stats
+        self.cbuf_frame_capacity
+            .store(frames.frame_capacity as u64, Ordering::Relaxed); // ordering: stats
     }
 }
 
@@ -50,8 +74,24 @@ pub struct ShardStats {
     pub max_flush_tuples: u64,
     /// Flushes that took the commutative merge-on-flush fast path.
     pub reduced_flushes: u64,
+    /// Peak bin-store column capacity, in bytes, observed at any seal.
+    pub bins_bytes: u64,
+    /// Peak slab segment count backing that capacity.
+    pub bin_segments: u64,
+    /// Column growth (reallocation) events across all epochs.
+    pub bin_grow_events: u64,
+    /// Running C-Buffer flush statistics (frames, tuples, frame capacity).
+    pub cbuf_flushes: FrameFlushStats,
     /// The shard's ingest FIFO: occupancy and producer-stall counters.
     pub channel: ChannelStats,
+}
+
+impl ShardStats {
+    /// Average fill fraction of flushed C-Buffer frames (1.0 = every
+    /// flush carried a full line; end-of-epoch partial flushes lower it).
+    pub fn cbuf_occupancy(&self) -> f64 {
+        self.cbuf_flushes.occupancy()
+    }
 }
 
 /// Point-in-time statistics of a whole [`IngestPipeline`].
@@ -107,6 +147,33 @@ impl StreamStats {
     pub fn total_send_blocks(&self) -> u64 {
         self.shards.iter().map(|s| s.channel.send_blocks).sum()
     }
+
+    /// Peak bin-store bytes summed across shards (each shard's peak may
+    /// occur at a different seal; this bounds the aggregate footprint).
+    pub fn total_bins_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.bins_bytes).sum()
+    }
+
+    /// Peak slab segment count summed across shards.
+    pub fn total_bin_segments(&self) -> u64 {
+        self.shards.iter().map(|s| s.bin_segments).sum()
+    }
+
+    /// Column growth events summed across shards.
+    pub fn total_bin_grow_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.bin_grow_events).sum()
+    }
+
+    /// Pipeline-wide average C-Buffer flush occupancy.
+    pub fn cbuf_occupancy(&self) -> f64 {
+        let mut total = FrameFlushStats::default();
+        for s in &self.shards {
+            total.frames += s.cbuf_flushes.frames;
+            total.tuples += s.cbuf_flushes.tuples;
+            total.frame_capacity = total.frame_capacity.max(s.cbuf_flushes.frame_capacity);
+        }
+        total.occupancy()
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +189,10 @@ mod tests {
             flushed_tuples: 0,
             max_flush_tuples: 0,
             reduced_flushes: 0,
+            bins_bytes: 0,
+            bin_segments: 0,
+            bin_grow_events: 0,
+            cbuf_flushes: FrameFlushStats::default(),
             channel: ChannelStats {
                 send_stall_nanos: stall_nanos,
                 send_blocks: blocks,

@@ -108,7 +108,7 @@ fn seal_during_blocked_send_never_deadlocks_and_counts_every_tuple() {
     });
     assert!(seals > 0, "the sealer must have raced at least once");
     let (snapshot, stats) = pipeline.shutdown();
-    let total: f64 = snapshot.values().iter().sum();
+    let total: f64 = snapshot.iter().sum();
     assert_eq!(
         total as u64,
         PRODUCERS as u64 * TUPLES_PER_PRODUCER,
@@ -141,7 +141,7 @@ fn epoch_snapshots_stay_monotonic_under_backpressure() {
         handle.send(i % 128, ()).expect("pipeline open");
         if i % 128 == 0 {
             let snap = pipeline.snapshot();
-            let total: u64 = snap.values().iter().map(|&c| c as u64).sum();
+            let total: u64 = snap.iter().map(|&c| c as u64).sum();
             assert!(
                 snap.epoch() >= last_epoch,
                 "published epoch went backwards: {} then {}",
@@ -162,6 +162,6 @@ fn epoch_snapshots_stay_monotonic_under_backpressure() {
     }
     drop(handle);
     let (snapshot, _) = pipeline.shutdown();
-    let total: u64 = snapshot.values().iter().map(|&c| c as u64).sum();
+    let total: u64 = snapshot.iter().map(|&c| c as u64).sum();
     assert_eq!(total, 2_000);
 }

@@ -64,8 +64,8 @@ fn main() {
 
     // The hardware-binned result matches the software-binned one.
     let mut hw_counts = vec![0u32; num_keys as usize];
-    for bin in storage.bins() {
-        for &(key, v) in bin {
+    for b in 0..storage.num_bins() {
+        for (key, &v) in storage.iter_bin(b) {
             hw_counts[key as usize] += v;
         }
     }

@@ -92,7 +92,7 @@ fn main() {
     // ---- 4. Graceful drain: nothing accepted may be lost. ----
     drop(client);
     let (snapshot, stats) = server.shutdown();
-    let server_sum: u64 = snapshot.values().iter().sum();
+    let server_sum: u64 = snapshot.iter().sum();
     assert_eq!(server_sum, expected_sum, "zero-loss invariant");
     println!(
         "drained epoch {}: {} tuples ingested over {} connections, sums agree ({server_sum})",

@@ -22,9 +22,9 @@ fn pb_counting_sort(keys: &[u32], max_key: u32, threads: usize) -> Vec<u32> {
     for b in 0..tb.num_bins() {
         let base = (b * range) as u32;
         let mut local = vec![0u32; range];
-        for slice in tb.bin_slices(b) {
-            for t in slice {
-                local[(t.key - base) as usize] += 1;
+        for (bin_keys, _) in tb.bin_slices(b) {
+            for &k in bin_keys {
+                local[(k - base) as usize] += 1;
             }
         }
         for (off, &c) in local.iter().enumerate() {

@@ -45,14 +45,14 @@ fn main() {
         println!(
             "mid-stream: epoch {} visible, {} tuples counted so far",
             snap.epoch(),
-            snap.values().iter().map(|&c| c as u64).sum::<u64>()
+            snap.iter().map(|&c| c as u64).sum::<u64>()
         );
     });
 
     // ---- 4. Drain and compare against the batch kernel. ----
     let (snapshot, stats) = pipeline.shutdown();
     let reference = degree_count::reference(&el);
-    assert_eq!(snapshot.values(), &reference[..], "stream must equal batch");
+    assert_eq!(snapshot.to_vec(), reference, "stream must equal batch");
     println!(
         "final: epoch {} == batch Degree-Count over all {} edges",
         snapshot.epoch(),

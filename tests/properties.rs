@@ -46,7 +46,7 @@ fn binner_is_an_order_preserving_partition() {
         let mut seen = vec![false; keys.len()];
         for bin_id in 0..bins.num_bins() {
             let mut last_idx_for_key = std::collections::HashMap::new();
-            for t in bins.bin(bin_id) {
+            for t in bins.iter_bin(bin_id) {
                 assert_eq!((t.key >> shift) as usize, bin_id, "case {case}");
                 assert_eq!(keys[t.value as usize], t.key, "case {case}");
                 assert!(!seen[t.value as usize], "case {case}: duplicate tuple");
@@ -84,7 +84,7 @@ fn cobra_binning_equals_software_binning() {
         }
         let a = hw.flush_and_take();
         let b = sw.flush_and_take();
-        assert_eq!(a.bins(), b.bins(), "case {case}");
+        assert_eq!(a.store(), b.store(), "case {case}");
     }
 }
 
@@ -232,14 +232,10 @@ fn stream_snapshot_equals_batch_pb() {
         drop(ho);
         let (counts, _) = counting.shutdown();
         let (logs, _) = ordered.shutdown();
+        assert_eq!(counts.to_vec(), want_counts, "case {case}: counts diverge");
         assert_eq!(
-            counts.values(),
-            &want_counts[..],
-            "case {case}: counts diverge"
-        );
-        assert_eq!(
-            logs.values(),
-            &want_logs[..],
+            logs.to_vec(),
+            want_logs,
             "case {case}: per-key order diverges"
         );
     }

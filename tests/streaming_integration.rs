@@ -45,7 +45,7 @@ fn million_tuples_commutative_equals_batch_pb() {
     });
     let (snap, stats) = pipeline.shutdown();
 
-    assert_eq!(snap.values(), &want[..], "streamed counts != batch PB");
+    assert_eq!(snap.to_vec(), want, "streamed counts != batch PB");
     assert_eq!(stats.tuples_sent, NUM_TUPLES as u64);
     assert!(
         stats.epochs_sealed >= 9,
@@ -106,11 +106,7 @@ fn million_tuples_non_commutative_equals_batch_pb() {
     let (snap, stats) = pipeline.shutdown();
 
     assert_eq!(stats.tuples_sent, NUM_TUPLES as u64);
-    assert_eq!(
-        snap.values(),
-        &want[..],
-        "streamed per-key order != batch PB"
-    );
+    assert_eq!(snap.to_vec(), want, "streamed per-key order != batch PB");
     // Non-commutative reducer: no flush may take the merge fast path.
     for sh in &stats.shards {
         assert_eq!(sh.reduced_flushes, 0, "shard {}", sh.shard);
@@ -140,7 +136,7 @@ fn undersized_channels_report_backpressure() {
     let (snap, stats) = pipeline.shutdown();
 
     assert_eq!(
-        snap.values().iter().map(|&c| c as u64).sum::<u64>(),
+        snap.iter().map(|&c| c as u64).sum::<u64>(),
         NUM_TUPLES as u64
     );
     assert!(
