@@ -21,7 +21,7 @@
 use cobra_bench::{report, Scale, Table};
 use cobra_graph::rng::SplitMix64;
 use cobra_serve::{ServeClient, ServeConfig, Server};
-use cobra_stream::StreamConfig;
+use cobra_stream::{DurableConfig, StreamConfig, SyncPolicy};
 use std::time::{Duration, Instant};
 
 #[derive(Clone, Copy)]
@@ -130,22 +130,33 @@ fn percentile_us(sorted: &[u64], p: f64) -> u64 {
 fn main() {
     let scale = Scale::from_args();
     let load = Load::for_scale(scale);
+    // `--durable` runs the same closed loop with the write-ahead log on,
+    // so the WAL columns quantify the durability tax.
+    let durable = std::env::args().any(|a| a == "--durable");
 
     let stream_cfg = StreamConfig::new()
         .shards(4)
         .channel_capacity(64)
         .batch_tuples(load.batch_tuples);
-    let serve_cfg = ServeConfig::new()
+    let mut serve_cfg = ServeConfig::new()
         .workers(load.clients)
         .cache_blocks(256)
         .cache_block_keys(512)
         .read_timeout(Duration::from_millis(20));
+    let data_dir = report::results_dir().join(format!("wal-loadgen-{}", std::process::id()));
+    if durable {
+        serve_cfg = serve_cfg.durable(DurableConfig::new(&data_dir).sync(SyncPolicy::OnSeal));
+    }
     let server = Server::start(load.num_keys, stream_cfg, serve_cfg).expect("bind loadgen server");
     let addr = server.local_addr();
 
     println!(
-        "serve loadgen ({scale:?}): {} clients x {} batches x {} tuples over {} keys @ {addr}",
-        load.clients, load.batches_per_client, load.batch_tuples, load.num_keys
+        "serve loadgen ({scale:?}{}): {} clients x {} batches x {} tuples over {} keys @ {addr}",
+        if durable { ", durable" } else { "" },
+        load.clients,
+        load.batches_per_client,
+        load.batch_tuples,
+        load.num_keys
     );
 
     let t0 = Instant::now();
@@ -191,6 +202,10 @@ fn main() {
             "bins_bytes",
             "bin_segments",
             "cbuf_occupancy",
+            "wal_bytes",
+            "wal_fsyncs",
+            "wal_segments",
+            "wal_replayed",
         ],
     );
     t.row(vec![
@@ -207,9 +222,16 @@ fn main() {
         stats.bins_bytes.to_string(),
         stats.bin_segments.to_string(),
         report::f2(stats.cbuf_occupancy()),
+        stats.wal_bytes_appended.to_string(),
+        stats.wal_fsyncs.to_string(),
+        stats.wal_segments.to_string(),
+        stats.wal_replayed_records.to_string(),
     ]);
     t.print();
     t.append_csv("serve_throughput");
+    if durable {
+        let _ = std::fs::remove_dir_all(&data_dir);
+    }
 
     println!(
         "ingested {} tuples ({} refused then retried), {} epochs sealed, {} published",

@@ -9,10 +9,11 @@
 //!   explaining why that ordering is sufficient. Atomics without a
 //!   written-down argument rot.
 //! * **R2 `no-hot-path-unwrap`** — no `unwrap()` / `expect()` in the
-//!   hot-path crates (`pb`, `core`, `stream`, `sim`, `serve`) outside
-//!   `#[cfg(test)]` modules. Panics in a binning worker poison locks and wedge the
-//!   pipeline; fallible paths must return errors or document why the
-//!   panic is unreachable via the allowlist.
+//!   hot-path crates (`pb`, `core`, `stream`, `sim`, `serve`, `wal`)
+//!   outside `#[cfg(test)]` modules. Panics in a binning worker poison
+//!   locks and wedge the pipeline, and a panic on the WAL path turns a
+//!   disk hiccup into an outage; fallible paths must return errors or
+//!   document why the panic is unreachable via the allowlist.
 //! * **R3 `no-mutex-on-binning-path`** — no `std::sync::Mutex` in the
 //!   binning/accumulate hot-path files. The whole point of propagation
 //!   blocking is that bin ownership makes locks unnecessary there.
@@ -177,12 +178,13 @@ fn mask_line(line: &str) -> String {
 fn r1_files(root: &Path) -> Vec<PathBuf> {
     let mut files = list_rs(&root.join("crates/stream/src"));
     files.extend(list_rs(&root.join("crates/serve/src")));
+    files.extend(list_rs(&root.join("crates/wal/src")));
     files.push(root.join("crates/pb/src/trace.rs"));
     files
 }
 
 /// Crates subject to R2.
-const R2_CRATES: [&str; 5] = ["pb", "core", "stream", "sim", "serve"];
+const R2_CRATES: [&str; 6] = ["pb", "core", "stream", "sim", "serve", "wal"];
 
 /// Files subject to R3 (the binning/accumulate hot path).
 const R3_FILES: [&str; 5] = [

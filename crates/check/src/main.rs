@@ -64,6 +64,11 @@ fn run_oracle() -> bool {
         println!("    {r}");
         ok &= r.agrees();
     }
+    println!("  wal-suffix replays (recovery replay order):");
+    for r in oracle::check_wal_replays(ORACLE_PERMS) {
+        println!("    {r}");
+        ok &= r.agrees();
+    }
     println!("  whole-kernel replays (shuffled bins end to end):");
     for r in oracle::check_kernel_replays(ORACLE_PERMS) {
         println!("    {r}");
@@ -101,7 +106,7 @@ fn run_lint() -> bool {
     };
     match lint::run_lints(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("  clean (4 rules over pb/core/stream/sim/serve sources)");
+            println!("  clean (4 rules over pb/core/stream/sim/serve/wal sources)");
             true
         }
         Ok(violations) => {

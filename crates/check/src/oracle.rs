@@ -32,6 +32,7 @@ use cobra_pb::{Binner, Bins, Tuple};
 use cobra_sim::addr::ArrayAddr;
 use cobra_sim::engine::{Engine, NullEngine};
 use cobra_stream::{Append, Count, Latest, Reducer, Sum};
+use cobra_wal::{decode_all, Record};
 
 /// In-place Fisher–Yates shuffle driven by the repo's deterministic RNG.
 fn shuffle<T>(items: &mut [T], rng: &mut SplitMix64) {
@@ -386,6 +387,136 @@ pub fn check_reducers(perms: usize) -> Vec<OracleResult> {
     ]
 }
 
+/// Replays one decoded WAL suffix through a reducer: batch (arrival)
+/// order against `perms` shuffled orders, per-key accumulators.
+fn replay_wal_reducer<R, F, EQ>(
+    name: &str,
+    reducer: &R,
+    num_keys: u32,
+    decoded: &[(u32, u64)],
+    decode_value: F,
+    perms: usize,
+    eq: EQ,
+) -> OracleResult
+where
+    R: Reducer,
+    F: Fn(u64) -> R::Value,
+    EQ: Fn(&R::Acc, &R::Acc) -> bool,
+{
+    let apply_all = |tuples: &[(u32, u64)]| {
+        let mut state: Vec<R::Acc> = (0..num_keys).map(|_| reducer.identity()).collect();
+        for &(k, w) in tuples {
+            reducer.apply(&mut state[k as usize % num_keys as usize], &decode_value(w));
+        }
+        state
+    };
+    let reference = apply_all(decoded);
+    let mut observed_commutative = true;
+    'outer: for seed in 1..=perms as u64 {
+        let mut shuffled = decoded.to_vec();
+        let mut rng = SplitMix64::seed_from_u64(seed.wrapping_mul(0x2545_f491));
+        shuffle(&mut shuffled, &mut rng);
+        let replayed = apply_all(&shuffled);
+        for (a, b) in replayed.iter().zip(&reference) {
+            if !eq(a, b) {
+                observed_commutative = false;
+                break 'outer;
+            }
+        }
+    }
+    OracleResult {
+        subject: format!("wal-replay {name}"),
+        declared_commutative: R::COMMUTATIVE,
+        observed_commutative,
+        permutations: perms,
+    }
+}
+
+/// WAL-suffix replay oracle: encodes a collision-rich update stream into
+/// real WAL record bytes (with epoch `Seal`/`EpochCommit` markers
+/// interleaved, as recovery would see them), decodes it back with the
+/// total decoder, and replays the decoded suffix through each streaming
+/// reducer in permuted order against the batch result. Commutative
+/// reducers must be insensitive to suffix replay order — the property
+/// crash recovery relies on when it re-bins a WAL suffix per shard —
+/// while ordered reducers must be provably sensitive.
+pub fn check_wal_replays(perms: usize) -> Vec<OracleResult> {
+    let keys = 16u32;
+    let updates = collision_stream(160, keys, 21);
+
+    // Encode the suffix exactly as a shard WAL would hold it.
+    let mut buf = Vec::new();
+    let mut epoch = 0u64;
+    for (i, &(key, value)) in updates.iter().enumerate() {
+        Record::Update { key, value }.encode_into(&mut buf);
+        if (i + 1) % 40 == 0 {
+            epoch += 1;
+            Record::Seal { epoch }.encode_into(&mut buf);
+            Record::EpochCommit { epoch }.encode_into(&mut buf);
+        }
+    }
+    let (records, end, clean) = decode_all(&buf);
+    let decoded: Vec<(u32, u64)> = records
+        .iter()
+        .filter_map(|r| match *r {
+            Record::Update { key, value } => Some((key, value)),
+            _ => None,
+        })
+        .collect();
+    let roundtrip_ok = clean && end == buf.len() && decoded == updates;
+
+    let mut results = vec![OracleResult {
+        // "Commutative" here encodes "the suffix decodes loss-free and
+        // in order": the precondition every replay below depends on.
+        subject: "wal-replay suffix-codec".into(),
+        declared_commutative: true,
+        observed_commutative: roundtrip_ok,
+        permutations: 0,
+    }];
+    results.push(replay_wal_reducer(
+        "Count",
+        &Count,
+        keys,
+        &decoded,
+        |_| (),
+        perms,
+        |a, b| a == b,
+    ));
+    // Dyadic sums (value word reinterpreted as quarters): exact f64 adds.
+    let sums: Vec<(u32, u64)> = decoded
+        .iter()
+        .map(|&(k, w)| (k, f64::to_bits((w % 32) as f64 * 0.25)))
+        .collect();
+    results.push(replay_wal_reducer(
+        "Sum",
+        &Sum,
+        keys,
+        &sums,
+        f64::from_bits,
+        perms,
+        |a, b| a == b,
+    ));
+    results.push(replay_wal_reducer(
+        "Append",
+        &Append,
+        keys,
+        &decoded,
+        |w| w as u32,
+        perms,
+        |a, b| a == b,
+    ));
+    results.push(replay_wal_reducer(
+        "Latest",
+        &Latest,
+        keys,
+        &decoded,
+        |w| w,
+        perms,
+        |a, b| a == b,
+    ));
+    results
+}
+
 /// Whole-kernel replay through [`ShuffledPb`]: the four declared-
 /// commutative kernels must reproduce reference output under shuffled
 /// within-bin replay order.
@@ -496,6 +627,13 @@ mod tests {
     #[test]
     fn reducers_all_agree_with_declarations() {
         for r in check_reducers(6) {
+            assert!(r.agrees(), "{r}");
+        }
+    }
+
+    #[test]
+    fn wal_suffix_replays_agree_with_declarations() {
+        for r in check_wal_replays(6) {
             assert!(r.agrees(), "{r}");
         }
     }

@@ -121,6 +121,14 @@ pub struct WireStats {
     /// Average C-Buffer flush occupancy in basis points (10_000 = every
     /// flushed frame was full).
     pub cbuf_occupancy_bp: u64,
+    /// WAL bytes appended (0 when the server runs without a data dir).
+    pub wal_bytes_appended: u64,
+    /// WAL fsync calls issued.
+    pub wal_fsyncs: u64,
+    /// WAL segment files opened (across shards and the commit log).
+    pub wal_segments: u64,
+    /// WAL records replayed during recovery at startup.
+    pub wal_replayed_records: u64,
 }
 
 impl WireStats {
@@ -140,7 +148,7 @@ impl WireStats {
         self.cbuf_occupancy_bp as f64 / 10_000.0
     }
 
-    const FIELDS: usize = 15;
+    const FIELDS: usize = 19;
 
     fn to_words(self) -> [u64; Self::FIELDS] {
         [
@@ -159,6 +167,10 @@ impl WireStats {
             self.bins_bytes,
             self.bin_segments,
             self.cbuf_occupancy_bp,
+            self.wal_bytes_appended,
+            self.wal_fsyncs,
+            self.wal_segments,
+            self.wal_replayed_records,
         ]
     }
 
@@ -179,6 +191,10 @@ impl WireStats {
             bins_bytes: w[12],
             bin_segments: w[13],
             cbuf_occupancy_bp: w[14],
+            wal_bytes_appended: w[15],
+            wal_fsyncs: w[16],
+            wal_segments: w[17],
+            wal_replayed_records: w[18],
         }
     }
 }
@@ -630,6 +646,10 @@ mod tests {
             bins_bytes: 13,
             bin_segments: 14,
             cbuf_occupancy_bp: 9_500,
+            wal_bytes_appended: 15,
+            wal_fsyncs: 16,
+            wal_segments: 17,
+            wal_replayed_records: 18,
         }));
         roundtrip(Frame::Error {
             code: ErrorCode::KeyOutOfRange,

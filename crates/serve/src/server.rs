@@ -38,7 +38,8 @@ use crate::cache::S3FifoCache;
 use crate::protocol::{self, ErrorCode, Frame, ReadError, WireStats, MAX_FRAME, MAX_SNAPSHOT_KEYS};
 use cobra_stream::channel::{self, Sender, TrySendError};
 use cobra_stream::{
-    EpochSnapshot, IngestHandle, IngestPipeline, Reducer, StreamConfig, TryIngestError,
+    DurableConfig, EpochSnapshot, IngestHandle, IngestPipeline, RecoveryReport, Reducer,
+    StreamConfig, TryIngestError,
 };
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -90,6 +91,10 @@ pub struct ServeConfig {
     /// Socket read timeout; also the granularity at which an idle worker
     /// notices the shutdown flag.
     pub read_timeout: Duration,
+    /// Durable mode: when set, the pipeline write-ahead-logs every update
+    /// under this configuration's data directory and recovers committed
+    /// state from it on startup.
+    pub durable: Option<DurableConfig>,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +107,7 @@ impl Default for ServeConfig {
             cache_blocks: 128,
             cache_block_keys: 1024,
             read_timeout: Duration::from_millis(50),
+            durable: None,
         }
     }
 }
@@ -145,6 +151,18 @@ impl ServeConfig {
     /// Sets the socket read timeout (shutdown-poll granularity).
     pub fn read_timeout(mut self, timeout: Duration) -> Self {
         self.read_timeout = timeout;
+        self
+    }
+
+    /// Enables durable mode with the default WAL tuning for `data_dir`
+    /// (use [`durable`](Self::durable) for full control).
+    pub fn data_dir<P: Into<std::path::PathBuf>>(self, data_dir: P) -> Self {
+        self.durable(DurableConfig::new(data_dir))
+    }
+
+    /// Enables durable mode with an explicit WAL configuration.
+    pub fn durable(mut self, durable: DurableConfig) -> Self {
+        self.durable = Some(durable);
         self
     }
 }
@@ -194,6 +212,10 @@ impl Ctx {
             bins_bytes: s.total_bins_bytes(),
             bin_segments: s.total_bin_segments(),
             cbuf_occupancy_bp: (s.cbuf_occupancy() * 10_000.0).round() as u64,
+            wal_bytes_appended: s.wal_bytes_appended,
+            wal_fsyncs: s.wal_fsyncs,
+            wal_segments: s.wal_segments,
+            wal_replayed_records: s.wal_replayed_records,
         }
     }
 
@@ -212,6 +234,7 @@ pub struct Server {
     local_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl Server {
@@ -242,8 +265,17 @@ impl Server {
 
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        // Durable mode recovers committed state from the data dir before
+        // serving; the first published snapshot is the recovered one.
+        let (pipeline, recovery) = match cfg.durable {
+            Some(durable) => {
+                let (p, report) = IngestPipeline::recover(num_keys, SumU64, stream_cfg, durable)?;
+                (p, Some(report))
+            }
+            None => (IngestPipeline::new(num_keys, SumU64, stream_cfg), None),
+        };
         let ctx = Arc::new(Ctx {
-            pipeline: IngestPipeline::new(num_keys, SumU64, stream_cfg),
+            pipeline,
             cache: S3FifoCache::new(cfg.cache_blocks),
             counters: ServeCounters::default(),
             stop: AtomicBool::new(false),
@@ -281,7 +313,14 @@ impl Server {
             local_addr,
             acceptor: Some(acceptor),
             workers,
+            recovery,
         })
+    }
+
+    /// The startup recovery report (`None` when the server runs without a
+    /// data directory).
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// The bound address (resolves port 0 to the real ephemeral port).

@@ -1,0 +1,380 @@
+//! Durable mode: write-ahead logging and crash recovery for the
+//! ingestion pipeline.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! data_dir/
+//!   commit/seg-*.wal      EpochCommit records, one per applied epoch
+//!   shard-000/seg-*.wal   shard 0: Update records + Seal markers
+//!   shard-001/seg-*.wal   …one log per shard worker
+//!   ckpt-<epoch>.bin      epoch checkpoints (newest two kept)
+//! ```
+//!
+//! # Crash-consistency protocol
+//!
+//! Writes are ordered so that *observable implies durable*:
+//!
+//! 1. Each shard worker appends an `Update` record per binned tuple and,
+//!    on `Seal(e)`, a `Seal` marker followed by a group-commit flush —
+//!    **before** reporting the sealed delta to the accumulator.
+//! 2. The accumulator applies epoch `e`'s aligned wave, then appends
+//!    `EpochCommit(e)` to the commit log (flushed per the sync policy)
+//!    — **before** publishing the epoch-`e` snapshot.
+//!
+//! So when any client has observed epoch `e` (via a snapshot or the
+//! published-epoch counter), every shard's updates through `e` and the
+//! commit record are at least in the OS page cache (killed process loses
+//! nothing) and, under [`SyncPolicy::OnSeal`], on stable storage (power
+//! loss loses nothing).
+//!
+//! Recovery inverts the protocol: the commit log defines the committed
+//! epoch `E`; the newest valid checkpoint with epoch ≤ `E` seeds the
+//! state; each shard's WAL suffix replays *through the shard's binner*
+//! from the checkpoint's manifest offset, applying updates epoch by epoch
+//! up to and including `Seal(E)`; everything after the last committed
+//! seal — a torn tail, a flipped record, or whole uncommitted epochs — is
+//! truncated, and the writers resume at the truncation point.
+
+use crate::epoch::{EpochEvent, EpochSink};
+use crate::pipeline::{shard_plan, DurableParts, IngestPipeline, StreamConfig};
+use crate::reducer::Reducer;
+use crate::shard::ShardWal;
+use cobra_pb::Binner;
+use cobra_wal::{
+    gc_checkpoints, latest_checkpoint, scan, write_checkpoint, CheckpointMeta, Record, SyncPolicy,
+    WalConfig, WalStats, WalValue, WalWriter,
+};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Durability knobs for [`IngestPipeline::recover`].
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// Data directory (created if missing) holding the shard WALs, the
+    /// commit log, and the checkpoints.
+    pub dir: PathBuf,
+    /// WAL sync policy (default [`SyncPolicy::OnSeal`]).
+    pub sync: SyncPolicy,
+    /// WAL segment rotation threshold in bytes (default 8 MiB).
+    pub segment_bytes: u64,
+    /// Write a checkpoint every this many committed epochs, plus one at
+    /// the graceful-shutdown drain. 0 disables checkpointing (the whole
+    /// WAL replays on recovery). Default 8.
+    pub checkpoint_every: u64,
+}
+
+impl DurableConfig {
+    /// Defaults for a data directory at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableConfig {
+            dir: dir.into(),
+            sync: SyncPolicy::OnSeal,
+            segment_bytes: 8 << 20,
+            checkpoint_every: 8,
+        }
+    }
+
+    /// Sets the sync policy.
+    pub fn sync(mut self, sync: SyncPolicy) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Sets the WAL segment rotation threshold.
+    pub fn segment_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "need a positive segment size");
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Sets the checkpoint cadence in epochs (0 = never checkpoint).
+    pub fn checkpoint_every(mut self, epochs: u64) -> Self {
+        self.checkpoint_every = epochs;
+        self
+    }
+}
+
+/// What a [`recover`](IngestPipeline::recover) found and replayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Epoch of the checkpoint the state was seeded from (0 = none).
+    pub checkpoint_epoch: u64,
+    /// The committed epoch the pipeline resumed at (0 = fresh directory).
+    pub committed_epoch: u64,
+    /// WAL records (updates + markers) replayed past the checkpoint.
+    pub replayed_records: u64,
+    /// Update tuples re-binned and re-applied during replay.
+    pub replayed_tuples: u64,
+}
+
+pub(crate) fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:03}"))
+}
+
+pub(crate) fn commit_dir(dir: &Path) -> PathBuf {
+    dir.join("commit")
+}
+
+/// All-identity state segments matching the pipeline's snapshot geometry.
+fn identity_state<R: Reducer>(
+    reducer: &R,
+    num_keys: u32,
+    segment_keys: u32,
+) -> Vec<Arc<Vec<R::Acc>>> {
+    let mut state = Vec::new();
+    let mut remaining = num_keys as usize;
+    while remaining > 0 {
+        let n = remaining.min(segment_keys as usize);
+        state.push(Arc::new(vec![reducer.identity(); n]));
+        remaining -= n;
+    }
+    state
+}
+
+/// Flushes the binner's staged tuples into the state segments — the same
+/// bins → `accumulate` → `Arc::make_mut` path the live accumulator takes,
+/// so replay order equals the original per-shard arrival order. Returns
+/// the tuple count.
+fn apply_staged<R: Reducer>(
+    reducer: &R,
+    binner: &mut Binner<R::Value>,
+    base: u32,
+    segment_keys: u32,
+    state: &mut [Arc<Vec<R::Acc>>],
+) -> u64 {
+    let bins = binner.take_bins();
+    let tuples = bins.len() as u64;
+    bins.accumulate(|local_key, value| {
+        let key = base + local_key;
+        let slot = &mut Arc::make_mut(&mut state[(key / segment_keys) as usize])
+            [(key % segment_keys) as usize];
+        reducer.apply(slot, value);
+    });
+    tuples
+}
+
+impl<R: Reducer> IngestPipeline<R>
+where
+    R::Value: WalValue,
+    R::Acc: WalValue,
+{
+    /// Opens (or creates) the durable data directory at `durable.dir`,
+    /// recovers the committed state, and starts a pipeline that logs
+    /// every update to its shard WAL and every applied epoch to the
+    /// commit log. A fresh/empty directory starts at epoch 0 with
+    /// identity state — `recover` is also the durable constructor.
+    ///
+    /// Recovery: load the newest valid checkpoint whose epoch does not
+    /// exceed the commit log's committed epoch, replay each shard's WAL
+    /// suffix through that shard's binner up to the committed epoch, and
+    /// truncate everything after the last committed seal. Corrupt WAL
+    /// tails and corrupt checkpoints are tolerated (older checkpoints and
+    /// longer replays take over); only real I/O failures and geometry
+    /// mismatches (a directory created with different `num_keys`,
+    /// `snapshot_segment_keys`, or shard count) return `Err`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same zero-value config knobs as
+    /// [`new`](IngestPipeline::new).
+    pub fn recover(
+        num_keys: u32,
+        reducer: R,
+        cfg: StreamConfig,
+        durable: DurableConfig,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        assert!(num_keys > 0, "need at least one key");
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(
+            cfg.snapshot_segment_keys > 0 && cfg.snapshot_segment_keys <= u32::MAX as usize,
+            "snapshot_segment_keys must be in 1..=u32::MAX"
+        );
+        let segment_keys = cfg.snapshot_segment_keys as u32;
+        std::fs::create_dir_all(&durable.dir)?;
+        let (_, ranges) = shard_plan(num_keys, cfg.shards);
+        let num_shards = ranges.len();
+        let wal_stats = Arc::new(WalStats::default());
+
+        // Phase 1 — the commit log defines the committed epoch: the
+        // largest EpochCommit in its valid prefix.
+        let mut committed = 0u64;
+        let commit_outcome = scan(&commit_dir(&durable.dir), 0, |_, rec| {
+            if let Record::EpochCommit { epoch } = rec {
+                if epoch > committed {
+                    committed = epoch;
+                }
+            }
+            true
+        })?;
+
+        // Phase 2 — seed state from the newest usable checkpoint. A
+        // checkpoint newer than the committed epoch would contain state no
+        // observer was ever promised; `latest_checkpoint` skips those and
+        // any corrupt files.
+        let ckpt = latest_checkpoint::<R::Acc>(&durable.dir, committed)?;
+        let (checkpoint_epoch, mut offsets, mut state) = match ckpt {
+            Some(c) => {
+                if c.meta.num_keys != num_keys
+                    || c.meta.segment_keys != segment_keys
+                    || c.meta.shard_offsets.len() != num_shards
+                {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "checkpoint geometry ({} keys, {} segment keys, {} shards) does not \
+                             match the pipeline ({num_keys}, {segment_keys}, {num_shards})",
+                            c.meta.num_keys,
+                            c.meta.segment_keys,
+                            c.meta.shard_offsets.len()
+                        ),
+                    ));
+                }
+                (c.meta.epoch, c.meta.shard_offsets, c.segments)
+            }
+            None => (
+                0,
+                vec![0u64; num_shards],
+                identity_state(&reducer, num_keys, segment_keys),
+            ),
+        };
+
+        // Phase 3 — replay each shard's WAL suffix through a binner (the
+        // same Binning → Accumulate path live tuples take, with the same
+        // locality win: replay writes are bin-local, not key-random).
+        // Epochs apply wholesale at their Seal marker; the scan stops
+        // *before* the first record past the committed epoch, so opening
+        // the writer at the scan end truncates the uncommitted tail.
+        let mut replayed_records = 0u64;
+        let mut replayed_tuples = 0u64;
+        let mut shard_wals = Vec::with_capacity(num_shards);
+        let mut binners = Vec::with_capacity(num_shards);
+        for (s, range) in ranges.iter().enumerate() {
+            let local_keys = range.end - range.start;
+            let mut binner = Binner::new(local_keys, cfg.min_bins_per_shard);
+            let sdir = shard_dir(&durable.dir, s);
+            let mut done = checkpoint_epoch >= committed;
+            let mut tuples_here = 0u64;
+            let outcome = scan(&sdir, offsets[s], |_, rec| {
+                if done {
+                    return false;
+                }
+                match rec {
+                    Record::Update { key, value } => {
+                        // Out-of-range keys mean the log belongs to a
+                        // different geometry; skip rather than corrupt a
+                        // neighboring shard's slot.
+                        if key >= range.start && key < range.end {
+                            binner.insert(key - range.start, R::Value::from_word(value));
+                            tuples_here += 1;
+                        }
+                        true
+                    }
+                    Record::Seal { epoch } => {
+                        if epoch <= committed {
+                            apply_staged(
+                                &reducer,
+                                &mut binner,
+                                range.start,
+                                segment_keys,
+                                &mut state,
+                            );
+                            if epoch == committed {
+                                done = true;
+                            }
+                            true
+                        } else {
+                            // An uncommitted epoch boundary: truncate here.
+                            false
+                        }
+                    }
+                    // Commit records never appear in shard logs; tolerate.
+                    Record::EpochCommit { .. } => true,
+                }
+            })?;
+            replayed_records += outcome.records;
+            replayed_tuples += tuples_here;
+            // Tuples staged past the last committed seal (a torn epoch)
+            // are uncommitted: drop them so the binner hands clean to the
+            // worker.
+            drop(binner.take_bins());
+            offsets[s] = outcome.end.logical;
+            let wcfg = WalConfig::new(&sdir)
+                .sync(durable.sync)
+                .segment_bytes(durable.segment_bytes);
+            let writer = WalWriter::open(wcfg, Arc::clone(&wal_stats), outcome.end)?;
+            shard_wals.push(ShardWal {
+                writer,
+                to_word: <R::Value as WalValue>::to_word,
+                stats: Arc::clone(&wal_stats),
+                failed: false,
+            });
+            binners.push(binner);
+        }
+
+        // Phase 4 — resume the commit log and build the epoch sink: the
+        // accumulator fires it after applying each aligned wave and
+        // before publishing (commit-before-publish).
+        let commit_cfg = WalConfig::new(commit_dir(&durable.dir))
+            .sync(durable.sync)
+            .segment_bytes(durable.segment_bytes);
+        let mut commit_writer =
+            WalWriter::open(commit_cfg, Arc::clone(&wal_stats), commit_outcome.end)?;
+        let sink_dir = durable.dir.clone();
+        let checkpoint_every = durable.checkpoint_every;
+        let sink_stats = Arc::clone(&wal_stats);
+        let mut sink_failed = false;
+        let epoch_sink: EpochSink<R::Acc> = Box::new(move |ev: EpochEvent<'_, R::Acc>| {
+            if sink_failed {
+                return;
+            }
+            let wrote = commit_writer
+                .append(&Record::EpochCommit { epoch: ev.epoch })
+                .and_then(|()| commit_writer.seal_flush().map(|_| ()));
+            if wrote.is_err() {
+                // Degrade rather than wedge the accumulator: snapshots
+                // keep publishing, durability stops advancing, and the
+                // error surfaces through the stats counter.
+                sink_failed = true;
+                sink_stats.note_io_error();
+                return;
+            }
+            let due = checkpoint_every > 0 && (ev.drain || ev.epoch % checkpoint_every == 0);
+            if due {
+                let meta = CheckpointMeta {
+                    epoch: ev.epoch,
+                    num_keys,
+                    segment_keys,
+                    shard_offsets: ev.shard_offsets.to_vec(),
+                };
+                // The event borrows the accumulator's Arc'd segments, so
+                // serialization needs no deep copy of the state.
+                match write_checkpoint(&sink_dir, &meta, ev.state) {
+                    Ok(_) => {
+                        let _ = gc_checkpoints(&sink_dir, 2);
+                    }
+                    Err(_) => sink_stats.note_io_error(),
+                }
+            }
+        });
+
+        let report = RecoveryReport {
+            checkpoint_epoch,
+            committed_epoch: committed,
+            replayed_records,
+            replayed_tuples,
+        };
+        let parts = DurableParts {
+            shard_wals,
+            binners,
+            initial_epoch: committed,
+            initial_state: state,
+            initial_offsets: offsets,
+            epoch_sink,
+            wal_stats,
+            replayed_records,
+        };
+        Ok((Self::build(num_keys, reducer, cfg, Some(parts)), report))
+    }
+}

@@ -180,10 +180,40 @@ pub(crate) enum AccMsg<R: Reducer> {
         shard: usize,
         epoch: u64,
         delta: EpochDelta<R>,
+        /// The shard WAL's logical offset just past this epoch's `Seal`
+        /// marker (0 in non-durable mode): recorded into the checkpoint
+        /// manifest so recovery replays from here.
+        wal_offset: u64,
     },
     /// The shard's final drain delta; the shard has exited.
-    Done { shard: usize, delta: EpochDelta<R> },
+    Done {
+        shard: usize,
+        delta: EpochDelta<R>,
+        /// WAL offset past the drain epoch's `Seal` (0 when non-durable
+        /// or when the shard exited without a drain seal).
+        wal_offset: u64,
+    },
 }
+
+/// What the durability hook observes at each epoch commit: the aligned
+/// epoch, the post-apply state segments, and every shard's WAL replay
+/// boundary. Fired after the wave is applied and *before* the snapshot
+/// publishes, so an externally observable epoch is always durable first.
+pub(crate) struct EpochEvent<'a, A> {
+    pub(crate) epoch: u64,
+    pub(crate) state: &'a [Arc<Vec<A>>],
+    pub(crate) shard_offsets: &'a [u64],
+    /// True for the final drain epoch.
+    pub(crate) drain: bool,
+}
+
+/// The durability hook: writes the `EpochCommit` record (and periodically
+/// a checkpoint) before the snapshot becomes visible.
+pub(crate) type EpochSink<A> = Box<dyn FnMut(EpochEvent<'_, A>) + Send>;
+
+/// Recovery seed for the accumulator: the committed epoch, its COW
+/// snapshot segments, and the per-shard WAL replay boundaries.
+pub(crate) type ResumeState<A> = (u64, Vec<Arc<Vec<A>>>, Vec<u64>);
 
 /// The single accumulator thread's state. Owns the authoritative
 /// copy-on-write segments; publishes `Arc<EpochSnapshot>`s by cloning
@@ -195,15 +225,21 @@ pub(crate) struct Accumulator<R: Reducer> {
     num_keys: u32,
     segment_keys: u32,
     state: Vec<Arc<Vec<R::Acc>>>,
-    /// Per-shard queue of sealed epochs not yet merged into an aligned wave.
-    pending: Vec<VecDeque<(u64, EpochDelta<R>)>>,
-    final_deltas: Vec<Option<EpochDelta<R>>>,
+    /// Per-shard queue of sealed epochs not yet merged into an aligned
+    /// wave, each with its WAL replay boundary.
+    pending: Vec<VecDeque<(u64, EpochDelta<R>, u64)>>,
+    final_deltas: Vec<Option<(EpochDelta<R>, u64)>>,
+    /// Latest known WAL replay boundary per shard (recovery-seeded, then
+    /// updated at each applied seal); recorded into checkpoint manifests.
+    shard_offsets: Vec<u64>,
     applied_epoch: u64,
     published: Arc<Mutex<Arc<EpochSnapshot<R::Acc>>>>,
     epochs_published: Arc<AtomicU64>,
+    epoch_sink: Option<EpochSink<R::Acc>>,
 }
 
 impl<R: Reducer> Accumulator<R> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         reducer: Arc<R>,
         bases: Vec<u32>,
@@ -211,26 +247,36 @@ impl<R: Reducer> Accumulator<R> {
         segment_keys: u32,
         published: Arc<Mutex<Arc<EpochSnapshot<R::Acc>>>>,
         epochs_published: Arc<AtomicU64>,
+        resume: Option<ResumeState<R::Acc>>,
+        epoch_sink: Option<EpochSink<R::Acc>>,
     ) -> Self {
         let shards = bases.len();
-        let mut state = Vec::new();
-        let mut remaining = num_keys as usize;
-        while remaining > 0 {
-            let n = remaining.min(segment_keys as usize);
-            state.push(Arc::new(vec![reducer.identity(); n]));
-            remaining -= n;
-        }
+        let (applied_epoch, state, shard_offsets) = match resume {
+            Some((epoch, state, offsets)) => (epoch, state, offsets),
+            None => {
+                let mut state = Vec::new();
+                let mut remaining = num_keys as usize;
+                while remaining > 0 {
+                    let n = remaining.min(segment_keys as usize);
+                    state.push(Arc::new(vec![reducer.identity(); n]));
+                    remaining -= n;
+                }
+                (0, state, vec![0; shards])
+            }
+        };
         Accumulator {
             state,
             reducer,
             pending: (0..shards).map(|_| VecDeque::new()).collect(),
             final_deltas: (0..shards).map(|_| None).collect(),
+            shard_offsets,
             bases,
             num_keys,
             segment_keys,
-            applied_epoch: 0,
+            applied_epoch,
             published,
             epochs_published,
+            epoch_sink,
         }
     }
 
@@ -247,28 +293,52 @@ impl<R: Reducer> Accumulator<R> {
                     shard,
                     epoch,
                     delta,
+                    wal_offset,
                 } => {
-                    self.pending[shard].push_back((epoch, delta));
+                    self.pending[shard].push_back((epoch, delta, wal_offset));
                     self.advance();
                 }
-                AccMsg::Done { shard, delta } => {
-                    self.final_deltas[shard] = Some(delta);
+                AccMsg::Done {
+                    shard,
+                    delta,
+                    wal_offset,
+                } => {
+                    self.final_deltas[shard] = Some((delta, wal_offset));
                     done += 1;
                 }
             }
         }
         self.advance();
+        let mut drain_sealed = true;
         for shard in 0..self.bases.len() {
             // Any unaligned stragglers (a shard died early) still apply in
             // per-shard epoch order before its drain delta.
-            while let Some((_, delta)) = self.pending[shard].pop_front() {
+            while let Some((_, delta, wal_offset)) = self.pending[shard].pop_front() {
                 self.apply(shard, delta);
+                if wal_offset > 0 {
+                    self.shard_offsets[shard] = wal_offset;
+                }
             }
-            if let Some(delta) = self.final_deltas[shard].take() {
+            if let Some((delta, wal_offset)) = self.final_deltas[shard].take() {
                 self.apply(shard, delta);
+                if wal_offset > 0 {
+                    self.shard_offsets[shard] = wal_offset;
+                } else {
+                    drain_sealed = false;
+                }
+            } else {
+                drain_sealed = false;
             }
         }
-        self.publish(self.applied_epoch + 1);
+        let drain_epoch = self.applied_epoch + 1;
+        // Only a drain whose every shard wrote its `Seal(drain_epoch)`
+        // marker (graceful shutdown, no degraded WAL) may be committed:
+        // committing an unsealed drain would claim durability for updates
+        // whose log records never made it out.
+        if drain_sealed {
+            self.commit(drain_epoch, true);
+        }
+        self.publish(drain_epoch);
     }
 
     /// Applies complete epoch waves in order, publishing one snapshot per
@@ -279,16 +349,36 @@ impl<R: Reducer> Accumulator<R> {
             let ready = self
                 .pending
                 .iter()
-                .all(|q| q.front().is_some_and(|&(e, _)| e == next));
+                .all(|q| q.front().is_some_and(|&(e, _, _)| e == next));
             if !ready {
                 return;
             }
             for shard in 0..self.pending.len() {
-                let (_, delta) = self.pending[shard].pop_front().expect("checked front");
+                let (_, delta, wal_offset) =
+                    self.pending[shard].pop_front().expect("checked front");
                 self.apply(shard, delta);
+                if wal_offset > 0 {
+                    self.shard_offsets[shard] = wal_offset;
+                }
             }
             self.applied_epoch = next;
+            self.commit(next, false);
             self.publish(next);
+        }
+    }
+
+    /// Fires the durability hook (commit record + periodic checkpoint)
+    /// for an applied epoch. Ordering is deliberate: the hook runs before
+    /// [`publish`](Self::publish), so no observer can see epoch `e`
+    /// before its `EpochCommit` record is at least written to the OS.
+    fn commit(&mut self, epoch: u64, drain: bool) {
+        if let Some(sink) = &mut self.epoch_sink {
+            sink(EpochEvent {
+                epoch,
+                state: &self.state,
+                shard_offsets: &self.shard_offsets,
+                drain,
+            });
         }
     }
 

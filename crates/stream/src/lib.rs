@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+mod durable;
 mod epoch;
 mod pipeline;
 mod reducer;
@@ -57,7 +58,11 @@ mod shard;
 mod stats;
 
 pub use channel::{ChannelStats, Disconnected, TrySendError};
+pub use durable::{DurableConfig, RecoveryReport};
 pub use epoch::EpochSnapshot;
 pub use pipeline::{IngestHandle, IngestPipeline, PipelineClosed, StreamConfig, TryIngestError};
 pub use reducer::{Append, Count, Latest, Reducer, Sum};
 pub use stats::{ShardStats, StreamStats};
+// Durable-mode vocabulary re-exported so downstream crates (the serve
+// layer, benches) need no direct cobra-wal dependency.
+pub use cobra_wal::{SyncPolicy, WalValue};

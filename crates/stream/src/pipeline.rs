@@ -2,11 +2,12 @@
 //! workers → epoch accumulator → published snapshots.
 
 use crate::channel::{self, ChannelCounters, Sender};
-use crate::epoch::{AccMsg, Accumulator, EpochSnapshot};
+use crate::epoch::{AccMsg, Accumulator, EpochSink, EpochSnapshot};
 use crate::reducer::Reducer;
-use crate::shard::{ShardMsg, ShardWorker};
+use crate::shard::{ShardMsg, ShardWal, ShardWorker};
 use crate::stats::{ShardCounters, ShardStats, StreamStats};
 use cobra_pb::{Binner, Tuple};
+use cobra_wal::WalStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -357,7 +358,59 @@ pub struct IngestPipeline<R: Reducer> {
     shard_counters: Vec<Arc<ShardCounters>>,
     channel_counters: Vec<Arc<ChannelCounters>>,
     shard_ranges: Vec<std::ops::Range<u32>>,
+    /// Durable-mode WAL counters (None = in-memory pipeline).
+    wal_stats: Option<Arc<WalStats>>,
+    /// Records replayed by the recovery that built this pipeline.
+    wal_replayed: u64,
     started: Instant,
+}
+
+/// Everything a durable pipeline needs beyond [`StreamConfig`]: the
+/// recovered/fresh WAL writers, the recovered state, and the epoch-commit
+/// hook. Built by [`recover`](IngestPipeline::recover) in `durable.rs`.
+pub(crate) struct DurableParts<R: Reducer> {
+    /// One WAL per shard, opened at its replay-truncated end.
+    pub(crate) shard_wals: Vec<ShardWal<R::Value>>,
+    /// The shard binners, reused from the recovery replay.
+    pub(crate) binners: Vec<Binner<R::Value>>,
+    /// The committed epoch recovery resumed at (0 = fresh directory).
+    pub(crate) initial_epoch: u64,
+    /// Recovered state segments (identity for a fresh directory).
+    pub(crate) initial_state: Vec<Arc<Vec<R::Acc>>>,
+    /// Per-shard WAL replay boundaries at `initial_epoch`.
+    pub(crate) initial_offsets: Vec<u64>,
+    /// Commit-log + checkpoint hook, fired before every publish.
+    pub(crate) epoch_sink: EpochSink<R::Acc>,
+    /// Shared WAL counters across all shard logs and the commit log.
+    pub(crate) wal_stats: Arc<WalStats>,
+    /// Records replayed during recovery.
+    pub(crate) replayed_records: u64,
+}
+
+/// The power-of-two shard geometry: returns `(shard_shift, ranges)` where
+/// each shard owns `ranges[s]` and routing is `key >> shard_shift`.
+/// Shared by pipeline construction and WAL recovery, which must agree on
+/// the key partition for replay to hit the right binners.
+pub(crate) fn shard_plan(num_keys: u32, shards: usize) -> (u32, Vec<std::ops::Range<u32>>) {
+    // Power-of-two shard span, mirroring Binner's bin-range rounding:
+    // routing is a shift, and the shard count is as close to the
+    // request as the rounding allows (at most min(shards, num_keys)).
+    let mut span = (num_keys as u64)
+        .div_ceil(shards as u64)
+        .next_power_of_two();
+    if (num_keys as u64).div_ceil(span) < shards as u64 && span > 1 {
+        span /= 2;
+    }
+    let shard_shift = span.trailing_zeros();
+    let num_shards = (num_keys as u64).div_ceil(span) as usize;
+    let ranges = (0..num_shards)
+        .map(|s| {
+            let lo = (s as u64 * span) as u32;
+            let hi = ((s as u64 + 1) * span).min(num_keys as u64) as u32;
+            lo..hi
+        })
+        .collect();
+    (shard_shift, ranges)
 }
 
 impl<R: Reducer> IngestPipeline<R> {
@@ -367,6 +420,15 @@ impl<R: Reducer> IngestPipeline<R> {
     ///
     /// Panics if `num_keys == 0` or any config knob is zero.
     pub fn new(num_keys: u32, reducer: R, cfg: StreamConfig) -> Self {
+        Self::build(num_keys, reducer, cfg, None)
+    }
+
+    pub(crate) fn build(
+        num_keys: u32,
+        reducer: R,
+        cfg: StreamConfig,
+        durable: Option<DurableParts<R>>,
+    ) -> Self {
         assert!(num_keys > 0, "need at least one key");
         assert!(cfg.shards > 0, "need at least one shard");
         assert!(cfg.channel_capacity > 0, "need channel capacity");
@@ -384,25 +446,39 @@ impl<R: Reducer> IngestPipeline<R> {
         );
         let segment_keys = cfg.snapshot_segment_keys as u32;
 
-        // Power-of-two shard span, mirroring Binner's bin-range rounding:
-        // routing is a shift, and the shard count is as close to the
-        // request as the rounding allows (at most min(shards, num_keys)).
-        let mut span = (num_keys as u64)
-            .div_ceil(cfg.shards as u64)
-            .next_power_of_two();
-        if (num_keys as u64).div_ceil(span) < cfg.shards as u64 && span > 1 {
-            span /= 2;
+        let (shard_shift, shard_ranges) = shard_plan(num_keys, cfg.shards);
+        let num_shards = shard_ranges.len();
+        let mut durable = durable;
+        if let Some(d) = &durable {
+            assert_eq!(
+                d.shard_wals.len(),
+                num_shards,
+                "recovery shard plan drifted"
+            );
+            assert_eq!(d.binners.len(), num_shards, "recovery shard plan drifted");
+            assert_eq!(
+                d.initial_offsets.len(),
+                num_shards,
+                "recovery shard plan drifted"
+            );
         }
-        let shard_shift = span.trailing_zeros();
-        let num_shards = (num_keys as u64).div_ceil(span) as usize;
 
         let reducer = Arc::new(reducer);
-        let published = Arc::new(Mutex::new(Arc::new(EpochSnapshot::from_values(
-            0,
-            segment_keys,
-            vec![reducer.identity(); num_keys as usize],
-        ))));
-        let epochs_published = Arc::new(AtomicU64::new(0));
+        let initial_epoch = durable.as_ref().map_or(0, |d| d.initial_epoch);
+        let published = Arc::new(Mutex::new(Arc::new(match &durable {
+            Some(d) => EpochSnapshot::new(
+                d.initial_epoch,
+                num_keys,
+                segment_keys,
+                d.initial_state.clone(),
+            ),
+            None => EpochSnapshot::from_values(
+                0,
+                segment_keys,
+                vec![reducer.identity(); num_keys as usize],
+            ),
+        })));
+        let epochs_published = Arc::new(AtomicU64::new(initial_epoch));
 
         // Accumulator inbox: sized so every shard can have a sealed epoch
         // and its drain delta in flight without blocking a worker.
@@ -418,18 +494,20 @@ impl<R: Reducer> IngestPipeline<R> {
             receivers.push(rx);
         }
 
-        let mut bases = Vec::with_capacity(num_shards);
-        let mut shard_ranges = Vec::with_capacity(num_shards);
-        for s in 0..num_shards {
-            let lo = (s as u64 * span) as u32;
-            let hi = ((s as u64 + 1) * span).min(num_keys as u64) as u32;
-            bases.push(lo);
-            shard_ranges.push(lo..hi);
-        }
+        let bases: Vec<u32> = shard_ranges.iter().map(|r| r.start).collect();
 
         let shard_counters: Vec<Arc<ShardCounters>> = (0..num_shards)
             .map(|_| Arc::new(ShardCounters::default()))
             .collect();
+
+        let mut shard_wals: Vec<Option<ShardWal<R::Value>>> = match &mut durable {
+            Some(d) => d.shard_wals.drain(..).map(Some).collect(),
+            None => (0..num_shards).map(|_| None).collect(),
+        };
+        let mut binners: Vec<Option<Binner<R::Value>>> = match &mut durable {
+            Some(d) => d.binners.drain(..).map(Some).collect(),
+            None => (0..num_shards).map(|_| None).collect(),
+        };
 
         let mut workers = Vec::with_capacity(num_shards);
         for (s, rx) in receivers.into_iter().enumerate() {
@@ -437,7 +515,11 @@ impl<R: Reducer> IngestPipeline<R> {
             let worker = ShardWorker::<R> {
                 id: s,
                 base: bases[s],
-                binner: Binner::new(local_keys, cfg.min_bins_per_shard),
+                // Durable mode reuses the binner the recovery replayed
+                // through; otherwise build a fresh one.
+                binner: binners[s]
+                    .take()
+                    .unwrap_or_else(|| Binner::new(local_keys, cfg.min_bins_per_shard)),
                 reducer: Arc::clone(&reducer),
                 counters: Arc::clone(&shard_counters[s]),
                 acc_tx: acc_tx.clone(),
@@ -446,6 +528,7 @@ impl<R: Reducer> IngestPipeline<R> {
                 } else {
                     Vec::new()
                 },
+                wal: shard_wals[s].take(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("cobra-stream-shard-{s}"))
@@ -455,6 +538,16 @@ impl<R: Reducer> IngestPipeline<R> {
         }
         drop(acc_tx);
 
+        let (resume, epoch_sink, wal_stats, wal_replayed) = match durable {
+            Some(d) => (
+                Some((d.initial_epoch, d.initial_state, d.initial_offsets)),
+                Some(d.epoch_sink),
+                Some(d.wal_stats),
+                d.replayed_records,
+            ),
+            None => (None, None, None, 0),
+        };
+
         let accumulator = {
             let acc = Accumulator::new(
                 Arc::clone(&reducer),
@@ -463,6 +556,8 @@ impl<R: Reducer> IngestPipeline<R> {
                 segment_keys,
                 Arc::clone(&published),
                 Arc::clone(&epochs_published),
+                resume,
+                epoch_sink,
             );
             std::thread::Builder::new()
                 .name("cobra-stream-accumulate".into())
@@ -479,7 +574,7 @@ impl<R: Reducer> IngestPipeline<R> {
                 epoch_tuples: cfg.epoch_tuples,
                 tuples_sent: AtomicU64::new(0),
                 batches_sent: AtomicU64::new(0),
-                epochs_sealed: AtomicU64::new(0),
+                epochs_sealed: AtomicU64::new(initial_epoch),
                 seal_lock: Mutex::new(()),
             }),
             workers,
@@ -489,6 +584,8 @@ impl<R: Reducer> IngestPipeline<R> {
             shard_counters,
             channel_counters,
             shard_ranges,
+            wal_stats,
+            wal_replayed,
             started: Instant::now(),
         }
     }
@@ -575,6 +672,10 @@ impl<R: Reducer> IngestPipeline<R> {
             batches_sent: self.core.batches_sent.load(Ordering::Relaxed), // ordering: stats
             epochs_sealed: self.core.epochs_sealed.load(Ordering::Relaxed), // ordering: stats
             epochs_published: self.epochs_published.load(Ordering::Relaxed), // ordering: stats
+            wal_bytes_appended: self.wal_stats.as_ref().map_or(0, |w| w.bytes_appended()),
+            wal_fsyncs: self.wal_stats.as_ref().map_or(0, |w| w.fsyncs()),
+            wal_segments: self.wal_stats.as_ref().map_or(0, |w| w.segments_created()),
+            wal_replayed_records: self.wal_replayed,
             elapsed: self.started.elapsed(),
             shards: (0..self.num_shards())
                 .map(|s| {
@@ -617,8 +718,15 @@ impl<R: Reducer> IngestPipeline<R> {
     pub fn shutdown(mut self) -> (Arc<EpochSnapshot<R::Acc>>, StreamStats) {
         {
             let _guard = self.core.seal_lock.lock().expect("seal lock poisoned");
+            // The drain is one final epoch: numbering it under the seal
+            // lock keeps it consistent with any concurrent seal_epoch, so
+            // durable shards can write a `Seal(drain_epoch)` marker and a
+            // clean restart loses nothing.
+            // ordering: Relaxed — audited: read and used under `seal_lock`,
+            // which orders it against every seal's fetch_add.
+            let drain_epoch = self.core.epochs_sealed.load(Ordering::Relaxed) + 1;
             for tx in &self.core.senders {
-                let _ = tx.send(ShardMsg::Shutdown);
+                let _ = tx.send(ShardMsg::Shutdown(drain_epoch));
             }
         }
         for worker in self.workers.drain(..) {

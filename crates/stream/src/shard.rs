@@ -13,6 +13,7 @@ use crate::epoch::{AccMsg, EpochDelta};
 use crate::reducer::Reducer;
 use crate::stats::ShardCounters;
 use cobra_pb::{Binner, Tuple};
+use cobra_wal::{Record, WalStats, WalWriter};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -23,8 +24,60 @@ pub(crate) enum ShardMsg<V> {
     Batch(Vec<Tuple<V>>),
     /// Seal epoch `e`: flush and ship the active bins.
     Seal(u64),
-    /// Final drain: flush, ship, report done, exit.
-    Shutdown,
+    /// Final drain as epoch `e`: flush, ship, report done, exit.
+    Shutdown(u64),
+}
+
+/// A shard's write-ahead log: every binned tuple is also appended here
+/// (global keys, values widened to words), and every seal writes a `Seal`
+/// marker followed by a group-commit flush. An I/O failure flips the
+/// writer into a degraded mode that keeps serving (counted in
+/// [`WalStats::io_errors`]) rather than wedging the pipeline.
+pub(crate) struct ShardWal<V> {
+    pub(crate) writer: WalWriter,
+    /// `<V as WalValue>::to_word`, stored as a plain fn pointer so the
+    /// worker needs no `WalValue` bound.
+    pub(crate) to_word: fn(V) -> u64,
+    pub(crate) stats: Arc<WalStats>,
+    pub(crate) failed: bool,
+}
+
+impl<V: Copy> ShardWal<V> {
+    fn append_update(&mut self, key: u32, value: V) {
+        if self.failed {
+            return;
+        }
+        let rec = Record::Update {
+            key,
+            value: (self.to_word)(value),
+        };
+        if self.writer.append(&rec).is_err() {
+            self.failed = true;
+            self.stats.note_io_error();
+        }
+    }
+
+    /// Writes the `Seal` marker and group-commit flushes. Returns the
+    /// logical offset just past the marker — the shard's durable replay
+    /// boundary for this epoch — or 0 in degraded mode.
+    fn seal(&mut self, epoch: u64) -> u64 {
+        if self.failed {
+            return 0;
+        }
+        if self.writer.append(&Record::Seal { epoch }).is_err() {
+            self.failed = true;
+            self.stats.note_io_error();
+            return 0;
+        }
+        match self.writer.seal_flush() {
+            Ok(offset) => offset,
+            Err(_) => {
+                self.failed = true;
+                self.stats.note_io_error();
+                0
+            }
+        }
+    }
 }
 
 pub(crate) struct ShardWorker<R: Reducer> {
@@ -37,6 +90,8 @@ pub(crate) struct ShardWorker<R: Reducer> {
     pub(crate) acc_tx: Sender<AccMsg<R>>,
     /// Reused merge-on-flush scratch (one slot per local key).
     pub(crate) delta_buf: Vec<Option<R::Acc>>,
+    /// Durable mode: the shard's WAL (None = in-memory pipeline).
+    pub(crate) wal: Option<ShardWal<R::Value>>,
 }
 
 impl<R: Reducer> ShardWorker<R> {
@@ -54,21 +109,49 @@ impl<R: Reducer> ShardWorker<R> {
                         .fetch_add(tuples.len() as u64, Ordering::Relaxed);
                     for t in &tuples {
                         self.binner.insert(t.key - self.base, t.value);
+                        if let Some(wal) = &mut self.wal {
+                            wal.append_update(t.key, t.value);
+                        }
                     }
                 }
                 Some(ShardMsg::Seal(epoch)) => {
+                    // The WAL seal precedes the accumulator send: once the
+                    // accumulator sees this epoch from every shard it may
+                    // commit it, so the shard's updates must already be
+                    // flushed past the OS boundary (crash-consistency
+                    // argument, DESIGN.md §10).
+                    let wal_offset = self.wal.as_mut().map_or(0, |w| w.seal(epoch));
                     let delta = self.flush();
                     let _ = self.acc_tx.send(AccMsg::Sealed {
                         shard: self.id,
                         epoch,
                         delta,
+                        wal_offset,
                     });
                 }
-                Some(ShardMsg::Shutdown) | None => {
+                Some(ShardMsg::Shutdown(drain_epoch)) => {
+                    // Graceful drain: the remaining bins become one final
+                    // sealed epoch, so a clean restart loses nothing.
+                    let wal_offset = self.wal.as_mut().map_or(0, |w| w.seal(drain_epoch));
                     let delta = self.flush();
                     let _ = self.acc_tx.send(AccMsg::Done {
                         shard: self.id,
                         delta,
+                        wal_offset,
+                    });
+                    return;
+                }
+                None => {
+                    // Producer side vanished without a shutdown broadcast
+                    // (the pipeline was dropped, not drained): ship the
+                    // remaining bins but write no seal — a recovery treats
+                    // the unsealed WAL tail as uncommitted, matching the
+                    // fact that no snapshot of it was ever promised.
+                    let delta = self.flush();
+                    let _ = self.acc_tx.send(AccMsg::Done {
+                        shard: self.id,
+                        delta,
+                        wal_offset: 0,
                     });
                     return;
                 }

@@ -107,6 +107,15 @@ pub struct StreamStats {
     pub epochs_sealed: u64,
     /// Epoch snapshots published by the accumulator.
     pub epochs_published: u64,
+    /// Bytes appended across all WAL segment files (0 when non-durable).
+    pub wal_bytes_appended: u64,
+    /// `fsync` calls issued by the WAL layer (0 when non-durable).
+    pub wal_fsyncs: u64,
+    /// WAL segment files opened/rotated (0 when non-durable).
+    pub wal_segments: u64,
+    /// WAL records replayed by the recovery that built this pipeline
+    /// (0 when non-durable or freshly created).
+    pub wal_replayed_records: u64,
     /// Wall-clock time since the pipeline was built.
     pub elapsed: Duration,
     /// Per-shard breakdown.
@@ -208,6 +217,10 @@ mod tests {
             batches_sent: 100,
             epochs_sealed: 2,
             epochs_published: 3,
+            wal_bytes_appended: 0,
+            wal_fsyncs: 0,
+            wal_segments: 0,
+            wal_replayed_records: 0,
             elapsed: Duration::from_secs(2),
             shards: vec![shard(500_000_000, 3), shard(1_500_000_000, 4)],
         };
@@ -224,6 +237,10 @@ mod tests {
             batches_sent: 0,
             epochs_sealed: 0,
             epochs_published: 0,
+            wal_bytes_appended: 0,
+            wal_fsyncs: 0,
+            wal_segments: 0,
+            wal_replayed_records: 0,
             elapsed: Duration::ZERO,
             shards: vec![],
         };

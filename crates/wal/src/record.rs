@@ -1,0 +1,280 @@
+//! The WAL record codec.
+//!
+//! Wire format of one record:
+//!
+//! ```text
+//! [u32 LE payload_len][u32 LE crc32(payload)][payload]
+//! ```
+//!
+//! where the payload starts with a one-byte tag followed by the record's
+//! little-endian fields:
+//!
+//! | tag | record        | fields                      |
+//! |-----|---------------|-----------------------------|
+//! | 1   | `Update`      | `key: u32`, `value: u64`    |
+//! | 2   | `Seal`        | `epoch: u64`                |
+//! | 3   | `EpochCommit` | `epoch: u64`                |
+//!
+//! The decoder is *total*: a torn tail (crash mid-write), a bit-flipped
+//! byte (CRC mismatch), an out-of-range length prefix, or an unknown tag
+//! all terminate decoding at the last valid record — never a panic. The
+//! log treats every such stop as a clean truncation point.
+
+use crate::crc32::crc32;
+
+/// Bytes of framing (`len` + `crc`) preceding each payload.
+pub const HEADER_BYTES: usize = 8;
+
+/// Upper bound on a record payload. Real payloads are ≤ 13 bytes; any
+/// length prefix above this bound is corruption (e.g. a torn write that
+/// landed file garbage in the length field), not a huge record.
+pub const MAX_PAYLOAD: usize = 32;
+
+const TAG_UPDATE: u8 = 1;
+const TAG_SEAL: u8 = 2;
+const TAG_EPOCH_COMMIT: u8 = 3;
+
+/// One durable log record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Record {
+    /// One `(key, value)` update tuple. Keys are *global* (pre-sharding);
+    /// values are the reducer value widened to a `u64` word.
+    Update {
+        /// Global key.
+        key: u32,
+        /// Value, as a 64-bit word (see `WalValue`).
+        value: u64,
+    },
+    /// An epoch boundary in a shard log: every update before this marker
+    /// belongs to `epoch` or earlier.
+    Seal {
+        /// The epoch just sealed.
+        epoch: u64,
+    },
+    /// A commit marker in the commit log: epoch `epoch` was fully applied
+    /// by the accumulator and is about to be published.
+    EpochCommit {
+        /// The committed epoch.
+        epoch: u64,
+    },
+}
+
+impl Record {
+    /// Appends the encoded record (header + payload) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&[0u8; HEADER_BYTES]);
+        match *self {
+            Record::Update { key, value } => {
+                out.push(TAG_UPDATE);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            Record::Seal { epoch } => {
+                out.push(TAG_SEAL);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            Record::EpochCommit { epoch } => {
+                out.push(TAG_EPOCH_COMMIT);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+        }
+        let len = (out.len() - start - HEADER_BYTES) as u32;
+        let crc = crc32(&out[start + HEADER_BYTES..]);
+        out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+        out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Encoded size in bytes (header included).
+    pub fn encoded_len(&self) -> usize {
+        HEADER_BYTES
+            + match self {
+                Record::Update { .. } => 1 + 4 + 8,
+                Record::Seal { .. } | Record::EpochCommit { .. } => 1 + 8,
+            }
+    }
+}
+
+/// Result of attempting to decode one record at a byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeStep {
+    /// A valid record; the next record (if any) starts at `next`.
+    Rec(Record, usize),
+    /// Clean end of input: the offset sits exactly at the end of the buffer.
+    End,
+    /// The buffer ends mid-record — a torn tail from an interrupted write.
+    TornTail,
+    /// The bytes at this offset are not a valid record (bad length prefix,
+    /// CRC mismatch, unknown tag, or malformed payload).
+    Corrupt(&'static str),
+}
+
+/// Decodes the record starting at `pos` in `buf`. Total: every input maps
+/// to one of the [`DecodeStep`] variants; nothing panics.
+pub fn decode_at(buf: &[u8], pos: usize) -> DecodeStep {
+    let remaining = buf.len().saturating_sub(pos);
+    if remaining == 0 {
+        return DecodeStep::End;
+    }
+    if remaining < HEADER_BYTES {
+        return DecodeStep::TornTail;
+    }
+    let len = u32::from_le_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]]) as usize;
+    if len == 0 || len > MAX_PAYLOAD {
+        return DecodeStep::Corrupt("payload length out of range");
+    }
+    if remaining < HEADER_BYTES + len {
+        return DecodeStep::TornTail;
+    }
+    let want_crc = u32::from_le_bytes([buf[pos + 4], buf[pos + 5], buf[pos + 6], buf[pos + 7]]);
+    let payload = &buf[pos + HEADER_BYTES..pos + HEADER_BYTES + len];
+    if crc32(payload) != want_crc {
+        return DecodeStep::Corrupt("crc mismatch");
+    }
+    let next = pos + HEADER_BYTES + len;
+    let rec = match (payload[0], len) {
+        (TAG_UPDATE, 13) => Record::Update {
+            key: u32::from_le_bytes([payload[1], payload[2], payload[3], payload[4]]),
+            value: u64::from_le_bytes([
+                payload[5],
+                payload[6],
+                payload[7],
+                payload[8],
+                payload[9],
+                payload[10],
+                payload[11],
+                payload[12],
+            ]),
+        },
+        (TAG_SEAL, 9) => Record::Seal {
+            epoch: u64::from_le_bytes([
+                payload[1], payload[2], payload[3], payload[4], payload[5], payload[6], payload[7],
+                payload[8],
+            ]),
+        },
+        (TAG_EPOCH_COMMIT, 9) => Record::EpochCommit {
+            epoch: u64::from_le_bytes([
+                payload[1], payload[2], payload[3], payload[4], payload[5], payload[6], payload[7],
+                payload[8],
+            ]),
+        },
+        _ => return DecodeStep::Corrupt("unknown tag or malformed payload"),
+    };
+    DecodeStep::Rec(rec, next)
+}
+
+/// Decodes every valid record in `buf` from the start. Returns the records,
+/// the byte offset of the end of the valid prefix, and whether decoding
+/// reached the end of the buffer cleanly (`false` = stopped at a torn tail
+/// or corruption).
+pub fn decode_all(buf: &[u8]) -> (Vec<Record>, usize, bool) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        match decode_at(buf, pos) {
+            DecodeStep::Rec(rec, next) => {
+                records.push(rec);
+                pos = next;
+            }
+            DecodeStep::End => return (records, pos, true),
+            DecodeStep::TornTail | DecodeStep::Corrupt(_) => return (records, pos, false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(recs: &[Record]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for r in recs {
+            r.encode_into(&mut buf);
+        }
+        buf
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let recs = [
+            Record::Update {
+                key: 7,
+                value: u64::MAX,
+            },
+            Record::Seal { epoch: 3 },
+            Record::EpochCommit { epoch: 3 },
+            Record::Update { key: 0, value: 0 },
+        ];
+        let buf = encode(&recs);
+        assert_eq!(
+            buf.len(),
+            recs.iter().map(|r| r.encoded_len()).sum::<usize>()
+        );
+        let (decoded, end, clean) = decode_all(&buf);
+        assert_eq!(decoded, recs);
+        assert_eq!(end, buf.len());
+        assert!(clean);
+    }
+
+    #[test]
+    fn torn_tail_stops_at_last_valid_record() {
+        let recs = [
+            Record::Seal { epoch: 1 },
+            Record::Update { key: 1, value: 2 },
+        ];
+        let full = encode(&recs);
+        let first_len = recs[0].encoded_len();
+        // Every possible truncation inside the second record yields exactly
+        // the first record and a non-clean stop at its end.
+        for cut in first_len + 1..full.len() {
+            let (decoded, end, clean) = decode_all(&full[..cut]);
+            assert_eq!(decoded, recs[..1]);
+            assert_eq!(end, first_len);
+            assert!(!clean, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn flipped_byte_is_a_clean_stop() {
+        let recs = [
+            Record::Update { key: 9, value: 42 },
+            Record::Seal { epoch: 2 },
+        ];
+        let full = encode(&recs);
+        let first_len = recs[0].encoded_len();
+        // Flip one payload byte of the second record: CRC catches it.
+        let mut bad = full.clone();
+        bad[first_len + HEADER_BYTES] ^= 0x40;
+        let (decoded, end, clean) = decode_all(&bad);
+        assert_eq!(decoded, recs[..1]);
+        assert_eq!(end, first_len);
+        assert!(!clean);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_corruption_not_allocation() {
+        let mut buf = Vec::new();
+        Record::Seal { epoch: 5 }.encode_into(&mut buf);
+        let valid = buf.len();
+        // A bogus header claiming a 4 GiB payload.
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&[0xAB; 16]);
+        let (decoded, end, clean) = decode_all(&buf);
+        assert_eq!(decoded, [Record::Seal { epoch: 5 }]);
+        assert_eq!(end, valid);
+        assert!(!clean);
+    }
+
+    #[test]
+    fn zero_length_and_unknown_tag_are_corruption() {
+        assert!(matches!(
+            decode_at(&[0, 0, 0, 0, 0, 0, 0, 0], 0),
+            DecodeStep::Corrupt(_)
+        ));
+        let mut buf = Vec::new();
+        Record::Seal { epoch: 1 }.encode_into(&mut buf);
+        buf[HEADER_BYTES] = 99; // unknown tag; CRC now also wrong
+        assert!(matches!(decode_at(&buf, 0), DecodeStep::Corrupt(_)));
+    }
+}
