@@ -14,7 +14,10 @@
 //!    mode.
 //! 3. [`explore`] — a dependency-free bounded schedule explorer (mini
 //!    loom) that exhausts every interleaving of small configurations of
-//!    the `cobra-stream` channel/seal/epoch protocol.
+//!    the `cobra-stream` channel/seal/epoch protocol; [`cluster`] applies
+//!    the same technique to `cobra-cluster`'s cross-node seal/commit
+//!    barrier (a cluster snapshot never publishes before every node's
+//!    `EpochCommit`).
 //!
 //! [`lint`] adds source-level invariant linting (ordering justifications,
 //! hot-path panic hygiene, no locks on binning paths).
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod explore;
 pub mod fixtures;
 pub mod lint;

@@ -10,7 +10,7 @@
 //! cobra-check all       # everything above; non-zero exit on any failure
 //! ```
 
-use cobra_check::{explore, fixtures, lint, oracle, race};
+use cobra_check::{cluster, explore, fixtures, lint, oracle, race};
 use cobra_kernels::ALL_KERNELS;
 
 /// Permuted orders tried per oracle subject.
@@ -84,6 +84,19 @@ fn run_explore() -> bool {
         match explore::explore(&sc) {
             Ok(stats) => println!(
                 "  {:32} {:>7} states, {:>4} terminal schedules, all invariants hold",
+                sc.name, stats.states, stats.terminals
+            ),
+            Err(v) => {
+                println!("  {:32} VIOLATION: {v}", sc.name);
+                ok = false;
+            }
+        }
+    }
+    println!("== schedule exploration (cluster cross-node seal/commit barrier) ==");
+    for sc in cluster::standard_cluster_scenarios() {
+        match cluster::explore_cluster(&sc) {
+            Ok(stats) => println!(
+                "  {:32} {:>7} states, {:>4} terminal schedules, publish-after-all-commit holds",
                 sc.name, stats.states, stats.terminals
             ),
             Err(v) => {
@@ -168,7 +181,16 @@ fn run_selftest() -> bool {
             "MISSED — explorer is broken"
         }
     );
-    racy_caught && clean.is_clean() && deadlock_found
+    let quorum_caught = cluster::explore_cluster(&cluster::quorum_of_one_mutation()).is_err();
+    println!(
+        "  quorum-of-one barrier mutation: {}",
+        if quorum_caught {
+            "early publish exposed"
+        } else {
+            "MISSED — cluster explorer is broken"
+        }
+    );
+    racy_caught && clean.is_clean() && deadlock_found && quorum_caught
 }
 
 fn main() {

@@ -1,0 +1,321 @@
+//! WAL-shipping replication, follower side.
+//!
+//! A follower holds a byte-for-byte copy of the primary's data
+//! directory, built by repeated [`sync_round`]s: the follower sends a
+//! manifest of the files it already holds (name → length), the primary
+//! streams back the missing suffixes, and the follower appends them in
+//! place. No replay, no interpretation — the unit of replication is the
+//! WAL byte, so every guarantee the recovery path gives a crashed
+//! primary transfers verbatim to a promoted follower:
+//!
+//! * Segments are append-only and a round ships the commit log *last*
+//!   (captured on the primary *first*), so the follower's commit log
+//!   never leads its shard logs: observable implies durable, on both
+//!   machines.
+//! * A round that dies mid-stream leaves a torn shard-log tail; recovery
+//!   truncates torn tails, exactly as after a primary crash.
+//! * Checkpoints are pure acceleration: a torn shipped checkpoint is
+//!   skipped by recovery, which falls back to the previous one plus WAL
+//!   replay.
+//!
+//! Promotion is therefore not a protocol step at all — it is starting a
+//! `cobra-served`-style process on the follower's directory and letting
+//! ordinary crash recovery run.
+//!
+//! [`sync_round`]: ReplicaSync::sync_round
+
+use cobra_serve::{ClientError, ServeClient};
+use std::fmt;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Everything that can go wrong in a replication round.
+#[derive(Debug)]
+pub enum ReplicaError {
+    /// Local filesystem failure.
+    Io(io::Error),
+    /// The connection to the primary failed (the promotion trigger).
+    Primary(ClientError),
+    /// The primary sent a file name that is not a plain
+    /// `shard-NNN/seg-*.wal`, `commit/seg-*.wal` or `ckpt-*.bin` path —
+    /// refused before it touches the filesystem.
+    BadName(String),
+    /// A `Segment` frame's offset does not continue the local file — the
+    /// round is aborted rather than writing a gap.
+    OffsetGap {
+        /// Offending file.
+        name: String,
+        /// Local length.
+        have: u64,
+        /// Offset the primary wrote at.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicaError::Io(e) => write!(f, "replica i/o error: {e}"),
+            ReplicaError::Primary(e) => write!(f, "primary unreachable: {e}"),
+            ReplicaError::BadName(name) => write!(f, "refused unsafe file name {name:?}"),
+            ReplicaError::OffsetGap { name, have, offset } => write!(
+                f,
+                "segment for {name:?} at offset {offset} but local file has {have} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+impl From<io::Error> for ReplicaError {
+    fn from(e: io::Error) -> Self {
+        ReplicaError::Io(e)
+    }
+}
+
+/// Summary of one completed replication round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaRound {
+    /// Epoch the primary had durably committed when the round started —
+    /// after the round, the follower holds everything through it.
+    pub epoch: u64,
+    /// Files the round touched.
+    pub files: u32,
+    /// Bytes the round shipped (0 = the follower was already caught up).
+    pub bytes: u64,
+    /// The primary's committed epoch when it processed the follower's
+    /// acknowledgement; `primary_epoch - epoch` is the replication lag.
+    pub primary_epoch: u64,
+}
+
+/// A follower: one connection to the primary and a local data directory
+/// being kept in sync.
+pub struct ReplicaSync {
+    dir: PathBuf,
+    client: ServeClient,
+    total_bytes: u64,
+    last_epoch: u64,
+}
+
+/// True for names safe to join under the replica directory: one optional
+/// `shard-NNN/` or `commit/` directory component, then a plain file name,
+/// all from the WAL's own alphabet. Everything else — absolute paths,
+/// `..`, separators beyond the one slash — is refused.
+fn safe_name(name: &str) -> bool {
+    if name.is_empty() || name.len() > cobra_serve::protocol::MAX_FILE_NAME {
+        return false;
+    }
+    let mut parts = name.split('/');
+    let (a, b) = (parts.next(), parts.next());
+    if parts.next().is_some() {
+        return false;
+    }
+    let plain = |s: &str| {
+        !s.is_empty()
+            && s != "."
+            && s != ".."
+            && s.bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+    };
+    match (a, b) {
+        (Some(file), None) => plain(file),
+        (Some(dir), Some(file)) => plain(dir) && plain(file),
+        _ => false,
+    }
+}
+
+/// Lists one directory's `seg-*.wal` files into the manifest under
+/// `prefix/`, tolerating the directory not existing yet.
+fn manifest_dir(out: &mut Vec<(String, u64)>, dir: &Path, prefix: &str) -> io::Result<()> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("seg-") && name.ends_with(".wal") {
+            out.push((format!("{prefix}/{name}"), entry.metadata()?.len()));
+        }
+    }
+    Ok(())
+}
+
+/// Builds the manifest of replicated files the directory already holds.
+fn manifest(dir: &Path) -> io::Result<Vec<(String, u64)>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name == "commit" || name.starts_with("shard-") {
+            manifest_dir(&mut out, &entry.path(), name)?;
+        } else if name.starts_with("ckpt-") && name.ends_with(".bin") {
+            out.push((name.to_string(), entry.metadata()?.len()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+impl ReplicaSync {
+    /// Connects to the primary and prepares `dir` as the replica copy.
+    pub fn connect(primary: &str, dir: impl Into<PathBuf>) -> io::Result<ReplicaSync> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ReplicaSync {
+            dir,
+            client: ServeClient::connect(primary)?,
+            total_bytes: 0,
+            last_epoch: 0,
+        })
+    }
+
+    /// The replica directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one `Segment` frame to its local file, enforcing the
+    /// name allowlist and the no-gaps rule.
+    fn apply(dir: &Path, name: &str, offset: u64, bytes: &[u8]) -> Result<(), ReplicaError> {
+        if !safe_name(name) {
+            return Err(ReplicaError::BadName(name.to_string()));
+        }
+        let path = dir.join(name);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let have = file.metadata()?.len();
+        if have != offset {
+            return Err(ReplicaError::OffsetGap {
+                name: name.to_string(),
+                have,
+                offset,
+            });
+        }
+        let mut file = file;
+        file.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// One manifest → segments → acknowledgement round trip. An already
+    /// caught-up follower gets an empty round (`bytes == 0`) — polling
+    /// this in a loop *is* the replication daemon.
+    pub fn sync_round(&mut self) -> Result<ReplicaRound, ReplicaError> {
+        let manifest = manifest(&self.dir)?;
+        let dir = self.dir.clone();
+        // An apply error must abort the stream decisively: surfacing it
+        // as an I/O error tears the connection down, so a half-applied
+        // round is never acknowledged.
+        let mut apply_failure = None;
+        let result = self.client.replicate(manifest, |name, offset, bytes| {
+            match Self::apply(&dir, name, offset, bytes) {
+                Ok(()) => Ok(()),
+                Err(e) => {
+                    let io_err = io::Error::other(e.to_string());
+                    apply_failure = Some(e);
+                    Err(io_err)
+                }
+            }
+        });
+        let (epoch, files, bytes) = match result {
+            Ok(done) => done,
+            Err(e) => {
+                return Err(match apply_failure {
+                    Some(local) => local,
+                    None => ReplicaError::Primary(e),
+                })
+            }
+        };
+        self.total_bytes += bytes;
+        self.last_epoch = epoch;
+        let primary_epoch = self
+            .client
+            .ack(epoch, self.total_bytes)
+            .map_err(ReplicaError::Primary)?;
+        Ok(ReplicaRound {
+            epoch,
+            files,
+            bytes,
+            primary_epoch,
+        })
+    }
+
+    /// The newest epoch a completed round has covered.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Total bytes shipped over this connection.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_allowlist_refuses_traversal() {
+        for good in [
+            "ckpt-00000000000000000003.bin",
+            "commit/seg-00000000.wal",
+            "shard-007/seg-00000012.wal",
+        ] {
+            assert!(safe_name(good), "{good:?} should be allowed");
+        }
+        for bad in [
+            "",
+            "..",
+            "../x",
+            "a/../b",
+            "/etc/passwd",
+            "a/b/c",
+            "shard-000/",
+            "/seg-0.wal",
+            "a\\b",
+            "seg\0.wal",
+            "shard-000/..",
+        ] {
+            assert!(!safe_name(bad), "{bad:?} must be refused");
+        }
+    }
+
+    #[test]
+    fn apply_enforces_contiguity() {
+        let dir = std::env::temp_dir().join(format!("cobra-replica-apply-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        ReplicaSync::apply(&dir, "shard-000/seg-00000000.wal", 0, b"abcd").unwrap();
+        ReplicaSync::apply(&dir, "shard-000/seg-00000000.wal", 4, b"efgh").unwrap();
+        let err = ReplicaSync::apply(&dir, "shard-000/seg-00000000.wal", 12, b"late").unwrap_err();
+        assert!(matches!(
+            err,
+            ReplicaError::OffsetGap {
+                have: 8,
+                offset: 12,
+                ..
+            }
+        ));
+        assert_eq!(
+            fs::read(dir.join("shard-000/seg-00000000.wal")).unwrap(),
+            b"abcdefgh"
+        );
+        let mut m = manifest(&dir).unwrap();
+        m.sort();
+        assert_eq!(m, vec![("shard-000/seg-00000000.wal".to_string(), 8)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

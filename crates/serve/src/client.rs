@@ -197,4 +197,69 @@ impl ServeClient {
             _ => Err(ClientError::Unexpected("non-stats response to STATS")),
         }
     }
+
+    /// Blocks until the server has durably committed `epoch` (the cluster
+    /// barrier). Returns the server's committed high-water mark, which is
+    /// `>= epoch`.
+    pub fn wait_epoch(&mut self, epoch: u64) -> Result<u64, ClientError> {
+        match self.call(&Frame::WaitEpoch { epoch })? {
+            Frame::EpochCommitted { epoch } => Ok(epoch),
+            Frame::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected("non-commit response to WAIT_EPOCH")),
+        }
+    }
+
+    /// Acknowledges a replication round back to the primary: "this
+    /// follower holds everything through `epoch` (`bytes` shipped so
+    /// far)". Returns the primary's current committed epoch, which doubles
+    /// as the lag signal (`primary - epoch`).
+    pub fn ack(&mut self, epoch: u64, bytes: u64) -> Result<u64, ClientError> {
+        match self.call(&Frame::Ack { epoch, bytes })? {
+            Frame::EpochCommitted { epoch } => Ok(epoch),
+            Frame::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected("non-commit response to ACK")),
+        }
+    }
+
+    /// Runs one replication round: sends the follower's `manifest` (file
+    /// name → bytes already held) and invokes `apply` for every `Segment`
+    /// frame the primary streams back. Returns the round's `ReplDone`
+    /// summary `(committed_epoch, files, bytes)`.
+    pub fn replicate(
+        &mut self,
+        manifest: Vec<(String, u64)>,
+        mut apply: impl FnMut(&str, u64, &[u8]) -> io::Result<()>,
+    ) -> Result<(u64, u32, u64), ClientError> {
+        protocol::write_frame(
+            &mut self.writer,
+            &Frame::Replicate { manifest },
+            &mut self.scratch,
+        )?;
+        loop {
+            match protocol::read_frame(&mut self.reader, MAX_FRAME) {
+                Ok(Some(Frame::Segment {
+                    name,
+                    offset,
+                    bytes,
+                })) => apply(&name, offset, &bytes)?,
+                Ok(Some(Frame::ReplDone {
+                    epoch,
+                    files,
+                    bytes,
+                })) => return Ok((epoch, files, bytes)),
+                Ok(Some(Frame::Error { code, detail })) => {
+                    return Err(ClientError::Server { code, detail })
+                }
+                Ok(Some(_)) => {
+                    return Err(ClientError::Unexpected(
+                        "non-replication frame in a REPLICATE stream",
+                    ))
+                }
+                Ok(None) => return Err(ClientError::Disconnected),
+                Err(ReadError::Idle) => continue,
+                Err(ReadError::Io(e)) => return Err(ClientError::Io(e)),
+                Err(ReadError::Wire(e)) => return Err(ClientError::Wire(e)),
+            }
+        }
+    }
 }

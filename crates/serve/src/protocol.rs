@@ -1,11 +1,18 @@
 //! The length-prefixed binary wire protocol.
 //!
-//! Every frame is `[u32 LE length][u8 opcode][payload]`; the length
-//! covers the opcode byte and the payload. Integers are little-endian
-//! throughout. The protocol is deliberately tiny — five request kinds and
-//! their responses — and every decoder is total: truncated payloads,
-//! oversized lengths and unknown opcodes come back as [`WireError`]s,
-//! never panics, because frames arrive from untrusted clients.
+//! Every frame is `[u32 LE length][u8 version][u8 opcode][payload]`; the
+//! length covers the version byte, the opcode byte and the payload.
+//! Integers are little-endian throughout. The protocol is deliberately
+//! tiny and every decoder is total: truncated payloads, oversized
+//! lengths, version mismatches and unknown opcodes come back as
+//! [`WireError`]s, never panics, because frames arrive from untrusted
+//! clients.
+//!
+//! The version byte is the cluster handshake: a node built against a
+//! different protocol revision fails its very first frame with
+//! [`WireError::VersionMismatch`] instead of desyncing mid-stream, which
+//! matters once frames are exchanged between independently deployed
+//! `cobra-served` processes.
 //!
 //! ```text
 //! requests                         responses
@@ -15,17 +22,33 @@
 //! Query { key }               ───▶ Value { epoch, value } | Error
 //! Snapshot { epoch, lo, hi }  ───▶ SnapshotSlice { epoch, lo, values } | Error
 //! Stats                       ───▶ StatsReport { … }
+//! WaitEpoch { epoch }         ───▶ EpochCommitted { epoch } | Error
+//! Replicate { manifest… }     ───▶ Segment { … }* ReplDone { … } | Error
+//! Ack { epoch, bytes }        ───▶ EpochCommitted { epoch }
 //! ```
 //!
 //! `Busy { accepted }` is the admission-control refusal: the first
 //! `accepted` tuples of the batch were taken, the rest were not — resend
 //! exactly the remainder. Nothing is ever dropped silently or duplicated.
+//!
+//! `Replicate` is the one request answered by *multiple* frames: a
+//! follower sends its manifest (the files it already holds and their
+//! lengths) and the primary streams back the missing byte ranges as
+//! `Segment` frames, terminated by a single `ReplDone`. See the server's
+//! replication handler for the shard-logs-before-commit-log ordering that
+//! keeps a shipped directory recoverable at every prefix.
 
 use std::io::{self, Read, Write};
 
+/// Wire protocol revision. Bumped whenever the frame grammar changes
+/// (revision 2 added the version byte itself plus the cluster frames:
+/// `WaitEpoch`/`EpochCommitted`, `Replicate`/`Segment`/`ReplDone`, `Ack`).
+pub const PROTOCOL_VERSION: u8 = 2;
+
 /// Default ceiling on one frame's length field. Requests are small; the
 /// largest legitimate frames are snapshot-slice responses, bounded by
-/// [`MAX_SNAPSHOT_KEYS`] values.
+/// [`MAX_SNAPSHOT_KEYS`] values, and replication segments, bounded by
+/// [`REPL_CHUNK`] bytes.
 pub const MAX_FRAME: usize = 1 << 20;
 
 /// Most keys one `Snapshot` request may ask for (keeps every response
@@ -34,6 +57,17 @@ pub const MAX_SNAPSHOT_KEYS: u32 = 65_536;
 
 /// Largest tuple count one `Update` frame may carry.
 pub const MAX_UPDATE_TUPLES: u32 = 65_536;
+
+/// Largest byte payload one `Segment` frame may carry (a quarter of
+/// [`MAX_FRAME`], leaving room for the file name and headers).
+pub const REPL_CHUNK: usize = 256 << 10;
+
+/// Most files one `Replicate` manifest may list (shard logs rotate, but a
+/// follower tracking a live primary holds a few files per shard).
+pub const MAX_MANIFEST_FILES: u32 = 16_384;
+
+/// Longest directory-relative file name in a manifest or `Segment` frame.
+pub const MAX_FILE_NAME: usize = 256;
 
 /// Raw opcode bytes (request kinds in `0x01..=0x7F`, response kinds
 /// with the high bit set) — public so raw-socket tooling and tests can
@@ -45,12 +79,18 @@ pub mod opcodes {
     pub const QUERY: u8 = 0x03;
     pub const SNAPSHOT: u8 = 0x04;
     pub const STATS: u8 = 0x05;
+    pub const WAIT_EPOCH: u8 = 0x06;
+    pub const REPLICATE: u8 = 0x07;
+    pub const ACK: u8 = 0x08;
     pub const ACCEPTED: u8 = 0x81;
     pub const BUSY: u8 = 0x82;
     pub const SEALED: u8 = 0x83;
     pub const VALUE: u8 = 0x84;
     pub const SNAPSHOT_SLICE: u8 = 0x85;
     pub const STATS_REPORT: u8 = 0x86;
+    pub const EPOCH_COMMITTED: u8 = 0x87;
+    pub const SEGMENT: u8 = 0x88;
+    pub const REPL_DONE: u8 = 0x89;
     pub const ERROR: u8 = 0x8F;
 }
 
@@ -72,6 +112,12 @@ pub enum ErrorCode {
     Malformed = 4,
     /// The server is draining and no longer accepts this request.
     ShuttingDown = 5,
+    /// A replication request reached a server running without a data
+    /// directory — there is no WAL to ship.
+    NotDurable = 6,
+    /// The server hit an unexpected local error (for example an I/O
+    /// failure while listing WAL files for replication).
+    Internal = 7,
 }
 
 impl ErrorCode {
@@ -82,6 +128,8 @@ impl ErrorCode {
             3 => ErrorCode::SnapshotUnavailable,
             4 => ErrorCode::Malformed,
             5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::NotDurable,
+            7 => ErrorCode::Internal,
             _ => return None,
         })
     }
@@ -129,6 +177,15 @@ pub struct WireStats {
     pub wal_segments: u64,
     /// WAL records replayed during recovery at startup.
     pub wal_replayed_records: u64,
+    /// Epochs durably committed (equals `epochs_published` when the
+    /// server runs without a data dir).
+    pub epochs_committed: u64,
+    /// Replication rounds served to followers.
+    pub repl_rounds: u64,
+    /// Bytes of WAL/checkpoint data shipped to followers.
+    pub repl_bytes_shipped: u64,
+    /// Highest epoch any follower has acknowledged.
+    pub repl_acked_epoch: u64,
 }
 
 impl WireStats {
@@ -148,7 +205,7 @@ impl WireStats {
         self.cbuf_occupancy_bp as f64 / 10_000.0
     }
 
-    const FIELDS: usize = 19;
+    const FIELDS: usize = 23;
 
     fn to_words(self) -> [u64; Self::FIELDS] {
         [
@@ -171,6 +228,10 @@ impl WireStats {
             self.wal_fsyncs,
             self.wal_segments,
             self.wal_replayed_records,
+            self.epochs_committed,
+            self.repl_rounds,
+            self.repl_bytes_shipped,
+            self.repl_acked_epoch,
         ]
     }
 
@@ -195,6 +256,10 @@ impl WireStats {
             wal_fsyncs: w[16],
             wal_segments: w[17],
             wal_replayed_records: w[18],
+            epochs_committed: w[19],
+            repl_rounds: w[20],
+            repl_bytes_shipped: w[21],
+            repl_acked_epoch: w[22],
         }
     }
 }
@@ -223,6 +288,29 @@ pub enum Frame {
     },
     /// Fetch server statistics.
     Stats,
+    /// Block until the server has durably committed `epoch` (the
+    /// cluster's epoch-alignment barrier: a router fans `Seal` out to
+    /// every node, then `WaitEpoch`s each node's commit before the
+    /// cluster snapshot for that epoch becomes observable).
+    WaitEpoch {
+        /// The epoch to wait for.
+        epoch: u64,
+    },
+    /// A follower's catch-up request: the files it already holds (by
+    /// data-dir-relative name) and how many bytes of each. The primary
+    /// streams back the missing suffixes as `Segment` frames and
+    /// finishes with `ReplDone`.
+    Replicate {
+        /// `(relative file name, bytes already held)` per file.
+        manifest: Vec<(String, u64)>,
+    },
+    /// A follower's acknowledgement after applying a replication round.
+    Ack {
+        /// The `ReplDone` epoch the follower caught up to.
+        epoch: u64,
+        /// Bytes the follower applied in that round.
+        bytes: u64,
+    },
     /// Whole update batch accepted.
     Accepted {
         /// Number of tuples taken (the full batch).
@@ -257,6 +345,33 @@ pub enum Frame {
     },
     /// Server statistics.
     StatsReport(WireStats),
+    /// The requested epoch (or a later one) is durably committed; also
+    /// the reply to `Ack`, reporting the primary's current committed
+    /// epoch so a follower can measure its lag.
+    EpochCommitted {
+        /// The server's committed epoch at reply time.
+        epoch: u64,
+    },
+    /// One byte range of one replicated file.
+    Segment {
+        /// Data-dir-relative file name (e.g. `shard-000/seg-00000001.wal`).
+        name: String,
+        /// Byte offset this chunk starts at.
+        offset: u64,
+        /// The chunk payload (at most [`REPL_CHUNK`] bytes).
+        bytes: Vec<u8>,
+    },
+    /// End of a replication round.
+    ReplDone {
+        /// The primary's committed epoch captured at the start of the
+        /// round — after applying every `Segment`, the follower's
+        /// directory recovers to at least this epoch.
+        epoch: u64,
+        /// Files touched by this round.
+        files: u32,
+        /// Total `Segment` payload bytes shipped in this round.
+        bytes: u64,
+    },
     /// Request-level failure.
     Error {
         /// Machine-readable category.
@@ -281,6 +396,16 @@ pub enum WireError {
     },
     /// Unknown opcode byte.
     UnknownOpcode(u8),
+    /// The peer speaks a different protocol revision. Surfaced on the
+    /// very first frame of a connection between mismatched builds, before
+    /// any opcode is interpreted — the clean refusal that keeps a mixed
+    /// cluster from desyncing.
+    VersionMismatch {
+        /// The version byte the peer sent.
+        got: u8,
+        /// This build's [`PROTOCOL_VERSION`].
+        want: u8,
+    },
     /// The payload's structure contradicts its own header fields.
     Malformed(&'static str),
 }
@@ -293,6 +418,12 @@ impl std::fmt::Display for WireError {
                 write!(f, "frame length {len} exceeds the {max}-byte ceiling")
             }
             WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::VersionMismatch { got, want } => {
+                write!(
+                    f,
+                    "protocol version mismatch: peer sent {got}, this build speaks {want}"
+                )
+            }
             WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
         }
     }
@@ -355,11 +486,19 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Serializes `frame` into `out` (cleared first): length prefix, opcode,
-/// payload.
+fn put_name(buf: &mut Vec<u8>, name: &str) {
+    let bytes = name.as_bytes();
+    let n = bytes.len().min(MAX_FILE_NAME);
+    buf.extend_from_slice(&(n as u16).to_le_bytes());
+    buf.extend_from_slice(&bytes[..n]);
+}
+
+/// Serializes `frame` into `out` (cleared first): length prefix, version
+/// byte, opcode, payload.
 pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
     out.clear();
     out.extend_from_slice(&[0; 4]); // length back-patched below
+    out.push(PROTOCOL_VERSION);
     match frame {
         Frame::Update(tuples) => {
             out.push(op::UPDATE);
@@ -381,6 +520,23 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             put_u32(out, *hi);
         }
         Frame::Stats => out.push(op::STATS),
+        Frame::WaitEpoch { epoch } => {
+            out.push(op::WAIT_EPOCH);
+            put_u64(out, *epoch);
+        }
+        Frame::Replicate { manifest } => {
+            out.push(op::REPLICATE);
+            put_u32(out, manifest.len() as u32);
+            for (name, have) in manifest {
+                put_name(out, name);
+                put_u64(out, *have);
+            }
+        }
+        Frame::Ack { epoch, bytes } => {
+            out.push(op::ACK);
+            put_u64(out, *epoch);
+            put_u64(out, *bytes);
+        }
         Frame::Accepted { accepted } => {
             out.push(op::ACCEPTED);
             put_u32(out, *accepted);
@@ -413,6 +569,31 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
                 put_u64(out, w);
             }
         }
+        Frame::EpochCommitted { epoch } => {
+            out.push(op::EPOCH_COMMITTED);
+            put_u64(out, *epoch);
+        }
+        Frame::Segment {
+            name,
+            offset,
+            bytes,
+        } => {
+            out.push(op::SEGMENT);
+            put_name(out, name);
+            put_u64(out, *offset);
+            put_u32(out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
+        }
+        Frame::ReplDone {
+            epoch,
+            files,
+            bytes,
+        } => {
+            out.push(op::REPL_DONE);
+            put_u64(out, *epoch);
+            put_u32(out, *files);
+            put_u64(out, *bytes);
+        }
         Frame::Error { code, detail } => {
             out.push(op::ERROR);
             out.push(*code as u8);
@@ -426,10 +607,32 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
     out[..4].copy_from_slice(&len.to_le_bytes());
 }
 
-/// Decodes one frame body (opcode + payload, the length prefix already
-/// stripped).
+fn take_name(c: &mut Cursor<'_>) -> Result<String, WireError> {
+    let len = {
+        let b = c.take(2)?;
+        u16::from_le_bytes([b[0], b[1]]) as usize
+    };
+    if len > MAX_FILE_NAME {
+        return Err(WireError::Malformed("file name too long"));
+    }
+    let s = std::str::from_utf8(c.take(len)?)
+        .map_err(|_| WireError::Malformed("file name is not utf-8"))?;
+    Ok(s.to_string())
+}
+
+/// Decodes one frame body (version byte + opcode + payload, the length
+/// prefix already stripped). The version byte is checked first: a peer on
+/// a different protocol revision fails here, before any opcode of its
+/// dialect is interpreted.
 pub fn decode(body: &[u8]) -> Result<Frame, WireError> {
     let mut c = Cursor::new(body);
+    let version = c.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::VersionMismatch {
+            got: version,
+            want: PROTOCOL_VERSION,
+        });
+    }
     let opcode = c.u8()?;
     let frame = match opcode {
         op::UPDATE => {
@@ -453,6 +656,24 @@ pub fn decode(body: &[u8]) -> Result<Frame, WireError> {
             hi: c.u32()?,
         },
         op::STATS => Frame::Stats,
+        op::WAIT_EPOCH => Frame::WaitEpoch { epoch: c.u64()? },
+        op::REPLICATE => {
+            let count = c.u32()?;
+            if count > MAX_MANIFEST_FILES {
+                return Err(WireError::Malformed("manifest too large"));
+            }
+            let mut manifest = Vec::with_capacity(count.min(1024) as usize);
+            for _ in 0..count {
+                let name = take_name(&mut c)?;
+                let have = c.u64()?;
+                manifest.push((name, have));
+            }
+            Frame::Replicate { manifest }
+        }
+        op::ACK => Frame::Ack {
+            epoch: c.u64()?,
+            bytes: c.u64()?,
+        },
         op::ACCEPTED => Frame::Accepted { accepted: c.u32()? },
         op::BUSY => Frame::Busy { accepted: c.u32()? },
         op::SEALED => Frame::Sealed { epoch: c.u64()? },
@@ -480,6 +701,26 @@ pub fn decode(body: &[u8]) -> Result<Frame, WireError> {
             }
             Frame::StatsReport(WireStats::from_words(words))
         }
+        op::EPOCH_COMMITTED => Frame::EpochCommitted { epoch: c.u64()? },
+        op::SEGMENT => {
+            let name = take_name(&mut c)?;
+            let offset = c.u64()?;
+            let count = c.u32()? as usize;
+            if count > REPL_CHUNK {
+                return Err(WireError::Malformed("segment chunk too large"));
+            }
+            let bytes = c.take(count)?.to_vec();
+            Frame::Segment {
+                name,
+                offset,
+                bytes,
+            }
+        }
+        op::REPL_DONE => Frame::ReplDone {
+            epoch: c.u64()?,
+            files: c.u32()?,
+            bytes: c.u64()?,
+        },
         op::ERROR => {
             let code =
                 ErrorCode::from_u8(c.u8()?).ok_or(WireError::Malformed("unknown error code"))?;
@@ -630,6 +871,29 @@ mod tests {
             lo: 128,
             values: vec![1, 2, 3],
         });
+        roundtrip(Frame::WaitEpoch { epoch: 12 });
+        roundtrip(Frame::Replicate { manifest: vec![] });
+        roundtrip(Frame::Replicate {
+            manifest: vec![
+                ("shard-000/seg-00000001.wal".into(), 4096),
+                ("commit/seg-00000001.wal".into(), 17),
+            ],
+        });
+        roundtrip(Frame::Ack {
+            epoch: 4,
+            bytes: 8192,
+        });
+        roundtrip(Frame::EpochCommitted { epoch: 6 });
+        roundtrip(Frame::Segment {
+            name: "ckpt-00000000000000000008.bin".into(),
+            offset: 65_536,
+            bytes: vec![0xAB; 100],
+        });
+        roundtrip(Frame::ReplDone {
+            epoch: 8,
+            files: 5,
+            bytes: 1 << 20,
+        });
         roundtrip(Frame::StatsReport(WireStats {
             tuples_ingested: 1,
             busy_tuples: 2,
@@ -650,6 +914,10 @@ mod tests {
             wal_fsyncs: 16,
             wal_segments: 17,
             wal_replayed_records: 18,
+            epochs_committed: 19,
+            repl_rounds: 20,
+            repl_bytes_shipped: 21,
+            repl_acked_epoch: 22,
         }));
         roundtrip(Frame::Error {
             code: ErrorCode::KeyOutOfRange,
@@ -708,13 +976,13 @@ mod tests {
     #[test]
     fn lying_counts_and_trailing_bytes_are_malformed() {
         // Update frame whose count claims more tuples than the payload holds.
-        let mut body = vec![op::UPDATE];
+        let mut body = vec![PROTOCOL_VERSION, op::UPDATE];
         body.extend_from_slice(&10u32.to_le_bytes());
         body.extend_from_slice(&1u32.to_le_bytes());
         body.extend_from_slice(&2u64.to_le_bytes());
         assert_eq!(decode(&body), Err(WireError::Truncated));
         // Update batch count over the ceiling is refused outright.
-        let mut huge = vec![op::UPDATE];
+        let mut huge = vec![PROTOCOL_VERSION, op::UPDATE];
         huge.extend_from_slice(&(MAX_UPDATE_TUPLES + 1).to_le_bytes());
         assert!(matches!(decode(&huge), Err(WireError::Malformed(_))));
         // Trailing garbage after a well-formed payload.
@@ -724,12 +992,71 @@ mod tests {
         body.push(0xAA);
         assert!(matches!(decode(&body), Err(WireError::Malformed(_))));
         // Unknown opcode.
-        assert_eq!(decode(&[0x7F]), Err(WireError::UnknownOpcode(0x7F)));
+        assert_eq!(
+            decode(&[PROTOCOL_VERSION, 0x7F]),
+            Err(WireError::UnknownOpcode(0x7F))
+        );
         // Empty body via the stream path.
         let mut zero = io::Cursor::new(0u32.to_le_bytes().to_vec());
         assert!(matches!(
             read_frame(&mut zero, MAX_FRAME),
             Err(ReadError::Wire(WireError::Malformed(_)))
+        ));
+        // Oversized manifest count.
+        let mut manifest = vec![PROTOCOL_VERSION, op::REPLICATE];
+        manifest.extend_from_slice(&(MAX_MANIFEST_FILES + 1).to_le_bytes());
+        assert!(matches!(decode(&manifest), Err(WireError::Malformed(_))));
+        // Segment chunk claiming more bytes than REPL_CHUNK allows.
+        let mut seg = vec![PROTOCOL_VERSION, op::SEGMENT];
+        seg.extend_from_slice(&1u16.to_le_bytes());
+        seg.push(b'x');
+        seg.extend_from_slice(&0u64.to_le_bytes());
+        seg.extend_from_slice(&((REPL_CHUNK + 1) as u32).to_le_bytes());
+        assert!(matches!(decode(&seg), Err(WireError::Malformed(_))));
+        // Non-UTF-8 file name.
+        let mut bad_name = vec![PROTOCOL_VERSION, op::SEGMENT];
+        bad_name.extend_from_slice(&2u16.to_le_bytes());
+        bad_name.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(decode(&bad_name), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn version_mismatch_is_refused_before_opcode_dispatch() {
+        // A hypothetical v1 frame: no version byte, body starts with the
+        // opcode. Under v2 rules its first byte (UPDATE = 0x01) parses as
+        // the version and is refused cleanly — this is exactly how an old
+        // build's frames die on a new node, and vice versa.
+        let mut v1_style = vec![op::UPDATE];
+        v1_style.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            decode(&v1_style),
+            Err(WireError::VersionMismatch {
+                got: op::UPDATE,
+                want: PROTOCOL_VERSION
+            })
+        );
+        // A future version is refused the same way, even when the rest of
+        // the frame would parse under the current grammar.
+        let mut buf = Vec::new();
+        encode(&Frame::Seal, &mut buf);
+        let mut body = buf[4..].to_vec();
+        body[0] = PROTOCOL_VERSION + 1;
+        assert_eq!(
+            decode(&body),
+            Err(WireError::VersionMismatch {
+                got: PROTOCOL_VERSION + 1,
+                want: PROTOCOL_VERSION
+            })
+        );
+        // And through the stream reader: the connection fails fast with a
+        // wire error, not a hang or a desynced opcode stream.
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&(v1_style.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&v1_style);
+        let mut cursor = io::Cursor::new(framed);
+        assert!(matches!(
+            read_frame(&mut cursor, MAX_FRAME),
+            Err(ReadError::Wire(WireError::VersionMismatch { .. }))
         ));
     }
 

@@ -22,6 +22,11 @@
 //!   were taken, so an I/O worker is never parked on a pipeline condvar
 //!   and the client decides whether to retry, shed, or back off.
 //!
+//! Every update response settles the worker's coalescing buffers into
+//! the shard FIFOs first, so "taken" means *visible to a later `SEAL` on
+//! any connection* — the property the cluster router's epoch barrier is
+//! built on, not just a single-connection convenience.
+//!
 //! The read path never touches the pipeline's accumulators: QUERY is
 //! served from `(epoch, block)` slices of published [`EpochSnapshot`]s,
 //! cached in an [`S3FifoCache`] so a hot skewed key set is answered
@@ -35,14 +40,18 @@
 //! [`EpochSnapshot`]: cobra_stream::EpochSnapshot
 
 use crate::cache::S3FifoCache;
-use crate::protocol::{self, ErrorCode, Frame, ReadError, WireStats, MAX_FRAME, MAX_SNAPSHOT_KEYS};
+use crate::protocol::{
+    self, ErrorCode, Frame, ReadError, WireStats, MAX_FRAME, MAX_SNAPSHOT_KEYS, REPL_CHUNK,
+};
 use cobra_stream::channel::{self, Sender, TrySendError};
 use cobra_stream::{
-    DurableConfig, EpochSnapshot, IngestHandle, IngestPipeline, RecoveryReport, Reducer,
-    StreamConfig, TryIngestError,
+    commit_dir, shard_dir, DurableConfig, EpochSnapshot, IngestHandle, IngestPipeline,
+    RecoveryReport, Reducer, StreamConfig, TryIngestError,
 };
+use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -176,6 +185,9 @@ struct ServeCounters {
     frames: AtomicU64,
     queries: AtomicU64,
     busy_tuples: AtomicU64,
+    repl_rounds: AtomicU64,
+    repl_bytes_shipped: AtomicU64,
+    repl_acked_epoch: AtomicU64,
 }
 
 /// Everything a worker needs, shared by reference.
@@ -188,6 +200,9 @@ struct Ctx {
     block_keys: u32,
     max_frame: usize,
     read_timeout: Duration,
+    /// The durable data directory (None = in-memory server; replication
+    /// requests are refused with `NotDurable`).
+    data_dir: Option<PathBuf>,
 }
 
 impl Ctx {
@@ -216,6 +231,10 @@ impl Ctx {
             wal_fsyncs: s.wal_fsyncs,
             wal_segments: s.wal_segments,
             wal_replayed_records: s.wal_replayed_records,
+            epochs_committed: s.epochs_committed,
+            repl_rounds: self.counters.repl_rounds.load(Ordering::Relaxed), // ordering: stats
+            repl_bytes_shipped: self.counters.repl_bytes_shipped.load(Ordering::Relaxed), // ordering: stats
+            repl_acked_epoch: self.counters.repl_acked_epoch.load(Ordering::Relaxed), // ordering: stats
         }
     }
 
@@ -265,6 +284,7 @@ impl Server {
 
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        let data_dir = cfg.durable.as_ref().map(|d| d.dir.clone());
         // Durable mode recovers committed state from the data dir before
         // serving; the first published snapshot is the recovered one.
         let (pipeline, recovery) = match cfg.durable {
@@ -283,6 +303,7 @@ impl Server {
             block_keys: cfg.cache_block_keys,
             max_frame: cfg.max_frame,
             read_timeout: cfg.read_timeout,
+            data_dir,
         });
 
         let (conn_tx, conn_rx) = channel::bounded::<TcpStream>(cfg.conn_backlog);
@@ -447,6 +468,15 @@ fn serve_connection(ctx: &Ctx, stream: TcpStream, handle: &mut IngestHandle<u64>
             Ok(Some(frame)) => {
                 // ordering: Relaxed — stats counter.
                 ctx.counters.frames.fetch_add(1, Ordering::Relaxed);
+                // REPLICATE is the one request answered with a *stream* of
+                // frames, so it gets the writer instead of returning one
+                // response frame.
+                if let Frame::Replicate { manifest } = frame {
+                    if handle_replicate(ctx, &mut writer, &manifest, &mut scratch).is_err() {
+                        return;
+                    }
+                    continue;
+                }
                 let response = handle_frame(ctx, handle, frame);
                 if protocol::write_frame(&mut writer, &response, &mut scratch).is_err() {
                     return;
@@ -491,6 +521,18 @@ fn handle_frame(ctx: &Ctx, handle: &mut IngestHandle<u64>, frame: Frame) -> Fram
         }
         Frame::Snapshot { epoch, lo, hi } => handle_snapshot(ctx, epoch, lo, hi),
         Frame::Stats => Frame::StatsReport(ctx.wire_stats()),
+        Frame::WaitEpoch { epoch } => handle_wait_epoch(ctx, epoch),
+        Frame::Ack { epoch, bytes: _ } => {
+            // ordering: Relaxed — audited: monotonic high-water mark of
+            // follower acknowledgements, read only by stats; replication
+            // correctness never depends on it.
+            ctx.counters
+                .repl_acked_epoch
+                .fetch_max(epoch, Ordering::Relaxed); // ordering: stats high-water
+            Frame::EpochCommitted {
+                epoch: ctx.pipeline.committed_epoch(),
+            }
+        }
         // A client sending response-kind frames is confused; refuse
         // politely instead of guessing.
         _ => Frame::Error {
@@ -500,12 +542,33 @@ fn handle_frame(ctx: &Ctx, handle: &mut IngestHandle<u64>, frame: Frame) -> Fram
     }
 }
 
+/// Pushes everything the handle still buffers into the shard FIFOs.
+///
+/// Acknowledged tuples must be visible to a `SEAL` arriving on *any*
+/// connection — the cluster router seals over its own connection after
+/// other clients' updates were acknowledged — so no response that counts
+/// tuples as taken may leave them in this worker's coalescing buffer.
+/// The wait is bounded: the accumulator drains the FIFOs continuously
+/// (and the shutdown drain empties them even mid-stop).
+fn settle(handle: &mut IngestHandle<u64>) {
+    loop {
+        match handle.try_flush() {
+            Ok(()) => return,
+            Err(TryIngestError::Busy) => std::thread::sleep(Duration::from_micros(50)),
+            // Closed: the pipeline drain owns whatever was shipped;
+            // nothing left to settle.
+            Err(TryIngestError::Closed) => return,
+        }
+    }
+}
+
 fn handle_update(ctx: &Ctx, handle: &mut IngestHandle<u64>, tuples: &[(u32, u64)]) -> Frame {
     let mut accepted: u32 = 0;
     for &(key, value) in tuples {
         if key >= ctx.num_keys {
             // One malformed key must not kill a worker (try_send would
             // panic) nor silently drop the batch's remainder.
+            settle(handle);
             return Frame::Error {
                 code: ErrorCode::KeyOutOfRange,
                 detail: format!(
@@ -522,6 +585,7 @@ fn handle_update(ctx: &Ctx, handle: &mut IngestHandle<u64>, tuples: &[(u32, u64)
                     .busy_tuples
                     .fetch_add(refused, Ordering::Relaxed); // ordering: stats counter
 
+                settle(handle);
                 return Frame::Busy { accepted };
             }
             Err(TryIngestError::Closed) => {
@@ -532,6 +596,7 @@ fn handle_update(ctx: &Ctx, handle: &mut IngestHandle<u64>, tuples: &[(u32, u64)
             }
         }
     }
+    settle(handle);
     Frame::Accepted { accepted }
 }
 
@@ -610,6 +675,162 @@ fn handle_snapshot(ctx: &Ctx, epoch: u64, lo: u32, hi: u32) -> Frame {
     }
 }
 
+/// WAIT_EPOCH: the cluster barrier. Blocks (politely, polling the stop
+/// flag) until this node has durably committed `epoch`, then reports the
+/// actual committed high-water mark. A router seals epoch `E` on every
+/// node, then waits here on every node; only when all have answered may
+/// the cluster-wide snapshot for `E` be published.
+fn handle_wait_epoch(ctx: &Ctx, epoch: u64) -> Frame {
+    loop {
+        let committed = ctx.pipeline.committed_epoch();
+        if committed >= epoch {
+            return Frame::EpochCommitted { epoch: committed };
+        }
+        if ctx.stopping() {
+            return Frame::Error {
+                code: ErrorCode::ShuttingDown,
+                detail: format!("stopped while waiting for epoch {epoch} (at {committed})"),
+            };
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// REPLICATE: one round of WAL shipping. The follower's manifest says how
+/// many bytes of each file it already has; this streams the missing
+/// suffixes as `Segment` frames and finishes with `ReplDone`.
+///
+/// Ordering is the crux. The commit log is captured (read into memory)
+/// *before* the shard logs and checkpoints are listed and streamed, and
+/// shipped *last*. Shard bytes written after the capture may reach the
+/// follower, but the commit records that would make them observable
+/// cannot — so on the follower, exactly as on the primary, observable
+/// implies durable, and a promotion recovers a consistent prefix.
+///
+/// An `Err` means the connection died mid-stream; the round's partial
+/// shard bytes on the follower are harmless (uncommitted tail).
+fn handle_replicate(
+    ctx: &Ctx,
+    writer: &mut TcpStream,
+    manifest: &[(String, u64)],
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    let Some(data_dir) = &ctx.data_dir else {
+        let response = Frame::Error {
+            code: ErrorCode::NotDurable,
+            detail: "server has no data directory; nothing to replicate".to_string(),
+        };
+        return protocol::write_frame(writer, &response, scratch);
+    };
+    let have: HashMap<&str, u64> = manifest.iter().map(|(n, l)| (n.as_str(), *l)).collect();
+    let round = (|| -> io::Result<(u64, Vec<CommitCapture>, Vec<cobra_wal::ShipFile>)> {
+        // Capture FIRST: the committed epoch and the commit-log bytes that
+        // prove it. Everything read below may be newer; never older.
+        let committed = ctx.pipeline.committed_epoch();
+        let mut commit_files = Vec::new();
+        for f in cobra_wal::segment_files(&commit_dir(data_dir))? {
+            let from = have.get(format!("commit/{}", f.name).as_str()).copied();
+            let bytes = read_suffix(&f.path, from.unwrap_or(0))?;
+            commit_files.push((format!("commit/{}", f.name), from.unwrap_or(0), bytes));
+        }
+        // List (not read) the shard logs and checkpoints after the capture.
+        let mut files = Vec::new();
+        for shard in 0..ctx.pipeline.num_shards() {
+            let sdir = shard_dir(data_dir, shard);
+            for mut f in cobra_wal::segment_files(&sdir)? {
+                f.name = format!("shard-{shard:03}/{}", f.name);
+                files.push(f);
+            }
+        }
+        files.extend(cobra_wal::checkpoint_files(data_dir)?);
+        Ok((committed, commit_files, files))
+    })();
+    let (committed, commit_files, files) = match round {
+        Ok(r) => r,
+        Err(e) => {
+            let response = Frame::Error {
+                code: ErrorCode::Internal,
+                detail: format!("replication listing failed: {e}"),
+            };
+            return protocol::write_frame(writer, &response, scratch);
+        }
+    };
+
+    let mut shipped_files: u32 = 0;
+    let mut shipped_bytes: u64 = 0;
+    // Shard logs and checkpoints stream straight from disk, chunked.
+    for f in files {
+        let mut offset = have.get(f.name.as_str()).copied().unwrap_or(0);
+        let mut touched = false;
+        // A file that vanished between listing and read (checkpoint GC)
+        // just ends the loop via the Err arm.
+        while let Ok(chunk) = cobra_wal::read_chunk(&f.path, offset, REPL_CHUNK) {
+            if chunk.is_empty() {
+                break;
+            }
+            let len = chunk.len() as u64;
+            let frame = Frame::Segment {
+                name: f.name.clone(),
+                offset,
+                bytes: chunk,
+            };
+            protocol::write_frame(writer, &frame, scratch)?;
+            offset += len;
+            shipped_bytes += len;
+            touched = true;
+        }
+        if touched {
+            shipped_files += 1;
+        }
+    }
+    // The captured commit-log bytes go LAST (see the ordering note above).
+    for (name, offset, bytes) in commit_files {
+        if bytes.is_empty() {
+            continue;
+        }
+        shipped_files += 1;
+        let mut at = offset;
+        for chunk in bytes.chunks(REPL_CHUNK) {
+            let frame = Frame::Segment {
+                name: name.clone(),
+                offset: at,
+                bytes: chunk.to_vec(),
+            };
+            protocol::write_frame(writer, &frame, scratch)?;
+            at += chunk.len() as u64;
+            shipped_bytes += chunk.len() as u64;
+        }
+    }
+    // ordering: Relaxed — stats counters.
+    ctx.counters.repl_rounds.fetch_add(1, Ordering::Relaxed);
+    ctx.counters
+        .repl_bytes_shipped
+        .fetch_add(shipped_bytes, Ordering::Relaxed); // ordering: stats counter
+    let done = Frame::ReplDone {
+        epoch: committed,
+        files: shipped_files,
+        bytes: shipped_bytes,
+    };
+    protocol::write_frame(writer, &done, scratch)
+}
+
+/// A captured commit-log suffix: wire name, start offset, bytes.
+type CommitCapture = (String, u64, Vec<u8>);
+
+/// Reads `path` from `offset` to EOF (the commit-log capture).
+fn read_suffix(path: &std::path::Path, offset: u64) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut at = offset;
+    loop {
+        let chunk = cobra_wal::read_chunk(path, at, REPL_CHUNK)?;
+        if chunk.is_empty() {
+            return Ok(out);
+        }
+        at += chunk.len() as u64;
+        out.extend_from_slice(&chunk);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -628,6 +849,7 @@ mod tests {
             block_keys,
             max_frame: MAX_FRAME,
             read_timeout: Duration::from_millis(10),
+            data_dir: None,
         }
     }
 
@@ -683,6 +905,7 @@ mod tests {
             block_keys: 512,
             max_frame: MAX_FRAME,
             read_timeout: Duration::from_millis(10),
+            data_dir: None,
         };
         let mut h = ctx.pipeline.handle();
         h.send(700, 7).unwrap();

@@ -47,6 +47,7 @@ use cobra_wal::{
 };
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Durability knobs for [`IngestPipeline::recover`].
@@ -109,11 +110,15 @@ pub struct RecoveryReport {
     pub replayed_tuples: u64,
 }
 
-pub(crate) fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
+/// The log directory of shard `shard` inside a durable data directory.
+/// Public so file-shipping replication can walk the layout the pipeline
+/// writes.
+pub fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard:03}"))
 }
 
-pub(crate) fn commit_dir(dir: &Path) -> PathBuf {
+/// The commit-log directory inside a durable data directory.
+pub fn commit_dir(dir: &Path) -> PathBuf {
     dir.join("commit")
 }
 
@@ -324,6 +329,8 @@ where
         let sink_dir = durable.dir.clone();
         let checkpoint_every = durable.checkpoint_every;
         let sink_stats = Arc::clone(&wal_stats);
+        let committed_counter = Arc::new(AtomicU64::new(committed));
+        let sink_committed = Arc::clone(&committed_counter);
         let mut sink_failed = false;
         let epoch_sink: EpochSink<R::Acc> = Box::new(move |ev: EpochEvent<'_, R::Acc>| {
             if sink_failed {
@@ -340,6 +347,11 @@ where
                 sink_stats.note_io_error();
                 return;
             }
+            // ordering: Relaxed — audited: monotonic progress counter; a
+            // reader acting on "epoch e is committed" fetches the state
+            // through the publish mutex or recovers it from the commit
+            // log, never through this atomic.
+            sink_committed.store(ev.epoch, Ordering::Relaxed);
             let due = checkpoint_every > 0 && (ev.drain || ev.epoch % checkpoint_every == 0);
             if due {
                 let meta = CheckpointMeta {
@@ -372,6 +384,7 @@ where
             initial_state: state,
             initial_offsets: offsets,
             epoch_sink,
+            committed: committed_counter,
             wal_stats,
             replayed_records,
         };

@@ -58,9 +58,11 @@ mod shard;
 mod stats;
 
 pub use channel::{ChannelStats, Disconnected, TrySendError};
-pub use durable::{DurableConfig, RecoveryReport};
+pub use durable::{commit_dir, shard_dir, DurableConfig, RecoveryReport};
 pub use epoch::EpochSnapshot;
-pub use pipeline::{IngestHandle, IngestPipeline, PipelineClosed, StreamConfig, TryIngestError};
+pub use pipeline::{
+    shard_plan, IngestHandle, IngestPipeline, PipelineClosed, StreamConfig, TryIngestError,
+};
 pub use reducer::{Append, Count, Latest, Reducer, Sum};
 pub use stats::{ShardStats, StreamStats};
 // Durable-mode vocabulary re-exported so downstream crates (the serve

@@ -358,6 +358,9 @@ pub struct IngestPipeline<R: Reducer> {
     shard_counters: Vec<Arc<ShardCounters>>,
     channel_counters: Vec<Arc<ChannelCounters>>,
     shard_ranges: Vec<std::ops::Range<u32>>,
+    /// Durable-mode committed-epoch counter (None = in-memory pipeline,
+    /// where publishing *is* committing).
+    epochs_committed: Option<Arc<AtomicU64>>,
     /// Durable-mode WAL counters (None = in-memory pipeline).
     wal_stats: Option<Arc<WalStats>>,
     /// Records replayed by the recovery that built this pipeline.
@@ -381,6 +384,9 @@ pub(crate) struct DurableParts<R: Reducer> {
     pub(crate) initial_offsets: Vec<u64>,
     /// Commit-log + checkpoint hook, fired before every publish.
     pub(crate) epoch_sink: EpochSink<R::Acc>,
+    /// Shared committed-epoch counter, advanced by the sink after each
+    /// successful `EpochCommit` append (starts at `initial_epoch`).
+    pub(crate) committed: Arc<AtomicU64>,
     /// Shared WAL counters across all shard logs and the commit log.
     pub(crate) wal_stats: Arc<WalStats>,
     /// Records replayed during recovery.
@@ -390,8 +396,10 @@ pub(crate) struct DurableParts<R: Reducer> {
 /// The power-of-two shard geometry: returns `(shard_shift, ranges)` where
 /// each shard owns `ranges[s]` and routing is `key >> shard_shift`.
 /// Shared by pipeline construction and WAL recovery, which must agree on
-/// the key partition for replay to hit the right binners.
-pub(crate) fn shard_plan(num_keys: u32, shards: usize) -> (u32, Vec<std::ops::Range<u32>>) {
+/// the key partition for replay to hit the right binners. Public because
+/// the cluster router reuses the same plan to map key ranges onto nodes —
+/// locale routing at every tier uses one geometry.
+pub fn shard_plan(num_keys: u32, shards: usize) -> (u32, Vec<std::ops::Range<u32>>) {
     // Power-of-two shard span, mirroring Binner's bin-range rounding:
     // routing is a shift, and the shard count is as close to the
     // request as the rounding allows (at most min(shards, num_keys)).
@@ -538,14 +546,15 @@ impl<R: Reducer> IngestPipeline<R> {
         }
         drop(acc_tx);
 
-        let (resume, epoch_sink, wal_stats, wal_replayed) = match durable {
+        let (resume, epoch_sink, wal_stats, wal_replayed, epochs_committed) = match durable {
             Some(d) => (
                 Some((d.initial_epoch, d.initial_state, d.initial_offsets)),
                 Some(d.epoch_sink),
                 Some(d.wal_stats),
                 d.replayed_records,
+                Some(d.committed),
             ),
-            None => (None, None, None, 0),
+            None => (None, None, None, 0, None),
         };
 
         let accumulator = {
@@ -584,6 +593,7 @@ impl<R: Reducer> IngestPipeline<R> {
             shard_counters,
             channel_counters,
             shard_ranges,
+            epochs_committed,
             wal_stats,
             wal_replayed,
             started: Instant::now(),
@@ -662,6 +672,26 @@ impl<R: Reducer> IngestPipeline<R> {
         self.epochs_published.load(Ordering::Relaxed)
     }
 
+    /// The latest *durably committed* epoch: the highest epoch whose
+    /// `EpochCommit` record reached the commit log. For a non-durable
+    /// pipeline publishing is committing, so this equals
+    /// [`published_epoch`](Self::published_epoch).
+    ///
+    /// Because the accumulator commits before it publishes,
+    /// `committed_epoch() >= published_epoch()` always holds on a durable
+    /// pipeline — this is the number a cluster node reports in the
+    /// cross-node epoch-alignment protocol.
+    pub fn committed_epoch(&self) -> u64 {
+        match &self.epochs_committed {
+            // ordering: Relaxed — audited: monotonic counter advanced by
+            // the epoch sink before the corresponding snapshot publishes;
+            // observers that need the epoch's *state* fetch the snapshot
+            // through the publish mutex, never through this atomic.
+            Some(c) => c.load(Ordering::Relaxed),
+            None => self.published_epoch(),
+        }
+    }
+
     /// Point-in-time pipeline statistics.
     pub fn stats(&self) -> StreamStats {
         // ordering: Relaxed throughout — point-in-time statistics reads;
@@ -672,6 +702,7 @@ impl<R: Reducer> IngestPipeline<R> {
             batches_sent: self.core.batches_sent.load(Ordering::Relaxed), // ordering: stats
             epochs_sealed: self.core.epochs_sealed.load(Ordering::Relaxed), // ordering: stats
             epochs_published: self.epochs_published.load(Ordering::Relaxed), // ordering: stats
+            epochs_committed: self.committed_epoch(),
             wal_bytes_appended: self.wal_stats.as_ref().map_or(0, |w| w.bytes_appended()),
             wal_fsyncs: self.wal_stats.as_ref().map_or(0, |w| w.fsyncs()),
             wal_segments: self.wal_stats.as_ref().map_or(0, |w| w.segments_created()),

@@ -107,6 +107,10 @@ pub struct StreamStats {
     pub epochs_sealed: u64,
     /// Epoch snapshots published by the accumulator.
     pub epochs_published: u64,
+    /// Epochs durably committed (an `EpochCommit` record flushed to the
+    /// commit log). Equals `epochs_published` for non-durable pipelines,
+    /// which commit by publishing.
+    pub epochs_committed: u64,
     /// Bytes appended across all WAL segment files (0 when non-durable).
     pub wal_bytes_appended: u64,
     /// `fsync` calls issued by the WAL layer (0 when non-durable).
@@ -217,6 +221,7 @@ mod tests {
             batches_sent: 100,
             epochs_sealed: 2,
             epochs_published: 3,
+            epochs_committed: 3,
             wal_bytes_appended: 0,
             wal_fsyncs: 0,
             wal_segments: 0,
@@ -237,6 +242,7 @@ mod tests {
             batches_sent: 0,
             epochs_sealed: 0,
             epochs_published: 0,
+            epochs_committed: 0,
             wal_bytes_appended: 0,
             wal_fsyncs: 0,
             wal_segments: 0,

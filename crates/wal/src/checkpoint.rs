@@ -109,7 +109,7 @@ fn checkpoint_path(dir: &Path, epoch: u64) -> PathBuf {
 
 /// Checkpoint files in `dir` as `(epoch, path)`, sorted by epoch
 /// descending (newest first). Non-checkpoint files are ignored.
-fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
     let entries = match fs::read_dir(dir) {
         Ok(e) => e,

@@ -27,6 +27,7 @@ pub mod checkpoint;
 pub mod crc32;
 pub mod log;
 pub mod record;
+pub mod ship;
 
 pub use checkpoint::{
     gc_checkpoints, latest_checkpoint, read_checkpoint, write_checkpoint, Checkpoint,
@@ -35,3 +36,4 @@ pub use checkpoint::{
 pub use crc32::crc32;
 pub use log::{scan, LogPosition, ScanOutcome, SyncPolicy, WalConfig, WalStats, WalWriter};
 pub use record::{decode_all, decode_at, DecodeStep, Record};
+pub use ship::{checkpoint_files, read_chunk, segment_files, ShipFile};

@@ -166,7 +166,7 @@ fn segment_path(dir: &Path, index: u64) -> PathBuf {
 }
 
 /// Segment files in `dir`, sorted by index. Non-segment files are ignored.
-fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut segs = Vec::new();
     let entries = match fs::read_dir(dir) {
         Ok(e) => e,
