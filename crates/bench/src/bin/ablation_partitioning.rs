@@ -4,6 +4,8 @@
 //! evaluation found a C-Buffer miss rate below 1% because all co-running
 //! Binning-phase accesses are streaming.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{inputs, report, Scale, Table};
 use cobra_core::{CobraMachine, PbBackend};
 use cobra_kernels::{Input, KernelId};

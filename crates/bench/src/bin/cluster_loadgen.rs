@@ -19,6 +19,8 @@
 //! replication-lag columns is appended to
 //! `results/cluster_throughput.csv`.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{report, Scale, Table};
 use cobra_cluster::{ClusterConfig, ClusterRouter, ReplicaSync};
 use cobra_graph::rng::SplitMix64;

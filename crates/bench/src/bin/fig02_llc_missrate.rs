@@ -2,6 +2,8 @@
 //! every kernel — the motivation that irregular updates defeat conventional
 //! cache hierarchies.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{inputs, report, Scale, Table};
 use cobra_kernels::{run, ModeSpec, ALL_KERNELS};
 use cobra_sim::MachineConfig;

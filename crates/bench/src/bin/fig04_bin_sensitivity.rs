@@ -5,6 +5,8 @@
 //! explaining it: Binning degrades once the C-Buffers outgrow L1/L2, while
 //! Accumulate improves until one bin's data fits in L1.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{inputs, report, Scale, Table};
 use cobra_core::exec::phases;
 use cobra_kernels::{bin_choices, run, KernelId, ModeSpec};

@@ -1,6 +1,8 @@
 //! Figure 5: the headroom of idealized PB (PB-SW-IDEAL) — each phase run at
 //! its own best bin count — over realizable software PB.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{inputs, report, Scale, Table};
 use cobra_core::exec::{geomean, phases, RunMetrics};
 use cobra_kernels::{bin_choices, run, ModeSpec, ALL_KERNELS};

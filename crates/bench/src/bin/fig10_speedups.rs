@@ -1,6 +1,8 @@
 //! Figure 10: the headline result — speedups of PB-SW, PB-SW-IDEAL and
 //! COBRA over the unoptimized baseline, across all kernels and inputs.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{harness, inputs, report, Scale, Table};
 use cobra_core::exec::geomean;
 use cobra_kernels::{KernelId, ALL_KERNELS};

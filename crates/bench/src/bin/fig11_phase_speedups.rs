@@ -1,6 +1,8 @@
 //! Figure 11: COBRA's per-phase speedups over PB-SW — Binning accelerates
 //! far more than Accumulate (hardware offload + no compromise bins).
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{harness, inputs, report, Scale, Table};
 use cobra_core::exec::{geomean, phases};
 use cobra_kernels::ALL_KERNELS;

@@ -1,6 +1,8 @@
 //! Figure 12: why COBRA's Binning is fast — instruction-count reduction
 //! (top) and branch-misprediction elimination (bottom) vs software PB.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{harness, inputs, report, Scale, Table};
 use cobra_core::exec::geomean;
 use cobra_kernels::ALL_KERNELS;

@@ -1,6 +1,8 @@
 //! Figure 13a: sensitivity to the L1→L2 eviction-buffer size — the DES
 //! experiment sizing the buffers that hide C-Buffer-eviction latency.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{inputs, report, Scale, Table};
 use cobra_core::evict::{simulate_fixed_rate, DesConfig};
 use cobra_core::{BinHierarchy, ReservedWays};

@@ -1,6 +1,8 @@
 //! Figure 13b: sensitivity of COBRA's Binning phase to the cache ways
 //! reserved for C-Buffers at each level.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{inputs, report, Scale, Table};
 use cobra_core::{DesConfig, ReservedWays};
 use cobra_kernels::{run, KernelId, ModeSpec};

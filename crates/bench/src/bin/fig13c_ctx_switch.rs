@@ -2,6 +2,8 @@
 //! under static way partitioning, other processes evict partially-filled
 //! LLC C-Buffer lines every scheduling quantum.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{inputs, report, Scale, Table};
 use cobra_core::DesConfig;
 use cobra_kernels::{run, KernelId, ModeSpec};

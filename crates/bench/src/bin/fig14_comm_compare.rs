@@ -5,6 +5,8 @@
 //! PHI and COBRA-COMM coalesce updates (inapplicable to the
 //! non-commutative kernels); COBRA alone is the general optimization.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{inputs, report, Scale, Table};
 use cobra_bins::BinStore;
 use cobra_core::comm::{run_cobra_comm, run_phi, run_plain};

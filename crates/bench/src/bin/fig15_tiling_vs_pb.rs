@@ -2,6 +2,8 @@
 //! Pagerank run to convergence, with initialization overheads broken out
 //! (the shaded bars of the paper's figure).
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{inputs, report, Scale, Table};
 use cobra_core::exec::phases;
 use cobra_core::SwPb;

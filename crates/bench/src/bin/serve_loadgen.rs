@@ -18,6 +18,8 @@
 //! rewritten) to `results/serve_throughput.csv`, so successive runs form
 //! a series.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{report, Scale, Table};
 use cobra_graph::rng::SplitMix64;
 use cobra_serve::{ServeClient, ServeConfig, Server};

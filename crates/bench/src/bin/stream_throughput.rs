@@ -3,6 +3,8 @@
 //! counterpart of Figure 13a's eviction-buffer sweep, run on the real
 //! `cobra-stream` pipeline instead of the DES.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{Scale, Table};
 use cobra_graph::gen;
 use cobra_kernels::streaming;

@@ -2,6 +2,8 @@
 //! small and a large bin count — showing Binning dominates, especially with
 //! many bins.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{inputs, report, Scale, Table};
 use cobra_core::exec::phases;
 use cobra_kernels::{bin_choices, run, KernelId, ModeSpec};

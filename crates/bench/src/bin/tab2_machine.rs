@@ -1,5 +1,7 @@
 //! Table II: the simulated machine parameters.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::Table;
 use cobra_sim::MachineConfig;
 

@@ -1,5 +1,7 @@
 //! Table III: the (scaled) input suite.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{inputs, Scale, Table};
 use cobra_kernels::{Input, KernelId};
 

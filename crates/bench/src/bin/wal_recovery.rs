@@ -18,6 +18,8 @@
 //! longitudinal-series format the loadgen also uses). The run doubles as
 //! a correctness gate: a recovered sum mismatch exits non-zero.
 
+#![forbid(unsafe_code)]
+
 use cobra_bench::{report, Scale, Table};
 use cobra_graph::rng::SplitMix64;
 use cobra_serve::SumU64;

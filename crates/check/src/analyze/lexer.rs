@@ -1,0 +1,403 @@
+//! A dependency-free lightweight Rust lexer.
+//!
+//! Produces just enough token structure for the static rules: identifiers
+//! (keywords included, distinguished by text), single-character
+//! punctuation, literals (string/char/number, contents discarded), and
+//! lifetimes. Comments — line, nested block, doc — vanish entirely, so no
+//! rule can ever be fooled by `unsafe` or `Ordering::Release` appearing
+//! in prose or in an embedded source-text string.
+//!
+//! The hard parts of lexing Rust without a real grammar are all here:
+//! raw strings with arbitrary `#` fences, byte/raw-byte strings, char
+//! literals vs. lifetimes (`'a'` vs. `'a`), nested block comments, and
+//! float literals vs. ranges (`1.5` vs. `0..n`).
+
+/// Token classes the analyzer distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `seal_lock`, `Ordering`, …).
+    Ident,
+    /// A lifetime such as `'a` (the tick is not part of the text).
+    Lifetime,
+    /// One punctuation character (`{`, `:`, `<`, …).
+    Punct,
+    /// String, char, or byte literal (text discarded).
+    Str,
+    /// Numeric literal (text discarded).
+    Num,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: Kind,
+    /// Token text for idents/lifetimes/punctuation; empty for literals.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into a token stream. Total: malformed input (unterminated
+/// strings or comments) ends the stream at the problem instead of
+/// panicking — the analyzer only ever sees files rustc already accepted.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::with_capacity(src.len() / 6);
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comments, newline-counted.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if starts_raw_string(b, i) => {
+                let start_line = line;
+                i = skip_raw_string(b, i, &mut line);
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'"' => {
+                let start_line = line;
+                i = skip_string(b, i + 1, &mut line);
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'\'' => {
+                let start_line = line;
+                i = skip_char(b, i + 1);
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let start_line = line;
+                i = skip_string(b, i, &mut line);
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`). A tick
+                // followed by an identifier run NOT closed by another tick
+                // is a lifetime; everything else is a char literal.
+                if i + 1 < b.len() && is_ident_start(b[i + 1]) {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'\'' && j == i + 2 {
+                        // 'x' — single ident char closed by a tick: char.
+                        toks.push(Tok {
+                            kind: Kind::Str,
+                            text: String::new(),
+                            line,
+                        });
+                        i = j + 1;
+                    } else {
+                        toks.push(Tok {
+                            kind: Kind::Lifetime,
+                            text: String::from_utf8_lossy(&b[i + 1..j]).into_owned(),
+                            line,
+                        });
+                        i = j;
+                    }
+                } else {
+                    toks.push(Tok {
+                        kind: Kind::Str,
+                        text: String::new(),
+                        line,
+                    });
+                    i = skip_char(b, i);
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Ident,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Number: digits, underscores, radix/suffix letters; one
+                // `.` only when a digit follows (so `0..n` and `1.max(2)`
+                // leave the dot alone).
+                i += 1;
+                while i < b.len() && (is_ident_cont(b[i])) {
+                    i += 1;
+                }
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && is_ident_cont(b[i]) {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: Kind::Num,
+                    text: String::new(),
+                    line,
+                });
+            }
+            c => {
+                toks.push(Tok {
+                    kind: Kind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Does `b[i..]` start a raw (possibly byte) string: `r"`, `r#`, `br"`,
+/// `br#`?
+fn starts_raw_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    j < b.len() && (b[j] == b'"' || b[j] == b'#')
+}
+
+/// Skips a raw string starting at `i` (at the `r`/`b`), returning the
+/// index past the closing fence.
+fn skip_raw_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // the `r`
+    let mut hashes = 0;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'"' {
+        i += 1;
+    }
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0;
+            while j < b.len() && seen < hashes && b[j] == b'#' {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips a `"`-delimited string starting at the opening quote, handling
+/// escapes; returns the index past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a `'`-delimited char/byte literal starting at the opening tick.
+fn skip_char(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    if i < b.len() && b[i] == b'\\' {
+        i += 2;
+    } else {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'\'' {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_never_leak_tokens() {
+        // `sekrit` stands in for danger words like `unsafe` — R9 scans
+        // this file too, and a bare danger word on a string-continuation
+        // line would look like code to a line-local scanner.
+        let src = "\
+// sekrit in a line comment\n\
+/* sekrit in /* a nested */ block */\n\
+let s = \"sekrit Ordering::Release .lock()\";\n\
+let r = r#\"raw \"quoted\" sekrit\"#;\n\
+let b = b\"bytes sekrit\";\n\
+real_ident();\n";
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "sekrit"), "{ids:?}");
+        assert!(!ids.iter().any(|t| t == "Ordering"), "{ids:?}");
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a, T: Ord + 'static>(x: &'a T) -> char { 'x' }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "static", "a"]);
+        let chars = toks.iter().filter(|t| t.kind == Kind::Str).count();
+        assert_eq!(chars, 1, "'x' is the one char literal: {toks:?}");
+    }
+
+    #[test]
+    fn escaped_char_literals_and_tricky_chars() {
+        let toks = lex(r"let nl = '\n'; let tick = '\''; let sp = ' ';");
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Str).count(), 3);
+        // The semicolons and lets all survive.
+        assert_eq!(toks.iter().filter(|t| t.is_ident("let")).count(), 3);
+    }
+
+    #[test]
+    fn nested_generics_lex_as_puncts() {
+        let toks = lex("let x: Vec<Vec<(u32, Option<V>)>> = Vec::new();");
+        let open = toks.iter().filter(|t| t.is_punct('<')).count();
+        let close: usize = toks
+            .iter()
+            .map(|t| {
+                if t.kind == Kind::Punct {
+                    t.text.matches('>').count()
+                } else {
+                    0
+                }
+            })
+            .sum();
+        assert_eq!(open, 3);
+        assert_eq!(close, 3);
+    }
+
+    #[test]
+    fn macros_and_paths_keep_their_idents() {
+        let ids = idents("println!(\"{}\", format!(\"x\")); std::mem::take(&mut v);");
+        assert!(ids.contains(&"println".to_string()));
+        assert!(ids.contains(&"take".to_string()));
+        assert!(!ids.contains(&"x".to_string()), "string contents dropped");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_method_calls() {
+        let toks = lex("for i in 0..10 { let y = 1.5 + 2.max(3) + 0xFF_u32; }");
+        // `0..10` must produce two dots; `1.5` none; `2.max` one.
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 3, "{toks:?}");
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn raw_string_with_fences_spans_lines() {
+        let src = "a\nlet s = r##\"one \"# two\nthree\"##;\nb";
+        let toks = lex(src);
+        let a = toks.iter().find(|t| t.is_ident("a")).expect("a");
+        let bt = toks.iter().find(|t| t.is_ident("b")).expect("b");
+        assert_eq!(a.line, 1);
+        assert_eq!(bt.line, 4, "newline inside the raw string is counted");
+    }
+
+    #[test]
+    fn line_numbers_track_block_comments_and_strings() {
+        let src = "x\n/* c\nc */ y\n\"s\ns\" z";
+        let toks = lex(src);
+        let find = |n: &str| toks.iter().find(|t| t.is_ident(n)).map(|t| t.line);
+        assert_eq!(find("x"), Some(1));
+        assert_eq!(find("y"), Some(3));
+        assert_eq!(find("z"), Some(5));
+    }
+}

@@ -1,0 +1,448 @@
+//! cobra-analyze: cross-crate static concurrency & protocol analysis.
+//!
+//! A dependency-free pipeline (DESIGN.md §12): [`lexer`] turns each
+//! workspace source file into tokens, [`items`] extracts the function
+//! table, [`facts`] derives per-fn facts (calls, lock acquisitions with
+//! held ranges, atomic sites with orderings, frame-tag mentions),
+//! [`graph`] builds the name-based call graph and transitive locksets,
+//! and the rules consume those:
+//!
+//! * **R5** ([`graph::r5_lock_order`]) — no cycles in the lock
+//!   acquisition-order graph.
+//! * **R6** ([`rules::r6_commit_before_publish`]) — a WAL commit-class
+//!   call dominates every snapshot publish.
+//! * **R7** ([`rules::r7_wire_exhaustiveness`]) — every wire opcode has
+//!   encoder, decoder arm, server dispatch, client method, and a test.
+//! * **R8** ([`rules::r8_atomics_pairing`]) — Release-class stores and
+//!   Acquire-class loads pair up per field, workspace-wide.
+//!
+//! Findings can be suppressed only via `crates/check/analyze-allow.txt`
+//! (`RULE | path-suffix | message-needle`); unused entries are
+//! themselves findings (`stale-allow`), so suppressions cannot rot.
+//! [`selftest`] seeds one mutation per rule and asserts it fires.
+
+pub mod facts;
+pub mod graph;
+pub mod items;
+pub mod lexer;
+pub mod rules;
+pub mod selftest;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use items::{FnItem, SourceFile};
+
+/// Crates included in the analyzed set. `check` itself is excluded: its
+/// fixtures and lint tables quote orderings and lock calls as *data*.
+const ANALYZED_CRATES: &[&str] = &[
+    "pb", "bins", "core", "graph", "kernels", "sim", "stream", "wal", "serve", "cluster", "bench",
+];
+
+/// Relative path of the analyzer allowlist.
+pub const ALLOW_FILE: &str = "crates/check/analyze-allow.txt";
+
+/// Relative path of the JSON findings report.
+pub const REPORT_FILE: &str = "target/analyze-report.json";
+
+/// One analyzer finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`R5`…`R8`, or `stale-allow`).
+    pub rule: &'static str,
+    /// Workspace-relative file, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The raw text of every analyzed file. Selftests clone this, mutate
+/// one file's text, and re-run the full pipeline — mutated text only
+/// has to lex, not compile.
+#[derive(Debug, Clone)]
+pub struct SourceSet {
+    /// `(workspace-relative path, file text)`, sorted by path.
+    pub texts: Vec<(String, String)>,
+}
+
+impl SourceSet {
+    /// Loads all `.rs` files of the analyzed crates under `root`
+    /// (each crate's `src/` and `tests/`).
+    pub fn load(root: &Path) -> io::Result<SourceSet> {
+        let mut texts = Vec::new();
+        for krate in ANALYZED_CRATES {
+            for sub in ["src", "tests"] {
+                let dir = root.join("crates").join(krate).join(sub);
+                if dir.is_dir() {
+                    collect_rs(&dir, &mut texts)?;
+                }
+            }
+        }
+        let root_str = root.to_string_lossy().into_owned();
+        let mut out: Vec<(String, String)> = texts
+            .into_iter()
+            .map(|(p, t)| {
+                let rel = p
+                    .strip_prefix(&root_str)
+                    .unwrap_or(&p)
+                    .trim_start_matches(['/', '\\'])
+                    .replace('\\', "/");
+                (rel, t)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(SourceSet { texts: out })
+    }
+
+    /// Replaces `needle` with `replacement` in the file whose path ends
+    /// with `path_suffix`. Panics if the file or needle is missing —
+    /// a selftest mutation that no longer applies must fail loudly.
+    pub fn mutate(&mut self, path_suffix: &str, needle: &str, replacement: &str) {
+        let entry = self
+            .texts
+            .iter_mut()
+            .find(|(p, _)| p.ends_with(path_suffix))
+            .unwrap_or_else(|| panic!("mutation target {path_suffix} not in source set"));
+        assert!(
+            entry.1.contains(needle),
+            "mutation needle not found in {path_suffix}: {needle}"
+        );
+        entry.1 = entry.1.replacen(needle, replacement, 1);
+    }
+
+    /// Appends `text` to the file whose path ends with `path_suffix`.
+    pub fn append(&mut self, path_suffix: &str, text: &str) {
+        let entry = self
+            .texts
+            .iter_mut()
+            .find(|(p, _)| p.ends_with(path_suffix))
+            .unwrap_or_else(|| panic!("append target {path_suffix} not in source set"));
+        entry.1.push_str(text);
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((
+                path.to_string_lossy().into_owned(),
+                fs::read_to_string(&path)?,
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The analyzed workspace: lexed files, function table, per-fn facts,
+/// and the name → candidate-callee index.
+pub struct Workspace {
+    /// Lexed files.
+    pub files: Vec<SourceFile>,
+    /// All fns, in file order.
+    pub fns: Vec<FnItem>,
+    /// Facts for each fn (empty when it has no body).
+    pub facts: Vec<facts::FnFacts>,
+    /// Callee candidates: name → indices of non-test fns with bodies.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Workspace {
+    /// Lexes and parses a [`SourceSet`] into an analyzable workspace.
+    pub fn build(set: &SourceSet) -> Workspace {
+        let files: Vec<SourceFile> = set
+            .texts
+            .iter()
+            .map(|(rel, text)| {
+                let parts: Vec<&str> = rel.split('/').collect();
+                SourceFile {
+                    rel: rel.clone(),
+                    krate: parts.get(1).unwrap_or(&"?").to_string(),
+                    toks: lexer::lex(text),
+                    is_test_file: parts.contains(&"tests"),
+                }
+            })
+            .collect();
+        let mut fns = Vec::new();
+        for (fi, sf) in files.iter().enumerate() {
+            fns.extend(items::parse_fns(sf, fi));
+        }
+        let facts: Vec<facts::FnFacts> = fns
+            .iter()
+            .map(|f| match f.body {
+                Some((start, end)) => facts::extract(&files[f.file].toks, start, end, &f.params),
+                None => facts::FnFacts::default(),
+            })
+            .collect();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            if !f.is_test && f.body.is_some() {
+                by_name.entry(f.name.clone()).or_default().push(i);
+            }
+        }
+        Workspace {
+            files,
+            fns,
+            facts,
+            by_name,
+        }
+    }
+}
+
+/// One parsed allowlist entry: `RULE | path-suffix | message-needle`.
+#[derive(Debug)]
+pub struct AllowEntry {
+    /// Rule id the entry applies to.
+    pub rule: String,
+    /// Finding-file suffix to match.
+    pub suffix: String,
+    /// Substring of the finding message to match.
+    pub needle: String,
+    /// 1-based line in the allowlist file.
+    pub line: u32,
+    /// Set when the entry suppressed at least one finding.
+    pub used: bool,
+}
+
+/// The analyzer allowlist.
+#[derive(Debug, Default)]
+pub struct AllowList {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl AllowList {
+    /// Parses allowlist text (missing file → empty list).
+    pub fn parse(text: &str) -> AllowList {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '|').map(str::trim);
+            if let (Some(rule), Some(suffix), Some(needle)) =
+                (parts.next(), parts.next(), parts.next())
+            {
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    suffix: suffix.to_string(),
+                    needle: needle.to_string(),
+                    line: (i + 1) as u32,
+                    used: false,
+                });
+            }
+        }
+        AllowList { entries }
+    }
+
+    /// Drops findings matched by an entry (marking it used); returns
+    /// the survivors.
+    pub fn filter(&mut self, findings: Vec<Finding>) -> Vec<Finding> {
+        findings
+            .into_iter()
+            .filter(|f| {
+                for e in self.entries.iter_mut() {
+                    if e.rule == f.rule
+                        && f.file.ends_with(&e.suffix)
+                        && f.message.contains(&e.needle)
+                    {
+                        e.used = true;
+                        return false;
+                    }
+                }
+                true
+            })
+            .collect()
+    }
+
+    /// Findings for entries that suppressed nothing this run.
+    pub fn stale_findings(&self) -> Vec<Finding> {
+        self.entries
+            .iter()
+            .filter(|e| !e.used)
+            .map(|e| Finding {
+                rule: "stale-allow",
+                file: ALLOW_FILE.to_string(),
+                line: e.line,
+                message: format!(
+                    "allowlist entry `{} | {} | {}` matched no finding — remove it",
+                    e.rule, e.suffix, e.needle
+                ),
+            })
+            .collect()
+    }
+}
+
+/// Aggregate counters for the report.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Files analyzed.
+    pub files: usize,
+    /// Functions parsed.
+    pub fns: usize,
+    /// Call sites extracted.
+    pub calls: usize,
+    /// Lock acquisition sites.
+    pub locks: usize,
+    /// Atomic operation sites.
+    pub atomics: usize,
+    /// Lock acquisition-order edges.
+    pub lock_edges: usize,
+    /// Wall-clock for the full pass, milliseconds.
+    pub elapsed_ms: u128,
+}
+
+/// Result of a full analysis pass.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings that survived the allowlist, sorted by (file, line,
+    /// rule).
+    pub findings: Vec<Finding>,
+    /// Counters.
+    pub stats: Stats,
+    /// Allowlist entries that suppressed at least one finding.
+    pub allow_used: usize,
+}
+
+impl Report {
+    /// True when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Runs R5–R8 over an already-built source set with the given
+/// allowlist. This is the core used by both the CLI and the selftests.
+pub fn analyze_set(set: &SourceSet, allow: &mut AllowList) -> Report {
+    let start = Instant::now();
+    let ws = Workspace::build(set);
+    let mut findings = Vec::new();
+    let (r5, lock_edges) = graph::r5_lock_order(&ws);
+    findings.extend(r5);
+    findings.extend(rules::r6_commit_before_publish(&ws));
+    findings.extend(rules::r7_wire_exhaustiveness(&ws));
+    findings.extend(rules::r8_atomics_pairing(&ws));
+    let mut findings = allow.filter(findings);
+    findings.extend(allow.stale_findings());
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    // A fn nested inside another fn's body is extracted for both; drop
+    // the duplicated sites.
+    findings.dedup_by(|a, b| {
+        a.rule == b.rule && a.file == b.file && a.line == b.line && a.message == b.message
+    });
+    let stats = Stats {
+        files: ws.files.len(),
+        fns: ws.fns.len(),
+        calls: ws.facts.iter().map(|f| f.calls.len()).sum(),
+        locks: ws.facts.iter().map(|f| f.locks.len()).sum(),
+        atomics: ws.facts.iter().map(|f| f.atomics.len()).sum(),
+        lock_edges,
+        elapsed_ms: start.elapsed().as_millis(),
+    };
+    let allow_used = allow.entries.iter().filter(|e| e.used).count();
+    Report {
+        findings,
+        stats,
+        allow_used,
+    }
+}
+
+/// Loads the workspace sources and allowlist from `root` and runs the
+/// full analysis.
+pub fn run_analysis(root: &Path) -> io::Result<Report> {
+    let set = SourceSet::load(root)?;
+    let allow_text = fs::read_to_string(root.join(ALLOW_FILE)).unwrap_or_default();
+    let mut allow = AllowList::parse(&allow_text);
+    Ok(analyze_set(&set, &mut allow))
+}
+
+/// Escapes a string for JSON.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report consumed by CI.
+pub fn report_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"cobra-analyze\",\n");
+    out.push_str("  \"rules\": [\"R5\", \"R6\", \"R7\", \"R8\", \"stale-allow\"],\n");
+    out.push_str(&format!(
+        "  \"stats\": {{\"files\": {}, \"functions\": {}, \"calls\": {}, \"locks\": {}, \
+         \"atomics\": {}, \"lock_edges\": {}, \"elapsed_ms\": {}}},\n",
+        report.stats.files,
+        report.stats.fns,
+        report.stats.calls,
+        report.stats.locks,
+        report.stats.atomics,
+        report.stats.lock_edges,
+        report.stats.elapsed_ms,
+    ));
+    out.push_str(&format!(
+        "  \"allow_entries_used\": {},\n",
+        report.allow_used
+    ));
+    out.push_str(&format!("  \"clean\": {},\n", report.is_clean()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push('\n');
+        out.push_str("  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Writes the JSON report under `root` ([`REPORT_FILE`]), creating
+/// `target/` if needed.
+pub fn write_report(root: &Path, report: &Report) -> io::Result<()> {
+    let path = root.join(REPORT_FILE);
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, report_json(report))
+}

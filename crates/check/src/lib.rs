@@ -20,7 +20,12 @@
 //!    `EpochCommit`).
 //!
 //! [`lint`] adds source-level invariant linting (ordering justifications,
-//! hot-path panic hygiene, no locks on binning paths).
+//! hot-path panic hygiene, no locks on binning paths, unsafe audit,
+//! stale-suppression detection), and [`analyze`] is the cross-crate
+//! static analyzer (cobra-analyze): a dependency-free lexer, function
+//! table and conservative call graph feeding rules R5–R8 (lock-order
+//! cycles, commit-before-publish dominance, wire-protocol
+//! exhaustiveness, atomics release/acquire pairing).
 //!
 //! The `cobra-check` binary exposes each analysis as a subcommand and
 //! `all` runs the full battery; any violation exits non-zero.
@@ -28,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod cluster;
 pub mod explore;
 pub mod fixtures;

@@ -25,6 +25,18 @@
 //!   `Bins::from_raw` compat constructor and the producer-side ingest
 //!   coalescing buffers, which are not bin storage) are audited in the
 //!   allowlist.
+//! * **R9 `no-unaudited-unsafe`** — no `unsafe` outside
+//!   allowlist-audited sites, anywhere in the workspace, and every
+//!   crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`) must
+//!   carry `#![forbid(unsafe_code)]` (or `deny`) so the compiler
+//!   enforces what the lint observes.
+//! * **R10 `stale-allow`** — every `lint-allow.txt` entry must still
+//!   suppress at least one would-be violation; entries that match
+//!   nothing fail the run instead of rotting silently.
+//!
+//! The runner walks the workspace **once**, reads each file once, and
+//! applies every rule whose scope covers that file; output is sorted by
+//! `path:line` so CI diffs are stable.
 //!
 //! False positives are suppressed through `crates/check/lint-allow.txt`:
 //! one `path-suffix|needle` entry per line; a violation is allowed when
@@ -45,6 +57,11 @@ pub enum Rule {
     MutexOnBinningPath,
     /// R4: raw array-of-structs bins (`Vec<Vec<(u32, …)>>`) on a hot path.
     RawAosBins,
+    /// R9: `unsafe` outside audited sites, or a crate root without
+    /// `#![forbid(unsafe_code)]`.
+    UnauditedUnsafe,
+    /// R10: a `lint-allow.txt` entry that suppresses nothing.
+    StaleAllow,
 }
 
 impl fmt::Display for Rule {
@@ -54,6 +71,8 @@ impl fmt::Display for Rule {
             Rule::HotPathUnwrap => "no-hot-path-unwrap",
             Rule::MutexOnBinningPath => "no-mutex-on-binning-path",
             Rule::RawAosBins => "no-raw-aos-bins",
+            Rule::UnauditedUnsafe => "no-unaudited-unsafe",
+            Rule::StaleAllow => "stale-allow",
         };
         f.write_str(s)
     }
@@ -87,27 +106,36 @@ impl fmt::Display for LintViolation {
 struct Allow {
     path_suffix: String,
     needle: String,
+    /// 1-based line in `lint-allow.txt` (for R10 reporting).
+    line: usize,
 }
 
 /// Parses `lint-allow.txt` content (`#` comments and blanks ignored).
 fn parse_allowlist(text: &str) -> Vec<Allow> {
     text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .filter_map(|l| {
+        .enumerate()
+        .map(|(i, l)| (i, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|(i, l)| {
             let (path, needle) = l.split_once('|')?;
             Some(Allow {
                 path_suffix: path.trim().to_string(),
                 needle: needle.trim().to_string(),
+                line: i + 1,
             })
         })
         .collect()
 }
 
-fn is_allowed(allows: &[Allow], file: &str, line: &str) -> bool {
+/// Indices of every allowlist entry matching this violation (all are
+/// marked used, so overlapping entries don't read as stale).
+fn matching_allows(allows: &[Allow], file: &str, line: &str) -> Vec<usize> {
     allows
         .iter()
-        .any(|a| file.ends_with(&a.path_suffix) && line.contains(&a.needle))
+        .enumerate()
+        .filter(|(_, a)| file.ends_with(&a.path_suffix) && line.contains(&a.needle))
+        .map(|(i, _)| i)
+        .collect()
 }
 
 /// Masks string/char literal contents with spaces so brace tracking and
@@ -174,13 +202,29 @@ fn mask_line(line: &str) -> String {
     out
 }
 
-/// Files subject to R1 (atomics must justify their `Ordering`).
-fn r1_files(root: &Path) -> Vec<PathBuf> {
-    let mut files = list_rs(&root.join("crates/stream/src"));
-    files.extend(list_rs(&root.join("crates/serve/src")));
-    files.extend(list_rs(&root.join("crates/wal/src")));
-    files.push(root.join("crates/pb/src/trace.rs"));
-    files
+/// True when `rel` (workspace-relative, `/`-separated) is subject to R1
+/// (atomics must justify their `Ordering`).
+fn r1_in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/stream/src/")
+        || rel.starts_with("crates/serve/src/")
+        || rel.starts_with("crates/wal/src/")
+        || rel == "crates/pb/src/trace.rs"
+}
+
+/// True when `rel` is subject to R2 (hot-path crate `src/` file).
+fn r2_in_scope(rel: &str) -> bool {
+    R2_CRATES
+        .iter()
+        .any(|k| rel.starts_with(&format!("crates/{k}/src/")))
+}
+
+/// True when `rel` is a crate root that must carry
+/// `#![forbid(unsafe_code)]` (or `deny`): lib roots, bin roots, and
+/// `src/bin/` targets.
+fn is_crate_root(rel: &str) -> bool {
+    rel.ends_with("/src/lib.rs")
+        || rel.ends_with("/src/main.rs")
+        || (rel.contains("/src/bin/") && rel.ends_with(".rs"))
 }
 
 /// Crates subject to R2.
@@ -352,47 +396,141 @@ fn lint_raw_aos_bins(file: &str, text: &str, out: &mut Vec<LintViolation>) {
     }
 }
 
+/// True when `hay` contains `word` with identifier boundaries on both
+/// sides (so `unsafe_code` does not count as `unsafe`).
+fn contains_word(hay: &str, word: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let is_word = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(word) {
+        let p = start + pos;
+        let end = p + word.len();
+        let before_ok = p == 0 || !is_word(bytes[p - 1]);
+        let after_ok = end >= bytes.len() || !is_word(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = p + 1;
+    }
+    false
+}
+
+/// R9 over one file's contents: flags `unsafe` tokens (audited sites go
+/// through the allowlist) and crate roots missing the compiler-level
+/// `#![forbid(unsafe_code)]` backstop.
+fn lint_unsafe(file: &str, text: &str, out: &mut Vec<LintViolation>) {
+    for (i, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let masked = mask_line(raw);
+        if contains_word(&masked, "unsafe") {
+            out.push(LintViolation {
+                rule: Rule::UnauditedUnsafe,
+                file: file.to_string(),
+                line: i + 1,
+                text: trimmed.trim_end().to_string(),
+            });
+        }
+    }
+    if is_crate_root(file)
+        && !text.contains("#![forbid(unsafe_code)]")
+        && !text.contains("#![deny(unsafe_code)]")
+    {
+        out.push(LintViolation {
+            rule: Rule::UnauditedUnsafe,
+            file: file.to_string(),
+            line: 1,
+            text: "crate root missing #![forbid(unsafe_code)]".to_string(),
+        });
+    }
+}
+
+/// Relative path of the lint allowlist.
+const LINT_ALLOW_FILE: &str = "crates/check/lint-allow.txt";
+
 /// Runs every rule over the workspace rooted at `root`, filtering through
 /// the allowlist at `crates/check/lint-allow.txt` (missing file = empty).
+///
+/// The walk visits each source file exactly once, reads it once, and
+/// dispatches every rule whose scope covers it; afterwards R10 turns
+/// allowlist entries that suppressed nothing into violations. Output is
+/// sorted by `(path, line, rule)` for diffable CI logs.
 pub fn run_lints(root: &Path) -> std::io::Result<Vec<LintViolation>> {
-    let allow_text =
-        std::fs::read_to_string(root.join("crates/check/lint-allow.txt")).unwrap_or_default();
+    let allow_text = std::fs::read_to_string(root.join(LINT_ALLOW_FILE)).unwrap_or_default();
     let allows = parse_allowlist(&allow_text);
+    let mut used = vec![false; allows.len()];
     let mut raw = Vec::new();
 
-    for path in r1_files(root) {
+    // One walk over every crate's src/ and tests/.
+    let mut files: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(root.join("crates"))? {
+        let dir = entry?.path();
+        if dir.is_dir() {
+            files.extend(list_rs(&dir.join("src")));
+            files.extend(list_rs(&dir.join("tests")));
+        }
+    }
+    files.sort();
+
+    for path in files {
         let file = rel(root, &path);
         let text = std::fs::read_to_string(&path)?;
-        lint_ordering(&file, &text, &mut raw);
-    }
-    for krate in R2_CRATES {
-        for path in list_rs(&root.join("crates").join(krate).join("src")) {
-            let file = rel(root, &path);
-            let text = std::fs::read_to_string(&path)?;
+        if r1_in_scope(&file) {
+            lint_ordering(&file, &text, &mut raw);
+        }
+        if r2_in_scope(&file) {
             lint_unwrap(&file, &text, &mut raw);
         }
-    }
-    for name in R3_FILES {
-        let path = root.join(name);
-        if !path.is_file() {
-            continue;
+        if R3_FILES.contains(&file.as_str()) {
+            lint_mutex(&file, &text, &mut raw);
         }
-        let text = std::fs::read_to_string(&path)?;
-        lint_mutex(name, &text, &mut raw);
-    }
-    for name in R4_FILES {
-        let path = root.join(name);
-        if !path.is_file() {
-            continue;
+        if R4_FILES.contains(&file.as_str()) {
+            lint_raw_aos_bins(&file, &text, &mut raw);
         }
-        let text = std::fs::read_to_string(&path)?;
-        lint_raw_aos_bins(name, &text, &mut raw);
+        lint_unsafe(&file, &text, &mut raw);
     }
 
-    Ok(raw
+    Ok(apply_allowlist(raw, &allows, &mut used))
+}
+
+/// Filters `raw` through the allowlist, appends R10 violations for
+/// entries that suppressed nothing, and sorts for stable CI output.
+fn apply_allowlist(
+    raw: Vec<LintViolation>,
+    allows: &[Allow],
+    used: &mut [bool],
+) -> Vec<LintViolation> {
+    let mut kept: Vec<LintViolation> = raw
         .into_iter()
-        .filter(|v| !is_allowed(&allows, &v.file, &v.text))
-        .collect())
+        .filter(|v| {
+            let matches = matching_allows(allows, &v.file, &v.text);
+            for ix in &matches {
+                used[*ix] = true;
+            }
+            matches.is_empty()
+        })
+        .collect();
+    for (ix, a) in allows.iter().enumerate() {
+        if !used[ix] {
+            kept.push(LintViolation {
+                rule: Rule::StaleAllow,
+                file: LINT_ALLOW_FILE.to_string(),
+                line: a.line,
+                text: format!(
+                    "entry `{} | {}` suppressed nothing — remove it",
+                    a.path_suffix, a.needle
+                ),
+            });
+        }
+    }
+    kept.sort_by(|a, b| {
+        (a.file.as_str(), a.line)
+            .cmp(&(b.file.as_str(), b.line))
+            .then_with(|| a.rule.to_string().cmp(&b.rule.to_string()))
+    });
+    kept
 }
 
 /// Locates the workspace root by walking up from the current directory
@@ -497,15 +635,103 @@ let s = \"doc says Vec<Vec<(u32, V)>>\";
     fn allowlist_suppresses_matching_entries() {
         let allows =
             parse_allowlist("# comment\n\ncrates/pb/src/parallel.rs | binning worker panicked\n");
-        assert!(is_allowed(
-            &allows,
-            "crates/pb/src/parallel.rs",
-            "let b = h.join().expect(\"binning worker panicked\");",
-        ));
-        assert!(!is_allowed(
+        assert_eq!(
+            allows[0].line, 3,
+            "line numbers survive comment/blank lines"
+        );
+        assert_eq!(
+            matching_allows(
+                &allows,
+                "crates/pb/src/parallel.rs",
+                "let b = h.join().expect(\"binning worker panicked\");",
+            ),
+            vec![0]
+        );
+        assert!(matching_allows(
             &allows,
             "crates/pb/src/parallel.rs",
             "let b = h.join().expect(\"other\");",
-        ));
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unsafe_outside_strings_is_flagged() {
+        let word = "un\u{73}afe"; // assembled so this file stays R9-clean
+        let src = format!(
+            "fn f() {{ {word} {{ x }} }}\nlet s = \"{word} in a string\";\n// {word} in a comment\n"
+        );
+        let mut out = Vec::new();
+        lint_unsafe("crates/pb/src/lib.rs", &src, &mut out);
+        // Line 1 fires; the string and comment lines do not. The missing
+        // crate-root attribute also fires (synthetic line 1 entry).
+        let real: Vec<usize> = out
+            .iter()
+            .filter(|v| !v.text.contains("crate root"))
+            .map(|v| v.line)
+            .collect();
+        assert_eq!(real, vec![1], "{out:?}");
+        assert!(
+            out.iter().any(|v| v.text.contains("crate root")),
+            "missing forbid(unsafe_code) attribute must be flagged: {out:?}"
+        );
+    }
+
+    #[test]
+    fn crate_root_with_forbid_attribute_passes() {
+        let src = "#![forbid(unsafe_code)]\nfn main() {}\n";
+        let mut out = Vec::new();
+        lint_unsafe("crates/bench/src/bin/fig99.rs", src, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        // Non-root files don't need the attribute at all.
+        let mut out2 = Vec::new();
+        lint_unsafe("crates/pb/src/binner.rs", "fn f() {}\n", &mut out2);
+        assert!(out2.is_empty(), "{out2:?}");
+    }
+
+    #[test]
+    fn unsafe_code_ident_is_not_the_unsafe_keyword() {
+        assert!(!contains_word("#![forbid(unsafe_code)]", "unsafe"));
+        assert!(contains_word("pub fn f() { un\u{73}afe { } }", "unsafe"));
+    }
+
+    #[test]
+    fn stale_allow_entries_become_violations_and_used_ones_do_not() {
+        let allows = parse_allowlist(
+            "crates/pb/src/parallel.rs | worker panicked\ncrates/wal/src/log.rs | never matches\n",
+        );
+        let raw = vec![LintViolation {
+            rule: Rule::HotPathUnwrap,
+            file: "crates/pb/src/parallel.rs".into(),
+            line: 10,
+            text: "h.join().expect(\"worker panicked\")".into(),
+        }];
+        let mut used = vec![false; allows.len()];
+        let out = apply_allowlist(raw, &allows, &mut used);
+        // The real violation is suppressed; the unused entry fires R10.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, Rule::StaleAllow);
+        assert_eq!(out[0].line, 2, "points at the stale allowlist line");
+        assert!(out[0].text.contains("never matches"));
+    }
+
+    #[test]
+    fn output_is_sorted_by_path_then_line() {
+        let mk = |file: &str, line: usize| LintViolation {
+            rule: Rule::HotPathUnwrap,
+            file: file.into(),
+            line,
+            text: "x.unwrap()".into(),
+        };
+        let out = apply_allowlist(
+            vec![mk("b.rs", 2), mk("a.rs", 9), mk("a.rs", 3)],
+            &[],
+            &mut [],
+        );
+        let order: Vec<(String, usize)> = out.iter().map(|v| (v.file.clone(), v.line)).collect();
+        assert_eq!(
+            order,
+            vec![("a.rs".into(), 3), ("a.rs".into(), 9), ("b.rs".into(), 2)]
+        );
     }
 }

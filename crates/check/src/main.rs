@@ -5,12 +5,15 @@
 //! cobra-check races     # vector-clock race + invariant check, all kernels
 //! cobra-check oracle    # commutativity oracles (models, reducers, replays)
 //! cobra-check explore   # bounded exhaustive schedule exploration
-//! cobra-check lint      # source-level invariant lints
-//! cobra-check selftest  # the seeded racy fixture must be caught
+//! cobra-check lint      # source-level invariant lints (R1-R4, R9, R10)
+//! cobra-check analyze   # cross-crate static analysis (R5-R8) + JSON report
+//! cobra-check selftest  # seeded defects (dynamic + per-rule mutations)
 //! cobra-check all       # everything above; non-zero exit on any failure
 //! ```
 
-use cobra_check::{cluster, explore, fixtures, lint, oracle, race};
+#![forbid(unsafe_code)]
+
+use cobra_check::{analyze, cluster, explore, fixtures, lint, oracle, race};
 use cobra_kernels::ALL_KERNELS;
 
 /// Permuted orders tried per oracle subject.
@@ -119,7 +122,10 @@ fn run_lint() -> bool {
     };
     match lint::run_lints(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("  clean (4 rules over pb/core/stream/sim/serve/wal sources)");
+            println!(
+                "  clean (R1-R4 over the hot-path crates, R9 unsafe audit over every \
+                 crate, R10 stale-suppression check; single-pass walk)"
+            );
             true
         }
         Ok(violations) => {
@@ -133,6 +139,54 @@ fn run_lint() -> bool {
             println!("  lint failed to read sources: {e}");
             false
         }
+    }
+}
+
+fn run_analyze() -> bool {
+    println!("== static analysis (cobra-analyze, rules R5-R8) ==");
+    let root = match lint::find_workspace_root() {
+        Ok(r) => r,
+        Err(e) => {
+            println!("  cannot locate workspace root: {e}");
+            return false;
+        }
+    };
+    let report = match analyze::run_analysis(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("  analysis failed to read sources: {e}");
+            return false;
+        }
+    };
+    println!(
+        "  {} files, {} fns, {} calls, {} locks, {} atomics, {} lock-order edges ({} ms)",
+        report.stats.files,
+        report.stats.fns,
+        report.stats.calls,
+        report.stats.locks,
+        report.stats.atomics,
+        report.stats.lock_edges,
+        report.stats.elapsed_ms,
+    );
+    if let Err(e) = analyze::write_report(&root, &report) {
+        println!("  could not write {}: {e}", analyze::REPORT_FILE);
+        return false;
+    }
+    println!(
+        "  report: {} ({} allowlist entr{} in use)",
+        analyze::REPORT_FILE,
+        report.allow_used,
+        if report.allow_used == 1 { "y" } else { "ies" },
+    );
+    if report.is_clean() {
+        println!("  clean (R5 lock order, R6 commit-before-publish, R7 wire exhaustiveness, R8 atomics pairing)");
+        true
+    } else {
+        for f in &report.findings {
+            println!("  {f}");
+        }
+        println!("  {} finding(s)", report.findings.len());
+        false
     }
 }
 
@@ -190,7 +244,40 @@ fn run_selftest() -> bool {
             "MISSED — cluster explorer is broken"
         }
     );
-    racy_caught && clean.is_clean() && deadlock_found && quorum_caught
+    let analyzer_ok = match lint::find_workspace_root()
+        .map_err(std::io::Error::other)
+        .and_then(|root| analyze::selftest::run_mutations(&root))
+    {
+        Ok((baseline_clean, outcomes)) => {
+            println!(
+                "  analyzer baseline (unmutated):  {}",
+                if baseline_clean {
+                    "clean"
+                } else {
+                    "FALSE POSITIVE — workspace not clean"
+                }
+            );
+            let mut all = baseline_clean;
+            for o in &outcomes {
+                println!(
+                    "  {:32} {}",
+                    o.name,
+                    if o.caught {
+                        "detected"
+                    } else {
+                        "MISSED — analyzer rule is broken"
+                    }
+                );
+                all &= o.caught;
+            }
+            all
+        }
+        Err(e) => {
+            println!("  analyzer mutation selftest failed to run: {e}");
+            false
+        }
+    };
+    racy_caught && clean.is_clean() && deadlock_found && quorum_caught && analyzer_ok
 }
 
 fn main() {
@@ -200,6 +287,7 @@ fn main() {
         "oracle" => run_oracle(),
         "explore" => run_explore(),
         "lint" => run_lint(),
+        "analyze" => run_analyze(),
         "selftest" => run_selftest(),
         "all" => {
             let mut ok = true;
@@ -208,12 +296,13 @@ fn main() {
             ok &= run_oracle();
             ok &= run_explore();
             ok &= run_lint();
+            ok &= run_analyze();
             ok &= run_selftest();
             ok
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: cobra-check [races|oracle|explore|lint|selftest|all]");
+            eprintln!("usage: cobra-check [races|oracle|explore|lint|analyze|selftest|all]");
             std::process::exit(2);
         }
     };

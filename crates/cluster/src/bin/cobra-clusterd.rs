@@ -22,6 +22,8 @@
 //! `PRIMARY-LOST epoch=E` and exits cleanly — the operator (or test)
 //! then promotes the directory with `--node`.
 
+#![forbid(unsafe_code)]
+
 use cobra_cluster::ReplicaSync;
 use cobra_serve::{ServeConfig, Server};
 use cobra_stream::{DurableConfig, StreamConfig, SyncPolicy};

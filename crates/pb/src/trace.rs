@@ -138,12 +138,16 @@ pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<Event>) {
         fn drop(&mut self) {
             // ordering: SeqCst — cheap (once per capture) and makes the
             // toggle globally ordered against in-flight hooks.
+            // analyze: R8-allowlisted (analyze-allow.txt) — the paired
+            // loads in record()/is_capturing() are deliberately Relaxed;
+            // a stale read only drops/keeps a boundary event.
             ENABLED.store(false, Ordering::SeqCst);
         }
     }
     let _gate = lock(&GATE);
     lock(&LOG).clear();
     // ordering: SeqCst — see DisableOnDrop.
+    // analyze: R8-allowlisted (analyze-allow.txt) — one-sided by design.
     ENABLED.store(true, Ordering::SeqCst);
     let _off = DisableOnDrop;
     let r = f();

@@ -12,6 +12,8 @@
 //! Reading `q` (or EOF) on stdin triggers a graceful drain; an abrupt
 //! kill is exactly the crash the WAL recovers from.
 
+#![forbid(unsafe_code)]
+
 use cobra_serve::{ServeConfig, Server};
 use cobra_stream::{DurableConfig, StreamConfig, SyncPolicy};
 use std::io::{BufRead, Write};

@@ -46,6 +46,7 @@
 //! assert_eq!(stats.tuples_ingested, 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
