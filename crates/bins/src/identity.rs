@@ -1,0 +1,160 @@
+//! Pointer-identity accounting over `Arc`-shared segments.
+//!
+//! Freeze-to-`Arc` publishing means the same slab segment can back many
+//! epoch snapshots at once: an epoch that leaves a key range untouched
+//! re-publishes the previous epoch's segment handle unchanged. Two
+//! consequences fall out of that sharing, and this module is the common
+//! vocabulary for both:
+//!
+//! * **Retention accounting** — the memory a window of epochs actually
+//!   holds is the byte size of its *unique* segment allocations, not
+//!   `epochs × segments`. [`SegmentSet`] deduplicates by `Arc` pointer
+//!   identity, so a retention layer can report (and bound) real bytes.
+//! * **Diff-by-identity** — if two snapshots hold the *same* `Arc` for a
+//!   segment, no key in that segment changed between them; only
+//!   divergent segments need a value-level comparison.
+//!   [`divergent_segments`] computes that candidate set in
+//!   O(num_segments) pointer compares.
+//!
+//! Both are read-only views over the reference counts std maintains:
+//! "GC" for a retained epoch window is nothing more than dropping the
+//! window's `Arc` handles — a segment is freed exactly when no retained
+//! epoch still names it.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A set of segment allocations keyed by `Arc` pointer identity, with
+/// byte accounting of the unique allocations.
+///
+/// Insert every segment handle of every retained snapshot; the set
+/// counts each underlying allocation once no matter how many epochs
+/// share it.
+#[derive(Debug, Default)]
+pub struct SegmentSet {
+    seen: HashSet<usize>,
+    unique_bytes: u64,
+    handles: u64,
+}
+
+impl SegmentSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        SegmentSet::default()
+    }
+
+    /// Inserts one segment handle. Returns `true` when this allocation
+    /// was not seen before (and its bytes were added to the tally).
+    pub fn insert<T>(&mut self, segment: &Arc<Vec<T>>) -> bool {
+        self.handles += 1;
+        let addr = Arc::as_ptr(segment) as usize;
+        let fresh = self.seen.insert(addr);
+        if fresh {
+            self.unique_bytes += (segment.len() * std::mem::size_of::<T>()) as u64;
+        }
+        fresh
+    }
+
+    /// Total bytes of the unique segment allocations inserted so far
+    /// (element payload only, excluding `Vec`/`Arc` headers).
+    pub fn unique_bytes(&self) -> u64 {
+        self.unique_bytes
+    }
+
+    /// Number of distinct segment allocations seen.
+    pub fn unique_segments(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Number of handles inserted, shared or not. `handles /
+    /// unique_segments` is the sharing factor the COW scheme achieves.
+    pub fn handles(&self) -> u64 {
+        self.handles
+    }
+}
+
+/// Indices of the segments that *may* differ between two snapshots'
+/// segment lists: positions where the `Arc` handles are not pointer-equal
+/// (plus any tail positions present in only one list).
+///
+/// Pointer equality is a proof of value equality under copy-on-write
+/// publishing (a shared segment was never rewritten between the two
+/// epochs); pointer inequality only marks a candidate — the caller
+/// compares values inside divergent segments to materialize actual
+/// changes.
+pub fn divergent_segments<T>(a: &[Arc<Vec<T>>], b: &[Arc<Vec<T>>]) -> Vec<usize> {
+    let common = a.len().min(b.len());
+    let mut out: Vec<usize> = (0..common)
+        .filter(|&i| !Arc::ptr_eq(&a[i], &b[i]))
+        .collect();
+    out.extend(common..a.len().max(b.len()));
+    out
+}
+
+/// How many live handles (snapshots, caches, in-flight readers) share
+/// `segment`'s allocation right now. Retention tests use this to prove
+/// the window's GC never frees a segment a retained epoch still names.
+pub fn segment_refs<T>(segment: &Arc<Vec<T>>) -> usize {
+    Arc::strong_count(segment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_set_counts_each_allocation_once() {
+        let a = Arc::new(vec![0u64; 8]);
+        let b = Arc::new(vec![0u64; 4]);
+        let a2 = Arc::clone(&a);
+
+        let mut set = SegmentSet::new();
+        assert!(set.insert(&a));
+        assert!(set.insert(&b));
+        assert!(!set.insert(&a2), "clone of a shares its allocation");
+
+        assert_eq!(set.unique_segments(), 2);
+        assert_eq!(set.handles(), 3);
+        assert_eq!(set.unique_bytes(), (8 + 4) * 8);
+    }
+
+    #[test]
+    fn equal_values_in_distinct_allocations_still_count_twice() {
+        // Identity, not equality: two epochs that computed the same
+        // bytes in different allocations really do hold them twice.
+        let a = Arc::new(vec![7u64; 8]);
+        let b = Arc::new(vec![7u64; 8]);
+        let mut set = SegmentSet::new();
+        set.insert(&a);
+        set.insert(&b);
+        assert_eq!(set.unique_segments(), 2);
+        assert_eq!(set.unique_bytes(), 2 * 8 * 8);
+    }
+
+    #[test]
+    fn divergent_segments_skips_shared_handles() {
+        let shared = Arc::new(vec![1u64; 8]);
+        let old = vec![Arc::clone(&shared), Arc::new(vec![2u64; 8])];
+        let new = vec![Arc::clone(&shared), Arc::new(vec![3u64; 8])];
+        assert_eq!(divergent_segments(&old, &new), vec![1]);
+    }
+
+    #[test]
+    fn divergent_segments_covers_length_mismatch() {
+        let shared = Arc::new(vec![1u64; 8]);
+        let old = vec![Arc::clone(&shared)];
+        let new = vec![Arc::clone(&shared), Arc::new(vec![2u64; 8])];
+        assert_eq!(divergent_segments(&old, &new), vec![1]);
+        assert_eq!(divergent_segments(&new, &old), vec![1]);
+    }
+
+    #[test]
+    fn segment_refs_tracks_sharing() {
+        let seg = Arc::new(vec![0u64; 8]);
+        assert_eq!(segment_refs(&seg), 1);
+        let held = Arc::clone(&seg);
+        assert_eq!(segment_refs(&seg), 2);
+        drop(held);
+        assert_eq!(segment_refs(&seg), 1);
+    }
+}

@@ -19,12 +19,18 @@
 //! * Freeze-to-`Arc` publishing ([`BinStore::freeze`]): an immutable
 //!   store is shared by reference count in O(1) — `take_bins`, epoch
 //!   snapshots and caches never deep-copy bin data.
+//! * [`identity`] — pointer-identity accounting over the shared
+//!   segments: unique-byte tallies for multi-epoch retention windows
+//!   ([`SegmentSet`]) and the changed-segment candidate set for
+//!   diff-by-identity queries ([`divergent_segments`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod frame;
+pub mod identity;
 pub mod store;
 
 pub use frame::{cbuf_capacity, CBufFrame, FrameFlushStats, FRAME_KEYS, LINE_BYTES};
+pub use identity::{divergent_segments, segment_refs, SegmentSet};
 pub use store::{bin_geometry, BinMemory, BinReader, BinSink, BinStore, FrozenBins};

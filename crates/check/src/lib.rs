@@ -17,7 +17,9 @@
 //!    the `cobra-stream` channel/seal/epoch protocol; [`cluster`] applies
 //!    the same technique to `cobra-cluster`'s cross-node seal/commit
 //!    barrier (a cluster snapshot never publishes before every node's
-//!    `EpochCommit`).
+//!    `EpochCommit`), and [`subs`] to `cobra-mvcc`'s subscription
+//!    fan-out (bounded queues + lossless lag markers: delivery is
+//!    gap-free and per-epoch ordered in every schedule).
 //!
 //! [`lint`] adds source-level invariant linting (ordering justifications,
 //! hot-path panic hygiene, no locks on binning paths, unsafe audit,
@@ -40,3 +42,4 @@ pub mod fixtures;
 pub mod lint;
 pub mod oracle;
 pub mod race;
+pub mod subs;

@@ -13,7 +13,7 @@
 
 #![forbid(unsafe_code)]
 
-use cobra_check::{analyze, cluster, explore, fixtures, lint, oracle, race};
+use cobra_check::{analyze, cluster, explore, fixtures, lint, oracle, race, subs};
 use cobra_kernels::ALL_KERNELS;
 
 /// Permuted orders tried per oracle subject.
@@ -100,6 +100,19 @@ fn run_explore() -> bool {
         match cluster::explore_cluster(&sc) {
             Ok(stats) => println!(
                 "  {:32} {:>7} states, {:>4} terminal schedules, publish-after-all-commit holds",
+                sc.name, stats.states, stats.terminals
+            ),
+            Err(v) => {
+                println!("  {:32} VIOLATION: {v}", sc.name);
+                ok = false;
+            }
+        }
+    }
+    println!("== schedule exploration (mvcc subscription fan-out / lossless lag) ==");
+    for sc in subs::standard_sub_scenarios() {
+        match subs::explore_subs(&sc) {
+            Ok(stats) => println!(
+                "  {:32} {:>7} states, {:>4} terminal schedules, gap-free delivery holds",
                 sc.name, stats.states, stats.terminals
             ),
             Err(v) => {
@@ -244,6 +257,15 @@ fn run_selftest() -> bool {
             "MISSED — cluster explorer is broken"
         }
     );
+    let drop_caught = subs::explore_subs(&subs::drop_on_full_mutation()).is_err();
+    println!(
+        "  drop-on-full fan-out mutation:  {}",
+        if drop_caught {
+            "lost epoch exposed"
+        } else {
+            "MISSED — subscription explorer is broken"
+        }
+    );
     let analyzer_ok = match lint::find_workspace_root()
         .map_err(std::io::Error::other)
         .and_then(|root| analyze::selftest::run_mutations(&root))
@@ -277,7 +299,7 @@ fn run_selftest() -> bool {
             false
         }
     };
-    racy_caught && clean.is_clean() && deadlock_found && quorum_caught && analyzer_ok
+    racy_caught && clean.is_clean() && deadlock_found && quorum_caught && drop_caught && analyzer_ok
 }
 
 fn main() {

@@ -1,0 +1,138 @@
+//! Diff-by-identity between two epoch snapshots.
+//!
+//! Copy-on-write publishing makes "what changed between epoch `a` and
+//! epoch `b`" cheap to answer: a segment whose `Arc` handle is shared by
+//! both snapshots was never rewritten between them, so only *divergent*
+//! segments (pointer-unequal handles, found in O(num_segments) by
+//! [`cobra_bins::divergent_segments`]) need a value-level scan. The diff
+//! therefore costs O(segments + keys-in-rewritten-segments), independent
+//! of the total key count for sparse epochs.
+//!
+//! Entries carry the **absolute value at the newer epoch**, not an
+//! increment. That makes applying a diff idempotent — replaying a delta
+//! you already hold, or re-syncing over a window you partially consumed,
+//! converges to the same state — which is what makes the subscription
+//! layer's `LAGGED{resume_epoch}` + diff re-sync lossless.
+
+use cobra_bins::divergent_segments;
+use cobra_stream::EpochSnapshot;
+use std::sync::Arc;
+
+/// Changed keys in `lo..hi` between `old` and `new`, as sorted
+/// `(key, value_at_new)` pairs.
+///
+/// Both snapshots must come from the same pipeline geometry (equal
+/// `num_keys` and `segment_keys`); `lo..hi` must lie inside the key
+/// space. `old` may be the newer snapshot — the comparison is symmetric
+/// except that values are always taken from `new`.
+///
+/// # Panics
+///
+/// Panics on geometry mismatch or an out-of-range window (server-side
+/// callers validate ranges before calling; this is the internal
+/// contract, not a wire-facing surface).
+pub fn diff_range<A: Clone + PartialEq>(
+    old: &EpochSnapshot<A>,
+    new: &EpochSnapshot<A>,
+    lo: u32,
+    hi: u32,
+) -> Vec<(u32, A)> {
+    assert_eq!(old.num_keys(), new.num_keys(), "snapshot geometry drifted");
+    assert_eq!(
+        old.segment_keys(),
+        new.segment_keys(),
+        "snapshot geometry drifted"
+    );
+    assert!(lo <= hi && hi <= new.num_keys(), "diff range out of bounds");
+    if lo == hi {
+        return Vec::new();
+    }
+
+    let seg_keys = new.segment_keys();
+    let seg_lo = (lo / seg_keys) as usize;
+    let seg_hi = ((hi - 1) / seg_keys) as usize;
+    let old_handles: Vec<Arc<Vec<A>>> = (seg_lo..=seg_hi)
+        .map(|i| Arc::clone(old.segment(i)))
+        .collect();
+    let new_handles: Vec<Arc<Vec<A>>> = (seg_lo..=seg_hi)
+        .map(|i| Arc::clone(new.segment(i)))
+        .collect();
+
+    let mut out = Vec::new();
+    for rel in divergent_segments(&old_handles, &new_handles) {
+        let seg = seg_lo + rel;
+        let base = seg as u32 * seg_keys;
+        let old_seg = &old_handles[rel];
+        let new_seg = &new_handles[rel];
+        let from = lo.max(base) - base;
+        let to = hi.min(base + new_seg.len() as u32) - base;
+        for k in from..to {
+            let (o, n) = (&old_seg[k as usize], &new_seg[k as usize]);
+            if o != n {
+                out.push((base + k, n.clone()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(epoch: u64, segments: Vec<Arc<Vec<u64>>>) -> EpochSnapshot<u64> {
+        EpochSnapshot::from_segments(epoch, 4, segments)
+    }
+
+    #[test]
+    fn shared_segments_are_skipped_and_changes_materialize() {
+        let shared = Arc::new(vec![1, 2, 3, 4]);
+        let old = snap(1, vec![Arc::clone(&shared), Arc::new(vec![5, 6, 7, 8])]);
+        let new = snap(2, vec![Arc::clone(&shared), Arc::new(vec![5, 9, 7, 11])]);
+        assert_eq!(diff_range(&old, &new, 0, 8), vec![(5, 9), (7, 11)]);
+    }
+
+    #[test]
+    fn divergent_but_equal_values_produce_no_entries() {
+        // Distinct allocations, identical contents (e.g. a rewrite that
+        // restored the same value): identity only gates the scan.
+        let old = snap(1, vec![Arc::new(vec![1, 2, 3, 4])]);
+        let new = snap(2, vec![Arc::new(vec![1, 2, 3, 4])]);
+        assert_eq!(diff_range(&old, &new, 0, 4), vec![]);
+    }
+
+    #[test]
+    fn range_clips_to_segment_boundaries() {
+        let old = snap(1, vec![Arc::new(vec![0; 4]), Arc::new(vec![0; 4])]);
+        let new = snap(
+            2,
+            vec![Arc::new(vec![1, 1, 1, 1]), Arc::new(vec![2, 2, 2, 2])],
+        );
+        assert_eq!(diff_range(&old, &new, 3, 5), vec![(3, 1), (4, 2)]);
+        assert_eq!(diff_range(&old, &new, 4, 4), vec![]);
+    }
+
+    #[test]
+    fn short_tail_segment_is_handled() {
+        let old = snap(1, vec![Arc::new(vec![0; 4]), Arc::new(vec![0; 2])]);
+        let new = snap(2, vec![Arc::new(vec![0; 4]), Arc::new(vec![0, 9])]);
+        assert_eq!(diff_range(&old, &new, 0, 6), vec![(5, 9)]);
+    }
+
+    #[test]
+    fn applying_a_diff_is_idempotent() {
+        let old = snap(1, vec![Arc::new(vec![10, 20, 30, 40])]);
+        let new = snap(2, vec![Arc::new(vec![10, 21, 30, 41])]);
+        let delta = diff_range(&old, &new, 0, 4);
+        let mut state = old.to_vec();
+        for &(k, v) in &delta {
+            state[k as usize] = v;
+        }
+        let once = state.clone();
+        for &(k, v) in &delta {
+            state[k as usize] = v;
+        }
+        assert_eq!(state, once);
+        assert_eq!(state, new.to_vec());
+    }
+}

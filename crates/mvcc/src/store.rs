@@ -1,0 +1,360 @@
+//! The multi-epoch retention window.
+//!
+//! An [`EpochStore`] holds the last K published [`EpochSnapshot`]s (and
+//! optionally only those younger than T). Because snapshots share
+//! copy-on-write segments, retaining K epochs costs the *unique* segment
+//! versions only — an epoch that touched 3 of 1024 segments adds 3
+//! segments of bytes to the window, not a full copy of the state.
+//!
+//! Garbage collection is `Arc`-drop semantics, nothing more: evicting an
+//! epoch drops that snapshot's segment handles, and a segment allocation
+//! is freed exactly when no *retained* epoch (and no in-flight reader or
+//! cache entry) still names it. A segment shared with a newer retained
+//! epoch survives its original epoch's eviction by construction — there
+//! is no mark phase that could get this wrong.
+
+use cobra_bins::SegmentSet;
+use cobra_stream::EpochSnapshot;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Retention policy for an [`EpochStore`]: keep the last `max_epochs`
+/// snapshots, and (optionally) drop retained snapshots older than
+/// `max_age` as new epochs are admitted. The latest snapshot is always
+/// kept regardless of age.
+#[derive(Debug, Clone, Copy)]
+pub struct RetentionConfig {
+    max_epochs: usize,
+    max_age: Option<Duration>,
+}
+
+impl RetentionConfig {
+    /// Keep only the latest epoch (the pre-MVCC behavior).
+    pub fn new() -> Self {
+        RetentionConfig {
+            max_epochs: 1,
+            max_age: None,
+        }
+    }
+
+    /// Sets the window size in epochs (must be ≥ 1).
+    pub fn max_epochs(mut self, epochs: usize) -> Self {
+        assert!(epochs >= 1, "retention window needs at least one epoch");
+        self.max_epochs = epochs;
+        self
+    }
+
+    /// Sets an age bound: snapshots admitted more than `age` ago are
+    /// evicted when the next epoch is admitted (the latest always stays).
+    pub fn max_age(mut self, age: Duration) -> Self {
+        self.max_age = Some(age);
+        self
+    }
+
+    /// The configured window size in epochs.
+    pub fn epochs(&self) -> usize {
+        self.max_epochs
+    }
+
+    /// The configured age bound, if any.
+    pub fn age(&self) -> Option<Duration> {
+        self.max_age
+    }
+}
+
+impl Default for RetentionConfig {
+    fn default() -> Self {
+        RetentionConfig::new()
+    }
+}
+
+/// A request named an epoch outside the retained window: either evicted
+/// (older than the window) or never published (newer than the latest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochEvicted {
+    /// The epoch the request named.
+    pub requested: u64,
+    /// Oldest epoch still retained.
+    pub oldest: u64,
+    /// Newest (latest published) retained epoch.
+    pub newest: u64,
+}
+
+impl std::fmt::Display for EpochEvicted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch {} outside retained window [{}, {}]",
+            self.requested, self.oldest, self.newest
+        )
+    }
+}
+
+impl std::error::Error for EpochEvicted {}
+
+struct Retained<A> {
+    snap: Arc<EpochSnapshot<A>>,
+    admitted_at: Instant,
+}
+
+/// Thread-safe window of the last K epoch snapshots.
+///
+/// The window starts empty; the owner seeds it with the initial (or
+/// recovered) snapshot before readers arrive, and the stream layer's
+/// publish hook [`admit`](EpochStore::admit)s every epoch after that.
+pub struct EpochStore<A> {
+    cfg: RetentionConfig,
+    window: Mutex<VecDeque<Retained<A>>>,
+}
+
+impl<A> EpochStore<A> {
+    /// An empty store with the given policy.
+    pub fn new(cfg: RetentionConfig) -> Self {
+        EpochStore {
+            cfg,
+            window: Mutex::new(VecDeque::with_capacity(cfg.max_epochs + 1)),
+        }
+    }
+
+    /// The retention policy.
+    pub fn config(&self) -> RetentionConfig {
+        self.cfg
+    }
+
+    /// Admits a freshly published snapshot and applies the retention
+    /// policy, returning the number of snapshots evicted. Re-admitting
+    /// the current latest epoch is a no-op; an epoch older than the
+    /// latest is ignored (publishes are monotonic — this only guards
+    /// against a racing double-seed).
+    pub fn admit(&self, snap: Arc<EpochSnapshot<A>>) -> usize {
+        let mut window = self.window.lock().expect("mvcc window lock poisoned");
+        if let Some(back) = window.back() {
+            if snap.epoch() <= back.snap.epoch() {
+                return 0;
+            }
+        }
+        window.push_back(Retained {
+            snap,
+            admitted_at: Instant::now(),
+        });
+        let mut evicted = 0;
+        while window.len() > self.cfg.max_epochs {
+            window.pop_front();
+            evicted += 1;
+        }
+        if let Some(age) = self.cfg.max_age {
+            while window.len() > 1
+                && window
+                    .front()
+                    .is_some_and(|r| r.admitted_at.elapsed() > age)
+            {
+                window.pop_front();
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// The retained snapshot of `epoch`, where `0` means "the latest".
+    /// Any other epoch must lie inside the retained window, else a typed
+    /// [`EpochEvicted`] reports the window bounds.
+    pub fn get(&self, epoch: u64) -> Result<Arc<EpochSnapshot<A>>, EpochEvicted> {
+        let window = self.window.lock().expect("mvcc window lock poisoned");
+        let (Some(front), Some(back)) = (window.front(), window.back()) else {
+            return Err(EpochEvicted {
+                requested: epoch,
+                oldest: 0,
+                newest: 0,
+            });
+        };
+        if epoch == 0 {
+            return Ok(Arc::clone(&back.snap));
+        }
+        let bounds = EpochEvicted {
+            requested: epoch,
+            oldest: front.snap.epoch(),
+            newest: back.snap.epoch(),
+        };
+        if epoch < bounds.oldest || epoch > bounds.newest {
+            return Err(bounds);
+        }
+        window
+            .iter()
+            .find(|r| r.snap.epoch() == epoch)
+            .map(|r| Arc::clone(&r.snap))
+            .ok_or(bounds)
+    }
+
+    /// The latest retained snapshot, or `None` before the store is
+    /// seeded.
+    pub fn latest(&self) -> Option<Arc<EpochSnapshot<A>>> {
+        let window = self.window.lock().expect("mvcc window lock poisoned");
+        window.back().map(|r| Arc::clone(&r.snap))
+    }
+
+    /// `(oldest, newest)` retained epochs, or `None` when empty.
+    pub fn bounds(&self) -> Option<(u64, u64)> {
+        let window = self.window.lock().expect("mvcc window lock poisoned");
+        match (window.front(), window.back()) {
+            (Some(f), Some(b)) => Some((f.snap.epoch(), b.snap.epoch())),
+            _ => None,
+        }
+    }
+
+    /// Number of snapshots currently retained.
+    pub fn retained_epochs(&self) -> u64 {
+        let window = self.window.lock().expect("mvcc window lock poisoned");
+        window.len() as u64
+    }
+
+    /// Bytes held by the window's *unique* segment allocations —
+    /// deduplicated by `Arc` pointer identity, so segments shared across
+    /// epochs count once. This is the number that drops when eviction
+    /// frees the last reference to an old segment version.
+    pub fn retained_bytes(&self) -> u64 {
+        let window = self.window.lock().expect("mvcc window lock poisoned");
+        let mut set = SegmentSet::new();
+        for r in window.iter() {
+            for i in 0..r.snap.num_segments() {
+                set.insert(r.snap.segment(i));
+            }
+        }
+        set.unique_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Weak;
+
+    fn snap(epoch: u64, segments: Vec<Arc<Vec<u64>>>) -> Arc<EpochSnapshot<u64>> {
+        Arc::new(EpochSnapshot::from_segments(epoch, 4, segments))
+    }
+
+    fn fresh(fill: u64) -> Arc<Vec<u64>> {
+        Arc::new(vec![fill; 4])
+    }
+
+    #[test]
+    fn window_of_one_keeps_only_latest() {
+        let store = EpochStore::new(RetentionConfig::new());
+        store.admit(snap(0, vec![fresh(0), fresh(0)]));
+        store.admit(snap(1, vec![fresh(1), fresh(1)]));
+        assert_eq!(store.bounds(), Some((1, 1)));
+        assert_eq!(store.get(0).map(|s| s.epoch()), Ok(1));
+        assert_eq!(
+            store.get(1).map(|s| s.epoch()),
+            Ok(1),
+            "the latest epoch is addressable by number too"
+        );
+        let err = store.get(2).expect_err("future epoch");
+        assert_eq!(
+            err,
+            EpochEvicted {
+                requested: 2,
+                oldest: 1,
+                newest: 1
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_respects_count_and_reports_typed_error() {
+        let store = EpochStore::new(RetentionConfig::new().max_epochs(2));
+        for e in 0..4 {
+            store.admit(snap(e, vec![fresh(e), fresh(e)]));
+        }
+        assert_eq!(store.bounds(), Some((2, 3)));
+        assert_eq!(store.retained_epochs(), 2);
+        let err = store.get(1).expect_err("epoch 1 evicted");
+        assert_eq!(err.requested, 1);
+        assert_eq!((err.oldest, err.newest), (2, 3));
+        assert_eq!(store.get(2).map(|s| s.epoch()), Ok(2));
+    }
+
+    #[test]
+    fn age_policy_evicts_old_epochs_but_keeps_latest() {
+        let store = EpochStore::new(RetentionConfig::new().max_epochs(8).max_age(Duration::ZERO));
+        store.admit(snap(1, vec![fresh(1)]));
+        std::thread::sleep(Duration::from_millis(2));
+        store.admit(snap(2, vec![fresh(2)]));
+        // Epoch 1 aged out at the admission of epoch 2; the latest stays
+        // no matter how stale.
+        assert_eq!(store.bounds(), Some((2, 2)));
+    }
+
+    #[test]
+    fn gc_frees_unshared_segments_and_never_shared_ones() {
+        // Epoch 1 rewrites both segments; epoch 2 rewrites only segment
+        // 0, sharing epoch 1's segment 1. Evicting epoch 1 must free its
+        // segment-0 version (nobody else names it) and must NOT free its
+        // segment-1 version (epoch 2 still shares it).
+        let store = EpochStore::new(RetentionConfig::new().max_epochs(2));
+        let e1_seg0 = fresh(10);
+        let e1_seg1 = fresh(11);
+        let weak_e1_seg0: Weak<Vec<u64>> = Arc::downgrade(&e1_seg0);
+        let shared_seg1 = Arc::clone(&e1_seg1);
+
+        store.admit(snap(1, vec![e1_seg0, e1_seg1]));
+        store.admit(snap(2, vec![fresh(20), Arc::clone(&shared_seg1)]));
+        assert!(
+            weak_e1_seg0.upgrade().is_some(),
+            "window of 2 still retains epoch 1"
+        );
+
+        store.admit(snap(3, vec![fresh(30), Arc::clone(&shared_seg1)]));
+        assert!(
+            weak_e1_seg0.upgrade().is_none(),
+            "epoch 1's unshared segment must be freed on eviction"
+        );
+        // Our handle + epoch 2 + epoch 3 still name the shared segment.
+        assert_eq!(cobra_bins::segment_refs(&shared_seg1), 3);
+
+        store.admit(snap(4, vec![fresh(40), fresh(41)]));
+        store.admit(snap(5, vec![fresh(50), fresh(51)]));
+        // Epochs 2 and 3 evicted; only our local handle remains.
+        assert_eq!(cobra_bins::segment_refs(&shared_seg1), 1);
+    }
+
+    #[test]
+    fn retained_bytes_counts_unique_segments_and_drops_after_eviction() {
+        let store = EpochStore::new(RetentionConfig::new().max_epochs(2));
+        let shared = fresh(7);
+        store.admit(snap(1, vec![fresh(1), fresh(1)]));
+        store.admit(snap(2, vec![fresh(2), Arc::clone(&shared)]));
+        // 3 unique segments of 4×8 bytes: epoch 1's pair is fully
+        // distinct, epoch 2 shares nothing with it.
+        assert_eq!(store.retained_bytes(), 4 * 4 * 8);
+
+        // Epoch 3 shares epoch 2's second segment: admitting it evicts
+        // epoch 1 (2 unique segments gone) and adds 1 → bytes drop.
+        let before = store.retained_bytes();
+        store.admit(snap(3, vec![fresh(3), Arc::clone(&shared)]));
+        let after = store.retained_bytes();
+        assert!(
+            after < before,
+            "eviction must free bytes: {before} -> {after}"
+        );
+        assert_eq!(after, 3 * 4 * 8);
+    }
+
+    #[test]
+    fn empty_store_reports_evicted_and_no_latest() {
+        let store: EpochStore<u64> = EpochStore::new(RetentionConfig::new());
+        assert!(store.latest().is_none());
+        assert!(store.bounds().is_none());
+        assert!(store.get(0).is_err());
+    }
+
+    #[test]
+    fn stale_admit_is_ignored() {
+        let store = EpochStore::new(RetentionConfig::new().max_epochs(4));
+        store.admit(snap(3, vec![fresh(3)]));
+        store.admit(snap(3, vec![fresh(3)]));
+        store.admit(snap(2, vec![fresh(2)]));
+        assert_eq!(store.retained_epochs(), 1);
+        assert_eq!(store.bounds(), Some((3, 3)));
+    }
+}

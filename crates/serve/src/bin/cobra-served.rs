@@ -4,7 +4,12 @@
 //! cobra-served [--addr HOST:PORT] [--keys N] [--workers N] [--shards N]
 //!              [--data-dir PATH] [--sync never|onseal|bytes:N]
 //!              [--checkpoint-every N] [--epoch-tuples N]
+//!              [--retain K] [--retain-secs T]
 //! ```
+//!
+//! `--retain K` keeps the last K published epochs for time-travel reads,
+//! diffs and subscriber re-sync (default 1 = latest only); `--retain-secs
+//! T` additionally evicts epochs older than T seconds.
 //!
 //! Prints `ADDR <host:port>` on stdout once the listener is bound (port 0
 //! resolves to the real ephemeral port — the recovery e2e test and
@@ -28,6 +33,8 @@ struct Options {
     sync: SyncPolicy,
     checkpoint_every: u64,
     epoch_tuples: u64,
+    retain: usize,
+    retain_secs: Option<u64>,
 }
 
 impl Default for Options {
@@ -41,6 +48,8 @@ impl Default for Options {
             sync: SyncPolicy::OnSeal,
             checkpoint_every: 8,
             epoch_tuples: 0,
+            retain: 1,
+            retain_secs: None,
         }
     }
 }
@@ -101,11 +110,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--epoch-tuples needs a number".to_string())?
             }
+            "--retain" => {
+                opts.retain = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--retain needs a number".to_string())?;
+                if opts.retain == 0 {
+                    return Err("--retain must be at least 1 (the latest epoch)".to_string());
+                }
+            }
+            "--retain-secs" => {
+                opts.retain_secs = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|_| "--retain-secs needs a number".to_string())?,
+                )
+            }
             "--help" | "-h" => {
                 return Err("usage: cobra-served [--addr HOST:PORT] [--keys N] \
                      [--workers N] [--shards N] [--data-dir PATH] \
                      [--sync never|onseal|bytes:N] [--checkpoint-every N] \
-                     [--epoch-tuples N]"
+                     [--epoch-tuples N] [--retain K] [--retain-secs T]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -120,7 +144,13 @@ fn run(opts: Options) -> Result<(), String> {
     if opts.epoch_tuples > 0 {
         stream_cfg = stream_cfg.epoch_tuples(opts.epoch_tuples);
     }
-    let mut serve_cfg = ServeConfig::new().addr(&opts.addr).workers(opts.workers);
+    let mut serve_cfg = ServeConfig::new()
+        .addr(&opts.addr)
+        .workers(opts.workers)
+        .retain_epochs(opts.retain);
+    if let Some(secs) = opts.retain_secs {
+        serve_cfg = serve_cfg.retain_age(std::time::Duration::from_secs(secs));
+    }
     if let Some(dir) = &opts.data_dir {
         serve_cfg = serve_cfg.durable(
             DurableConfig::new(dir)

@@ -221,6 +221,69 @@ impl ServeClient {
         }
     }
 
+    /// Queries one key as of a retained epoch (`epoch == 0` means
+    /// "latest"). Returns `(epoch, value)` — the epoch actually served,
+    /// which resolves a 0 to the real number. An epoch below the
+    /// retention window fails with `ErrorCode::EpochEvicted`.
+    pub fn query_at(&mut self, epoch: u64, key: u32) -> Result<(u64, u64), ClientError> {
+        match self.call(&Frame::QueryAt { epoch, key })? {
+            Frame::Value { epoch, value } => Ok((epoch, value)),
+            Frame::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected("non-value response to QUERY_AT")),
+        }
+    }
+
+    /// Fetches the changed keys in `[lo, hi)` between two retained epochs
+    /// (`to_epoch == 0` means "latest"). Returns
+    /// `(from_epoch, to_epoch, entries)` with the epochs resolved and the
+    /// entries carrying absolute values at `to_epoch` — applying them is
+    /// idempotent.
+    pub fn diff(
+        &mut self,
+        from_epoch: u64,
+        to_epoch: u64,
+        lo: u32,
+        hi: u32,
+    ) -> Result<EpochDelta, ClientError> {
+        let request = Frame::Diff {
+            from_epoch,
+            to_epoch,
+            lo,
+            hi,
+        };
+        match self.call(&request)? {
+            Frame::Delta {
+                from_epoch,
+                to_epoch,
+                done: _,
+                entries,
+            } => Ok((from_epoch, to_epoch, entries)),
+            Frame::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected("non-delta response to DIFF")),
+        }
+    }
+
+    /// Registers for per-epoch delta pushes over keys `[lo, hi)`, turning
+    /// this connection into a [`Subscription`]. The returned
+    /// subscription's [`start_epoch`](Subscription::start_epoch) is the
+    /// baseline the deltas build on — fetch that state (for example via a
+    /// second connection's `snapshot`), then fold every
+    /// [`SubEvent::Delta`] on top.
+    pub fn subscribe(mut self, lo: u32, hi: u32) -> Result<Subscription, ClientError> {
+        match self.call(&Frame::Subscribe { lo, hi })? {
+            Frame::Subscribed { epoch } => Ok(Subscription {
+                reader: self.reader,
+                writer: self.writer,
+                scratch: self.scratch,
+                start_epoch: epoch,
+            }),
+            Frame::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::Unexpected(
+                "non-subscribed response to SUBSCRIBE",
+            )),
+        }
+    }
+
     /// Runs one replication round: sends the follower's `manifest` (file
     /// name → bytes already held) and invokes `apply` for every `Segment`
     /// frame the primary streams back. Returns the round's `ReplDone`
@@ -260,6 +323,157 @@ impl ServeClient {
                 Err(ReadError::Io(e)) => return Err(ClientError::Io(e)),
                 Err(ReadError::Wire(e)) => return Err(ClientError::Wire(e)),
             }
+        }
+    }
+}
+
+/// A resolved `(from_epoch, to_epoch)` pair plus the changed
+/// `(key, absolute value)` entries between them — the payload of a
+/// [`ServeClient::diff`] reply and of a reassembled push delta.
+type EpochDelta = (u64, u64, Vec<(u32, u64)>);
+
+/// One event delivered to a [`Subscription`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubEvent {
+    /// One epoch's changed keys in the subscribed range, as absolute
+    /// `(key, value at to_epoch)` pairs. Delivery is gap-free:
+    /// `to_epoch` is always the epoch after the previous event's, and an
+    /// epoch with no changes in range still arrives (with no entries).
+    Delta {
+        /// The epoch this delta starts from.
+        from_epoch: u64,
+        /// The epoch the entries' values are absolute at.
+        to_epoch: u64,
+        /// Sorted `(key, value)` pairs.
+        entries: Vec<(u32, u64)>,
+    },
+    /// The subscriber fell behind and epochs up to and including
+    /// `resume_epoch` were dropped from its queue. Deltas resume at
+    /// `resume_epoch + 1`; close the gap losslessly with one
+    /// [`ServeClient::diff`] from the last applied epoch to
+    /// `resume_epoch` on another connection (entries are absolute, so
+    /// the re-sync composes with later deltas).
+    Lagged {
+        /// Newest missed epoch.
+        resume_epoch: u64,
+    },
+}
+
+/// A connection in push mode: blocks on [`next_event`](Self::next_event)
+/// (or iteration) for per-epoch deltas, returns to request/response mode
+/// via [`unsubscribe`](Self::unsubscribe). A server disconnect surfaces
+/// as a typed [`ClientError::Disconnected`], never a hang.
+pub struct Subscription {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    scratch: Vec<u8>,
+    start_epoch: u64,
+}
+
+impl Subscription {
+    /// The baseline epoch the pushes build on: the first delta's
+    /// `from_epoch` equals this (unless a `Lagged` arrives first).
+    pub fn start_epoch(&self) -> u64 {
+        self.start_epoch
+    }
+
+    /// Blocks for the next push. A delta split across several wire
+    /// frames (more than `MAX_DELTA_ENTRIES` changes) is reassembled
+    /// into one event.
+    pub fn next_event(&mut self) -> Result<SubEvent, ClientError> {
+        let mut partial: Option<EpochDelta> = None;
+        loop {
+            match protocol::read_frame(&mut self.reader, MAX_FRAME) {
+                Ok(Some(Frame::Delta {
+                    from_epoch,
+                    to_epoch,
+                    done,
+                    entries,
+                })) => {
+                    let (first_from, acc_to, mut acc) =
+                        partial.take().unwrap_or((from_epoch, to_epoch, Vec::new()));
+                    if acc_to != to_epoch {
+                        return Err(ClientError::Unexpected(
+                            "delta chunks for different epochs interleaved",
+                        ));
+                    }
+                    acc.extend_from_slice(&entries);
+                    if done {
+                        return Ok(SubEvent::Delta {
+                            from_epoch: first_from,
+                            to_epoch,
+                            entries: acc,
+                        });
+                    }
+                    partial = Some((first_from, acc_to, acc));
+                }
+                Ok(Some(Frame::Lagged { resume_epoch })) => {
+                    if partial.is_some() {
+                        return Err(ClientError::Unexpected("lag notice inside a chunked delta"));
+                    }
+                    return Ok(SubEvent::Lagged { resume_epoch });
+                }
+                Ok(Some(Frame::Error { code, detail })) => {
+                    return Err(ClientError::Server { code, detail })
+                }
+                Ok(Some(_)) => {
+                    return Err(ClientError::Unexpected(
+                        "non-push frame in a subscription stream",
+                    ))
+                }
+                Ok(None) => return Err(ClientError::Disconnected),
+                Err(ReadError::Idle) => continue,
+                Err(ReadError::Io(e)) => return Err(ClientError::Io(e)),
+                Err(ReadError::Wire(e)) => return Err(ClientError::Wire(e)),
+            }
+        }
+    }
+
+    /// Leaves push mode: asks the server to tear the subscription down,
+    /// drains the in-flight pushes, and returns the connection (back in
+    /// request/response mode) together with the epoch the server
+    /// confirmed the teardown at.
+    pub fn unsubscribe(mut self) -> Result<(ServeClient, u64), ClientError> {
+        protocol::write_frame(&mut self.writer, &Frame::Unsubscribe, &mut self.scratch)?;
+        loop {
+            match protocol::read_frame(&mut self.reader, MAX_FRAME) {
+                // Pushes already on the wire keep arriving until the
+                // server has drained the queue; discard them.
+                Ok(Some(Frame::Delta { .. } | Frame::Lagged { .. })) => continue,
+                Ok(Some(Frame::Unsubscribed { epoch })) => {
+                    let client = ServeClient {
+                        reader: self.reader,
+                        writer: self.writer,
+                        scratch: self.scratch,
+                    };
+                    return Ok((client, epoch));
+                }
+                Ok(Some(Frame::Error { code, detail })) => {
+                    return Err(ClientError::Server { code, detail })
+                }
+                Ok(Some(_)) => {
+                    return Err(ClientError::Unexpected(
+                        "non-push frame while unsubscribing",
+                    ))
+                }
+                Ok(None) => return Err(ClientError::Disconnected),
+                Err(ReadError::Idle) => continue,
+                Err(ReadError::Io(e)) => return Err(ClientError::Io(e)),
+                Err(ReadError::Wire(e)) => return Err(ClientError::Wire(e)),
+            }
+        }
+    }
+}
+
+impl Iterator for Subscription {
+    type Item = Result<SubEvent, ClientError>;
+
+    /// Blocking iteration over pushes. Ends (returns `None`) when the
+    /// server disconnects; any other error is yielded to the caller.
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_event() {
+            Err(ClientError::Disconnected) => None,
+            event => Some(event),
         }
     }
 }

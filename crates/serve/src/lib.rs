@@ -17,6 +17,13 @@
 //! * [`ServeClient`] — a blocking round-trip client whose
 //!   [`update_all`](ServeClient::update_all) retry loop extends the
 //!   pipeline's zero-loss guarantee across the wire.
+//! * **MVCC** (backed by [`cobra_mvcc`]) — the server retains a window
+//!   of published epochs for time travel (`QUERY_AT`), diff reads
+//!   (`DIFF`, by copy-on-write segment identity), and push
+//!   subscriptions: [`ServeClient::subscribe`] turns a connection into
+//!   a [`Subscription`] streaming gap-free per-epoch [`SubEvent`]s,
+//!   with a lossless `LAGGED` + diff re-sync path when a subscriber
+//!   falls behind.
 //!
 //! ## Quick start
 //!
@@ -55,6 +62,6 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheStats, S3FifoCache};
-pub use client::{ClientError, ServeClient, UpdateOutcome};
+pub use client::{ClientError, ServeClient, SubEvent, Subscription, UpdateOutcome};
 pub use protocol::{ErrorCode, Frame, WireError, WireStats};
 pub use server::{ServeConfig, Server, SumU64};

@@ -25,6 +25,10 @@
 //! WaitEpoch { epoch }         ───▶ EpochCommitted { epoch } | Error
 //! Replicate { manifest… }     ───▶ Segment { … }* ReplDone { … } | Error
 //! Ack { epoch, bytes }        ───▶ EpochCommitted { epoch }
+//! QueryAt { epoch, key }      ───▶ Value { epoch, value } | Error
+//! Diff { e1, e2, lo, hi }     ───▶ Delta { … } | Error
+//! Subscribe { lo, hi }        ───▶ Subscribed { epoch } then Delta/Lagged pushes
+//! Unsubscribe                 ───▶ Unsubscribed { epoch }
 //! ```
 //!
 //! `Busy { accepted }` is the admission-control refusal: the first
@@ -42,8 +46,12 @@ use std::io::{self, Read, Write};
 
 /// Wire protocol revision. Bumped whenever the frame grammar changes
 /// (revision 2 added the version byte itself plus the cluster frames:
-/// `WaitEpoch`/`EpochCommitted`, `Replicate`/`Segment`/`ReplDone`, `Ack`).
-pub const PROTOCOL_VERSION: u8 = 2;
+/// `WaitEpoch`/`EpochCommitted`, `Replicate`/`Segment`/`ReplDone`, `Ack`;
+/// revision 3 added the MVCC frames: `QueryAt`, `Diff`,
+/// `Subscribe`/`Subscribed`, `Unsubscribe`/`Unsubscribed`, `Delta`,
+/// `Lagged`, plus the `EpochEvicted` error code and four retention
+/// fields in `StatsReport`).
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Default ceiling on one frame's length field. Requests are small; the
 /// largest legitimate frames are snapshot-slice responses, bounded by
@@ -69,6 +77,13 @@ pub const MAX_MANIFEST_FILES: u32 = 16_384;
 /// Longest directory-relative file name in a manifest or `Segment` frame.
 pub const MAX_FILE_NAME: usize = 256;
 
+/// Largest `(key, value)` entry count one `Delta` frame may carry (keeps
+/// the frame under [`MAX_FRAME`]); larger per-epoch deltas are chunked
+/// into several `Delta` frames, the last one flagged `done`. `Diff`
+/// requests bound their key range by [`MAX_SNAPSHOT_KEYS`], so a diff
+/// reply always fits one frame.
+pub const MAX_DELTA_ENTRIES: u32 = 65_536;
+
 /// Raw opcode bytes (request kinds in `0x01..=0x7F`, response kinds
 /// with the high bit set) — public so raw-socket tooling and tests can
 /// speak the protocol without going through [`Frame`].
@@ -82,6 +97,10 @@ pub mod opcodes {
     pub const WAIT_EPOCH: u8 = 0x06;
     pub const REPLICATE: u8 = 0x07;
     pub const ACK: u8 = 0x08;
+    pub const QUERY_AT: u8 = 0x09;
+    pub const DIFF: u8 = 0x0A;
+    pub const SUBSCRIBE: u8 = 0x0B;
+    pub const UNSUBSCRIBE: u8 = 0x0C;
     pub const ACCEPTED: u8 = 0x81;
     pub const BUSY: u8 = 0x82;
     pub const SEALED: u8 = 0x83;
@@ -91,6 +110,10 @@ pub mod opcodes {
     pub const EPOCH_COMMITTED: u8 = 0x87;
     pub const SEGMENT: u8 = 0x88;
     pub const REPL_DONE: u8 = 0x89;
+    pub const DELTA: u8 = 0x8A;
+    pub const LAGGED: u8 = 0x8B;
+    pub const SUBSCRIBED: u8 = 0x8C;
+    pub const UNSUBSCRIBED: u8 = 0x8D;
     pub const ERROR: u8 = 0x8F;
 }
 
@@ -118,6 +141,10 @@ pub enum ErrorCode {
     /// The server hit an unexpected local error (for example an I/O
     /// failure while listing WAL files for replication).
     Internal = 7,
+    /// The requested epoch lies outside the retained window — evicted by
+    /// the retention policy, or never published. The detail names the
+    /// window bounds so the client can pick a retrievable epoch.
+    EpochEvicted = 8,
 }
 
 impl ErrorCode {
@@ -130,6 +157,7 @@ impl ErrorCode {
             5 => ErrorCode::ShuttingDown,
             6 => ErrorCode::NotDurable,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::EpochEvicted,
             _ => return None,
         })
     }
@@ -186,6 +214,15 @@ pub struct WireStats {
     pub repl_bytes_shipped: u64,
     /// Highest epoch any follower has acknowledged.
     pub repl_acked_epoch: u64,
+    /// Epoch snapshots currently held by the retention window.
+    pub retained_epochs: u64,
+    /// Bytes of unique segment versions pinned by the retention window
+    /// (shared segments counted once).
+    pub retained_bytes: u64,
+    /// Push subscribers currently registered.
+    pub active_subscribers: u64,
+    /// Delta frames' worth of per-epoch updates enqueued to subscribers.
+    pub deltas_pushed: u64,
 }
 
 impl WireStats {
@@ -205,7 +242,7 @@ impl WireStats {
         self.cbuf_occupancy_bp as f64 / 10_000.0
     }
 
-    const FIELDS: usize = 23;
+    const FIELDS: usize = 27;
 
     fn to_words(self) -> [u64; Self::FIELDS] {
         [
@@ -232,6 +269,10 @@ impl WireStats {
             self.repl_rounds,
             self.repl_bytes_shipped,
             self.repl_acked_epoch,
+            self.retained_epochs,
+            self.retained_bytes,
+            self.active_subscribers,
+            self.deltas_pushed,
         ]
     }
 
@@ -260,6 +301,10 @@ impl WireStats {
             repl_rounds: w[20],
             repl_bytes_shipped: w[21],
             repl_acked_epoch: w[22],
+            retained_epochs: w[23],
+            retained_bytes: w[24],
+            active_subscribers: w[25],
+            deltas_pushed: w[26],
         }
     }
 }
@@ -311,6 +356,43 @@ pub enum Frame {
         /// Bytes the follower applied in that round.
         bytes: u64,
     },
+    /// Read one key's value as of a retained epoch (time travel).
+    /// `epoch == 0` means "the latest"; an epoch outside the retention
+    /// window earns an `Error { code: EpochEvicted }`.
+    QueryAt {
+        /// Requested epoch (0 = latest).
+        epoch: u64,
+        /// Key to look up.
+        key: u32,
+    },
+    /// Changed keys in `lo..hi` between two retained epochs, answered by
+    /// one `Delta` frame carrying absolute values at `to_epoch`
+    /// (`to_epoch == 0` means "the latest"). The range is bounded by
+    /// [`MAX_SNAPSHOT_KEYS`] like `Snapshot`.
+    Diff {
+        /// Older epoch of the pair.
+        from_epoch: u64,
+        /// Newer epoch of the pair (0 = latest).
+        to_epoch: u64,
+        /// First key of the window (inclusive).
+        lo: u32,
+        /// One past the last key of the window.
+        hi: u32,
+    },
+    /// Register for per-epoch delta pushes over keys `lo..hi`. The server
+    /// replies `Subscribed { epoch }` (the baseline the pushes build on),
+    /// then streams `Delta` / `Lagged` frames until `Unsubscribe` or
+    /// disconnect.
+    Subscribe {
+        /// First key of the subscribed window (inclusive).
+        lo: u32,
+        /// One past the last key of the subscribed window.
+        hi: u32,
+    },
+    /// Leave subscription mode; the server drains its pushes, replies
+    /// `Unsubscribed { epoch }`, and the connection returns to
+    /// request/response mode.
+    Unsubscribe,
     /// Whole update batch accepted.
     Accepted {
         /// Number of tuples taken (the full batch).
@@ -371,6 +453,39 @@ pub enum Frame {
         files: u32,
         /// Total `Segment` payload bytes shipped in this round.
         bytes: u64,
+    },
+    /// Changed keys between two epochs, as absolute `(key, value)` pairs
+    /// at `to_epoch` — the reply to `Diff` and the per-epoch push to
+    /// subscribers. A delta larger than [`MAX_DELTA_ENTRIES`] is split
+    /// into several frames; only the last carries `done == true`.
+    Delta {
+        /// Older epoch of the pair (for a push: the previous epoch).
+        from_epoch: u64,
+        /// Epoch the values are absolute at.
+        to_epoch: u64,
+        /// Whether this frame completes the delta.
+        done: bool,
+        /// Sorted `(key, value at to_epoch)` pairs.
+        entries: Vec<(u32, u64)>,
+    },
+    /// Push-mode overflow notice: the subscriber fell behind and epochs
+    /// up to and including `resume_epoch` were not enqueued. Pushes
+    /// resume at `resume_epoch + 1`; the subscriber closes the gap with
+    /// one `Diff { from_epoch: last_applied, to_epoch: resume_epoch }`
+    /// re-sync (lossless because delta entries are absolute).
+    Lagged {
+        /// Newest epoch the queue missed.
+        resume_epoch: u64,
+    },
+    /// Subscription registered.
+    Subscribed {
+        /// The published epoch at registration — deltas start after it.
+        epoch: u64,
+    },
+    /// Subscription torn down; request/response mode resumes.
+    Unsubscribed {
+        /// The published epoch at teardown.
+        epoch: u64,
     },
     /// Request-level failure.
     Error {
@@ -537,6 +652,29 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             put_u64(out, *epoch);
             put_u64(out, *bytes);
         }
+        Frame::QueryAt { epoch, key } => {
+            out.push(op::QUERY_AT);
+            put_u64(out, *epoch);
+            put_u32(out, *key);
+        }
+        Frame::Diff {
+            from_epoch,
+            to_epoch,
+            lo,
+            hi,
+        } => {
+            out.push(op::DIFF);
+            put_u64(out, *from_epoch);
+            put_u64(out, *to_epoch);
+            put_u32(out, *lo);
+            put_u32(out, *hi);
+        }
+        Frame::Subscribe { lo, hi } => {
+            out.push(op::SUBSCRIBE);
+            put_u32(out, *lo);
+            put_u32(out, *hi);
+        }
+        Frame::Unsubscribe => out.push(op::UNSUBSCRIBE),
         Frame::Accepted { accepted } => {
             out.push(op::ACCEPTED);
             put_u32(out, *accepted);
@@ -593,6 +731,34 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             put_u64(out, *epoch);
             put_u32(out, *files);
             put_u64(out, *bytes);
+        }
+        Frame::Delta {
+            from_epoch,
+            to_epoch,
+            done,
+            entries,
+        } => {
+            out.push(op::DELTA);
+            put_u64(out, *from_epoch);
+            put_u64(out, *to_epoch);
+            out.push(u8::from(*done));
+            put_u32(out, entries.len() as u32);
+            for &(k, v) in entries {
+                put_u32(out, k);
+                put_u64(out, v);
+            }
+        }
+        Frame::Lagged { resume_epoch } => {
+            out.push(op::LAGGED);
+            put_u64(out, *resume_epoch);
+        }
+        Frame::Subscribed { epoch } => {
+            out.push(op::SUBSCRIBED);
+            put_u64(out, *epoch);
+        }
+        Frame::Unsubscribed { epoch } => {
+            out.push(op::UNSUBSCRIBED);
+            put_u64(out, *epoch);
         }
         Frame::Error { code, detail } => {
             out.push(op::ERROR);
@@ -674,6 +840,21 @@ pub fn decode(body: &[u8]) -> Result<Frame, WireError> {
             epoch: c.u64()?,
             bytes: c.u64()?,
         },
+        op::QUERY_AT => Frame::QueryAt {
+            epoch: c.u64()?,
+            key: c.u32()?,
+        },
+        op::DIFF => Frame::Diff {
+            from_epoch: c.u64()?,
+            to_epoch: c.u64()?,
+            lo: c.u32()?,
+            hi: c.u32()?,
+        },
+        op::SUBSCRIBE => Frame::Subscribe {
+            lo: c.u32()?,
+            hi: c.u32()?,
+        },
+        op::UNSUBSCRIBE => Frame::Unsubscribe,
         op::ACCEPTED => Frame::Accepted { accepted: c.u32()? },
         op::BUSY => Frame::Busy { accepted: c.u32()? },
         op::SEALED => Frame::Sealed { epoch: c.u64()? },
@@ -721,6 +902,36 @@ pub fn decode(body: &[u8]) -> Result<Frame, WireError> {
             files: c.u32()?,
             bytes: c.u64()?,
         },
+        op::DELTA => {
+            let from_epoch = c.u64()?;
+            let to_epoch = c.u64()?;
+            let done = match c.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("delta done flag is not 0/1")),
+            };
+            let count = c.u32()?;
+            if count > MAX_DELTA_ENTRIES {
+                return Err(WireError::Malformed("delta too large"));
+            }
+            let mut entries = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let k = c.u32()?;
+                let v = c.u64()?;
+                entries.push((k, v));
+            }
+            Frame::Delta {
+                from_epoch,
+                to_epoch,
+                done,
+                entries,
+            }
+        }
+        op::LAGGED => Frame::Lagged {
+            resume_epoch: c.u64()?,
+        },
+        op::SUBSCRIBED => Frame::Subscribed { epoch: c.u64()? },
+        op::UNSUBSCRIBED => Frame::Unsubscribed { epoch: c.u64()? },
         op::ERROR => {
             let code =
                 ErrorCode::from_u8(c.u8()?).ok_or(WireError::Malformed("unknown error code"))?;
@@ -918,10 +1129,43 @@ mod tests {
             repl_rounds: 20,
             repl_bytes_shipped: 21,
             repl_acked_epoch: 22,
+            retained_epochs: 23,
+            retained_bytes: 24,
+            active_subscribers: 25,
+            deltas_pushed: 26,
         }));
+        roundtrip(Frame::QueryAt { epoch: 14, key: 3 });
+        roundtrip(Frame::QueryAt { epoch: 0, key: 0 });
+        roundtrip(Frame::Diff {
+            from_epoch: 10,
+            to_epoch: 14,
+            lo: 8,
+            hi: 24,
+        });
+        roundtrip(Frame::Subscribe { lo: 0, hi: 1024 });
+        roundtrip(Frame::Unsubscribe);
+        roundtrip(Frame::Delta {
+            from_epoch: 13,
+            to_epoch: 14,
+            done: true,
+            entries: vec![(0, 5), (9, u64::MAX)],
+        });
+        roundtrip(Frame::Delta {
+            from_epoch: 1,
+            to_epoch: 2,
+            done: false,
+            entries: vec![],
+        });
+        roundtrip(Frame::Lagged { resume_epoch: 41 });
+        roundtrip(Frame::Subscribed { epoch: 7 });
+        roundtrip(Frame::Unsubscribed { epoch: 55 });
         roundtrip(Frame::Error {
             code: ErrorCode::KeyOutOfRange,
             detail: "key 9 >= 8".into(),
+        });
+        roundtrip(Frame::Error {
+            code: ErrorCode::EpochEvicted,
+            detail: "epoch 3 outside retained window [7, 9]".into(),
         });
     }
 
@@ -1018,14 +1262,28 @@ mod tests {
         bad_name.extend_from_slice(&2u16.to_le_bytes());
         bad_name.extend_from_slice(&[0xFF, 0xFE]);
         assert!(matches!(decode(&bad_name), Err(WireError::Malformed(_))));
+        // Delta entry count over the ceiling is refused outright.
+        let mut delta = vec![PROTOCOL_VERSION, op::DELTA];
+        delta.extend_from_slice(&0u64.to_le_bytes());
+        delta.extend_from_slice(&1u64.to_le_bytes());
+        delta.push(1);
+        delta.extend_from_slice(&(MAX_DELTA_ENTRIES + 1).to_le_bytes());
+        assert!(matches!(decode(&delta), Err(WireError::Malformed(_))));
+        // Delta done flag outside 0/1.
+        let mut flag = vec![PROTOCOL_VERSION, op::DELTA];
+        flag.extend_from_slice(&0u64.to_le_bytes());
+        flag.extend_from_slice(&1u64.to_le_bytes());
+        flag.push(7);
+        flag.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(decode(&flag), Err(WireError::Malformed(_))));
     }
 
     #[test]
     fn version_mismatch_is_refused_before_opcode_dispatch() {
         // A hypothetical v1 frame: no version byte, body starts with the
-        // opcode. Under v2 rules its first byte (UPDATE = 0x01) parses as
-        // the version and is refused cleanly — this is exactly how an old
-        // build's frames die on a new node, and vice versa.
+        // opcode. Under versioned rules its first byte (UPDATE = 0x01)
+        // parses as the version and is refused cleanly — this is exactly
+        // how an old build's frames die on a new node, and vice versa.
         let mut v1_style = vec![op::UPDATE];
         v1_style.extend_from_slice(&0u32.to_le_bytes());
         assert_eq!(

@@ -41,8 +41,10 @@
 
 use crate::cache::S3FifoCache;
 use crate::protocol::{
-    self, ErrorCode, Frame, ReadError, WireStats, MAX_FRAME, MAX_SNAPSHOT_KEYS, REPL_CHUNK,
+    self, ErrorCode, Frame, ReadError, WireStats, MAX_DELTA_ENTRIES, MAX_FRAME, MAX_SNAPSHOT_KEYS,
+    REPL_CHUNK,
 };
+use cobra_mvcc::{diff_range, feed_publish_hook, DeltaHub, EpochStore, RetentionConfig, SubMsg};
 use cobra_stream::channel::{self, Sender, TrySendError};
 use cobra_stream::{
     commit_dir, shard_dir, DurableConfig, EpochSnapshot, IngestHandle, IngestPipeline,
@@ -104,6 +106,17 @@ pub struct ServeConfig {
     /// under this configuration's data directory and recovers committed
     /// state from it on startup.
     pub durable: Option<DurableConfig>,
+    /// Epoch snapshots retained for time travel (`QUERY_AT`), diff reads
+    /// and subscriber re-sync. 1 (the default) keeps only the latest —
+    /// exactly the pre-MVCC behavior.
+    pub retain_epochs: usize,
+    /// Optional age bound on retention: epochs older than this are
+    /// evicted even when the count bound still has room (the latest is
+    /// always kept).
+    pub retain_age: Option<Duration>,
+    /// Per-subscriber push-queue depth, in epochs, before the lossless
+    /// lag protocol kicks in (`LAGGED` + diff re-sync).
+    pub sub_queue_epochs: usize,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +130,9 @@ impl Default for ServeConfig {
             cache_block_keys: 1024,
             read_timeout: Duration::from_millis(50),
             durable: None,
+            retain_epochs: 1,
+            retain_age: None,
+            sub_queue_epochs: 16,
         }
     }
 }
@@ -174,6 +190,24 @@ impl ServeConfig {
         self.durable = Some(durable);
         self
     }
+
+    /// Sets how many epoch snapshots the retention window keeps.
+    pub fn retain_epochs(mut self, epochs: usize) -> Self {
+        self.retain_epochs = epochs;
+        self
+    }
+
+    /// Sets the age bound on the retention window.
+    pub fn retain_age(mut self, age: Duration) -> Self {
+        self.retain_age = Some(age);
+        self
+    }
+
+    /// Sets the per-subscriber push-queue depth in epochs.
+    pub fn sub_queue_epochs(mut self, epochs: usize) -> Self {
+        self.sub_queue_epochs = epochs;
+        self
+    }
 }
 
 /// Live server counters (the serve-layer complement of the pipeline's
@@ -203,6 +237,12 @@ struct Ctx {
     /// The durable data directory (None = in-memory server; replication
     /// requests are refused with `NotDurable`).
     data_dir: Option<PathBuf>,
+    /// The MVCC retention window (fed by the pipeline's publish hook).
+    store: Arc<EpochStore<u64>>,
+    /// Push-subscription fan-out (fed by the same hook).
+    hub: Arc<DeltaHub<u64>>,
+    /// Queue depth handed to each new subscriber.
+    sub_queue_epochs: usize,
 }
 
 impl Ctx {
@@ -235,6 +275,10 @@ impl Ctx {
             repl_rounds: self.counters.repl_rounds.load(Ordering::Relaxed), // ordering: stats
             repl_bytes_shipped: self.counters.repl_bytes_shipped.load(Ordering::Relaxed), // ordering: stats
             repl_acked_epoch: self.counters.repl_acked_epoch.load(Ordering::Relaxed), // ordering: stats
+            retained_epochs: self.store.retained_epochs(),
+            retained_bytes: self.store.retained_bytes(),
+            active_subscribers: self.hub.active_subscribers(),
+            deltas_pushed: self.hub.deltas_pushed(),
         }
     }
 
@@ -277,6 +321,10 @@ impl Server {
             cfg.cache_block_keys > 0,
             "cache blocks need at least one key"
         );
+        assert!(
+            cfg.sub_queue_epochs > 0,
+            "subscriber queues need at least one epoch"
+        );
         // Align the pipeline's copy-on-write snapshot segments with the
         // cache blocks: a cache fill then shares the snapshot's segment
         // `Arc` directly instead of copying the block's values.
@@ -285,15 +333,38 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         let data_dir = cfg.durable.as_ref().map(|d| d.dir.clone());
+        // The MVCC pair behind QUERY_AT/DIFF/SUBSCRIBE: every published
+        // snapshot is admitted into the retention window and its delta
+        // fanned out to subscribers by the pipeline's publish hook.
+        let mut retention = RetentionConfig::new().max_epochs(cfg.retain_epochs);
+        if let Some(age) = cfg.retain_age {
+            retention = retention.max_age(age);
+        }
+        let store = Arc::new(EpochStore::new(retention));
+        let hub: Arc<DeltaHub<u64>> = Arc::new(DeltaHub::new());
+        let hook = feed_publish_hook(Arc::clone(&store), Arc::clone(&hub));
         // Durable mode recovers committed state from the data dir before
         // serving; the first published snapshot is the recovered one.
         let (pipeline, recovery) = match cfg.durable {
             Some(durable) => {
-                let (p, report) = IngestPipeline::recover(num_keys, SumU64, stream_cfg, durable)?;
+                let (p, report) = IngestPipeline::recover_with_hook(
+                    num_keys,
+                    SumU64,
+                    stream_cfg,
+                    durable,
+                    Some(hook),
+                )?;
                 (p, Some(report))
             }
-            None => (IngestPipeline::new(num_keys, SumU64, stream_cfg), None),
+            None => (
+                IngestPipeline::with_publish_hook(num_keys, SumU64, stream_cfg, hook),
+                None,
+            ),
         };
+        // Seed the window with the initial (or recovered) snapshot so the
+        // first sealed epoch diffs against it instead of emitting full
+        // state, and so epoch-0/latest lookups always resolve.
+        store.admit(pipeline.snapshot());
         let ctx = Arc::new(Ctx {
             pipeline,
             cache: S3FifoCache::new(cfg.cache_blocks),
@@ -304,6 +375,9 @@ impl Server {
             max_frame: cfg.max_frame,
             read_timeout: cfg.read_timeout,
             data_dir,
+            store,
+            hub,
+            sub_queue_epochs: cfg.sub_queue_epochs,
         });
 
         let (conn_tx, conn_rx) = channel::bounded::<TcpStream>(cfg.conn_backlog);
@@ -369,6 +443,9 @@ impl Server {
         // Ctx::stopping); the acceptor additionally gets a wake-up
         // connection below, and workers poll at read-timeout granularity.
         self.ctx.stop.store(true, Ordering::Relaxed);
+        // Wake every push loop: subscribers get a clean close instead of
+        // waiting out their poll timeout.
+        self.ctx.hub.close_all();
         // Seal the final epoch while sockets are still draining: sealed
         // work becomes queryable, and whatever trickles in afterwards is
         // captured by the pipeline drain below.
@@ -468,14 +545,20 @@ fn serve_connection(ctx: &Ctx, stream: TcpStream, handle: &mut IngestHandle<u64>
             Ok(Some(frame)) => {
                 // ordering: Relaxed — stats counter.
                 ctx.counters.frames.fetch_add(1, Ordering::Relaxed);
-                // REPLICATE is the one request answered with a *stream* of
-                // frames, so it gets the writer instead of returning one
-                // response frame.
+                // REPLICATE and SUBSCRIBE are the requests answered with a
+                // *stream* of frames, so they get the writer instead of
+                // returning one response frame.
                 if let Frame::Replicate { manifest } = frame {
                     if handle_replicate(ctx, &mut writer, &manifest, &mut scratch).is_err() {
                         return;
                     }
                     continue;
+                }
+                if let Frame::Subscribe { lo, hi } = frame {
+                    match handle_subscribe(ctx, &mut reader, &mut writer, lo, hi, &mut scratch) {
+                        SubscribeOutcome::Resume => continue,
+                        SubscribeOutcome::Close => return,
+                    }
                 }
                 let response = handle_frame(ctx, handle, frame);
                 if protocol::write_frame(&mut writer, &response, &mut scratch).is_err() {
@@ -520,6 +603,21 @@ fn handle_frame(ctx: &Ctx, handle: &mut IngestHandle<u64>, frame: Frame) -> Fram
             handle_query(ctx, key)
         }
         Frame::Snapshot { epoch, lo, hi } => handle_snapshot(ctx, epoch, lo, hi),
+        Frame::QueryAt { epoch, key } => {
+            // ordering: Relaxed — stats counter.
+            ctx.counters.queries.fetch_add(1, Ordering::Relaxed);
+            handle_query_at(ctx, epoch, key)
+        }
+        Frame::Diff {
+            from_epoch,
+            to_epoch,
+            lo,
+            hi,
+        } => handle_diff(ctx, from_epoch, to_epoch, lo, hi),
+        Frame::Unsubscribe => Frame::Error {
+            code: ErrorCode::Malformed,
+            detail: "UNSUBSCRIBE without an active subscription".to_string(),
+        },
         Frame::Stats => Frame::StatsReport(ctx.wire_stats()),
         Frame::WaitEpoch { epoch } => handle_wait_epoch(ctx, epoch),
         Frame::Ack { epoch, bytes: _ } => {
@@ -641,6 +739,103 @@ fn handle_query(ctx: &Ctx, key: u32) -> Frame {
     }
 }
 
+/// Maps a wire epoch (0 = latest) to a readable snapshot. Epochs newer
+/// than the published head keep the pre-MVCC `SnapshotUnavailable` code
+/// ("not yet published"); epochs below the retention window earn the
+/// typed `EpochEvicted`, whose detail names the retained bounds so the
+/// client can pick a retrievable epoch.
+fn resolve_epoch(ctx: &Ctx, epoch: u64) -> Result<Arc<EpochSnapshot<u64>>, Box<Frame>> {
+    let latest = ctx.pipeline.snapshot();
+    if epoch == 0 || latest.epoch() == epoch {
+        return Ok(latest);
+    }
+    match ctx.store.get(epoch) {
+        Ok(snap) => Ok(snap),
+        Err(e) => {
+            let code = if epoch > latest.epoch() {
+                ErrorCode::SnapshotUnavailable
+            } else {
+                ErrorCode::EpochEvicted
+            };
+            Err(Box::new(Frame::Error {
+                code,
+                detail: e.to_string(),
+            }))
+        }
+    }
+}
+
+/// QUERY_AT: time travel. Resolves the epoch against the retention
+/// window, then serves through the same `(epoch, block)` cache as QUERY —
+/// the cache key already carries the epoch, so retained epochs coexist
+/// with the latest without any invalidation.
+fn handle_query_at(ctx: &Ctx, epoch: u64, key: u32) -> Frame {
+    if key >= ctx.num_keys {
+        return Frame::Error {
+            code: ErrorCode::KeyOutOfRange,
+            detail: format!("key {key} >= {}", ctx.num_keys),
+        };
+    }
+    let snap = match resolve_epoch(ctx, epoch) {
+        Ok(snap) => snap,
+        Err(frame) => return *frame,
+    };
+    let epoch = snap.epoch();
+    let block = key / ctx.block_keys;
+    let lo = block * ctx.block_keys;
+    if let Some(slice) = ctx.cache.get(&(epoch, block)) {
+        if let Some(&value) = slice.get((key - lo) as usize) {
+            return Frame::Value { epoch, value };
+        }
+    }
+    let slice = if snap.segment_keys() == ctx.block_keys && (block as usize) < snap.num_segments() {
+        Arc::clone(snap.segment(block as usize))
+    } else {
+        let hi = lo.saturating_add(ctx.block_keys).min(ctx.num_keys);
+        Arc::new((lo..hi).map(|k| *snap.get(k)).collect())
+    };
+    let value = slice.get((key - lo) as usize).copied();
+    ctx.cache.insert((epoch, block), slice);
+    match value {
+        Some(value) => Frame::Value { epoch, value },
+        None => Frame::Error {
+            code: ErrorCode::KeyOutOfRange,
+            detail: format!("key {key} outside materialized block"),
+        },
+    }
+}
+
+/// DIFF: changed keys in `lo..hi` between two retained epochs, computed
+/// by segment identity (shared COW segments are skipped without a scan).
+/// The reply is a single `Delta` frame — the range cap
+/// ([`MAX_SNAPSHOT_KEYS`]) keeps the entry count within
+/// [`MAX_DELTA_ENTRIES`].
+fn handle_diff(ctx: &Ctx, from_epoch: u64, to_epoch: u64, lo: u32, hi: u32) -> Frame {
+    if lo >= hi || hi > ctx.num_keys || hi - lo > MAX_SNAPSHOT_KEYS {
+        return Frame::Error {
+            code: ErrorCode::BadRange,
+            detail: format!(
+                "range {lo}..{hi} invalid (num_keys {}, max slice {MAX_SNAPSHOT_KEYS})",
+                ctx.num_keys
+            ),
+        };
+    }
+    let from = match resolve_epoch(ctx, from_epoch) {
+        Ok(snap) => snap,
+        Err(frame) => return *frame,
+    };
+    let to = match resolve_epoch(ctx, to_epoch) {
+        Ok(snap) => snap,
+        Err(frame) => return *frame,
+    };
+    Frame::Delta {
+        from_epoch: from.epoch(),
+        to_epoch: to.epoch(),
+        done: true,
+        entries: diff_range(&from, &to, lo, hi),
+    }
+}
+
 fn handle_snapshot(ctx: &Ctx, epoch: u64, lo: u32, hi: u32) -> Frame {
     if lo >= hi || hi > ctx.num_keys || hi - lo > MAX_SNAPSHOT_KEYS {
         return Frame::Error {
@@ -651,16 +846,10 @@ fn handle_snapshot(ctx: &Ctx, epoch: u64, lo: u32, hi: u32) -> Frame {
             ),
         };
     }
-    let snap = ctx.pipeline.snapshot();
-    if epoch != 0 && snap.epoch() != epoch {
-        return Frame::Error {
-            code: ErrorCode::SnapshotUnavailable,
-            detail: format!(
-                "epoch {epoch} not retained; latest published epoch is {}",
-                snap.epoch()
-            ),
-        };
-    }
+    let snap = match resolve_epoch(ctx, epoch) {
+        Ok(snap) => snap,
+        Err(frame) => return *frame,
+    };
     if hi > snap.num_keys() {
         return Frame::Error {
             code: ErrorCode::BadRange,
@@ -693,6 +882,173 @@ fn handle_wait_epoch(ctx: &Ctx, epoch: u64) -> Frame {
             };
         }
         std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// What the connection loop should do after a subscription ends.
+enum SubscribeOutcome {
+    /// Clean `Unsubscribe`: the connection resumes request/response mode.
+    Resume,
+    /// Disconnect, I/O failure or protocol violation: hang up.
+    Close,
+}
+
+/// SUBSCRIBE: flips the connection into push mode. The worker keeps the
+/// read half (watching for `Unsubscribe`, EOF, or shutdown) and hands a
+/// clone of the write half to a pusher thread that streams `Delta` /
+/// `Lagged` frames; exactly one side writes at any time — the worker only
+/// writes again after the pusher has been torn down and joined.
+fn handle_subscribe(
+    ctx: &Ctx,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    lo: u32,
+    hi: u32,
+    scratch: &mut Vec<u8>,
+) -> SubscribeOutcome {
+    if lo >= hi || hi > ctx.num_keys {
+        let response = Frame::Error {
+            code: ErrorCode::BadRange,
+            detail: format!(
+                "subscribe range {lo}..{hi} invalid (num_keys {})",
+                ctx.num_keys
+            ),
+        };
+        return if protocol::write_frame(writer, &response, scratch).is_ok() {
+            SubscribeOutcome::Resume
+        } else {
+            SubscribeOutcome::Close
+        };
+    }
+    let Ok(push_writer) = writer.try_clone() else {
+        return SubscribeOutcome::Close;
+    };
+    // Register BEFORE reading the baseline: an epoch published between
+    // the two is then either enqueued for us or already part of the
+    // baseline (the hook admits to the store before fanning out) — never
+    // silently missed. The pusher drops queued epochs <= baseline.
+    let sub = ctx.hub.subscribe(lo, hi, ctx.sub_queue_epochs);
+    let baseline = match ctx.store.latest() {
+        Some(snap) => snap.epoch(),
+        None => ctx.pipeline.published_epoch(),
+    };
+    if protocol::write_frame(writer, &Frame::Subscribed { epoch: baseline }, scratch).is_err() {
+        ctx.hub.unsubscribe(sub.id());
+        return SubscribeOutcome::Close;
+    }
+    let mut acked = false;
+    let mut violation = false;
+    std::thread::scope(|s| {
+        s.spawn(|| push_loop(ctx, &sub, push_writer, baseline));
+        loop {
+            match protocol::read_frame(reader, ctx.max_frame) {
+                Ok(Some(Frame::Unsubscribe)) => {
+                    ctx.hub.unsubscribe(sub.id());
+                    acked = true;
+                    return;
+                }
+                Ok(Some(_)) => {
+                    // Any other request mid-subscription would interleave
+                    // its response with the pushes; refuse and hang up.
+                    ctx.hub.unsubscribe(sub.id());
+                    violation = true;
+                    return;
+                }
+                Ok(None) => {
+                    // Disconnect: the unsubscribe-on-disconnect guarantee.
+                    ctx.hub.unsubscribe(sub.id());
+                    return;
+                }
+                Err(ReadError::Idle) => {
+                    if ctx.stopping() {
+                        ctx.hub.unsubscribe(sub.id());
+                        return;
+                    }
+                }
+                Err(_) => {
+                    ctx.hub.unsubscribe(sub.id());
+                    return;
+                }
+            }
+        }
+        // The scope join below waits for the pusher to drain its queue
+        // and exit before the worker touches the writer again.
+    });
+    if acked {
+        let bye = Frame::Unsubscribed {
+            epoch: ctx.pipeline.published_epoch(),
+        };
+        if protocol::write_frame(writer, &bye, scratch).is_err() {
+            return SubscribeOutcome::Close;
+        }
+        return SubscribeOutcome::Resume;
+    }
+    if violation {
+        let response = Frame::Error {
+            code: ErrorCode::Malformed,
+            detail: "only UNSUBSCRIBE is valid while subscribed".to_string(),
+        };
+        let _ = protocol::write_frame(writer, &response, scratch);
+    }
+    SubscribeOutcome::Close
+}
+
+/// Streams one subscriber's queue to its socket: per-epoch `Delta` frames
+/// (chunked at [`MAX_DELTA_ENTRIES`]), `Lagged` on overflow, exit on
+/// close. An epoch with no changes in the subscribed range still ships an
+/// empty `Delta` — delivery is gap-free per epoch, which is what lets the
+/// client assert `to_epoch == last + 1` and trust pure delta replay.
+fn push_loop(ctx: &Ctx, sub: &cobra_mvcc::Subscriber<u64>, mut writer: TcpStream, baseline: u64) {
+    let mut scratch = Vec::new();
+    let mut prev = baseline;
+    loop {
+        match sub.next_msg(ctx.read_timeout) {
+            SubMsg::Delta(delta) => {
+                // A publish racing the registration can enqueue an epoch
+                // the baseline snapshot already covers; skip it.
+                if delta.epoch() <= prev {
+                    continue;
+                }
+                let entries = delta.entries();
+                let mut at = 0usize;
+                loop {
+                    let end = (at + MAX_DELTA_ENTRIES as usize).min(entries.len());
+                    let frame = Frame::Delta {
+                        from_epoch: prev,
+                        to_epoch: delta.epoch(),
+                        done: end == entries.len(),
+                        entries: entries[at..end].to_vec(),
+                    };
+                    if protocol::write_frame(&mut writer, &frame, &mut scratch).is_err() {
+                        ctx.hub.unsubscribe(sub.id());
+                        return;
+                    }
+                    if end == entries.len() {
+                        break;
+                    }
+                    at = end;
+                }
+                prev = delta.epoch();
+            }
+            SubMsg::Lagged { resume_epoch } => {
+                if resume_epoch > prev {
+                    prev = resume_epoch;
+                    let frame = Frame::Lagged { resume_epoch };
+                    if protocol::write_frame(&mut writer, &frame, &mut scratch).is_err() {
+                        ctx.hub.unsubscribe(sub.id());
+                        return;
+                    }
+                }
+            }
+            SubMsg::Closed => return,
+            SubMsg::Idle => {
+                if ctx.stopping() {
+                    // close_all() already fired on shutdown; this is the
+                    // belt-and-braces exit if stop raced the registration.
+                    return;
+                }
+            }
+        }
     }
 }
 
@@ -850,6 +1206,9 @@ mod tests {
             max_frame: MAX_FRAME,
             read_timeout: Duration::from_millis(10),
             data_dir: None,
+            store: Arc::new(EpochStore::new(RetentionConfig::new())),
+            hub: Arc::new(DeltaHub::new()),
+            sub_queue_epochs: 16,
         }
     }
 
@@ -906,6 +1265,9 @@ mod tests {
             max_frame: MAX_FRAME,
             read_timeout: Duration::from_millis(10),
             data_dir: None,
+            store: Arc::new(EpochStore::new(RetentionConfig::new())),
+            hub: Arc::new(DeltaHub::new()),
+            sub_queue_epochs: 16,
         };
         let mut h = ctx.pipeline.handle();
         h.send(700, 7).unwrap();

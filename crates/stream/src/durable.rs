@@ -36,7 +36,7 @@
 //! seal — a torn tail, a flipped record, or whole uncommitted epochs — is
 //! truncated, and the writers resume at the truncation point.
 
-use crate::epoch::{EpochEvent, EpochSink};
+use crate::epoch::{EpochEvent, EpochSink, PublishHook};
 use crate::pipeline::{shard_plan, DurableParts, IngestPipeline, StreamConfig};
 use crate::reducer::Reducer;
 use crate::shard::ShardWal;
@@ -189,6 +189,22 @@ where
         reducer: R,
         cfg: StreamConfig,
         durable: DurableConfig,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        Self::recover_with_hook(num_keys, reducer, cfg, durable, None)
+    }
+
+    /// [`recover`](Self::recover) plus an optional [`PublishHook`] — the
+    /// durable counterpart of
+    /// [`with_publish_hook`](IngestPipeline::with_publish_hook). The hook
+    /// fires for epochs published after recovery; the recovered snapshot
+    /// itself is available through [`snapshot`](IngestPipeline::snapshot)
+    /// for the caller to seed its retention window.
+    pub fn recover_with_hook(
+        num_keys: u32,
+        reducer: R,
+        cfg: StreamConfig,
+        durable: DurableConfig,
+        publish_hook: Option<PublishHook<R::Acc>>,
     ) -> io::Result<(Self, RecoveryReport)> {
         assert!(num_keys > 0, "need at least one key");
         assert!(cfg.shards > 0, "need at least one shard");
@@ -388,6 +404,9 @@ where
             wal_stats,
             replayed_records,
         };
-        Ok((Self::build(num_keys, reducer, cfg, Some(parts)), report))
+        Ok((
+            Self::build(num_keys, reducer, cfg, Some(parts), publish_hook),
+            report,
+        ))
     }
 }

@@ -79,6 +79,42 @@ impl<A> EpochSnapshot<A> {
         }
     }
 
+    /// Builds a snapshot directly from copy-on-write segment handles —
+    /// the constructor for retention layers and tests that manage segment
+    /// sharing themselves (a pipeline publishes through the same path).
+    /// All segments but the last must hold exactly `segment_keys` values;
+    /// the last may be shorter but not empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `segment_keys == 0`, an empty segment list, or segment
+    /// lengths that violate the geometry above.
+    pub fn from_segments(epoch: u64, segment_keys: u32, segments: Vec<Arc<Vec<A>>>) -> Self {
+        assert!(segment_keys > 0, "need a positive segment size");
+        assert!(!segments.is_empty(), "need at least one segment");
+        let mut num_keys = 0u64;
+        for (i, seg) in segments.iter().enumerate() {
+            let expect_full = i + 1 < segments.len();
+            assert!(
+                if expect_full {
+                    seg.len() == segment_keys as usize
+                } else {
+                    !seg.is_empty() && seg.len() <= segment_keys as usize
+                },
+                "segment {i} has {} keys, segment_keys is {segment_keys}",
+                seg.len()
+            );
+            num_keys += seg.len() as u64;
+        }
+        assert!(num_keys <= u32::MAX as u64, "too many keys");
+        EpochSnapshot {
+            epoch,
+            num_keys: num_keys as u32,
+            segment_keys,
+            segments,
+        }
+    }
+
     /// The epoch this snapshot reflects (0 = the empty initial state; the
     /// final drain publishes one extra epoch past the last seal).
     pub fn epoch(&self) -> u64 {
@@ -211,6 +247,17 @@ pub(crate) struct EpochEvent<'a, A> {
 /// a checkpoint) before the snapshot becomes visible.
 pub(crate) type EpochSink<A> = Box<dyn FnMut(EpochEvent<'_, A>) + Send>;
 
+/// A publish hook: called on the accumulator thread with every epoch
+/// snapshot *before* it is swapped in as the published snapshot, so a
+/// retention layer that admits the epoch here is guaranteed to hold any
+/// epoch a reader can name via
+/// [`published_epoch`](crate::IngestPipeline::published_epoch).
+///
+/// The hook runs after the durability sink (commit-before-publish is
+/// preserved) and on the hot epoch boundary — keep it O(segments), not
+/// O(keys): clone `Arc` handles, don't deep-copy state.
+pub type PublishHook<A> = Box<dyn FnMut(&Arc<EpochSnapshot<A>>) + Send>;
+
 /// Recovery seed for the accumulator: the committed epoch, its COW
 /// snapshot segments, and the per-shard WAL replay boundaries.
 pub(crate) type ResumeState<A> = (u64, Vec<Arc<Vec<A>>>, Vec<u64>);
@@ -236,6 +283,7 @@ pub(crate) struct Accumulator<R: Reducer> {
     published: Arc<Mutex<Arc<EpochSnapshot<R::Acc>>>>,
     epochs_published: Arc<AtomicU64>,
     epoch_sink: Option<EpochSink<R::Acc>>,
+    publish_hook: Option<PublishHook<R::Acc>>,
 }
 
 impl<R: Reducer> Accumulator<R> {
@@ -249,6 +297,7 @@ impl<R: Reducer> Accumulator<R> {
         epochs_published: Arc<AtomicU64>,
         resume: Option<ResumeState<R::Acc>>,
         epoch_sink: Option<EpochSink<R::Acc>>,
+        publish_hook: Option<PublishHook<R::Acc>>,
     ) -> Self {
         let shards = bases.len();
         let (applied_epoch, state, shard_offsets) = match resume {
@@ -277,6 +326,7 @@ impl<R: Reducer> Accumulator<R> {
             published,
             epochs_published,
             epoch_sink,
+            publish_hook,
         }
     }
 
@@ -407,7 +457,7 @@ impl<R: Reducer> Accumulator<R> {
         }
     }
 
-    fn publish(&self, epoch: u64) {
+    fn publish(&mut self, epoch: u64) {
         // O(num_segments) handle clones — no per-key copy.
         let snap = Arc::new(EpochSnapshot::new(
             epoch,
@@ -415,6 +465,13 @@ impl<R: Reducer> Accumulator<R> {
             self.segment_keys,
             self.state.iter().map(Arc::clone).collect(),
         ));
+        // The hook sees the snapshot before the swap below makes it the
+        // published one: a retention window admits epoch `e` before any
+        // reader can learn "`e` is the latest", so epoch-or-latest lookups
+        // never race a not-yet-admitted epoch.
+        if let Some(hook) = &mut self.publish_hook {
+            hook(&snap);
+        }
         *self.published.lock().expect("snapshot lock poisoned") = snap;
         // ordering: Relaxed — audited: the snapshot itself is published by
         // the mutexed Arc swap above (observers that see the new count and

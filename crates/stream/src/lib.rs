@@ -59,7 +59,7 @@ mod stats;
 
 pub use channel::{ChannelStats, Disconnected, TrySendError};
 pub use durable::{commit_dir, shard_dir, DurableConfig, RecoveryReport};
-pub use epoch::EpochSnapshot;
+pub use epoch::{EpochSnapshot, PublishHook};
 pub use pipeline::{
     shard_plan, IngestHandle, IngestPipeline, PipelineClosed, StreamConfig, TryIngestError,
 };

@@ -2,7 +2,7 @@
 //! workers → epoch accumulator → published snapshots.
 
 use crate::channel::{self, ChannelCounters, Sender};
-use crate::epoch::{AccMsg, Accumulator, EpochSink, EpochSnapshot};
+use crate::epoch::{AccMsg, Accumulator, EpochSink, EpochSnapshot, PublishHook};
 use crate::reducer::Reducer;
 use crate::shard::{ShardMsg, ShardWal, ShardWorker};
 use crate::stats::{ShardCounters, ShardStats, StreamStats};
@@ -428,7 +428,24 @@ impl<R: Reducer> IngestPipeline<R> {
     ///
     /// Panics if `num_keys == 0` or any config knob is zero.
     pub fn new(num_keys: u32, reducer: R, cfg: StreamConfig) -> Self {
-        Self::build(num_keys, reducer, cfg, None)
+        Self::build(num_keys, reducer, cfg, None, None)
+    }
+
+    /// Like [`new`](Self::new), but registers a [`PublishHook`] that the
+    /// accumulator calls with every epoch snapshot just before it becomes
+    /// the published one — the integration point for retention windows
+    /// and push-subscription fan-out (see `cobra-mvcc`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same zero-value config knobs as [`new`](Self::new).
+    pub fn with_publish_hook(
+        num_keys: u32,
+        reducer: R,
+        cfg: StreamConfig,
+        hook: PublishHook<R::Acc>,
+    ) -> Self {
+        Self::build(num_keys, reducer, cfg, None, Some(hook))
     }
 
     pub(crate) fn build(
@@ -436,6 +453,7 @@ impl<R: Reducer> IngestPipeline<R> {
         reducer: R,
         cfg: StreamConfig,
         durable: Option<DurableParts<R>>,
+        publish_hook: Option<PublishHook<R::Acc>>,
     ) -> Self {
         assert!(num_keys > 0, "need at least one key");
         assert!(cfg.shards > 0, "need at least one shard");
@@ -567,6 +585,7 @@ impl<R: Reducer> IngestPipeline<R> {
                 Arc::clone(&epochs_published),
                 resume,
                 epoch_sink,
+                publish_hook,
             );
             std::thread::Builder::new()
                 .name("cobra-stream-accumulate".into())
