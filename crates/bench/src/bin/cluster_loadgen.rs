@@ -142,9 +142,7 @@ fn main() {
     // node 1 is a plain in-memory backend.
     let mut servers = Vec::with_capacity(NODES);
     for node in 0..NODES {
-        let mut serve_cfg = ServeConfig::new()
-            .workers(load.clients + 2)
-            .read_timeout(Duration::from_millis(20));
+        let mut serve_cfg = ServeConfig::new().read_timeout(Duration::from_millis(20));
         if node == 0 {
             serve_cfg =
                 serve_cfg.durable(DurableConfig::new(&primary_dir).sync(SyncPolicy::OnSeal));

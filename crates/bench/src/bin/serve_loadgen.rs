@@ -14,6 +14,14 @@
 //! * **Warm cache** — the skewed query mix must produce a non-zero
 //!   cache hit rate.
 //!
+//! `--connections N` adds a connection-scaling storm before shutdown:
+//! N concurrent connections (16 driver threads, each multiplexing its
+//! share over the reactor) push pipelined UPDATEs in open loop with
+//! `BUSY`-suffix retries, while one subscriber asserts the pushed epoch
+//! stream stays gap-free under the storm. The storm's tuples join the
+//! zero-loss equality, so a single dropped update anywhere across the
+//! N connections fails the run.
+//!
 //! Either failure exits non-zero. A `scale,…` row is appended (not
 //! rewritten) to `results/serve_throughput.csv`, so successive runs form
 //! a series.
@@ -22,8 +30,10 @@
 
 use cobra_bench::{report, Scale, Table};
 use cobra_graph::rng::SplitMix64;
-use cobra_serve::{ServeClient, ServeConfig, Server};
+use cobra_serve::{ServeClient, ServeConfig, Server, SubEvent};
 use cobra_stream::{DurableConfig, StreamConfig, SyncPolicy};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 #[derive(Clone, Copy)]
@@ -129,19 +139,209 @@ fn percentile_us(sorted: &[u64], p: f64) -> u64 {
     sorted[idx]
 }
 
+/// Drivers used by the connection storm; each multiplexes its share of
+/// the total connection count.
+const STORM_DRIVERS: usize = 16;
+const STORM_ROUNDS: usize = 4;
+const STORM_TUPLES_PER_ROUND: usize = 16;
+
+struct StormReport {
+    sent_sum: u64,
+    sent_tuples: u64,
+    busy_rounds: u64,
+    completed_conns: usize,
+}
+
+/// One storm driver: opens `conns` connections, then per round sends one
+/// UPDATE down every connection before reading any acknowledgement (open
+/// loop across the whole set), collecting `BUSY` suffixes with lockstep
+/// retries. Every connection must finish every round — a refused
+/// connection or lost tuple shows up in the gates.
+fn run_storm_driver(
+    addr: std::net::SocketAddr,
+    num_keys: u32,
+    conns: usize,
+    id: u64,
+) -> StormReport {
+    let mut clients: Vec<ServeClient> = (0..conns)
+        .map(|_| ServeClient::connect(addr).expect("storm connect"))
+        .collect();
+    let mut rng = SplitMix64::seed_from_u64(0x57A2 + id);
+    let mut sent_sum = 0u64;
+    let mut sent_tuples = 0u64;
+    let mut busy_rounds = 0u64;
+    let mut batch = Vec::with_capacity(STORM_TUPLES_PER_ROUND);
+    let mut batches: Vec<Vec<(u32, u64)>> = Vec::with_capacity(conns);
+    for _ in 0..STORM_ROUNDS {
+        batches.clear();
+        // Phase A: one UPDATE in flight on every connection at once.
+        for client in clients.iter_mut() {
+            batch.clear();
+            for _ in 0..STORM_TUPLES_PER_ROUND {
+                let key = rng.u32_below(num_keys);
+                let value = rng.next_u64() >> 40;
+                sent_sum += value;
+                sent_tuples += 1;
+                batch.push((key, value));
+            }
+            client.send_update(&batch).expect("storm send");
+            batches.push(batch.clone());
+        }
+        // Phase B: collect acknowledgements; a BUSY answer admits a
+        // prefix, so resend the suffix until the batch is fully in.
+        for (client, batch) in clients.iter_mut().zip(&batches) {
+            let mut at = 0usize;
+            loop {
+                let outcome = client.recv_update().expect("storm recv");
+                at += outcome.accepted as usize;
+                if !outcome.busy {
+                    break;
+                }
+                busy_rounds += 1;
+                if outcome.accepted == 0 {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                client.send_update(&batch[at..]).expect("storm resend");
+            }
+            assert_eq!(at, batch.len(), "storm batch not fully accepted");
+        }
+        // One driver seals per round so the storm also exercises epoch
+        // turnover (and feeds the gap-free subscriber).
+        if id == 0 {
+            clients[0].seal().expect("storm seal");
+        }
+    }
+    StormReport {
+        sent_sum,
+        sent_tuples,
+        busy_rounds,
+        completed_conns: clients.len(),
+    }
+}
+
+/// Runs the connection storm: N concurrent connections plus one
+/// subscriber that must observe a gap-free epoch stream throughout.
+/// Returns the aggregate report; exits the process on a gap.
+fn run_storm(addr: std::net::SocketAddr, num_keys: u32, connections: usize) -> StormReport {
+    // The subscriber rides along for the whole storm; `target_epoch`
+    // (set after the final seal) tells it when to stop.
+    let target_epoch = Arc::new(AtomicU64::new(0));
+    let subscriber = std::thread::spawn({
+        let target_epoch = Arc::clone(&target_epoch);
+        move || {
+            let client = ServeClient::connect(addr).expect("subscriber connect");
+            let mut sub = client.subscribe(0, num_keys).expect("subscribe");
+            let mut prev = sub.start_epoch();
+            let mut gaps = 0u64;
+            let mut epochs = 0u64;
+            loop {
+                match sub.next_event().expect("subscriber event") {
+                    SubEvent::Delta {
+                        from_epoch,
+                        to_epoch,
+                        ..
+                    } => {
+                        if from_epoch != prev || to_epoch != prev + 1 {
+                            gaps += 1;
+                        }
+                        prev = to_epoch;
+                        epochs += 1;
+                    }
+                    // A lag drop is a gap by definition for this gate.
+                    SubEvent::Lagged { resume_epoch } => {
+                        gaps += 1;
+                        prev = resume_epoch;
+                    }
+                }
+                let target = target_epoch.load(Ordering::Acquire);
+                if target > 0 && prev >= target {
+                    break;
+                }
+            }
+            sub.unsubscribe().expect("unsubscribe");
+            (gaps, epochs)
+        }
+    });
+
+    let per_driver = connections.div_ceil(STORM_DRIVERS);
+    let joins: Vec<_> = (0..STORM_DRIVERS)
+        .map(|d| {
+            let share = per_driver.min(connections - (per_driver * d).min(connections));
+            std::thread::spawn(move || run_storm_driver(addr, num_keys, share, d as u64))
+        })
+        .collect();
+    let mut total = StormReport {
+        sent_sum: 0,
+        sent_tuples: 0,
+        busy_rounds: 0,
+        completed_conns: 0,
+    };
+    for j in joins {
+        let r = j.join().expect("storm driver");
+        total.sent_sum += r.sent_sum;
+        total.sent_tuples += r.sent_tuples;
+        total.busy_rounds += r.busy_rounds;
+        total.completed_conns += r.completed_conns;
+    }
+
+    // Final seal: everything the storm sent is now behind a published
+    // epoch, and the subscriber knows where its stream may end. The
+    // subscriber may have consumed that epoch's delta before the store
+    // became visible, so keep nudging fresh epochs (value-0 tuples leave
+    // the zero-loss sum untouched) until it notices and exits.
+    let mut sealer = ServeClient::connect(addr).expect("sealer connect");
+    let last = sealer.seal().expect("final seal");
+    target_epoch.store(last, Ordering::Release);
+    while !subscriber.is_finished() {
+        sealer.update_all(&[(0, 0)]).expect("nudge update");
+        total.sent_tuples += 1;
+        sealer.seal().expect("nudge seal");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (gaps, epochs) = subscriber.join().expect("subscriber thread");
+
+    println!(
+        "connection storm: {} connections completed, {} tuples, {} busy rounds, \
+         subscriber saw {} epochs with {} gaps",
+        total.completed_conns, total.sent_tuples, total.busy_rounds, epochs, gaps
+    );
+    if total.completed_conns != connections {
+        println!(
+            "CONNECTION LOSS: asked for {connections}, only {} completed",
+            total.completed_conns
+        );
+        std::process::exit(1);
+    }
+    if gaps != 0 {
+        println!("SUBSCRIPTION GAPS: {gaps} gaps in the pushed epoch stream under the storm");
+        std::process::exit(1);
+    }
+    total
+}
+
 fn main() {
     let scale = Scale::from_args();
     let load = Load::for_scale(scale);
     // `--durable` runs the same closed loop with the write-ahead log on,
     // so the WAL columns quantify the durability tax.
     let durable = std::env::args().any(|a| a == "--durable");
+    // `--connections N`: run the connection-scaling storm after the
+    // closed loop (N concurrent connections against the reactor).
+    let connections = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--connections")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse::<usize>().expect("--connections needs a number"))
+            .unwrap_or(0)
+    };
 
     let stream_cfg = StreamConfig::new()
         .shards(4)
         .channel_capacity(64)
         .batch_tuples(load.batch_tuples);
     let mut serve_cfg = ServeConfig::new()
-        .workers(load.clients)
+        .max_conns(load.clients + connections + STORM_DRIVERS)
         .cache_blocks(256)
         .cache_block_keys(512)
         .read_timeout(Duration::from_millis(20));
@@ -171,11 +371,28 @@ fn main() {
         .collect();
     let elapsed = t0.elapsed();
 
+    // The storm shares the server (and the zero-loss equality) with the
+    // closed loop but is timed separately: the elapsed window above only
+    // covers the throughput measurement.
+    let storm = if connections > 0 {
+        Some(run_storm(addr, load.num_keys, connections))
+    } else {
+        None
+    };
+
     let (snapshot, stats) = server.shutdown();
 
-    let sent_sum: u64 = reports.iter().map(|r| r.sent_sum).sum();
-    let sent_tuples: u64 = reports.iter().map(|r| r.sent_tuples).sum();
-    let busy_rounds: u64 = reports.iter().map(|r| r.busy_rounds).sum();
+    // Throughput is measured over the closed loop alone; the gates at
+    // the bottom cover the storm's tuples too.
+    let loop_tuples: u64 = reports.iter().map(|r| r.sent_tuples).sum();
+    let mut sent_sum: u64 = reports.iter().map(|r| r.sent_sum).sum();
+    let mut sent_tuples: u64 = loop_tuples;
+    let mut busy_rounds: u64 = reports.iter().map(|r| r.busy_rounds).sum();
+    if let Some(s) = &storm {
+        sent_sum += s.sent_sum;
+        sent_tuples += s.sent_tuples;
+        busy_rounds += s.busy_rounds;
+    }
     let server_sum: u64 = snapshot.iter().sum();
 
     let mut lat: Vec<u64> = reports
@@ -185,7 +402,7 @@ fn main() {
     lat.sort_unstable();
     let p50 = percentile_us(&lat, 0.50);
     let p99 = percentile_us(&lat, 0.99);
-    let tuples_per_sec = sent_tuples as f64 / elapsed.as_secs_f64();
+    let tuples_per_sec = loop_tuples as f64 / elapsed.as_secs_f64();
     let queries_per_sec = lat.len() as f64 / elapsed.as_secs_f64();
 
     let mut t = Table::new(
@@ -193,6 +410,7 @@ fn main() {
         &[
             "scale",
             "clients",
+            "connections",
             "tuples",
             "Mtuples/s",
             "busy_rounds",
@@ -213,6 +431,8 @@ fn main() {
     t.row(vec![
         format!("{scale:?}").to_lowercase(),
         load.clients.to_string(),
+        // Closed-loop connections (one per client) plus the storm's.
+        (load.clients + connections).to_string(),
         sent_tuples.to_string(),
         report::f2(tuples_per_sec / 1e6),
         busy_rounds.to_string(),

@@ -144,7 +144,6 @@ fn main() {
         .channel_capacity(64)
         .batch_tuples(1024);
     let serve_cfg = ServeConfig::new()
-        .workers(load.subscribers * 2 + 2)
         .cache_blocks(64)
         .cache_block_keys(512)
         .read_timeout(Duration::from_millis(20))

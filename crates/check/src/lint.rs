@@ -33,6 +33,15 @@
 //! * **R10 `stale-allow`** — every `lint-allow.txt` entry must still
 //!   suppress at least one would-be violation; entries that match
 //!   nothing fail the run instead of rotting silently.
+//! * **R11 `no-blocking-io-on-reactor-path`** — no blocking socket I/O
+//!   (`set_read_timeout`, `set_nonblocking(false)`, `.read_exact(`,
+//!   `.write_all(`) in the event-loop crates (`serve/src`, `poll/src`).
+//!   The reactor's liveness rests on every syscall being non-blocking;
+//!   one reinstated blocking read stalls every connection on the loop.
+//!   The audited exceptions — the blocking `read_frame`/`write_frame`
+//!   used by the client and the escalated streamer threads, and the
+//!   streamer's deliberate flip back to blocking mode — live in the
+//!   allowlist.
 //!
 //! The runner walks the workspace **once**, reads each file once, and
 //! applies every rule whose scope covers that file; output is sorted by
@@ -62,6 +71,8 @@ pub enum Rule {
     UnauditedUnsafe,
     /// R10: a `lint-allow.txt` entry that suppresses nothing.
     StaleAllow,
+    /// R11: blocking socket I/O in the event-loop crates.
+    BlockingIoOnReactorPath,
 }
 
 impl fmt::Display for Rule {
@@ -73,6 +84,7 @@ impl fmt::Display for Rule {
             Rule::RawAosBins => "no-raw-aos-bins",
             Rule::UnauditedUnsafe => "no-unaudited-unsafe",
             Rule::StaleAllow => "stale-allow",
+            Rule::BlockingIoOnReactorPath => "no-blocking-io-on-reactor-path",
         };
         f.write_str(s)
     }
@@ -229,6 +241,20 @@ fn is_crate_root(rel: &str) -> bool {
 
 /// Crates subject to R2.
 const R2_CRATES: [&str; 6] = ["pb", "core", "stream", "sim", "serve", "wal"];
+
+/// True when `rel` is subject to R11 (the event-loop crates' `src/`:
+/// everything that runs on, or is called from, the reactor thread).
+fn r11_in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/serve/src/") || rel.starts_with("crates/poll/src/")
+}
+
+/// Blocking-I/O markers R11 hunts for (whitespace-squeezed match).
+const R11_NEEDLES: [&str; 4] = [
+    "set_read_timeout",
+    "set_nonblocking(false)",
+    ".read_exact(",
+    ".write_all(",
+];
 
 /// Files subject to R3 (the binning/accumulate hot path).
 const R3_FILES: [&str; 5] = [
@@ -447,6 +473,39 @@ fn lint_unsafe(file: &str, text: &str, out: &mut Vec<LintViolation>) {
     }
 }
 
+/// R11 over one file's contents. Whitespace is squeezed out of the
+/// masked line before matching (as in R4) so formatting variants of
+/// `set_nonblocking( false )` still trip.
+fn lint_blocking_io(file: &str, text: &str, out: &mut Vec<LintViolation>) {
+    for (i, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let masked: String = mask_line(raw).split_whitespace().collect();
+        if R11_NEEDLES.iter().any(|n| masked.contains(n)) {
+            out.push(LintViolation {
+                rule: Rule::BlockingIoOnReactorPath,
+                file: file.to_string(),
+                line: i + 1,
+                text: trimmed.trim_end().to_string(),
+            });
+        }
+    }
+}
+
+/// Self-test hook: a seeded R11 mutation — a blocking read timeout
+/// reinstated on the reactor path — must be caught.
+pub fn seeded_blocking_io_mutation_is_caught() -> bool {
+    let mut out = Vec::new();
+    lint_blocking_io(
+        "crates/serve/src/server.rs",
+        "conn.stream.set_read_timeout(Some(cfg.read_timeout)).ok();\n",
+        &mut out,
+    );
+    out.iter().any(|v| v.rule == Rule::BlockingIoOnReactorPath)
+}
+
 /// Relative path of the lint allowlist.
 const LINT_ALLOW_FILE: &str = "crates/check/lint-allow.txt";
 
@@ -488,6 +547,9 @@ pub fn run_lints(root: &Path) -> std::io::Result<Vec<LintViolation>> {
         }
         if R4_FILES.contains(&file.as_str()) {
             lint_raw_aos_bins(&file, &text, &mut raw);
+        }
+        if r11_in_scope(&file) {
+            lint_blocking_io(&file, &text, &mut raw);
         }
         lint_unsafe(&file, &text, &mut raw);
     }
@@ -693,6 +755,40 @@ let s = \"doc says Vec<Vec<(u32, V)>>\";
     fn unsafe_code_ident_is_not_the_unsafe_keyword() {
         assert!(!contains_word("#![forbid(unsafe_code)]", "unsafe"));
         assert!(contains_word("pub fn f() { un\u{73}afe { } }", "unsafe"));
+    }
+
+    #[test]
+    fn blocking_io_on_reactor_path_is_flagged() {
+        let src = "\
+stream.set_read_timeout(Some(t))?;
+sock.set_nonblocking( false )?;
+r.read_exact(&mut buf)?;
+w.write_all(&bytes)?;
+sock.set_nonblocking(true)?;
+// comment: w.write_all(&bytes) is fine here
+let s = \"docs mention write_all( here\";
+";
+        let mut out = Vec::new();
+        lint_blocking_io("crates/serve/src/server.rs", src, &mut out);
+        let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![1, 2, 3, 4], "{out:?}");
+        assert!(out.iter().all(|v| v.rule == Rule::BlockingIoOnReactorPath));
+    }
+
+    #[test]
+    fn blocking_io_scope_covers_serve_and_poll_src_only() {
+        assert!(r11_in_scope("crates/serve/src/server.rs"));
+        assert!(r11_in_scope("crates/poll/src/sys_epoll.rs"));
+        // Clients of the server running on their own threads (tests,
+        // benches, other crates) may block freely.
+        assert!(!r11_in_scope("crates/serve/tests/e2e.rs"));
+        assert!(!r11_in_scope("crates/bench/src/bin/serve_loadgen.rs"));
+        assert!(!r11_in_scope("crates/cluster/src/replicate.rs"));
+    }
+
+    #[test]
+    fn seeded_r11_mutation_is_caught() {
+        assert!(seeded_blocking_io_mutation_is_caught());
     }
 
     #[test]

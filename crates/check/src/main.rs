@@ -5,7 +5,7 @@
 //! cobra-check races     # vector-clock race + invariant check, all kernels
 //! cobra-check oracle    # commutativity oracles (models, reducers, replays)
 //! cobra-check explore   # bounded exhaustive schedule exploration
-//! cobra-check lint      # source-level invariant lints (R1-R4, R9, R10)
+//! cobra-check lint      # source-level invariant lints (R1-R4, R9-R11)
 //! cobra-check analyze   # cross-crate static analysis (R5-R8) + JSON report
 //! cobra-check selftest  # seeded defects (dynamic + per-rule mutations)
 //! cobra-check all       # everything above; non-zero exit on any failure
@@ -137,7 +137,8 @@ fn run_lint() -> bool {
         Ok(violations) if violations.is_empty() => {
             println!(
                 "  clean (R1-R4 over the hot-path crates, R9 unsafe audit over every \
-                 crate, R10 stale-suppression check; single-pass walk)"
+                 crate, R10 stale-suppression check, R11 blocking-I/O audit over the \
+                 reactor crates; single-pass walk)"
             );
             true
         }
@@ -266,6 +267,15 @@ fn run_selftest() -> bool {
             "MISSED — subscription explorer is broken"
         }
     );
+    let r11_caught = lint::seeded_blocking_io_mutation_is_caught();
+    println!(
+        "  blocking-I/O reactor mutation:  {}",
+        if r11_caught {
+            "detected"
+        } else {
+            "MISSED — R11 lint is broken"
+        }
+    );
     let analyzer_ok = match lint::find_workspace_root()
         .map_err(std::io::Error::other)
         .and_then(|root| analyze::selftest::run_mutations(&root))
@@ -299,7 +309,13 @@ fn run_selftest() -> bool {
             false
         }
     };
-    racy_caught && clean.is_clean() && deadlock_found && quorum_caught && drop_caught && analyzer_ok
+    racy_caught
+        && clean.is_clean()
+        && deadlock_found
+        && quorum_caught
+        && drop_caught
+        && r11_caught
+        && analyzer_ok
 }
 
 fn main() {

@@ -1,11 +1,14 @@
 //! `cobra-clusterd` — one cluster role as a standalone process.
 //!
 //! ```text
-//! cobra-clusterd --node [--addr HOST:PORT] [--keys N] [--workers N]
+//! cobra-clusterd --node [--addr HOST:PORT] [--keys N]
 //!                [--shards N] [--data-dir PATH] [--sync never|onseal|bytes:N]
 //!                [--checkpoint-every N]
 //! cobra-clusterd --follow PRIMARY_ADDR --data-dir PATH [--interval-ms N]
 //! ```
+//!
+//! `--workers N` is accepted and ignored for script compatibility: the
+//! backend is now a single-threaded reactor, not a worker pool.
 //!
 //! `--node` runs one `cobra-serve` backend (a cluster member). It prints
 //! `ADDR <host:port>` once bound (plus `RECOVERED …` in durable mode) and
@@ -35,7 +38,6 @@ use std::time::Duration;
 struct NodeOptions {
     addr: String,
     keys: u32,
-    workers: usize,
     shards: usize,
     data_dir: Option<String>,
     sync: SyncPolicy,
@@ -47,7 +49,6 @@ impl Default for NodeOptions {
         NodeOptions {
             addr: "127.0.0.1:0".to_string(),
             keys: 1 << 20,
-            workers: 4,
             shards: 4,
             data_dir: None,
             sync: SyncPolicy::OnSeal,
@@ -86,7 +87,7 @@ fn parse_sync(s: &str) -> Result<SyncPolicy, String> {
 }
 
 const USAGE: &str = "usage: cobra-clusterd --node [--addr HOST:PORT] [--keys N] \
-     [--workers N] [--shards N] [--data-dir PATH] [--sync never|onseal|bytes:N] \
+     [--shards N] [--data-dir PATH] [--sync never|onseal|bytes:N] \
      [--checkpoint-every N]\n   or: cobra-clusterd --follow PRIMARY_ADDR \
      --data-dir PATH [--interval-ms N]";
 
@@ -112,9 +113,11 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
                     .map_err(|_| "--keys needs a number".to_string())?
             }
             "--workers" => {
-                node.workers = value(&mut i)?
+                // Legacy worker-pool knob: still parsed (scripts pass it)
+                // but the reactor has no pool to size.
+                let _: usize = value(&mut i)?
                     .parse()
-                    .map_err(|_| "--workers needs a number".to_string())?
+                    .map_err(|_| "--workers needs a number".to_string())?;
             }
             "--shards" => {
                 node.shards = value(&mut i)?
@@ -158,7 +161,7 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
 
 fn run_node(opts: NodeOptions) -> Result<(), String> {
     let stream_cfg = StreamConfig::new().shards(opts.shards);
-    let mut serve_cfg = ServeConfig::new().addr(&opts.addr).workers(opts.workers);
+    let mut serve_cfg = ServeConfig::new().addr(&opts.addr);
     if let Some(dir) = &opts.data_dir {
         serve_cfg = serve_cfg.durable(
             DurableConfig::new(dir)

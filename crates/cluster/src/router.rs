@@ -97,6 +97,10 @@ pub struct ClusterConfig {
     /// How long [`cluster_snapshot`](ClusterRouter::cluster_snapshot)
     /// waits for each node to publish the awaited epoch.
     pub snapshot_deadline: Duration,
+    /// UPDATE frames each node connection keeps in flight before reading
+    /// acknowledgements (see [`ServeClient::set_pipeline_window`]);
+    /// 1 restores strict lockstep.
+    pub pipeline_window: usize,
 }
 
 impl Default for ClusterConfig {
@@ -104,6 +108,7 @@ impl Default for ClusterConfig {
         ClusterConfig {
             batch_tuples: 4096,
             snapshot_deadline: Duration::from_secs(30),
+            pipeline_window: 8,
         }
     }
 }
@@ -150,12 +155,13 @@ impl ClusterRouter {
         );
         let mut nodes = Vec::with_capacity(addrs.len());
         for (i, addr) in addrs.iter().enumerate() {
-            let client =
+            let mut client =
                 ServeClient::connect(addr.as_str()).map_err(|e| ClusterError::NodeDown {
                     node: i,
                     addr: addr.clone(),
                     source: ClientError::Io(e),
                 })?;
+            client.set_pipeline_window(cfg.pipeline_window);
             nodes.push(Node {
                 addr: addr.clone(),
                 client,

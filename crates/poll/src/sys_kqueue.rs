@@ -1,0 +1,178 @@
+//! macOS/iOS/FreeBSD backend: `kqueue`, level-triggered (no `EV_CLEAR`).
+//!
+//! Same audited-FFI discipline as the epoll backend: syscalls declared
+//! against the libc `std` links, one-line `unsafe` call sites with an
+//! `audited-ffi` marker, arguments limited to integers and pointers to
+//! locals that outlive the call.
+//!
+//! kqueue has no "modify": read and write interest are two independent
+//! filters, so register/modify translate to an `EV_ADD` for each wanted
+//! filter and an `EV_DELETE` for each unwanted one (ignoring `ENOENT`
+//! from deleting a filter that was never armed).
+
+use crate::{classify, Event, Interest, PollError, ENOENT};
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_void};
+use std::ptr;
+use std::time::Duration;
+
+const EVFILT_READ: i16 = -1;
+const EVFILT_WRITE: i16 = -2;
+const EV_ADD: u16 = 0x0001;
+const EV_DELETE: u16 = 0x0002;
+const EV_EOF: u16 = 0x8000;
+const EV_ERROR: u16 = 0x4000;
+
+/// Events reported per `kevent` round (see the epoll backend).
+const WAIT_BATCH: usize = 256;
+
+/// `struct kevent` — the Darwin layout.
+#[cfg(any(target_os = "macos", target_os = "ios"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct KEvent {
+    ident: usize,
+    filter: i16,
+    flags: u16,
+    fflags: u32,
+    data: isize,
+    udata: *mut c_void,
+}
+
+/// `struct kevent` — the FreeBSD (12+) layout, with the `ext` tail.
+#[cfg(target_os = "freebsd")]
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct KEvent {
+    ident: usize,
+    filter: i16,
+    flags: u16,
+    fflags: u32,
+    data: i64,
+    udata: *mut c_void,
+    ext: [u64; 4],
+}
+
+#[repr(C)]
+struct Timespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+extern "C" {
+    fn kqueue() -> c_int;
+    fn kevent(
+        kq: c_int,
+        changelist: *const KEvent,
+        nchanges: c_int,
+        eventlist: *mut KEvent,
+        nevents: c_int,
+        timeout: *const Timespec,
+    ) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn kev(fd: RawFd, filter: i16, flags: u16, token: u64) -> KEvent {
+    KEvent {
+        ident: fd as usize,
+        filter,
+        flags,
+        fflags: 0,
+        data: 0,
+        udata: token as usize as *mut c_void,
+        #[cfg(target_os = "freebsd")]
+        ext: [0; 4],
+    }
+}
+
+pub struct Poller {
+    kq: RawFd,
+}
+
+impl Poller {
+    pub fn new() -> Result<Poller, PollError> {
+        let kq = unsafe { kqueue() }; // audited-ffi: thin syscall shim, see module docs
+        if kq < 0 {
+            return Err(classify(io::Error::last_os_error()));
+        }
+        Ok(Poller { kq })
+    }
+
+    /// Applies one filter change; `ignore_enoent` makes "delete a filter
+    /// that was never armed" a no-op.
+    fn change(&self, ev: KEvent, ignore_enoent: bool) -> Result<(), PollError> {
+        let rc = unsafe { kevent(self.kq, &ev, 1, ptr::null_mut(), 0, ptr::null()) }; // audited-ffi: thin syscall shim, see module docs
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            if ignore_enoent && e.raw_os_error() == Some(ENOENT) {
+                return Ok(());
+            }
+            return Err(classify(e));
+        }
+        Ok(())
+    }
+
+    fn apply(&self, fd: RawFd, token: u64, interest: Interest) -> Result<(), PollError> {
+        for (want, filter) in [(interest.read, EVFILT_READ), (interest.write, EVFILT_WRITE)] {
+            if want {
+                self.change(kev(fd, filter, EV_ADD, token), false)?;
+            } else {
+                self.change(kev(fd, filter, EV_DELETE, 0), true)?;
+            }
+        }
+        Ok(())
+    }
+
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> Result<(), PollError> {
+        self.apply(fd, token, interest)
+    }
+
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> Result<(), PollError> {
+        self.apply(fd, token, interest)
+    }
+
+    pub fn deregister(&self, fd: RawFd) -> Result<(), PollError> {
+        self.change(kev(fd, EVFILT_READ, EV_DELETE, 0), true)?;
+        self.change(kev(fd, EVFILT_WRITE, EV_DELETE, 0), true)
+    }
+
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> Result<(), PollError> {
+        let ts;
+        let ts_ptr = match timeout {
+            None => ptr::null(),
+            Some(d) => {
+                ts = Timespec {
+                    tv_sec: d.as_secs().min(i64::MAX as u64) as i64,
+                    tv_nsec: i64::from(d.subsec_nanos()),
+                };
+                &ts as *const Timespec
+            }
+        };
+        let mut buf = [kev(0, 0, 0, 0); WAIT_BATCH];
+        let nevs = WAIT_BATCH as c_int;
+        let n = unsafe { kevent(self.kq, ptr::null(), 0, buf.as_mut_ptr(), nevs, ts_ptr) }; // audited-ffi: thin syscall shim, see module docs
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(classify(e));
+        }
+        for ev in buf.iter().take(n as usize) {
+            let eof_or_err = ev.flags & (EV_EOF | EV_ERROR) != 0;
+            out.push(Event {
+                token: ev.udata as usize as u64,
+                readable: ev.filter == EVFILT_READ || eof_or_err,
+                writable: ev.filter == EVFILT_WRITE || ev.flags & EV_ERROR != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        let _ = unsafe { close(self.kq) }; // audited-ffi: thin syscall shim, see module docs
+    }
+}

@@ -1,0 +1,30 @@
+//! Stub backend for OSes without an event queue we wrap: everything
+//! compiles, [`Poller::new`] reports [`PollError::Unsupported`].
+
+use crate::{Event, Interest, PollError};
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+pub struct Poller {}
+
+impl Poller {
+    pub fn new() -> Result<Poller, PollError> {
+        Err(PollError::Unsupported)
+    }
+
+    pub fn register(&self, _fd: RawFd, _token: u64, _interest: Interest) -> Result<(), PollError> {
+        Err(PollError::Unsupported)
+    }
+
+    pub fn modify(&self, _fd: RawFd, _token: u64, _interest: Interest) -> Result<(), PollError> {
+        Err(PollError::Unsupported)
+    }
+
+    pub fn deregister(&self, _fd: RawFd) -> Result<(), PollError> {
+        Err(PollError::Unsupported)
+    }
+
+    pub fn wait(&self, _out: &mut Vec<Event>, _timeout: Option<Duration>) -> Result<(), PollError> {
+        Err(PollError::Unsupported)
+    }
+}

@@ -1,11 +1,14 @@
 //! `cobra-served` — the COBRA service as a standalone process.
 //!
 //! ```text
-//! cobra-served [--addr HOST:PORT] [--keys N] [--workers N] [--shards N]
+//! cobra-served [--addr HOST:PORT] [--keys N] [--shards N]
 //!              [--data-dir PATH] [--sync never|onseal|bytes:N]
 //!              [--checkpoint-every N] [--epoch-tuples N]
 //!              [--retain K] [--retain-secs T]
 //! ```
+//!
+//! `--workers N` is accepted and ignored for script compatibility: the
+//! server is now a single-threaded reactor, not a worker pool.
 //!
 //! `--retain K` keeps the last K published epochs for time-travel reads,
 //! diffs and subscriber re-sync (default 1 = latest only); `--retain-secs
@@ -27,7 +30,6 @@ use std::process::ExitCode;
 struct Options {
     addr: String,
     keys: u32,
-    workers: usize,
     shards: usize,
     data_dir: Option<String>,
     sync: SyncPolicy,
@@ -42,7 +44,6 @@ impl Default for Options {
         Options {
             addr: "127.0.0.1:0".to_string(),
             keys: 1 << 20,
-            workers: 4,
             shards: 4,
             data_dir: None,
             sync: SyncPolicy::OnSeal,
@@ -89,9 +90,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--keys needs a number".to_string())?
             }
             "--workers" => {
-                opts.workers = value(&mut i)?
+                // Legacy worker-pool knob: still parsed (scripts pass it)
+                // but the reactor has no pool to size.
+                let _: usize = value(&mut i)?
                     .parse()
-                    .map_err(|_| "--workers needs a number".to_string())?
+                    .map_err(|_| "--workers needs a number".to_string())?;
             }
             "--shards" => {
                 opts.shards = value(&mut i)?
@@ -127,7 +130,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: cobra-served [--addr HOST:PORT] [--keys N] \
-                     [--workers N] [--shards N] [--data-dir PATH] \
+                     [--shards N] [--data-dir PATH] \
                      [--sync never|onseal|bytes:N] [--checkpoint-every N] \
                      [--epoch-tuples N] [--retain K] [--retain-secs T]"
                     .to_string())
@@ -146,7 +149,6 @@ fn run(opts: Options) -> Result<(), String> {
     }
     let mut serve_cfg = ServeConfig::new()
         .addr(&opts.addr)
-        .workers(opts.workers)
         .retain_epochs(opts.retain);
     if let Some(secs) = opts.retain_secs {
         serve_cfg = serve_cfg.retain_age(std::time::Duration::from_secs(secs));

@@ -12,15 +12,31 @@
 //! untaken suffix until the whole batch lands — the retry loop that
 //! makes "zero lost updates" a client-side guarantee too.
 //!
+//! Since the server went event-loop, `update_all` **pipelines**: it keeps
+//! a window of `UPDATE` frames in flight ([`set_pipeline_window`],
+//! default 16) and reads acknowledgements as they come back, so one
+//! connection can fill a whole admission batch instead of paying a
+//! round-trip per chunk. A window of 1 restores the old lockstep
+//! behavior exactly. The raw window primitives ([`send_update`] /
+//! [`recv_update`]) are public for open-loop load generators.
+//!
 //! [`update_all`]: ServeClient::update_all
+//! [`set_pipeline_window`]: ServeClient::set_pipeline_window
+//! [`send_update`]: ServeClient::send_update
+//! [`recv_update`]: ServeClient::recv_update
 
 use crate::protocol::{
     self, ErrorCode, Frame, ReadError, WireError, WireStats, MAX_FRAME, MAX_UPDATE_TUPLES,
 };
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Default number of `UPDATE` frames [`ServeClient::update_all`] keeps in
+/// flight before reading the first acknowledgement.
+pub const DEFAULT_PIPELINE_WINDOW: usize = 16;
 
 /// Everything that can go wrong on a client call.
 #[derive(Debug)]
@@ -79,6 +95,7 @@ pub struct ServeClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     scratch: Vec<u8>,
+    pipeline_window: usize,
 }
 
 impl ServeClient {
@@ -91,7 +108,15 @@ impl ServeClient {
             reader,
             writer,
             scratch: Vec::new(),
+            pipeline_window: DEFAULT_PIPELINE_WINDOW,
         })
+    }
+
+    /// Sets how many `UPDATE` frames [`update_all`](Self::update_all)
+    /// keeps in flight. `1` is the old lockstep mode (send, wait, send);
+    /// values are clamped to at least 1.
+    pub fn set_pipeline_window(&mut self, window: usize) {
+        self.pipeline_window = window.max(1);
     }
 
     /// One request/response round-trip.
@@ -134,20 +159,99 @@ impl ServeClient {
         }
     }
 
+    /// Writes one `UPDATE` frame without waiting for its acknowledgement
+    /// — the send half of the pipelined window. Every `send_update` must
+    /// eventually be paired with a [`recv_update`](Self::recv_update);
+    /// responses come back in send order.
+    pub fn send_update(&mut self, tuples: &[(u32, u64)]) -> Result<(), ClientError> {
+        if tuples.len() > MAX_UPDATE_TUPLES as usize {
+            return Err(ClientError::Unexpected(
+                "update batch exceeds MAX_UPDATE_TUPLES",
+            ));
+        }
+        protocol::write_frame(
+            &mut self.writer,
+            &Frame::Update(tuples.to_vec()),
+            &mut self.scratch,
+        )?;
+        Ok(())
+    }
+
+    /// Reads the acknowledgement for the oldest unacknowledged
+    /// [`send_update`](Self::send_update).
+    pub fn recv_update(&mut self) -> Result<UpdateOutcome, ClientError> {
+        loop {
+            match protocol::read_frame(&mut self.reader, MAX_FRAME) {
+                Ok(Some(Frame::Accepted { accepted })) => {
+                    return Ok(UpdateOutcome {
+                        accepted,
+                        busy: false,
+                    })
+                }
+                Ok(Some(Frame::Busy { accepted })) => {
+                    return Ok(UpdateOutcome {
+                        accepted,
+                        busy: true,
+                    })
+                }
+                Ok(Some(Frame::Error { code, detail })) => {
+                    return Err(ClientError::Server { code, detail })
+                }
+                Ok(Some(_)) => {
+                    return Err(ClientError::Unexpected("non-update response to UPDATE"))
+                }
+                Ok(None) => return Err(ClientError::Disconnected),
+                Err(ReadError::Idle) => continue,
+                Err(ReadError::Io(e)) => return Err(ClientError::Io(e)),
+                Err(ReadError::Wire(e)) => return Err(ClientError::Wire(e)),
+            }
+        }
+    }
+
     /// Sends a batch to completion, resubmitting the refused suffix after
-    /// each `BUSY` (backing off briefly so the pipeline can drain).
-    /// Returns the number of `BUSY` round-trips absorbed.
+    /// each `BUSY` (backing off briefly when nothing at all moved).
+    /// Returns the number of `BUSY` acknowledgements absorbed.
+    ///
+    /// With a pipeline window above 1 (the default), up to `window`
+    /// chunks ride the wire before the first acknowledgement is read. A
+    /// `BUSY` suffix is requeued ahead of the untouched chunks, so no
+    /// tuple is ever dropped; chunks already in flight behind the refusal
+    /// may land before the resubmission, which is fine because the
+    /// server's reducer folds commutatively.
     pub fn update_all(&mut self, tuples: &[(u32, u64)]) -> Result<u64, ClientError> {
-        let mut offset = 0usize;
         let mut busy_rounds = 0u64;
+        // Byte-range work queue over `tuples`, front first.
+        let mut pending: VecDeque<(usize, usize)> = VecDeque::new();
+        let mut offset = 0usize;
         while offset < tuples.len() {
             let chunk_end = tuples.len().min(offset + MAX_UPDATE_TUPLES as usize);
-            let outcome = self.update(&tuples[offset..chunk_end])?;
-            offset += outcome.accepted as usize;
+            pending.push_back((offset, chunk_end));
+            offset = chunk_end;
+        }
+        let mut in_flight: VecDeque<(usize, usize)> = VecDeque::new();
+        while !pending.is_empty() || !in_flight.is_empty() {
+            while in_flight.len() < self.pipeline_window {
+                let Some((lo, hi)) = pending.pop_front() else {
+                    break;
+                };
+                self.send_update(&tuples[lo..hi])?;
+                in_flight.push_back((lo, hi));
+            }
+            let Some((lo, hi)) = in_flight.pop_front() else {
+                break;
+            };
+            let outcome = self.recv_update()?;
+            let taken = hi.min(lo + outcome.accepted as usize);
+            if taken < hi {
+                // The refused suffix goes to the FRONT of the queue so it
+                // is retried before untouched chunks.
+                pending.push_front((taken, hi));
+            }
             if outcome.busy {
                 busy_rounds += 1;
-                if outcome.accepted == 0 {
-                    // Nothing moved: give the shard workers a beat.
+                if outcome.accepted == 0 && in_flight.is_empty() {
+                    // Nothing moved and nothing is in flight to move
+                    // things along: give the pipeline a beat to drain.
                     std::thread::sleep(Duration::from_micros(200));
                 }
             }
@@ -445,6 +549,7 @@ impl Subscription {
                         reader: self.reader,
                         writer: self.writer,
                         scratch: self.scratch,
+                        pipeline_window: DEFAULT_PIPELINE_WINDOW,
                     };
                     return Ok((client, epoch));
                 }

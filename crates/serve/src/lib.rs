@@ -6,17 +6,26 @@
 //! * [`protocol`] — a length-prefixed binary wire protocol (`UPDATE`,
 //!   `SEAL`, `QUERY`, `SNAPSHOT`, `STATS`) with total decoders: no byte
 //!   sequence a client can send will panic a worker.
-//! * [`Server`] — a fixed worker pool behind one acceptor. Backpressure
+//! * [`Server`] — a single-threaded epoll/kqueue reactor (via
+//!   [`cobra_poll`]) driving non-blocking sockets: per-connection state
+//!   machines feed an incremental frame decoder, many requests may be in
+//!   flight per connection (pipelining), and every `UPDATE` admitted in
+//!   one readiness round coalesces into a single ingest-handle settle —
+//!   propagation blocking applied at the network ingress. Backpressure
 //!   is never hidden: a full shard FIFO becomes an explicit
-//!   `BUSY { accepted }` response (tuple-level admission control), and a
-//!   full worker queue refuses the connection (connection-level).
+//!   `BUSY { accepted }` response (tuple-level admission control), and
+//!   the connection cap refuses the connection (connection-level).
+//!   Streaming requests (`REPLICATE`, `SUBSCRIBE`) escalate off the
+//!   reactor onto dedicated blocking streamer threads.
 //! * [`S3FifoCache`] — the read path. `QUERY` is answered from cached
 //!   `(epoch, block)` slices of published epoch snapshots, evicted with
 //!   the S3-FIFO policy (small/main/ghost queues), so skewed query
 //!   workloads stop contending on the snapshot publish lock.
-//! * [`ServeClient`] — a blocking round-trip client whose
-//!   [`update_all`](ServeClient::update_all) retry loop extends the
-//!   pipeline's zero-loss guarantee across the wire.
+//! * [`ServeClient`] — a blocking client whose
+//!   [`update_all`](ServeClient::update_all) pipelines a window of
+//!   `UPDATE` frames before reading acknowledgements, and whose
+//!   `BUSY`-suffix retry loop extends the pipeline's zero-loss
+//!   guarantee across the wire.
 //! * **MVCC** (backed by [`cobra_mvcc`]) — the server retains a window
 //!   of published epochs for time travel (`QUERY_AT`), diff reads
 //!   (`DIFF`, by copy-on-write segment identity), and push
@@ -60,6 +69,7 @@ pub mod cache;
 pub mod client;
 pub mod protocol;
 pub mod server;
+mod streamer;
 
 pub use cache::{CacheStats, S3FifoCache};
 pub use client::{ClientError, ServeClient, SubEvent, Subscription, UpdateOutcome};

@@ -1039,6 +1039,94 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame, scratch: &mut Vec<u8>) ->
     w.write_all(scratch)
 }
 
+/// Incremental frame decoder for nonblocking transports.
+///
+/// The reactor feeds whatever bytes a readiness round produced into
+/// [`extend`](Self::extend) and pulls complete frames back out with
+/// [`next_frame`](Self::next_frame); a frame split across any number of
+/// reads decodes identically to one that arrived whole. Consumed bytes
+/// are compacted away lazily so a one-byte-at-a-time peer cannot make
+/// the buffer grow past one frame.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Bytes before `start` are already-decoded frames awaiting compaction.
+    start: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Appends bytes read off the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when a frame has started arriving (at least one byte of the
+    /// length prefix) but is not yet complete — the idle-budget clock
+    /// should be running.
+    pub fn has_partial(&self) -> bool {
+        self.pending() > 0
+    }
+
+    /// Hands back the undecoded remainder, emptying the buffer. Used
+    /// when a connection escalates to a dedicated streamer thread: the
+    /// leftover bytes re-enter ahead of anything still in the socket.
+    pub fn take_rest(&mut self) -> Vec<u8> {
+        let rest = self.buf[self.start..].to_vec();
+        self.buf.clear();
+        self.start = 0;
+        rest
+    }
+
+    /// Decodes the next complete frame, if one is fully buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; errors mean the stream can no
+    /// longer be trusted to be frame-aligned (same taxonomy as
+    /// [`read_frame`]: oversized, empty, or malformed bodies).
+    pub fn next_frame(&mut self, max_frame: usize) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > max_frame {
+            return Err(WireError::Oversized {
+                len,
+                max: max_frame,
+            });
+        }
+        if len == 0 {
+            return Err(WireError::Malformed("empty frame body"));
+        }
+        if avail.len() < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let frame = decode(&avail[4..4 + len])?;
+        self.start += 4 + len;
+        Ok(Some(frame))
+    }
+
+    /// Drops consumed bytes. Called when decoding pauses, so the shift
+    /// cost is paid once per readiness round, not once per frame.
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1315,6 +1403,80 @@ mod tests {
         assert!(matches!(
             read_frame(&mut cursor, MAX_FRAME),
             Err(ReadError::Wire(WireError::VersionMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn framebuf_one_byte_dribble_decodes_like_a_whole_read() {
+        let frames = vec![
+            Frame::Update(vec![(1, 2), (3, 4)]),
+            Frame::Seal,
+            Frame::Query { key: 7 },
+            Frame::WaitEpoch { epoch: 3 },
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            let mut one = Vec::new();
+            encode(f, &mut one);
+            wire.extend_from_slice(&one);
+        }
+        // Feed byte by byte: frames pop out exactly when complete, in
+        // order, identical to a batch feed.
+        let mut fb = FrameBuf::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            fb.extend(std::slice::from_ref(b));
+            while let Some(f) = fb.next_frame(MAX_FRAME).expect("dribble decode") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert!(!fb.has_partial(), "all bytes consumed");
+
+        let mut batch = FrameBuf::new();
+        batch.extend(&wire);
+        let mut got_batch = Vec::new();
+        while let Some(f) = batch.next_frame(MAX_FRAME).expect("batch decode") {
+            got_batch.push(f);
+        }
+        assert_eq!(got_batch, frames);
+    }
+
+    #[test]
+    fn framebuf_partial_tracking_and_escalation_handoff() {
+        let mut wire = Vec::new();
+        encode(&Frame::Seal, &mut wire);
+        let mut trailer = Vec::new();
+        encode(&Frame::Query { key: 1 }, &mut trailer);
+        wire.extend_from_slice(&trailer[..3]); // second frame half-arrived
+
+        let mut fb = FrameBuf::new();
+        fb.extend(&wire);
+        assert!(matches!(fb.next_frame(MAX_FRAME), Ok(Some(Frame::Seal))));
+        // Only a partial frame remains: that is what the idle budget keys on.
+        assert!(matches!(fb.next_frame(MAX_FRAME), Ok(None)));
+        assert!(fb.has_partial());
+        // Escalation takes the raw remainder so a streamer thread can
+        // splice it ahead of the socket.
+        let rest = fb.take_rest();
+        assert_eq!(rest, &trailer[..3]);
+        assert!(!fb.has_partial());
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn framebuf_rejects_oversized_and_empty_frames_like_read_frame() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            fb.next_frame(MAX_FRAME),
+            Err(WireError::Oversized { .. })
+        ));
+        let mut fb = FrameBuf::new();
+        fb.extend(&0u32.to_le_bytes());
+        assert!(matches!(
+            fb.next_frame(MAX_FRAME),
+            Err(WireError::Malformed(_))
         ));
     }
 

@@ -1,63 +1,85 @@
-//! The TCP server: a fixed worker pool fronting one [`IngestPipeline`].
+//! The TCP server: one reactor thread driving every request connection
+//! over a [`cobra_poll::Poller`] (epoll on Linux, kqueue on the BSDs).
 //!
 //! ```text
-//!   clients ──TCP──▶ acceptor ──bounded queue──▶ worker pool
-//!                                                  │  UPDATE: IngestHandle::try_send
-//!                                                  │          (full FIFO → BUSY frame)
-//!                                                  │  QUERY:  S3-FIFO snapshot cache
-//!                                                  │  SEAL/SNAPSHOT/STATS
-//!                                                  ▼
-//!                                            IngestPipeline ──▶ EpochSnapshot
+//!   clients ──TCP──▶ reactor (nonblocking sockets, level-triggered)
+//!                      │ per round:
+//!                      │   1. unpark WAIT_EPOCH waiters
+//!                      │   2. accept (refuse past max_conns)
+//!                      │   3. read readiness batch → FrameBuf → dispatch
+//!                      │        UPDATE: IngestHandle::try_send (full FIFO → BUSY)
+//!                      │        QUERY:  S3-FIFO snapshot cache
+//!                      │   4. settle: one try_flush for the whole round
+//!                      │   5. flush outboxes (WouldBlock → write interest)
+//!                      │
+//!                      ├──▶ streamer threads (REPLICATE / SUBSCRIBE escalate
+//!                      │    to a dedicated blocking thread, crate::streamer)
+//!                      ▼
+//!                IngestPipeline ──▶ EpochSnapshot
 //! ```
 //!
-//! Admission control happens at two levels, both non-blocking:
-//!
-//! * **Connections**: the acceptor hands sockets to the worker pool
-//!   through a bounded queue with [`try_send`]; when every worker is busy
-//!   and the queue is full, the connection is refused (closed) instead of
-//!   queueing without bound.
-//! * **Updates**: workers feed the pipeline with
-//!   [`IngestHandle::try_send`]; a full shard FIFO turns into an explicit
-//!   `Busy { accepted }` response naming how many tuples of the batch
-//!   were taken, so an I/O worker is never parked on a pipeline condvar
-//!   and the client decides whether to retry, shed, or back off.
-//!
-//! Every update response settles the worker's coalescing buffers into
-//! the shard FIFOs first, so "taken" means *visible to a later `SEAL` on
+//! This is propagation blocking applied at the network ingress: instead
+//! of one thread per connection paying a pipeline handoff per frame, a
+//! whole readiness round's updates coalesce in one [`IngestHandle`] and
+//! reach the shard FIFOs in a single end-of-round *settle*. Responses are
+//! staged in per-connection outboxes and **no response byte leaves before
+//! the settle**, so `Accepted` still means *visible to a later `SEAL` on
 //! any connection* — the property the cluster router's epoch barrier is
-//! built on, not just a single-connection convenience.
+//! built on. Within a connection, responses flush in dispatch order, so
+//! protocol pipelining (many frames in flight per connection) keeps the
+//! old request/response ordering exactly.
+//!
+//! Admission control, all non-blocking:
+//!
+//! * **Connections**: past [`ServeConfig::max_conns`] (or on descriptor
+//!   exhaustion, which the poll shim reports as a typed error) a new
+//!   connection is refused (closed) instead of queueing without bound.
+//! * **Updates**: a full shard FIFO turns into an explicit
+//!   `Busy { accepted }` naming how many tuples of the batch were taken;
+//!   the reactor is never parked on a pipeline condvar mid-round.
+//! * **Time**: a frame that has started arriving must finish within
+//!   [`ServeConfig::idle_budget`] (progress resets the clock) — a
+//!   one-byte-dribble or mid-frame-stall peer is disconnected without
+//!   ever stalling the other connections. Idling *between* frames is
+//!   unlimited, as before.
+//!
+//! `WAIT_EPOCH` never blocks the reactor: the connection parks (read
+//! interest dropped) and is answered at the top of the round that first
+//! sees the epoch committed. `REPLICATE` and `SUBSCRIBE` answer with a
+//! *stream* of frames, so those connections escalate out of the reactor
+//! entirely: the socket flips back to blocking mode and a dedicated
+//! streamer thread ([`crate::streamer`]) serves the connection for the
+//! rest of its life.
 //!
 //! The read path never touches the pipeline's accumulators: QUERY is
 //! served from `(epoch, block)` slices of published [`EpochSnapshot`]s,
 //! cached in an [`S3FifoCache`] so a hot skewed key set is answered
 //! without even taking the snapshot publish lock.
 //!
-//! Shutdown is a graceful drain: stop accepting, let workers finish and
-//! flush their coalescing buffers, seal a final epoch, then drain the
-//! pipeline and return the final snapshot — no accepted update is lost.
+//! Shutdown is a graceful drain: stop accepting, answer or fail parked
+//! waiters, settle, flush what the sockets will take, then drain the
+//! pipeline — no accepted update is lost.
 //!
-//! [`try_send`]: cobra_stream::channel::Sender::try_send
 //! [`EpochSnapshot`]: cobra_stream::EpochSnapshot
 
 use crate::cache::S3FifoCache;
 use crate::protocol::{
-    self, ErrorCode, Frame, ReadError, WireStats, MAX_DELTA_ENTRIES, MAX_FRAME, MAX_SNAPSHOT_KEYS,
-    REPL_CHUNK,
+    self, ErrorCode, Frame, FrameBuf, WireError, WireStats, MAX_FRAME, MAX_SNAPSHOT_KEYS,
 };
-use cobra_mvcc::{diff_range, feed_publish_hook, DeltaHub, EpochStore, RetentionConfig, SubMsg};
-use cobra_stream::channel::{self, Sender, TrySendError};
+use cobra_mvcc::{diff_range, feed_publish_hook, DeltaHub, EpochStore, RetentionConfig};
+use cobra_poll::{Event, Interest, Poller};
 use cobra_stream::{
-    commit_dir, shard_dir, DurableConfig, EpochSnapshot, IngestHandle, IngestPipeline,
-    RecoveryReport, Reducer, StreamConfig, TryIngestError,
+    DurableConfig, EpochSnapshot, IngestHandle, IngestPipeline, RecoveryReport, Reducer,
+    StreamConfig, TryIngestError,
 };
 use std::collections::HashMap;
-use std::io::{self, BufReader};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// `u64` summation — the server's update semantics. Commutative, so the
 /// pipeline takes the merge-on-flush fast path, and "zero lost updates"
@@ -88,20 +110,23 @@ impl Reducer for SumU64 {
 pub struct ServeConfig {
     /// Address to bind (use port 0 for an ephemeral port).
     pub addr: String,
-    /// Worker threads; also the number of connections served concurrently.
-    pub workers: usize,
-    /// Accepted connections that may wait for a free worker before the
-    /// acceptor starts refusing new ones.
-    pub conn_backlog: usize,
+    /// Connections the reactor serves concurrently before refusing new
+    /// ones (escalated streaming connections are not counted — they have
+    /// left the reactor).
+    pub max_conns: usize,
     /// Per-frame length ceiling (both directions).
     pub max_frame: usize,
     /// Snapshot-cache capacity, in blocks.
     pub cache_blocks: usize,
     /// Keys per cached snapshot block.
     pub cache_block_keys: u32,
-    /// Socket read timeout; also the granularity at which an idle worker
-    /// notices the shutdown flag.
+    /// Reactor poll granularity; also the streamer threads' socket read
+    /// timeout (how fast an idle thread notices the shutdown flag).
     pub read_timeout: Duration,
+    /// Once a frame has started arriving, the connection must complete a
+    /// frame within this budget or it is disconnected (slow-loris
+    /// protection). Idling between frames is unlimited.
+    pub idle_budget: Duration,
     /// Durable mode: when set, the pipeline write-ahead-logs every update
     /// under this configuration's data directory and recovers committed
     /// state from it on startup.
@@ -123,12 +148,12 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
-            workers: 4,
-            conn_backlog: 32,
+            max_conns: 4096,
             max_frame: MAX_FRAME,
             cache_blocks: 128,
             cache_block_keys: 1024,
             read_timeout: Duration::from_millis(50),
+            idle_budget: Duration::from_secs(30),
             durable: None,
             retain_epochs: 1,
             retain_age: None,
@@ -149,15 +174,9 @@ impl ServeConfig {
         self
     }
 
-    /// Sets the worker-pool size.
-    pub fn workers(mut self, workers: usize) -> Self {
-        self.workers = workers;
-        self
-    }
-
-    /// Sets the accepted-connection backlog.
-    pub fn conn_backlog(mut self, backlog: usize) -> Self {
-        self.conn_backlog = backlog;
+    /// Sets the concurrent-connection ceiling.
+    pub fn max_conns(mut self, max_conns: usize) -> Self {
+        self.max_conns = max_conns;
         self
     }
 
@@ -173,9 +192,15 @@ impl ServeConfig {
         self
     }
 
-    /// Sets the socket read timeout (shutdown-poll granularity).
+    /// Sets the reactor poll granularity (shutdown-poll granularity).
     pub fn read_timeout(mut self, timeout: Duration) -> Self {
         self.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the in-frame completion budget (slow-loris disconnect).
+    pub fn idle_budget(mut self, budget: Duration) -> Self {
+        self.idle_budget = budget;
         self
     }
 
@@ -213,40 +238,43 @@ impl ServeConfig {
 /// Live server counters (the serve-layer complement of the pipeline's
 /// [`StreamStats`](cobra_stream::StreamStats)).
 #[derive(Debug, Default)]
-struct ServeCounters {
-    connections: AtomicU64,
-    refused_conns: AtomicU64,
-    frames: AtomicU64,
-    queries: AtomicU64,
-    busy_tuples: AtomicU64,
-    repl_rounds: AtomicU64,
-    repl_bytes_shipped: AtomicU64,
-    repl_acked_epoch: AtomicU64,
+pub(crate) struct ServeCounters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) refused_conns: AtomicU64,
+    pub(crate) frames: AtomicU64,
+    pub(crate) queries: AtomicU64,
+    pub(crate) busy_tuples: AtomicU64,
+    pub(crate) repl_rounds: AtomicU64,
+    pub(crate) repl_bytes_shipped: AtomicU64,
+    pub(crate) repl_acked_epoch: AtomicU64,
 }
 
-/// Everything a worker needs, shared by reference.
-struct Ctx {
-    pipeline: IngestPipeline<SumU64>,
-    cache: S3FifoCache<(u64, u32), Arc<Vec<u64>>>,
-    counters: ServeCounters,
-    stop: AtomicBool,
-    num_keys: u32,
-    block_keys: u32,
-    max_frame: usize,
-    read_timeout: Duration,
+/// Everything the reactor and the streamer threads share, by reference.
+pub(crate) struct Ctx {
+    pub(crate) pipeline: IngestPipeline<SumU64>,
+    pub(crate) cache: S3FifoCache<(u64, u32), Arc<Vec<u64>>>,
+    pub(crate) counters: ServeCounters,
+    pub(crate) stop: AtomicBool,
+    pub(crate) num_keys: u32,
+    pub(crate) block_keys: u32,
+    pub(crate) max_frame: usize,
+    pub(crate) read_timeout: Duration,
     /// The durable data directory (None = in-memory server; replication
     /// requests are refused with `NotDurable`).
-    data_dir: Option<PathBuf>,
+    pub(crate) data_dir: Option<PathBuf>,
     /// The MVCC retention window (fed by the pipeline's publish hook).
-    store: Arc<EpochStore<u64>>,
+    pub(crate) store: Arc<EpochStore<u64>>,
     /// Push-subscription fan-out (fed by the same hook).
-    hub: Arc<DeltaHub<u64>>,
+    pub(crate) hub: Arc<DeltaHub<u64>>,
     /// Queue depth handed to each new subscriber.
-    sub_queue_epochs: usize,
+    pub(crate) sub_queue_epochs: usize,
+    /// Streamer threads spawned by connection escalation; joined on
+    /// shutdown after the reactor.
+    pub(crate) streamers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Ctx {
-    fn wire_stats(&self) -> WireStats {
+    pub(crate) fn wire_stats(&self) -> WireStats {
         let s = self.pipeline.stats();
         let c = self.cache.stats();
         // ordering: Relaxed throughout — point-in-time statistics reads;
@@ -282,10 +310,11 @@ impl Ctx {
         }
     }
 
-    fn stopping(&self) -> bool {
+    pub(crate) fn stopping(&self) -> bool {
         // ordering: Relaxed — audited: the flag is a pure boolean signal
-        // with no associated payload; workers re-check it every read
-        // timeout, so propagation delay only adds (bounded) latency.
+        // with no associated payload; the reactor and streamers re-check
+        // it every poll timeout, so propagation delay only adds (bounded)
+        // latency.
         self.stop.load(Ordering::Relaxed)
     }
 }
@@ -295,27 +324,25 @@ impl Ctx {
 pub struct Server {
     ctx: Arc<Ctx>,
     local_addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     recovery: Option<RecoveryReport>,
 }
 
 impl Server {
-    /// Builds the pipeline, binds the listener and starts the acceptor
-    /// and worker threads.
+    /// Builds the pipeline, binds the listener and starts the reactor
+    /// thread.
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.workers`, `cfg.conn_backlog`, `cfg.cache_blocks < 2`
-    /// or `cfg.cache_block_keys` are out of range (programmer error — the
+    /// Panics if `cfg.max_conns`, `cfg.cache_blocks < 2` or
+    /// `cfg.cache_block_keys` are out of range (programmer error — the
     /// config is server-side, not client input).
     pub fn start(
         num_keys: u32,
         mut stream_cfg: StreamConfig,
         cfg: ServeConfig,
     ) -> io::Result<Server> {
-        assert!(cfg.workers > 0, "need at least one worker");
-        assert!(cfg.conn_backlog > 0, "need a connection backlog");
+        assert!(cfg.max_conns > 0, "need at least one connection slot");
         assert!(cfg.cache_blocks >= 2, "cache needs at least two blocks");
         assert!(
             cfg.cache_block_keys > 0,
@@ -331,7 +358,12 @@ impl Server {
         stream_cfg.snapshot_segment_keys = cfg.cache_block_keys as usize;
 
         let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let poller = Poller::new().map_err(io::Error::from)?;
+        poller
+            .register(&listener, LISTENER_TOKEN, Interest::READ)
+            .map_err(io::Error::from)?;
         let data_dir = cfg.durable.as_ref().map(|d| d.dir.clone());
         // The MVCC pair behind QUERY_AT/DIFF/SUBSCRIBE: every published
         // snapshot is admitted into the retention window and its delta
@@ -378,36 +410,23 @@ impl Server {
             store,
             hub,
             sub_queue_epochs: cfg.sub_queue_epochs,
+            streamers: Mutex::new(Vec::new()),
         });
 
-        let (conn_tx, conn_rx) = channel::bounded::<TcpStream>(cfg.conn_backlog);
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
-
-        let mut workers = Vec::with_capacity(cfg.workers);
-        for w in 0..cfg.workers {
+        let reactor = {
             let ctx = Arc::clone(&ctx);
-            let conn_rx = Arc::clone(&conn_rx);
-            let handle = ctx.pipeline.handle();
-            let worker = std::thread::Builder::new()
-                .name(format!("cobra-serve-worker-{w}"))
-                .spawn(move || worker_loop(&ctx, &conn_rx, handle))
-                .expect("spawn serve worker");
-            workers.push(worker);
-        }
-
-        let acceptor = {
-            let ctx = Arc::clone(&ctx);
+            let max_conns = cfg.max_conns;
+            let idle_budget = cfg.idle_budget;
             std::thread::Builder::new()
-                .name("cobra-serve-acceptor".into())
-                .spawn(move || acceptor_loop(&ctx, &listener, &conn_tx))
-                .expect("spawn serve acceptor")
+                .name("cobra-serve-reactor".into())
+                .spawn(move || reactor_loop(&ctx, &listener, &poller, max_conns, idle_budget))
+                .expect("spawn serve reactor")
         };
 
         Ok(Server {
             ctx,
             local_addr,
-            acceptor: Some(acceptor),
-            workers,
+            reactor: Some(reactor),
             recovery,
         })
     }
@@ -430,18 +449,18 @@ impl Server {
     }
 
     /// Graceful drain: stops accepting, seals a final epoch so in-flight
-    /// updates become queryable state, waits for the workers to finish
-    /// their connections and flush their coalescing buffers, then drains
-    /// the pipeline. Returns the final snapshot (containing every
-    /// accepted update) and the final statistics.
+    /// updates become queryable state, lets the reactor settle and flush
+    /// its last round and the streamer threads finish, then drains the
+    /// pipeline. Returns the final snapshot (containing every accepted
+    /// update) and the final statistics.
     ///
     /// # Panics
     ///
     /// Panics if a server thread panicked.
     pub fn shutdown(mut self) -> (Arc<EpochSnapshot<u64>>, WireStats) {
         // ordering: Relaxed — audited: pure stop signal (see
-        // Ctx::stopping); the acceptor additionally gets a wake-up
-        // connection below, and workers poll at read-timeout granularity.
+        // Ctx::stopping); the reactor polls at read-timeout granularity
+        // and additionally gets a wake-up connection below.
         self.ctx.stop.store(true, Ordering::Relaxed);
         // Wake every push loop: subscribers get a clean close instead of
         // waiting out their poll timeout.
@@ -450,13 +469,23 @@ impl Server {
         // work becomes queryable, and whatever trickles in afterwards is
         // captured by the pipeline drain below.
         self.ctx.pipeline.seal_epoch();
-        // Unblock the acceptor's `accept()`.
+        // Give the reactor's poll an event to wake on right now.
         let _ = TcpStream::connect(self.local_addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            acceptor.join().expect("serve acceptor panicked");
+        if let Some(reactor) = self.reactor.take() {
+            reactor.join().expect("serve reactor panicked");
         }
-        for worker in self.workers.drain(..) {
-            worker.join().expect("serve worker panicked");
+        // Only the reactor spawns streamers, so after its join the
+        // registry is final.
+        let streamers: Vec<JoinHandle<()>> = {
+            let mut guard = self
+                .ctx
+                .streamers
+                .lock()
+                .expect("streamer registry poisoned");
+            guard.drain(..).collect()
+        };
+        for streamer in streamers {
+            streamer.join().expect("serve streamer panicked");
         }
         let stats = self.ctx.wire_stats();
         let ctx = Arc::try_unwrap(self.ctx)
@@ -467,159 +496,469 @@ impl Server {
     }
 }
 
-fn acceptor_loop(ctx: &Ctx, listener: &TcpListener, conn_tx: &Sender<TcpStream>) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if ctx.stopping() {
-                    return;
-                }
-                continue;
-            }
-        };
-        if ctx.stopping() {
-            // The stream (possibly the shutdown wake-up) is dropped;
-            // conn_tx drops with this return, closing the worker queue.
-            return;
+/// The listener's poll token; connections get 0, 1, 2, …
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Per-`read` scratch size.
+const READ_CHUNK: usize = 16 * 1024;
+/// Per-connection per-round read ceiling: one firehose connection may
+/// not starve the rest of the round (level triggering re-reports the
+/// remainder next round).
+const ROUND_READ_CAP: usize = 1 << 20;
+
+/// What a connection is currently doing.
+enum Mode {
+    /// Normal request/response dispatch.
+    Request,
+    /// Parked on `WAIT_EPOCH`: answered at the top of the round that
+    /// first sees `epoch` committed; read interest is dropped meanwhile.
+    Parked { epoch: u64 },
+    /// A goodbye (usually an `Error` frame) is in the outbox; close once
+    /// it has flushed.
+    Draining,
+    /// A `REPLICATE`/`SUBSCRIBE` arrived: hand the socket to a dedicated
+    /// streamer thread in the flush phase (after the round's settle).
+    Escalating(Box<Frame>),
+}
+
+/// One reactor-managed connection.
+struct Conn {
+    stream: TcpStream,
+    inbox: FrameBuf,
+    outbox: Vec<u8>,
+    /// Outbox bytes already written to the socket.
+    sent: usize,
+    mode: Mode,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Set while a frame is partially buffered and no frame has
+    /// completed since — the idle-budget clock.
+    partial_since: Option<Instant>,
+    /// Set when the connection entered [`Mode::Draining`].
+    draining_since: Option<Instant>,
+    /// Read observed EOF or a socket error; close once the outbox is
+    /// done (best effort).
+    peer_gone: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbox: FrameBuf::new(),
+            outbox: Vec::new(),
+            sent: 0,
+            mode: Mode::Request,
+            interest: Interest::READ,
+            partial_since: None,
+            draining_since: None,
+            peer_gone: false,
         }
-        // Connection-level admission control: a full worker queue refuses
-        // the connection instead of queueing without bound.
-        match conn_tx.try_send(stream) {
-            Ok(()) => {
-                // ordering: Relaxed — stats counter.
-                ctx.counters.connections.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(e) => {
-                // ordering: Relaxed — stats counter; the refused stream
-                // drops here, which closes the socket.
-                ctx.counters.refused_conns.fetch_add(1, Ordering::Relaxed);
-                let disconnected = matches!(e, TrySendError::Disconnected(_));
-                drop(e.into_inner());
-                if disconnected {
-                    return;
-                }
-            }
+    }
+
+    fn start_draining(&mut self) {
+        self.mode = Mode::Draining;
+        self.partial_since = None;
+        if self.draining_since.is_none() {
+            self.draining_since = Some(Instant::now());
         }
     }
 }
 
-fn worker_loop(
-    ctx: &Ctx,
-    conn_rx: &Mutex<channel::Receiver<TcpStream>>,
-    mut handle: IngestHandle<u64>,
+/// What dispatching one frame asks the reactor to do.
+enum Action {
+    /// Stage a response in the outbox and keep going (boxed: `Frame`
+    /// dwarfs the other variants).
+    Respond(Box<Frame>),
+    /// Park the connection until `epoch` commits.
+    Park { epoch: u64 },
+    /// Hand the connection to a streamer thread with this frame first.
+    Escalate(Box<Frame>),
+}
+
+/// Wraps a response frame for staging ([`Action::Respond`] boxes it).
+fn respond(frame: Frame) -> Action {
+    Action::Respond(Box::new(frame))
+}
+
+/// Appends one encoded frame to the connection's outbox.
+fn stage(conn: &mut Conn, frame: &Frame, scratch: &mut Vec<u8>) {
+    protocol::encode(frame, scratch);
+    conn.outbox.extend_from_slice(scratch);
+}
+
+/// The reactor: every request connection, one thread, no blocking I/O.
+fn reactor_loop(
+    ctx: &Arc<Ctx>,
+    listener: &TcpListener,
+    poller: &Poller,
+    max_conns: usize,
+    idle_budget: Duration,
 ) {
-    loop {
-        // Holding the lock while blocked in recv is intentional: exactly
-        // one idle worker camps on the queue, the rest wait their turn at
-        // the mutex; a worker serving a connection holds neither.
-        let next = {
-            let rx = conn_rx.lock().expect("connection queue poisoned");
-            rx.recv()
-        };
-        let Some(stream) = next else {
-            // Queue closed (acceptor exited): flush and leave. A closed
-            // pipeline just means there is nothing left to flush into.
-            let _ = handle.flush();
-            return;
-        };
-        serve_connection(ctx, stream, &mut handle);
-        // Batches coalesced for a closed connection must not linger in
-        // this worker's buffers while it waits for the next connection.
-        let _ = handle.flush();
-    }
-}
-
-/// Serves one connection until EOF, a fatal error, or shutdown.
-fn serve_connection(ctx: &Ctx, stream: TcpStream, handle: &mut IngestHandle<u64>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
+    let mut handle = ctx.pipeline.handle();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut events: Vec<Event> = Vec::new();
     let mut scratch = Vec::new();
     loop {
-        match protocol::read_frame(&mut reader, ctx.max_frame) {
-            Ok(Some(frame)) => {
-                // ordering: Relaxed — stats counter.
-                ctx.counters.frames.fetch_add(1, Ordering::Relaxed);
-                // REPLICATE and SUBSCRIBE are the requests answered with a
-                // *stream* of frames, so they get the writer instead of
-                // returning one response frame.
-                if let Frame::Replicate { manifest } = frame {
-                    if handle_replicate(ctx, &mut writer, &manifest, &mut scratch).is_err() {
-                        return;
+        // Parked waiters poll the committed epoch at 1ms granularity
+        // (matching the old blocking WAIT_EPOCH loop); otherwise the
+        // round ticks at read-timeout granularity for the stop flag.
+        let parked = conns
+            .values()
+            .any(|c| matches!(c.mode, Mode::Parked { .. }));
+        let timeout = if parked {
+            ctx.read_timeout.min(Duration::from_millis(1))
+        } else {
+            ctx.read_timeout
+        };
+        if poller.wait(&mut events, Some(timeout)).is_err() {
+            // Poller failure is not recoverable per-connection; avoid a
+            // hot spin and let the stop check below exit the loop.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut admitted = false;
+
+        // 1. Unpark WAIT_EPOCH waiters first: frames pipelined behind
+        // the wait are already buffered, and dispatching them now lets
+        // their updates ride this round's settle.
+        let committed = ctx.pipeline.committed_epoch();
+        let ready: Vec<u64> = conns
+            .iter()
+            .filter_map(|(t, c)| match c.mode {
+                Mode::Parked { epoch } if committed >= epoch => Some(*t),
+                _ => None,
+            })
+            .collect();
+        for token in ready {
+            if let Some(conn) = conns.get_mut(&token) {
+                stage(
+                    conn,
+                    &Frame::EpochCommitted { epoch: committed },
+                    &mut scratch,
+                );
+                conn.mode = Mode::Request;
+                drain_inbox(ctx, &mut handle, conn, &mut admitted, &mut scratch);
+            }
+        }
+
+        // 2. Accept round.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if ctx.stopping() {
+                        // Includes the shutdown wake-up connection.
+                        continue;
                     }
+                    if conns.len() >= max_conns || stream.set_nonblocking(true).is_err() {
+                        // ordering: Relaxed — stats counter; dropping the
+                        // stream closes the socket (the refusal).
+                        ctx.counters.refused_conns.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = next_token;
+                    next_token += 1;
+                    if poller.register(&stream, token, Interest::READ).is_err() {
+                        // Typed FdExhausted (or anything else): shed the
+                        // connection, keep serving.
+                        // ordering: Relaxed — stats counter.
+                        ctx.counters.refused_conns.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    // ordering: Relaxed — stats counter.
+                    ctx.counters.connections.fetch_add(1, Ordering::Relaxed);
+                    conns.insert(token, Conn::new(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // WouldBlock or transient accept failure
+            }
+        }
+
+        // 3. Read phase: drain readable sockets into frame buffers and
+        // dispatch every complete frame. Responses only reach the outbox
+        // here — no socket write happens before the settle below.
+        let readable: Vec<u64> = events
+            .iter()
+            .filter(|e| e.readable && e.token != LISTENER_TOKEN)
+            .map(|e| e.token)
+            .collect();
+        for token in readable {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            if !matches!(conn.mode, Mode::Request) {
+                // Parked/draining connections stop reading; the kernel
+                // buffer backpressures the peer.
+                continue;
+            }
+            read_into_inbox(conn);
+            drain_inbox(ctx, &mut handle, conn, &mut admitted, &mut scratch);
+        }
+
+        // 4. Settle: one flush of the round's coalesced updates into the
+        // shard FIFOs. Every `Accepted`/`Busy` staged above only becomes
+        // visible on the wire after this — the cross-connection seal
+        // guarantee.
+        if admitted {
+            settle(&mut handle);
+        }
+
+        // 5. Flush phase: escalation handoffs (post-settle, so the
+        // streamer thread sees a consistent pipeline), then outbox
+        // writes with interest re-registration on WouldBlock.
+        let tokens: Vec<u64> = conns.keys().copied().collect();
+        for token in tokens {
+            let Some(mut conn) = conns.remove(&token) else {
+                continue;
+            };
+            if let Mode::Escalating(_) = conn.mode {
+                let _ = poller.deregister(&conn.stream);
+                let Mode::Escalating(first) = std::mem::replace(&mut conn.mode, Mode::Draining)
+                else {
+                    continue;
+                };
+                let leftover = conn.inbox.take_rest();
+                let pending = conn.outbox[conn.sent..].to_vec();
+                crate::streamer::escalate(ctx, conn.stream, leftover, pending, *first);
+                continue;
+            }
+            flush_outbox(&mut conn);
+            let drained = conn.sent == conn.outbox.len();
+            if (matches!(conn.mode, Mode::Draining) && drained)
+                || (conn.peer_gone && drained && !conn.inbox.has_partial())
+            {
+                let _ = poller.deregister(&conn.stream);
+                continue; // drop closes the socket
+            }
+            let desired = Interest {
+                read: matches!(conn.mode, Mode::Request) && !conn.peer_gone,
+                write: !drained,
+            };
+            if desired != conn.interest {
+                if poller.modify(&conn.stream, token, desired).is_err() {
+                    let _ = poller.deregister(&conn.stream);
                     continue;
                 }
-                if let Frame::Subscribe { lo, hi } = frame {
-                    match handle_subscribe(ctx, &mut reader, &mut writer, lo, hi, &mut scratch) {
-                        SubscribeOutcome::Resume => continue,
-                        SubscribeOutcome::Close => return,
+                conn.interest = desired;
+            }
+            conns.insert(token, conn);
+        }
+
+        // 6. Budget sweep: a connection mid-frame (or mid-goodbye) for
+        // longer than the idle budget is cut loose.
+        let now = Instant::now();
+        let expired: Vec<u64> = conns
+            .iter()
+            .filter(|(_, c)| {
+                c.partial_since
+                    .is_some_and(|t| now.duration_since(t) > idle_budget)
+                    || c.draining_since
+                        .is_some_and(|t| now.duration_since(t) > idle_budget)
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        for token in expired {
+            if let Some(conn) = conns.remove(&token) {
+                let _ = poller.deregister(&conn.stream);
+            }
+        }
+
+        // 7. Stop check: answer or fail parked waiters, settle, flush
+        // what the sockets will take, leave.
+        if ctx.stopping() {
+            let committed = ctx.pipeline.committed_epoch();
+            for conn in conns.values_mut() {
+                if let Mode::Parked { epoch } = conn.mode {
+                    let frame = if committed >= epoch {
+                        Frame::EpochCommitted { epoch: committed }
+                    } else {
+                        Frame::Error {
+                            code: ErrorCode::ShuttingDown,
+                            detail: format!(
+                                "stopped while waiting for epoch {epoch} (at {committed})"
+                            ),
+                        }
+                    };
+                    stage(conn, &frame, &mut scratch);
+                    conn.mode = Mode::Request;
+                }
+            }
+            settle(&mut handle);
+            // Best-effort final flush, bounded: the kernel buffers
+            // almost always take the goodbye bytes immediately.
+            let deadline = Instant::now() + ctx.read_timeout;
+            loop {
+                let mut pending = false;
+                for conn in conns.values_mut() {
+                    flush_outbox(conn);
+                    if !conn.peer_gone && conn.sent < conn.outbox.len() {
+                        pending = true;
                     }
                 }
-                let response = handle_frame(ctx, handle, frame);
-                if protocol::write_frame(&mut writer, &response, &mut scratch).is_err() {
+                if !pending || Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let _ = handle.flush();
+            return; // dropping `conns` closes every socket
+        }
+    }
+}
+
+/// Reads until `WouldBlock`, EOF, or the per-round cap.
+fn read_into_inbox(conn: &mut Conn) {
+    let mut buf = [0u8; READ_CHUNK];
+    let mut total = 0usize;
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.peer_gone = true;
+                return;
+            }
+            Ok(n) => {
+                conn.inbox.extend(&buf[..n]);
+                total += n;
+                if total >= ROUND_READ_CAP {
                     return;
                 }
             }
-            Ok(None) => return, // clean close
-            Err(ReadError::Idle) => {
-                // Timed out between frames: the stream is still aligned,
-                // so just poll the shutdown flag and keep listening.
-                if ctx.stopping() {
-                    return;
-                }
-            }
-            Err(ReadError::Io(_)) => return,
-            Err(ReadError::Wire(e)) => {
-                // Framing is lost; tell the client why, then hang up.
-                let response = Frame::Error {
-                    code: ErrorCode::Malformed,
-                    detail: e.to_string(),
-                };
-                let _ = protocol::write_frame(&mut writer, &response, &mut scratch);
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(_) => {
+                conn.peer_gone = true;
                 return;
             }
         }
     }
 }
 
-fn handle_frame(ctx: &Ctx, handle: &mut IngestHandle<u64>, frame: Frame) -> Frame {
+/// Dispatches every complete frame buffered on `conn`, maintaining the
+/// idle-budget clock (reset on progress, armed while a frame is partial).
+fn drain_inbox(
+    ctx: &Ctx,
+    handle: &mut IngestHandle<u64>,
+    conn: &mut Conn,
+    admitted: &mut bool,
+    scratch: &mut Vec<u8>,
+) {
+    if !matches!(conn.mode, Mode::Request) {
+        return;
+    }
+    let mut extracted = 0usize;
+    loop {
+        match conn.inbox.next_frame(ctx.max_frame) {
+            Ok(Some(frame)) => {
+                extracted += 1;
+                // ordering: Relaxed — stats counter.
+                ctx.counters.frames.fetch_add(1, Ordering::Relaxed);
+                match dispatch(ctx, handle, frame, admitted) {
+                    Action::Respond(response) => stage(conn, &response, scratch),
+                    Action::Park { epoch } => {
+                        conn.mode = Mode::Parked { epoch };
+                        break;
+                    }
+                    Action::Escalate(first) => {
+                        conn.mode = Mode::Escalating(first);
+                        break;
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // Framing is lost; tell the client why, then hang up.
+                stage(
+                    conn,
+                    &Frame::Error {
+                        code: ErrorCode::Malformed,
+                        detail: e.to_string(),
+                    },
+                    scratch,
+                );
+                conn.start_draining();
+                break;
+            }
+        }
+    }
+    if matches!(conn.mode, Mode::Request) {
+        if conn.inbox.has_partial() {
+            // Progress (a completed frame) restarts the clock; a frame
+            // that dribbles without ever completing does not.
+            if extracted > 0 || conn.partial_since.is_none() {
+                conn.partial_since = Some(Instant::now());
+            }
+            if conn.peer_gone {
+                // EOF mid-frame: the peer can never complete it.
+                stage(
+                    conn,
+                    &Frame::Error {
+                        code: ErrorCode::Malformed,
+                        detail: WireError::Truncated.to_string(),
+                    },
+                    scratch,
+                );
+                conn.start_draining();
+            }
+        } else {
+            conn.partial_since = None;
+        }
+    }
+}
+
+/// One frame's worth of policy. Pure dispatch — no socket I/O.
+fn dispatch(
+    ctx: &Ctx,
+    handle: &mut IngestHandle<u64>,
+    frame: Frame,
+    admitted: &mut bool,
+) -> Action {
     match frame {
-        Frame::Update(tuples) => handle_update(ctx, handle, &tuples),
-        Frame::Seal => match handle.seal_epoch() {
+        Frame::Update(tuples) => {
+            *admitted = true;
+            respond(admit_update(ctx, handle, &tuples))
+        }
+        Frame::Seal => respond(match handle.seal_epoch() {
             Ok(epoch) => Frame::Sealed { epoch },
             Err(_) => Frame::Error {
                 code: ErrorCode::ShuttingDown,
                 detail: "pipeline closed".to_string(),
             },
-        },
+        }),
         Frame::Query { key } => {
             // ordering: Relaxed — stats counter.
             ctx.counters.queries.fetch_add(1, Ordering::Relaxed);
-            handle_query(ctx, key)
+            respond(handle_query(ctx, key))
         }
-        Frame::Snapshot { epoch, lo, hi } => handle_snapshot(ctx, epoch, lo, hi),
+        Frame::Snapshot { epoch, lo, hi } => respond(handle_snapshot(ctx, epoch, lo, hi)),
         Frame::QueryAt { epoch, key } => {
             // ordering: Relaxed — stats counter.
             ctx.counters.queries.fetch_add(1, Ordering::Relaxed);
-            handle_query_at(ctx, epoch, key)
+            respond(handle_query_at(ctx, epoch, key))
         }
         Frame::Diff {
             from_epoch,
             to_epoch,
             lo,
             hi,
-        } => handle_diff(ctx, from_epoch, to_epoch, lo, hi),
-        Frame::Unsubscribe => Frame::Error {
+        } => respond(handle_diff(ctx, from_epoch, to_epoch, lo, hi)),
+        Frame::Unsubscribe => respond(Frame::Error {
             code: ErrorCode::Malformed,
             detail: "UNSUBSCRIBE without an active subscription".to_string(),
-        },
-        Frame::Stats => Frame::StatsReport(ctx.wire_stats()),
-        Frame::WaitEpoch { epoch } => handle_wait_epoch(ctx, epoch),
+        }),
+        Frame::Stats => respond(Frame::StatsReport(ctx.wire_stats())),
+        Frame::WaitEpoch { epoch } => {
+            let committed = ctx.pipeline.committed_epoch();
+            if committed >= epoch {
+                respond(Frame::EpochCommitted { epoch: committed })
+            } else if ctx.stopping() {
+                respond(Frame::Error {
+                    code: ErrorCode::ShuttingDown,
+                    detail: format!("stopped while waiting for epoch {epoch} (at {committed})"),
+                })
+            } else {
+                Action::Park { epoch }
+            }
+        }
         Frame::Ack { epoch, bytes: _ } => {
             // ordering: Relaxed — audited: monotonic high-water mark of
             // follower acknowledgements, read only by stats; replication
@@ -627,16 +966,68 @@ fn handle_frame(ctx: &Ctx, handle: &mut IngestHandle<u64>, frame: Frame) -> Fram
             ctx.counters
                 .repl_acked_epoch
                 .fetch_max(epoch, Ordering::Relaxed); // ordering: stats high-water
-            Frame::EpochCommitted {
+            respond(Frame::EpochCommitted {
                 epoch: ctx.pipeline.committed_epoch(),
+            })
+        }
+        Frame::Replicate { manifest } => {
+            if ctx.data_dir.is_none() {
+                respond(Frame::Error {
+                    code: ErrorCode::NotDurable,
+                    detail: "server has no data directory; nothing to replicate".to_string(),
+                })
+            } else {
+                Action::Escalate(Box::new(Frame::Replicate { manifest }))
+            }
+        }
+        Frame::Subscribe { lo, hi } => {
+            if lo >= hi || hi > ctx.num_keys {
+                respond(Frame::Error {
+                    code: ErrorCode::BadRange,
+                    detail: format!(
+                        "subscribe range {lo}..{hi} invalid (num_keys {})",
+                        ctx.num_keys
+                    ),
+                })
+            } else {
+                Action::Escalate(Box::new(Frame::Subscribe { lo, hi }))
             }
         }
         // A client sending response-kind frames is confused; refuse
         // politely instead of guessing.
-        _ => Frame::Error {
+        _ => respond(Frame::Error {
             code: ErrorCode::Malformed,
             detail: "response-kind frame sent as a request".to_string(),
-        },
+        }),
+    }
+}
+
+/// Writes as much outbox as the socket will take right now. A fatal
+/// write error marks the peer gone and abandons the outbox.
+fn flush_outbox(conn: &mut Conn) {
+    while conn.sent < conn.outbox.len() {
+        match conn.stream.write(&conn.outbox[conn.sent..]) {
+            Ok(0) => {
+                conn.peer_gone = true;
+                break;
+            }
+            Ok(n) => conn.sent += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(_) => {
+                conn.peer_gone = true;
+                break;
+            }
+        }
+    }
+    if conn.peer_gone || conn.sent == conn.outbox.len() {
+        conn.outbox.clear();
+        conn.sent = 0;
+    } else if conn.sent > 0 && conn.sent * 2 >= conn.outbox.len() {
+        // Compact once the cursor passes the halfway mark so a slowly
+        // draining outbox does not grow without bound.
+        conn.outbox.drain(..conn.sent);
+        conn.sent = 0;
     }
 }
 
@@ -645,10 +1036,10 @@ fn handle_frame(ctx: &Ctx, handle: &mut IngestHandle<u64>, frame: Frame) -> Fram
 /// Acknowledged tuples must be visible to a `SEAL` arriving on *any*
 /// connection — the cluster router seals over its own connection after
 /// other clients' updates were acknowledged — so no response that counts
-/// tuples as taken may leave them in this worker's coalescing buffer.
-/// The wait is bounded: the accumulator drains the FIFOs continuously
-/// (and the shutdown drain empties them even mid-stop).
-fn settle(handle: &mut IngestHandle<u64>) {
+/// tuples as taken may leave for a socket before this settles. The wait
+/// is bounded: the accumulator drains the FIFOs continuously (and the
+/// shutdown drain empties them even mid-stop).
+pub(crate) fn settle(handle: &mut IngestHandle<u64>) {
     loop {
         match handle.try_flush() {
             Ok(()) => return,
@@ -660,13 +1051,19 @@ fn settle(handle: &mut IngestHandle<u64>) {
     }
 }
 
-fn handle_update(ctx: &Ctx, handle: &mut IngestHandle<u64>, tuples: &[(u32, u64)]) -> Frame {
+/// Admits one `UPDATE` batch into the handle's coalescing buffers.
+/// Callers own the settle: the reactor settles once per round, the
+/// streamer threads settle per frame (the old per-response behavior).
+pub(crate) fn admit_update(
+    ctx: &Ctx,
+    handle: &mut IngestHandle<u64>,
+    tuples: &[(u32, u64)],
+) -> Frame {
     let mut accepted: u32 = 0;
     for &(key, value) in tuples {
         if key >= ctx.num_keys {
-            // One malformed key must not kill a worker (try_send would
-            // panic) nor silently drop the batch's remainder.
-            settle(handle);
+            // One malformed key must not kill the reactor (try_send
+            // would panic) nor silently drop the batch's remainder.
             return Frame::Error {
                 code: ErrorCode::KeyOutOfRange,
                 detail: format!(
@@ -682,8 +1079,6 @@ fn handle_update(ctx: &Ctx, handle: &mut IngestHandle<u64>, tuples: &[(u32, u64)
                 ctx.counters
                     .busy_tuples
                     .fetch_add(refused, Ordering::Relaxed); // ordering: stats counter
-
-                settle(handle);
                 return Frame::Busy { accepted };
             }
             Err(TryIngestError::Closed) => {
@@ -694,14 +1089,13 @@ fn handle_update(ctx: &Ctx, handle: &mut IngestHandle<u64>, tuples: &[(u32, u64)
             }
         }
     }
-    settle(handle);
     Frame::Accepted { accepted }
 }
 
 /// QUERY: served from the S3-FIFO cache of `(epoch, block)` snapshot
 /// slices; a miss materializes the block from the latest published
 /// snapshot (never from the pipeline's live accumulators).
-fn handle_query(ctx: &Ctx, key: u32) -> Frame {
+pub(crate) fn handle_query(ctx: &Ctx, key: u32) -> Frame {
     if key >= ctx.num_keys {
         return Frame::Error {
             code: ErrorCode::KeyOutOfRange,
@@ -769,7 +1163,7 @@ fn resolve_epoch(ctx: &Ctx, epoch: u64) -> Result<Arc<EpochSnapshot<u64>>, Box<F
 /// window, then serves through the same `(epoch, block)` cache as QUERY —
 /// the cache key already carries the epoch, so retained epochs coexist
 /// with the latest without any invalidation.
-fn handle_query_at(ctx: &Ctx, epoch: u64, key: u32) -> Frame {
+pub(crate) fn handle_query_at(ctx: &Ctx, epoch: u64, key: u32) -> Frame {
     if key >= ctx.num_keys {
         return Frame::Error {
             code: ErrorCode::KeyOutOfRange,
@@ -809,8 +1203,8 @@ fn handle_query_at(ctx: &Ctx, epoch: u64, key: u32) -> Frame {
 /// by segment identity (shared COW segments are skipped without a scan).
 /// The reply is a single `Delta` frame — the range cap
 /// ([`MAX_SNAPSHOT_KEYS`]) keeps the entry count within
-/// [`MAX_DELTA_ENTRIES`].
-fn handle_diff(ctx: &Ctx, from_epoch: u64, to_epoch: u64, lo: u32, hi: u32) -> Frame {
+/// [`MAX_DELTA_ENTRIES`](crate::protocol::MAX_DELTA_ENTRIES).
+pub(crate) fn handle_diff(ctx: &Ctx, from_epoch: u64, to_epoch: u64, lo: u32, hi: u32) -> Frame {
     if lo >= hi || hi > ctx.num_keys || hi - lo > MAX_SNAPSHOT_KEYS {
         return Frame::Error {
             code: ErrorCode::BadRange,
@@ -836,7 +1230,8 @@ fn handle_diff(ctx: &Ctx, from_epoch: u64, to_epoch: u64, lo: u32, hi: u32) -> F
     }
 }
 
-fn handle_snapshot(ctx: &Ctx, epoch: u64, lo: u32, hi: u32) -> Frame {
+/// SNAPSHOT: a `[lo, hi)` slice of a retained epoch's values.
+pub(crate) fn handle_snapshot(ctx: &Ctx, epoch: u64, lo: u32, hi: u32) -> Frame {
     if lo >= hi || hi > ctx.num_keys || hi - lo > MAX_SNAPSHOT_KEYS {
         return Frame::Error {
             code: ErrorCode::BadRange,
@@ -864,333 +1259,9 @@ fn handle_snapshot(ctx: &Ctx, epoch: u64, lo: u32, hi: u32) -> Frame {
     }
 }
 
-/// WAIT_EPOCH: the cluster barrier. Blocks (politely, polling the stop
-/// flag) until this node has durably committed `epoch`, then reports the
-/// actual committed high-water mark. A router seals epoch `E` on every
-/// node, then waits here on every node; only when all have answered may
-/// the cluster-wide snapshot for `E` be published.
-fn handle_wait_epoch(ctx: &Ctx, epoch: u64) -> Frame {
-    loop {
-        let committed = ctx.pipeline.committed_epoch();
-        if committed >= epoch {
-            return Frame::EpochCommitted { epoch: committed };
-        }
-        if ctx.stopping() {
-            return Frame::Error {
-                code: ErrorCode::ShuttingDown,
-                detail: format!("stopped while waiting for epoch {epoch} (at {committed})"),
-            };
-        }
-        std::thread::sleep(Duration::from_millis(1));
-    }
-}
-
-/// What the connection loop should do after a subscription ends.
-enum SubscribeOutcome {
-    /// Clean `Unsubscribe`: the connection resumes request/response mode.
-    Resume,
-    /// Disconnect, I/O failure or protocol violation: hang up.
-    Close,
-}
-
-/// SUBSCRIBE: flips the connection into push mode. The worker keeps the
-/// read half (watching for `Unsubscribe`, EOF, or shutdown) and hands a
-/// clone of the write half to a pusher thread that streams `Delta` /
-/// `Lagged` frames; exactly one side writes at any time — the worker only
-/// writes again after the pusher has been torn down and joined.
-fn handle_subscribe(
-    ctx: &Ctx,
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut TcpStream,
-    lo: u32,
-    hi: u32,
-    scratch: &mut Vec<u8>,
-) -> SubscribeOutcome {
-    if lo >= hi || hi > ctx.num_keys {
-        let response = Frame::Error {
-            code: ErrorCode::BadRange,
-            detail: format!(
-                "subscribe range {lo}..{hi} invalid (num_keys {})",
-                ctx.num_keys
-            ),
-        };
-        return if protocol::write_frame(writer, &response, scratch).is_ok() {
-            SubscribeOutcome::Resume
-        } else {
-            SubscribeOutcome::Close
-        };
-    }
-    let Ok(push_writer) = writer.try_clone() else {
-        return SubscribeOutcome::Close;
-    };
-    // Register BEFORE reading the baseline: an epoch published between
-    // the two is then either enqueued for us or already part of the
-    // baseline (the hook admits to the store before fanning out) — never
-    // silently missed. The pusher drops queued epochs <= baseline.
-    let sub = ctx.hub.subscribe(lo, hi, ctx.sub_queue_epochs);
-    let baseline = match ctx.store.latest() {
-        Some(snap) => snap.epoch(),
-        None => ctx.pipeline.published_epoch(),
-    };
-    if protocol::write_frame(writer, &Frame::Subscribed { epoch: baseline }, scratch).is_err() {
-        ctx.hub.unsubscribe(sub.id());
-        return SubscribeOutcome::Close;
-    }
-    let mut acked = false;
-    let mut violation = false;
-    std::thread::scope(|s| {
-        s.spawn(|| push_loop(ctx, &sub, push_writer, baseline));
-        loop {
-            match protocol::read_frame(reader, ctx.max_frame) {
-                Ok(Some(Frame::Unsubscribe)) => {
-                    ctx.hub.unsubscribe(sub.id());
-                    acked = true;
-                    return;
-                }
-                Ok(Some(_)) => {
-                    // Any other request mid-subscription would interleave
-                    // its response with the pushes; refuse and hang up.
-                    ctx.hub.unsubscribe(sub.id());
-                    violation = true;
-                    return;
-                }
-                Ok(None) => {
-                    // Disconnect: the unsubscribe-on-disconnect guarantee.
-                    ctx.hub.unsubscribe(sub.id());
-                    return;
-                }
-                Err(ReadError::Idle) => {
-                    if ctx.stopping() {
-                        ctx.hub.unsubscribe(sub.id());
-                        return;
-                    }
-                }
-                Err(_) => {
-                    ctx.hub.unsubscribe(sub.id());
-                    return;
-                }
-            }
-        }
-        // The scope join below waits for the pusher to drain its queue
-        // and exit before the worker touches the writer again.
-    });
-    if acked {
-        let bye = Frame::Unsubscribed {
-            epoch: ctx.pipeline.published_epoch(),
-        };
-        if protocol::write_frame(writer, &bye, scratch).is_err() {
-            return SubscribeOutcome::Close;
-        }
-        return SubscribeOutcome::Resume;
-    }
-    if violation {
-        let response = Frame::Error {
-            code: ErrorCode::Malformed,
-            detail: "only UNSUBSCRIBE is valid while subscribed".to_string(),
-        };
-        let _ = protocol::write_frame(writer, &response, scratch);
-    }
-    SubscribeOutcome::Close
-}
-
-/// Streams one subscriber's queue to its socket: per-epoch `Delta` frames
-/// (chunked at [`MAX_DELTA_ENTRIES`]), `Lagged` on overflow, exit on
-/// close. An epoch with no changes in the subscribed range still ships an
-/// empty `Delta` — delivery is gap-free per epoch, which is what lets the
-/// client assert `to_epoch == last + 1` and trust pure delta replay.
-fn push_loop(ctx: &Ctx, sub: &cobra_mvcc::Subscriber<u64>, mut writer: TcpStream, baseline: u64) {
-    let mut scratch = Vec::new();
-    let mut prev = baseline;
-    loop {
-        match sub.next_msg(ctx.read_timeout) {
-            SubMsg::Delta(delta) => {
-                // A publish racing the registration can enqueue an epoch
-                // the baseline snapshot already covers; skip it.
-                if delta.epoch() <= prev {
-                    continue;
-                }
-                let entries = delta.entries();
-                let mut at = 0usize;
-                loop {
-                    let end = (at + MAX_DELTA_ENTRIES as usize).min(entries.len());
-                    let frame = Frame::Delta {
-                        from_epoch: prev,
-                        to_epoch: delta.epoch(),
-                        done: end == entries.len(),
-                        entries: entries[at..end].to_vec(),
-                    };
-                    if protocol::write_frame(&mut writer, &frame, &mut scratch).is_err() {
-                        ctx.hub.unsubscribe(sub.id());
-                        return;
-                    }
-                    if end == entries.len() {
-                        break;
-                    }
-                    at = end;
-                }
-                prev = delta.epoch();
-            }
-            SubMsg::Lagged { resume_epoch } => {
-                if resume_epoch > prev {
-                    prev = resume_epoch;
-                    let frame = Frame::Lagged { resume_epoch };
-                    if protocol::write_frame(&mut writer, &frame, &mut scratch).is_err() {
-                        ctx.hub.unsubscribe(sub.id());
-                        return;
-                    }
-                }
-            }
-            SubMsg::Closed => return,
-            SubMsg::Idle => {
-                if ctx.stopping() {
-                    // close_all() already fired on shutdown; this is the
-                    // belt-and-braces exit if stop raced the registration.
-                    return;
-                }
-            }
-        }
-    }
-}
-
-/// REPLICATE: one round of WAL shipping. The follower's manifest says how
-/// many bytes of each file it already has; this streams the missing
-/// suffixes as `Segment` frames and finishes with `ReplDone`.
-///
-/// Ordering is the crux. The commit log is captured (read into memory)
-/// *before* the shard logs and checkpoints are listed and streamed, and
-/// shipped *last*. Shard bytes written after the capture may reach the
-/// follower, but the commit records that would make them observable
-/// cannot — so on the follower, exactly as on the primary, observable
-/// implies durable, and a promotion recovers a consistent prefix.
-///
-/// An `Err` means the connection died mid-stream; the round's partial
-/// shard bytes on the follower are harmless (uncommitted tail).
-fn handle_replicate(
-    ctx: &Ctx,
-    writer: &mut TcpStream,
-    manifest: &[(String, u64)],
-    scratch: &mut Vec<u8>,
-) -> io::Result<()> {
-    let Some(data_dir) = &ctx.data_dir else {
-        let response = Frame::Error {
-            code: ErrorCode::NotDurable,
-            detail: "server has no data directory; nothing to replicate".to_string(),
-        };
-        return protocol::write_frame(writer, &response, scratch);
-    };
-    let have: HashMap<&str, u64> = manifest.iter().map(|(n, l)| (n.as_str(), *l)).collect();
-    let round = (|| -> io::Result<(u64, Vec<CommitCapture>, Vec<cobra_wal::ShipFile>)> {
-        // Capture FIRST: the committed epoch and the commit-log bytes that
-        // prove it. Everything read below may be newer; never older.
-        let committed = ctx.pipeline.committed_epoch();
-        let mut commit_files = Vec::new();
-        for f in cobra_wal::segment_files(&commit_dir(data_dir))? {
-            let from = have.get(format!("commit/{}", f.name).as_str()).copied();
-            let bytes = read_suffix(&f.path, from.unwrap_or(0))?;
-            commit_files.push((format!("commit/{}", f.name), from.unwrap_or(0), bytes));
-        }
-        // List (not read) the shard logs and checkpoints after the capture.
-        let mut files = Vec::new();
-        for shard in 0..ctx.pipeline.num_shards() {
-            let sdir = shard_dir(data_dir, shard);
-            for mut f in cobra_wal::segment_files(&sdir)? {
-                f.name = format!("shard-{shard:03}/{}", f.name);
-                files.push(f);
-            }
-        }
-        files.extend(cobra_wal::checkpoint_files(data_dir)?);
-        Ok((committed, commit_files, files))
-    })();
-    let (committed, commit_files, files) = match round {
-        Ok(r) => r,
-        Err(e) => {
-            let response = Frame::Error {
-                code: ErrorCode::Internal,
-                detail: format!("replication listing failed: {e}"),
-            };
-            return protocol::write_frame(writer, &response, scratch);
-        }
-    };
-
-    let mut shipped_files: u32 = 0;
-    let mut shipped_bytes: u64 = 0;
-    // Shard logs and checkpoints stream straight from disk, chunked.
-    for f in files {
-        let mut offset = have.get(f.name.as_str()).copied().unwrap_or(0);
-        let mut touched = false;
-        // A file that vanished between listing and read (checkpoint GC)
-        // just ends the loop via the Err arm.
-        while let Ok(chunk) = cobra_wal::read_chunk(&f.path, offset, REPL_CHUNK) {
-            if chunk.is_empty() {
-                break;
-            }
-            let len = chunk.len() as u64;
-            let frame = Frame::Segment {
-                name: f.name.clone(),
-                offset,
-                bytes: chunk,
-            };
-            protocol::write_frame(writer, &frame, scratch)?;
-            offset += len;
-            shipped_bytes += len;
-            touched = true;
-        }
-        if touched {
-            shipped_files += 1;
-        }
-    }
-    // The captured commit-log bytes go LAST (see the ordering note above).
-    for (name, offset, bytes) in commit_files {
-        if bytes.is_empty() {
-            continue;
-        }
-        shipped_files += 1;
-        let mut at = offset;
-        for chunk in bytes.chunks(REPL_CHUNK) {
-            let frame = Frame::Segment {
-                name: name.clone(),
-                offset: at,
-                bytes: chunk.to_vec(),
-            };
-            protocol::write_frame(writer, &frame, scratch)?;
-            at += chunk.len() as u64;
-            shipped_bytes += chunk.len() as u64;
-        }
-    }
-    // ordering: Relaxed — stats counters.
-    ctx.counters.repl_rounds.fetch_add(1, Ordering::Relaxed);
-    ctx.counters
-        .repl_bytes_shipped
-        .fetch_add(shipped_bytes, Ordering::Relaxed); // ordering: stats counter
-    let done = Frame::ReplDone {
-        epoch: committed,
-        files: shipped_files,
-        bytes: shipped_bytes,
-    };
-    protocol::write_frame(writer, &done, scratch)
-}
-
-/// A captured commit-log suffix: wire name, start offset, bytes.
-type CommitCapture = (String, u64, Vec<u8>);
-
-/// Reads `path` from `offset` to EOF (the commit-log capture).
-fn read_suffix(path: &std::path::Path, offset: u64) -> io::Result<Vec<u8>> {
-    let mut out = Vec::new();
-    let mut at = offset;
-    loop {
-        let chunk = cobra_wal::read_chunk(path, at, REPL_CHUNK)?;
-        if chunk.is_empty() {
-            return Ok(out);
-        }
-        at += chunk.len() as u64;
-        out.extend_from_slice(&chunk);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Instant;
 
     fn test_ctx(num_keys: u32, block_keys: u32) -> Ctx {
         let stream_cfg = StreamConfig::new()
@@ -1209,6 +1280,7 @@ mod tests {
             store: Arc::new(EpochStore::new(RetentionConfig::new())),
             hub: Arc::new(DeltaHub::new()),
             sub_queue_epochs: 16,
+            streamers: Mutex::new(Vec::new()),
         }
     }
 
@@ -1268,6 +1340,7 @@ mod tests {
             store: Arc::new(EpochStore::new(RetentionConfig::new())),
             hub: Arc::new(DeltaHub::new()),
             sub_queue_epochs: 16,
+            streamers: Mutex::new(Vec::new()),
         };
         let mut h = ctx.pipeline.handle();
         h.send(700, 7).unwrap();

@@ -1,0 +1,580 @@
+//! Blocking service for escalated connections.
+//!
+//! `REPLICATE` and `SUBSCRIBE` answer with a *stream* of frames —
+//! multi-megabyte WAL shipping, open-ended delta pushes — that would
+//! monopolize a reactor round. When one arrives, the reactor deregisters
+//! the socket, flips it back to blocking mode, and hands it here together
+//! with any bytes already buffered (undelivered outbox responses, and
+//! inbox bytes read past the escalating frame). A dedicated streamer
+//! thread then serves the connection for the rest of its life with the
+//! old blocking loop: the leftover inbox bytes re-enter via
+//! [`PrefixedReader`] ahead of anything still in the socket, so the
+//! frame stream is seamless.
+//!
+//! The two `set_nonblocking(false)` / `set_read_timeout` calls below are
+//! the *only* blocking-I/O establishment on the server side, and they run
+//! strictly after the poller registration is gone — the R11 lint's
+//! allowlist pins them to this file.
+
+use crate::protocol::{self, ErrorCode, Frame, ReadError, REPL_CHUNK};
+use crate::server::{admit_update, settle, Ctx};
+use cobra_mvcc::SubMsg;
+use cobra_stream::{commit_dir, shard_dir, IngestHandle};
+use std::collections::HashMap;
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::protocol::MAX_DELTA_ENTRIES;
+
+/// Replays escalation-leftover bytes before reading from the socket.
+struct PrefixedReader {
+    leftover: Vec<u8>,
+    pos: usize,
+    inner: TcpStream,
+}
+
+impl Read for PrefixedReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos < self.leftover.len() {
+            let n = (self.leftover.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.leftover[self.pos..self.pos + n]);
+            self.pos += n;
+            return Ok(n);
+        }
+        self.inner.read(buf)
+    }
+}
+
+/// Hands an escalated connection to a dedicated streamer thread. The
+/// thread is registered with the context so shutdown can join it; if the
+/// spawn itself fails the connection is simply dropped (closed).
+pub(crate) fn escalate(
+    ctx: &Arc<Ctx>,
+    stream: TcpStream,
+    leftover: Vec<u8>,
+    pending_out: Vec<u8>,
+    first: Frame,
+) {
+    let thread_ctx = Arc::clone(ctx);
+    let spawned = std::thread::Builder::new()
+        .name("cobra-serve-streamer".into())
+        .spawn(move || stream_connection(&thread_ctx, stream, leftover, pending_out, first));
+    if let Ok(handle) = spawned {
+        ctx.streamers
+            .lock()
+            .expect("streamer registry poisoned")
+            .push(handle);
+    }
+}
+
+/// Whether the connection survives the frame just handled.
+enum FrameOutcome {
+    Continue,
+    Close,
+}
+
+/// The escalated connection's whole remaining life: deliver the staged
+/// reactor responses, handle the escalating frame, then run the blocking
+/// request loop until EOF, a fatal error, or shutdown.
+fn stream_connection(
+    ctx: &Ctx,
+    stream: TcpStream,
+    leftover: Vec<u8>,
+    pending_out: Vec<u8>,
+    first: Frame,
+) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(PrefixedReader {
+        leftover,
+        pos: 0,
+        inner: read_half,
+    });
+    let mut writer = stream;
+    let mut scratch = Vec::new();
+    // Responses the reactor staged for earlier pipelined frames but had
+    // not flushed yet go out first, preserving response order.
+    if !pending_out.is_empty() && writer.write_all(&pending_out).is_err() {
+        return;
+    }
+    let mut handle = ctx.pipeline.handle();
+    if matches!(
+        process_frame(
+            ctx,
+            &mut reader,
+            &mut writer,
+            &mut handle,
+            &mut scratch,
+            first
+        ),
+        FrameOutcome::Close
+    ) {
+        let _ = handle.flush();
+        return;
+    }
+    loop {
+        match protocol::read_frame(&mut reader, ctx.max_frame) {
+            Ok(Some(frame)) => {
+                // ordering: Relaxed — stats counter (the escalating frame
+                // was already counted by the reactor).
+                ctx.counters.frames.fetch_add(1, Ordering::Relaxed);
+                if matches!(
+                    process_frame(
+                        ctx,
+                        &mut reader,
+                        &mut writer,
+                        &mut handle,
+                        &mut scratch,
+                        frame
+                    ),
+                    FrameOutcome::Close
+                ) {
+                    break;
+                }
+            }
+            Ok(None) => break, // clean close
+            Err(ReadError::Idle) => {
+                // Timed out between frames: the stream is still aligned,
+                // so just poll the shutdown flag and keep listening.
+                if ctx.stopping() {
+                    break;
+                }
+            }
+            Err(ReadError::Io(_)) => break,
+            Err(ReadError::Wire(e)) => {
+                // Framing is lost; tell the client why, then hang up.
+                let response = Frame::Error {
+                    code: ErrorCode::Malformed,
+                    detail: e.to_string(),
+                };
+                let _ = protocol::write_frame(&mut writer, &response, &mut scratch);
+                break;
+            }
+        }
+    }
+    // Batches coalesced for a closed connection must not linger in this
+    // thread's buffers.
+    let _ = handle.flush();
+}
+
+/// Dispatches one frame on the blocking path. The streaming requests get
+/// the writer (they answer with many frames); everything else is one
+/// response frame via [`handle_frame`].
+fn process_frame<R: Read>(
+    ctx: &Ctx,
+    reader: &mut BufReader<R>,
+    writer: &mut TcpStream,
+    handle: &mut IngestHandle<u64>,
+    scratch: &mut Vec<u8>,
+    frame: Frame,
+) -> FrameOutcome {
+    if let Frame::Replicate { manifest } = frame {
+        return if handle_replicate(ctx, writer, &manifest, scratch).is_err() {
+            FrameOutcome::Close
+        } else {
+            FrameOutcome::Continue
+        };
+    }
+    if let Frame::Subscribe { lo, hi } = frame {
+        return match handle_subscribe(ctx, reader, writer, lo, hi, scratch) {
+            SubscribeOutcome::Resume => FrameOutcome::Continue,
+            SubscribeOutcome::Close => FrameOutcome::Close,
+        };
+    }
+    let response = handle_frame(ctx, handle, frame);
+    if protocol::write_frame(writer, &response, scratch).is_err() {
+        FrameOutcome::Close
+    } else {
+        FrameOutcome::Continue
+    }
+}
+
+/// The blocking single-response dispatch (the pre-reactor `handle_frame`,
+/// still the law on escalated connections).
+fn handle_frame(ctx: &Ctx, handle: &mut IngestHandle<u64>, frame: Frame) -> Frame {
+    match frame {
+        Frame::Update(tuples) => {
+            let response = admit_update(ctx, handle, &tuples);
+            // Per-response settle: acknowledged tuples are visible to a
+            // SEAL on any connection before the response leaves.
+            settle(handle);
+            response
+        }
+        Frame::Seal => match handle.seal_epoch() {
+            Ok(epoch) => Frame::Sealed { epoch },
+            Err(_) => Frame::Error {
+                code: ErrorCode::ShuttingDown,
+                detail: "pipeline closed".to_string(),
+            },
+        },
+        Frame::Query { key } => {
+            // ordering: Relaxed — stats counter.
+            ctx.counters.queries.fetch_add(1, Ordering::Relaxed);
+            crate::server::handle_query(ctx, key)
+        }
+        Frame::Snapshot { epoch, lo, hi } => crate::server::handle_snapshot(ctx, epoch, lo, hi),
+        Frame::QueryAt { epoch, key } => {
+            // ordering: Relaxed — stats counter.
+            ctx.counters.queries.fetch_add(1, Ordering::Relaxed);
+            crate::server::handle_query_at(ctx, epoch, key)
+        }
+        Frame::Diff {
+            from_epoch,
+            to_epoch,
+            lo,
+            hi,
+        } => crate::server::handle_diff(ctx, from_epoch, to_epoch, lo, hi),
+        Frame::Unsubscribe => Frame::Error {
+            code: ErrorCode::Malformed,
+            detail: "UNSUBSCRIBE without an active subscription".to_string(),
+        },
+        Frame::Stats => Frame::StatsReport(ctx.wire_stats()),
+        Frame::WaitEpoch { epoch } => handle_wait_epoch(ctx, epoch),
+        Frame::Ack { epoch, bytes: _ } => {
+            // ordering: Relaxed — audited: monotonic high-water mark of
+            // follower acknowledgements, read only by stats; replication
+            // correctness never depends on it.
+            ctx.counters
+                .repl_acked_epoch
+                .fetch_max(epoch, Ordering::Relaxed); // ordering: stats high-water
+            Frame::EpochCommitted {
+                epoch: ctx.pipeline.committed_epoch(),
+            }
+        }
+        // A client sending response-kind frames is confused; refuse
+        // politely instead of guessing.
+        _ => Frame::Error {
+            code: ErrorCode::Malformed,
+            detail: "response-kind frame sent as a request".to_string(),
+        },
+    }
+}
+
+/// WAIT_EPOCH on the blocking path: this thread owns nothing but the
+/// connection, so it may simply poll (the reactor, by contrast, parks the
+/// connection).
+fn handle_wait_epoch(ctx: &Ctx, epoch: u64) -> Frame {
+    loop {
+        let committed = ctx.pipeline.committed_epoch();
+        if committed >= epoch {
+            return Frame::EpochCommitted { epoch: committed };
+        }
+        if ctx.stopping() {
+            return Frame::Error {
+                code: ErrorCode::ShuttingDown,
+                detail: format!("stopped while waiting for epoch {epoch} (at {committed})"),
+            };
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// What the connection loop should do after a subscription ends.
+enum SubscribeOutcome {
+    /// Clean `Unsubscribe`: the connection resumes request/response mode.
+    Resume,
+    /// Disconnect, I/O failure or protocol violation: hang up.
+    Close,
+}
+
+/// SUBSCRIBE: flips the connection into push mode. This thread keeps the
+/// read half (watching for `Unsubscribe`, EOF, or shutdown) and hands a
+/// clone of the write half to a pusher thread that streams `Delta` /
+/// `Lagged` frames; exactly one side writes at any time — the streamer
+/// only writes again after the pusher has been torn down and joined.
+fn handle_subscribe<R: Read>(
+    ctx: &Ctx,
+    reader: &mut BufReader<R>,
+    writer: &mut TcpStream,
+    lo: u32,
+    hi: u32,
+    scratch: &mut Vec<u8>,
+) -> SubscribeOutcome {
+    if lo >= hi || hi > ctx.num_keys {
+        let response = Frame::Error {
+            code: ErrorCode::BadRange,
+            detail: format!(
+                "subscribe range {lo}..{hi} invalid (num_keys {})",
+                ctx.num_keys
+            ),
+        };
+        return if protocol::write_frame(writer, &response, scratch).is_ok() {
+            SubscribeOutcome::Resume
+        } else {
+            SubscribeOutcome::Close
+        };
+    }
+    let Ok(push_writer) = writer.try_clone() else {
+        return SubscribeOutcome::Close;
+    };
+    // Register BEFORE reading the baseline: an epoch published between
+    // the two is then either enqueued for us or already part of the
+    // baseline (the hook admits to the store before fanning out) — never
+    // silently missed. The pusher drops queued epochs <= baseline.
+    let sub = ctx.hub.subscribe(lo, hi, ctx.sub_queue_epochs);
+    let baseline = match ctx.store.latest() {
+        Some(snap) => snap.epoch(),
+        None => ctx.pipeline.published_epoch(),
+    };
+    if protocol::write_frame(writer, &Frame::Subscribed { epoch: baseline }, scratch).is_err() {
+        ctx.hub.unsubscribe(sub.id());
+        return SubscribeOutcome::Close;
+    }
+    let mut acked = false;
+    let mut violation = false;
+    std::thread::scope(|s| {
+        s.spawn(|| push_loop(ctx, &sub, push_writer, baseline));
+        loop {
+            match protocol::read_frame(reader, ctx.max_frame) {
+                Ok(Some(Frame::Unsubscribe)) => {
+                    ctx.hub.unsubscribe(sub.id());
+                    acked = true;
+                    return;
+                }
+                Ok(Some(_)) => {
+                    // Any other request mid-subscription would interleave
+                    // its response with the pushes; refuse and hang up.
+                    ctx.hub.unsubscribe(sub.id());
+                    violation = true;
+                    return;
+                }
+                Ok(None) => {
+                    // Disconnect: the unsubscribe-on-disconnect guarantee.
+                    ctx.hub.unsubscribe(sub.id());
+                    return;
+                }
+                Err(ReadError::Idle) => {
+                    if ctx.stopping() {
+                        ctx.hub.unsubscribe(sub.id());
+                        return;
+                    }
+                }
+                Err(_) => {
+                    ctx.hub.unsubscribe(sub.id());
+                    return;
+                }
+            }
+        }
+        // The scope join below waits for the pusher to drain its queue
+        // and exit before this thread touches the writer again.
+    });
+    if acked {
+        let bye = Frame::Unsubscribed {
+            epoch: ctx.pipeline.published_epoch(),
+        };
+        if protocol::write_frame(writer, &bye, scratch).is_err() {
+            return SubscribeOutcome::Close;
+        }
+        return SubscribeOutcome::Resume;
+    }
+    if violation {
+        let response = Frame::Error {
+            code: ErrorCode::Malformed,
+            detail: "only UNSUBSCRIBE is valid while subscribed".to_string(),
+        };
+        let _ = protocol::write_frame(writer, &response, scratch);
+    }
+    SubscribeOutcome::Close
+}
+
+/// Streams one subscriber's queue to its socket: per-epoch `Delta` frames
+/// (chunked at [`MAX_DELTA_ENTRIES`]), `Lagged` on overflow, exit on
+/// close. An epoch with no changes in the subscribed range still ships an
+/// empty `Delta` — delivery is gap-free per epoch, which is what lets the
+/// client assert `to_epoch == last + 1` and trust pure delta replay.
+fn push_loop(ctx: &Ctx, sub: &cobra_mvcc::Subscriber<u64>, mut writer: TcpStream, baseline: u64) {
+    let mut scratch = Vec::new();
+    let mut prev = baseline;
+    loop {
+        match sub.next_msg(ctx.read_timeout) {
+            SubMsg::Delta(delta) => {
+                // A publish racing the registration can enqueue an epoch
+                // the baseline snapshot already covers; skip it.
+                if delta.epoch() <= prev {
+                    continue;
+                }
+                let entries = delta.entries();
+                let mut at = 0usize;
+                loop {
+                    let end = (at + MAX_DELTA_ENTRIES as usize).min(entries.len());
+                    let frame = Frame::Delta {
+                        from_epoch: prev,
+                        to_epoch: delta.epoch(),
+                        done: end == entries.len(),
+                        entries: entries[at..end].to_vec(),
+                    };
+                    if protocol::write_frame(&mut writer, &frame, &mut scratch).is_err() {
+                        ctx.hub.unsubscribe(sub.id());
+                        return;
+                    }
+                    if end == entries.len() {
+                        break;
+                    }
+                    at = end;
+                }
+                prev = delta.epoch();
+            }
+            SubMsg::Lagged { resume_epoch } => {
+                if resume_epoch > prev {
+                    prev = resume_epoch;
+                    let frame = Frame::Lagged { resume_epoch };
+                    if protocol::write_frame(&mut writer, &frame, &mut scratch).is_err() {
+                        ctx.hub.unsubscribe(sub.id());
+                        return;
+                    }
+                }
+            }
+            SubMsg::Closed => return,
+            SubMsg::Idle => {
+                if ctx.stopping() {
+                    // close_all() already fired on shutdown; this is the
+                    // belt-and-braces exit if stop raced the registration.
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// REPLICATE: one round of WAL shipping. The follower's manifest says how
+/// many bytes of each file it already has; this streams the missing
+/// suffixes as `Segment` frames and finishes with `ReplDone`.
+///
+/// Ordering is the crux. The commit log is captured (read into memory)
+/// *before* the shard logs and checkpoints are listed and streamed, and
+/// shipped *last*. Shard bytes written after the capture may reach the
+/// follower, but the commit records that would make them observable
+/// cannot — so on the follower, exactly as on the primary, observable
+/// implies durable, and a promotion recovers a consistent prefix.
+///
+/// An `Err` means the connection died mid-stream; the round's partial
+/// shard bytes on the follower are harmless (uncommitted tail).
+fn handle_replicate(
+    ctx: &Ctx,
+    writer: &mut TcpStream,
+    manifest: &[(String, u64)],
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    let Some(data_dir) = &ctx.data_dir else {
+        let response = Frame::Error {
+            code: ErrorCode::NotDurable,
+            detail: "server has no data directory; nothing to replicate".to_string(),
+        };
+        return protocol::write_frame(writer, &response, scratch);
+    };
+    let have: HashMap<&str, u64> = manifest.iter().map(|(n, l)| (n.as_str(), *l)).collect();
+    let round = (|| -> io::Result<(u64, Vec<CommitCapture>, Vec<cobra_wal::ShipFile>)> {
+        // Capture FIRST: the committed epoch and the commit-log bytes that
+        // prove it. Everything read below may be newer; never older.
+        let committed = ctx.pipeline.committed_epoch();
+        let mut commit_files = Vec::new();
+        for f in cobra_wal::segment_files(&commit_dir(data_dir))? {
+            let from = have.get(format!("commit/{}", f.name).as_str()).copied();
+            let bytes = read_suffix(&f.path, from.unwrap_or(0))?;
+            commit_files.push((format!("commit/{}", f.name), from.unwrap_or(0), bytes));
+        }
+        // List (not read) the shard logs and checkpoints after the capture.
+        let mut files = Vec::new();
+        for shard in 0..ctx.pipeline.num_shards() {
+            let sdir = shard_dir(data_dir, shard);
+            for mut f in cobra_wal::segment_files(&sdir)? {
+                f.name = format!("shard-{shard:03}/{}", f.name);
+                files.push(f);
+            }
+        }
+        files.extend(cobra_wal::checkpoint_files(data_dir)?);
+        Ok((committed, commit_files, files))
+    })();
+    let (committed, commit_files, files) = match round {
+        Ok(r) => r,
+        Err(e) => {
+            let response = Frame::Error {
+                code: ErrorCode::Internal,
+                detail: format!("replication listing failed: {e}"),
+            };
+            return protocol::write_frame(writer, &response, scratch);
+        }
+    };
+
+    let mut shipped_files: u32 = 0;
+    let mut shipped_bytes: u64 = 0;
+    // Shard logs and checkpoints stream straight from disk, chunked.
+    for f in files {
+        let mut offset = have.get(f.name.as_str()).copied().unwrap_or(0);
+        let mut touched = false;
+        // A file that vanished between listing and read (checkpoint GC)
+        // just ends the loop via the Err arm.
+        while let Ok(chunk) = cobra_wal::read_chunk(&f.path, offset, REPL_CHUNK) {
+            if chunk.is_empty() {
+                break;
+            }
+            let len = chunk.len() as u64;
+            let frame = Frame::Segment {
+                name: f.name.clone(),
+                offset,
+                bytes: chunk,
+            };
+            protocol::write_frame(writer, &frame, scratch)?;
+            offset += len;
+            shipped_bytes += len;
+            touched = true;
+        }
+        if touched {
+            shipped_files += 1;
+        }
+    }
+    // The captured commit-log bytes go LAST (see the ordering note above).
+    for (name, offset, bytes) in commit_files {
+        if bytes.is_empty() {
+            continue;
+        }
+        shipped_files += 1;
+        let mut at = offset;
+        for chunk in bytes.chunks(REPL_CHUNK) {
+            let frame = Frame::Segment {
+                name: name.clone(),
+                offset: at,
+                bytes: chunk.to_vec(),
+            };
+            protocol::write_frame(writer, &frame, scratch)?;
+            at += chunk.len() as u64;
+            shipped_bytes += chunk.len() as u64;
+        }
+    }
+    // ordering: Relaxed — stats counters.
+    ctx.counters.repl_rounds.fetch_add(1, Ordering::Relaxed);
+    ctx.counters
+        .repl_bytes_shipped
+        .fetch_add(shipped_bytes, Ordering::Relaxed); // ordering: stats counter
+    let done = Frame::ReplDone {
+        epoch: committed,
+        files: shipped_files,
+        bytes: shipped_bytes,
+    };
+    protocol::write_frame(writer, &done, scratch)
+}
+
+/// A captured commit-log suffix: wire name, start offset, bytes.
+type CommitCapture = (String, u64, Vec<u8>);
+
+/// Reads `path` from `offset` to EOF (the commit-log capture).
+fn read_suffix(path: &std::path::Path, offset: u64) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut at = offset;
+    loop {
+        let chunk = cobra_wal::read_chunk(path, at, REPL_CHUNK)?;
+        if chunk.is_empty() {
+            return Ok(out);
+        }
+        at += chunk.len() as u64;
+        out.extend_from_slice(&chunk);
+    }
+}

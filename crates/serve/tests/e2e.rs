@@ -12,7 +12,6 @@ use std::time::{Duration, Instant};
 fn small_server(num_keys: u32) -> Server {
     let stream_cfg = StreamConfig::new().shards(2).batch_tuples(8);
     let serve_cfg = ServeConfig::new()
-        .workers(2)
         .cache_blocks(8)
         .cache_block_keys(16)
         .read_timeout(Duration::from_millis(10));

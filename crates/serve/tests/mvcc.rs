@@ -17,15 +17,9 @@ use std::time::{Duration, Instant};
 
 const KEYS: u32 = 256;
 
-fn mvcc_server_with_keys(
-    keys: u32,
-    retain: usize,
-    sub_queue_epochs: usize,
-    workers: usize,
-) -> Server {
+fn mvcc_server_with_keys(keys: u32, retain: usize, sub_queue_epochs: usize) -> Server {
     let stream_cfg = StreamConfig::new().shards(2).batch_tuples(64);
     let serve_cfg = ServeConfig::new()
-        .workers(workers)
         .cache_blocks(16)
         .cache_block_keys(64)
         .read_timeout(Duration::from_millis(10))
@@ -34,8 +28,8 @@ fn mvcc_server_with_keys(
     Server::start(keys, stream_cfg, serve_cfg).expect("bind ephemeral server")
 }
 
-fn mvcc_server(retain: usize, sub_queue_epochs: usize, workers: usize) -> Server {
-    mvcc_server_with_keys(KEYS, retain, sub_queue_epochs, workers)
+fn mvcc_server(retain: usize, sub_queue_epochs: usize) -> Server {
+    mvcc_server_with_keys(KEYS, retain, sub_queue_epochs)
 }
 
 /// Seals one epoch carrying `tuples` and blocks until it is published.
@@ -55,7 +49,7 @@ fn seal_and_publish(client: &mut ServeClient, tuples: &[(u32, u64)]) -> u64 {
 
 #[test]
 fn time_travel_reads_every_retained_epoch() {
-    let server = mvcc_server(8, 16, 2);
+    let server = mvcc_server(8, 16);
     let mut client = ServeClient::connect(server.local_addr()).expect("connect");
 
     // Epoch e adds e to key 7, so the history is 1, 3, 6, 10 — cumulative.
@@ -103,7 +97,7 @@ fn time_travel_reads_every_retained_epoch() {
 #[test]
 fn eviction_is_typed_and_window_of_one_behaves_like_before() {
     // Default retention (1): the pre-MVCC behavior.
-    let server = mvcc_server(1, 16, 2);
+    let server = mvcc_server(1, 16);
     let mut client = ServeClient::connect(server.local_addr()).expect("connect");
 
     seal_and_publish(&mut client, &[(3, 10)]);
@@ -137,7 +131,7 @@ fn eviction_is_typed_and_window_of_one_behaves_like_before() {
 
 #[test]
 fn retention_gc_frees_memory_when_epochs_narrow() {
-    let server = mvcc_server(4, 16, 2);
+    let server = mvcc_server(4, 16);
     let mut client = ServeClient::connect(server.local_addr()).expect("connect");
 
     // Four epochs that each rewrite EVERY segment: the window holds four
@@ -234,7 +228,7 @@ fn subscribers_reconstruct_state_from_deltas_alone() {
     const BIG_KEYS: u32 = 16 * 1024;
     // Retain every epoch so both the verification snapshots and the
     // lagged re-sync diff can reach arbitrarily far back.
-    let server = mvcc_server_with_keys(BIG_KEYS, EPOCHS as usize + 4, 8, 10);
+    let server = mvcc_server_with_keys(BIG_KEYS, EPOCHS as usize + 4, 8);
     let addr = server.local_addr();
     let mut driver = ServeClient::connect(addr).expect("connect driver");
 
@@ -305,7 +299,7 @@ fn subscribers_reconstruct_state_from_deltas_alone() {
 
 #[test]
 fn unsubscribe_returns_the_connection_to_request_mode() {
-    let server = mvcc_server(4, 16, 4);
+    let server = mvcc_server(4, 16);
     let addr = server.local_addr();
     let mut driver = ServeClient::connect(addr).expect("connect driver");
 
@@ -347,7 +341,7 @@ fn unsubscribe_returns_the_connection_to_request_mode() {
 
 #[test]
 fn subscribe_rejects_bad_ranges_without_killing_the_connection() {
-    let server = mvcc_server(2, 16, 2);
+    let server = mvcc_server(2, 16);
     let client = ServeClient::connect(server.local_addr()).expect("connect");
     match client.subscribe(KEYS, KEYS + 10) {
         Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadRange),
@@ -372,7 +366,7 @@ fn mixed_version_peers_are_refused_in_both_directions() {
     // Old client vs new server: a v2 QUERY is refused with a clean error
     // frame before its opcode is ever interpreted, then the server hangs
     // up — no desync, no crash.
-    let server = mvcc_server(2, 16, 2);
+    let server = mvcc_server(2, 16);
     let mut raw = TcpStream::connect(server.local_addr()).expect("connect raw");
     let mut v2_query = Vec::new();
     protocol::encode(&Frame::Query { key: 1 }, &mut v2_query);

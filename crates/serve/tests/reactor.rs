@@ -1,0 +1,186 @@
+//! Reactor-specific end-to-end tests: protocol pipelining with `BUSY`
+//! suffix retries, and slow-loris / partial-frame robustness under the
+//! per-connection frame budget.
+
+use cobra_serve::protocol::{self, Frame, MAX_FRAME};
+use cobra_serve::{ServeClient, ServeConfig, Server};
+use cobra_stream::StreamConfig;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A server whose shard FIFO is one single-tuple batch deep, so any
+/// sustained UPDATE stream slams into `BUSY` and the client retry path.
+fn congested_server(num_keys: u32) -> Server {
+    let stream_cfg = StreamConfig::new()
+        .shards(1)
+        .channel_capacity(1)
+        .batch_tuples(1);
+    let serve_cfg = ServeConfig::new()
+        .cache_blocks(8)
+        .cache_block_keys(16)
+        .read_timeout(Duration::from_millis(10));
+    Server::start(num_keys, stream_cfg, serve_cfg).expect("bind ephemeral server")
+}
+
+/// A server with a deliberately short per-connection frame budget.
+fn short_budget_server(num_keys: u32, budget: Duration) -> Server {
+    let stream_cfg = StreamConfig::new().shards(2).batch_tuples(8);
+    let serve_cfg = ServeConfig::new()
+        .cache_blocks(8)
+        .cache_block_keys(16)
+        .read_timeout(Duration::from_millis(10))
+        .idle_budget(budget);
+    Server::start(num_keys, stream_cfg, serve_cfg).expect("bind ephemeral server")
+}
+
+fn read_one_frame(stream: &mut TcpStream) -> Frame {
+    match protocol::read_frame(stream, MAX_FRAME) {
+        Ok(Some(frame)) => frame,
+        other => panic!("expected one frame, got {other:?}"),
+    }
+}
+
+/// The satellite regression test for pipelined `update_all`: a window of
+/// UPDATE frames in flight against a congested server produces `BUSY`
+/// refusals, and the suffix retries must not lose (or double-count) a
+/// single tuple. The final snapshot sum is the arbiter.
+#[test]
+fn pipelined_busy_suffix_retries_lose_nothing() {
+    let server = congested_server(64);
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    const TUPLES: u64 = 4096;
+    let batch: Vec<(u32, u64)> = (0..TUPLES).map(|i| ((i % 64) as u32, i + 1)).collect();
+    let expected: u64 = batch.iter().map(|&(_, v)| v).sum();
+
+    // Default window (16) keeps many frames in flight; the 1-deep FIFO
+    // guarantees refusals on a batch this size.
+    let busy_rounds = client.update_all(&batch).expect("pipelined update");
+    assert!(
+        busy_rounds > 0,
+        "a 1-deep shard FIFO must refuse at least once over {TUPLES} tuples"
+    );
+    client.seal().expect("seal");
+
+    let (snapshot, stats) = server.shutdown();
+    let total: u64 = snapshot.iter().sum();
+    assert_eq!(
+        total, expected,
+        "BUSY suffix retry dropped or duplicated tuples"
+    );
+    assert_eq!(stats.tuples_ingested, TUPLES);
+    assert!(stats.busy_tuples > 0, "server never reported a refusal");
+}
+
+/// window=1 is the old lockstep protocol: one frame in flight, one ack
+/// awaited. It must survive the same congestion with the same sum.
+#[test]
+fn lockstep_window_one_matches_pipelined_behaviour() {
+    let server = congested_server(64);
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    client.set_pipeline_window(1);
+
+    const TUPLES: u64 = 2048;
+    let batch: Vec<(u32, u64)> = (0..TUPLES).map(|i| ((i % 64) as u32, 2 * i + 1)).collect();
+    let expected: u64 = batch.iter().map(|&(_, v)| v).sum();
+
+    client.update_all(&batch).expect("lockstep update");
+    client.seal().expect("seal");
+
+    let (snapshot, stats) = server.shutdown();
+    let total: u64 = snapshot.iter().sum();
+    assert_eq!(total, expected);
+    assert_eq!(stats.tuples_ingested, TUPLES);
+}
+
+/// A client dribbling one byte at a time must be decoded exactly like a
+/// whole read, as long as each frame completes inside the budget.
+#[test]
+fn one_byte_dribble_completes_within_the_frame_budget() {
+    let server = short_budget_server(16, Duration::from_millis(500));
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect raw");
+
+    let mut bytes = Vec::new();
+    protocol::encode(&Frame::Update(vec![(3, 39), (3, 3)]), &mut bytes);
+    for chunk in bytes.chunks(1) {
+        raw.write_all(chunk).expect("dribble byte");
+        raw.flush().expect("flush byte");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    match read_one_frame(&mut raw) {
+        Frame::Accepted { accepted } => assert_eq!(accepted, 2),
+        other => panic!("dribbled UPDATE not accepted: {other:?}"),
+    }
+    drop(raw);
+    let (snapshot, _) = server.shutdown();
+    assert_eq!(*snapshot.get(3), 42);
+}
+
+/// A connection that stalls mid-frame is disconnected once the budget
+/// runs out — and a healthy connection on the same reactor keeps making
+/// progress the whole time (no head-of-line blocking across sockets).
+#[test]
+fn mid_frame_stall_is_cut_without_stalling_healthy_connections() {
+    let budget = Duration::from_millis(200);
+    let server = short_budget_server(16, budget);
+    let addr = server.local_addr();
+
+    // The attacker: half a frame, then silence with the socket open.
+    let mut stalled = TcpStream::connect(addr).expect("connect stalled");
+    let mut bytes = Vec::new();
+    protocol::encode(&Frame::Update(vec![(1, 7)]), &mut bytes);
+    stalled
+        .write_all(&bytes[..bytes.len() / 2])
+        .expect("write partial frame");
+    stalled.flush().expect("flush partial frame");
+
+    // The victim that must not be starved: full round-trips throughout
+    // the attacker's budget window and beyond.
+    let mut healthy = ServeClient::connect(addr).expect("connect healthy");
+    let t0 = Instant::now();
+    let mut rounds = 0u64;
+    while t0.elapsed() < 2 * budget {
+        healthy.update_all(&[(5, 1)]).expect("healthy update");
+        healthy.query(5).expect("healthy query");
+        rounds += 1;
+    }
+    assert!(rounds > 0);
+
+    // The stalled socket must observe the disconnect (EOF or reset).
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("set read timeout");
+    let mut buf = [0u8; 64];
+    match stalled.read(&mut buf) {
+        Ok(0) => {}  // clean EOF: the reactor dropped us
+        Err(_) => {} // reset also counts as disconnected
+        Ok(n) => panic!("stalled connection unexpectedly received {n} bytes"),
+    }
+
+    let (snapshot, _) = server.shutdown();
+    // The attacker's torn half-update must not have landed…
+    assert_eq!(*snapshot.get(1), 0);
+    // …while every healthy round did.
+    assert_eq!(*snapshot.get(5), rounds);
+}
+
+/// Idling BETWEEN frames is free: the budget clocks a started frame, not
+/// a quiet connection. A client may sit silent far longer than the
+/// budget and still be served afterwards.
+#[test]
+fn idle_between_frames_is_not_budgeted() {
+    let budget = Duration::from_millis(150);
+    let server = short_budget_server(16, budget);
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    client.update_all(&[(2, 20)]).expect("first update");
+    std::thread::sleep(4 * budget);
+    client
+        .update_all(&[(2, 22)])
+        .expect("update after long idle");
+    client.seal().expect("seal");
+
+    let (snapshot, _) = server.shutdown();
+    assert_eq!(*snapshot.get(2), 42);
+}

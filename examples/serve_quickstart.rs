@@ -15,12 +15,11 @@ const BATCHES: u64 = 50;
 const BATCH: u64 = 128;
 
 fn main() {
-    // ---- 1. A server: 2 workers, 4 shards, small snapshot cache. ----
+    // ---- 1. A server: one reactor, 4 shards, small snapshot cache. ----
     let server = Server::start(
         NUM_KEYS,
         StreamConfig::new().shards(4).channel_capacity(64),
         ServeConfig::new()
-            .workers(2)
             .cache_blocks(64)
             .cache_block_keys(256)
             .read_timeout(Duration::from_millis(20)),

@@ -19,7 +19,6 @@ fn main() {
         NUM_KEYS,
         StreamConfig::new().shards(2).channel_capacity(64),
         ServeConfig::new()
-            .workers(3)
             .read_timeout(Duration::from_millis(20))
             .retain_epochs(16)
             .sub_queue_epochs(8),
