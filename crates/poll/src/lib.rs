@@ -120,6 +120,12 @@ pub enum PollError {
     /// The descriptor is not registered (`ENOENT` on modify/deregister).
     NotRegistered,
     /// The descriptor is already registered (`EEXIST` on register).
+    ///
+    /// **epoll-only.** kqueue's `EV_ADD` is an upsert: registering an
+    /// already-registered descriptor there silently succeeds and
+    /// updates the interest/token instead. Callers must not rely on
+    /// this variant for correctness — track registration state
+    /// themselves (the reactor's connection map already does).
     AlreadyRegistered,
     /// No event-queue backend for this OS.
     Unsupported,
@@ -189,6 +195,11 @@ impl Poller {
 
     /// Registers `fd` under `token` with the given interest
     /// (level-triggered).
+    ///
+    /// Registering a descriptor that is already registered fails with
+    /// [`PollError::AlreadyRegistered`] on epoll only; kqueue treats it
+    /// as an update (see that variant's docs). A failed registration
+    /// never leaves a partial one behind on either backend.
     pub fn register(
         &self,
         fd: &impl std::os::fd::AsRawFd,

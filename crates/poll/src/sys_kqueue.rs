@@ -8,7 +8,18 @@
 //! kqueue has no "modify": read and write interest are two independent
 //! filters, so register/modify translate to an `EV_ADD` for each wanted
 //! filter and an `EV_DELETE` for each unwanted one (ignoring `ENOENT`
-//! from deleting a filter that was never armed).
+//! from deleting a filter that was never armed). Both changes go to the
+//! kernel in a *single* `kevent` changelist with `EV_RECEIPT`, which
+//! reports each change's outcome individually (as an `EV_ERROR` event
+//! with `data` = errno, 0 on success) without draining pending events;
+//! on a partial failure the change that did land is rolled back, so a
+//! failed register/modify never leaves a half-applied registration.
+//!
+//! One contract divergence from the epoll backend is inherent: `EV_ADD`
+//! is an upsert, so registering an fd that is already registered
+//! silently updates it instead of failing with `AlreadyRegistered`
+//! (epoll's `EEXIST`). See the [`crate::PollError::AlreadyRegistered`]
+//! docs.
 
 use crate::{classify, Event, Interest, PollError, ENOENT};
 use std::io;
@@ -21,6 +32,7 @@ const EVFILT_READ: i16 = -1;
 const EVFILT_WRITE: i16 = -2;
 const EV_ADD: u16 = 0x0001;
 const EV_DELETE: u16 = 0x0002;
+const EV_RECEIPT: u16 = 0x0040;
 const EV_EOF: u16 = 0x8000;
 const EV_ERROR: u16 = 0x4000;
 
@@ -113,13 +125,57 @@ impl Poller {
         Ok(())
     }
 
+    /// Applies both filter changes in one `kevent` changelist.
+    /// `EV_RECEIPT` makes the kernel answer every change with its own
+    /// `EV_ERROR` receipt (`data` = errno, 0 on success, changelist
+    /// order) instead of failing the call part-way through, so a
+    /// partial application is visible: if either change failed, any
+    /// `EV_ADD` that succeeded is rolled back before the error
+    /// returns, leaving the registration as it was.
     fn apply(&self, fd: RawFd, token: u64, interest: Interest) -> Result<(), PollError> {
-        for (want, filter) in [(interest.read, EVFILT_READ), (interest.write, EVFILT_WRITE)] {
-            if want {
-                self.change(kev(fd, filter, EV_ADD, token), false)?;
+        let changes = [
+            if interest.read {
+                kev(fd, EVFILT_READ, EV_ADD | EV_RECEIPT, token)
             } else {
-                self.change(kev(fd, filter, EV_DELETE, 0), true)?;
+                kev(fd, EVFILT_READ, EV_DELETE | EV_RECEIPT, 0)
+            },
+            if interest.write {
+                kev(fd, EVFILT_WRITE, EV_ADD | EV_RECEIPT, token)
+            } else {
+                kev(fd, EVFILT_WRITE, EV_DELETE | EV_RECEIPT, 0)
+            },
+        ];
+        let mut receipts = [kev(0, 0, 0, 0); 2];
+        let out = receipts.as_mut_ptr();
+        let rc = unsafe { kevent(self.kq, changes.as_ptr(), 2, out, 2, ptr::null()) }; // audited-ffi: thin syscall shim, see module docs
+        if rc < 0 {
+            return Err(classify(io::Error::last_os_error()));
+        }
+        let mut landed = [false; 2];
+        let mut failed: Option<PollError> = None;
+        for (i, receipt) in receipts.iter().take(rc as usize).enumerate() {
+            let errno = if receipt.flags & EV_ERROR != 0 {
+                receipt.data as i32
+            } else {
+                0
+            };
+            let deleting = changes[i].flags & EV_DELETE != 0;
+            if errno == 0 {
+                landed[i] = !deleting;
+            } else if !(deleting && errno == ENOENT) {
+                // Deleting a filter that was never armed stays a no-op;
+                // anything else fails the whole operation (first error
+                // wins).
+                failed.get_or_insert(classify(io::Error::from_raw_os_error(errno)));
             }
+        }
+        if let Some(err) = failed {
+            for (i, change) in changes.iter().enumerate() {
+                if landed[i] && change.flags & EV_ADD != 0 {
+                    let _ = self.change(kev(fd, change.filter, EV_DELETE, 0), true);
+                }
+            }
+            return Err(err);
         }
         Ok(())
     }

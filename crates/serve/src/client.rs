@@ -218,6 +218,12 @@ impl ServeClient {
     /// tuple is ever dropped; chunks already in flight behind the refusal
     /// may land before the resubmission, which is fine because the
     /// server's reducer folds commutatively.
+    ///
+    /// On a server `Error` response the acknowledgements still owed to
+    /// the other in-flight chunks are read and discarded before the
+    /// error returns, so the connection stays frame-aligned and usable
+    /// for later calls. After an I/O, wire, or disconnect error the
+    /// connection state is unknown — discard the client.
     pub fn update_all(&mut self, tuples: &[(u32, u64)]) -> Result<u64, ClientError> {
         let mut busy_rounds = 0u64;
         // Byte-range work queue over `tuples`, front first.
@@ -240,7 +246,30 @@ impl ServeClient {
             let Some((lo, hi)) = in_flight.pop_front() else {
                 break;
             };
-            let outcome = self.recv_update()?;
+            let outcome = match self.recv_update() {
+                Ok(outcome) => outcome,
+                Err(err) => {
+                    if matches!(err, ClientError::Server { .. }) {
+                        // A server Error frame is a well-framed reply to
+                        // one chunk; the chunks behind it still get their
+                        // own acknowledgements. Drain them so the next
+                        // call on this connection reads its own response,
+                        // not a stale ack (protocol desync).
+                        while in_flight.pop_front().is_some() {
+                            match self.recv_update() {
+                                // One whole frame consumed either way —
+                                // alignment holds, keep draining.
+                                Ok(_)
+                                | Err(ClientError::Server { .. } | ClientError::Unexpected(_)) => {}
+                                // The connection is broken; nothing left
+                                // to drain. The first error still wins.
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    return Err(err);
+                }
+            };
             let taken = hi.min(lo + outcome.accepted as usize);
             if taken < hi {
                 // The refused suffix goes to the FRONT of the queue so it

@@ -37,6 +37,13 @@
 //! * **Updates**: a full shard FIFO turns into an explicit
 //!   `Busy { accepted }` naming how many tuples of the batch were taken;
 //!   the reactor is never parked on a pipeline condvar mid-round.
+//! * **Memory**: responses a peer leaves unread stage at most
+//!   [`OUTBOX_HIGH_WATER`] bytes (plus one in-flight frame). Past the
+//!   mark the connection stops reading *and* dispatching — so a client
+//!   pipelining amplifying requests (`SNAPSHOT` is ~20,000×) without
+//!   consuming replies cannot stage unbounded outbox memory — and
+//!   resumes when the flush phase drains the backlog. A backlog held
+//!   past the idle budget is a disconnect, like any other stall.
 //! * **Time**: a frame that has started arriving must finish within
 //!   [`ServeConfig::idle_budget`] (progress resets the clock) — a
 //!   one-byte-dribble or mid-frame-stall peer is disconnected without
@@ -504,6 +511,16 @@ const READ_CHUNK: usize = 16 * 1024;
 /// not starve the rest of the round (level triggering re-reports the
 /// remainder next round).
 const ROUND_READ_CAP: usize = 1 << 20;
+/// Per-connection staged-response ceiling (write backpressure). Small
+/// requests can yield huge responses (a `SNAPSHOT` amplifies ~20,000×),
+/// so a peer that pipelines requests without reading replies could
+/// otherwise stage unbounded outbox memory. Once the unflushed backlog
+/// reaches this mark the connection stops reading *and* dispatching —
+/// already-buffered frames wait — until the flush phase drains the
+/// outbox below it. The bound is soft by one response: the frame that
+/// crosses the mark completes, so peak staging is `OUTBOX_HIGH_WATER`
+/// plus one maximal frame.
+const OUTBOX_HIGH_WATER: usize = 1 << 20;
 
 /// What a connection is currently doing.
 enum Mode {
@@ -533,6 +550,10 @@ struct Conn {
     /// Set while a frame is partially buffered and no frame has
     /// completed since — the idle-budget clock.
     partial_since: Option<Instant>,
+    /// Set while the unflushed outbox backlog sits at or above
+    /// [`OUTBOX_HIGH_WATER`] — the write-backpressure clock. A peer
+    /// that leaves its responses unread past the idle budget is cut.
+    backlogged_since: Option<Instant>,
     /// Set when the connection entered [`Mode::Draining`].
     draining_since: Option<Instant>,
     /// Read observed EOF or a socket error; close once the outbox is
@@ -550,9 +571,22 @@ impl Conn {
             mode: Mode::Request,
             interest: Interest::READ,
             partial_since: None,
+            backlogged_since: None,
             draining_since: None,
             peer_gone: false,
         }
+    }
+
+    /// Staged response bytes not yet written to the socket.
+    fn backlog(&self) -> usize {
+        self.outbox.len() - self.sent
+    }
+
+    /// True while write backpressure pauses this connection: no reads,
+    /// no dispatch, until the flush phase drains the outbox below the
+    /// high-water mark.
+    fn backlogged(&self) -> bool {
+        self.backlog() >= OUTBOX_HIGH_WATER
     }
 
     fn start_draining(&mut self) {
@@ -677,6 +711,24 @@ fn reactor_loop(
         // 3. Read phase: drain readable sockets into frame buffers and
         // dispatch every complete frame. Responses only reach the outbox
         // here — no socket write happens before the settle below.
+        //
+        // Connections whose write-backpressure pause ended (the flush
+        // phase drained their outbox below the high-water mark) resume
+        // first: the frames they buffered but could not answer ride this
+        // round's settle. No readable event fires for them — the bytes
+        // sit in the inbox, not the socket — so they need this sweep.
+        let resumable: Vec<u64> = conns
+            .iter()
+            .filter(|(_, c)| {
+                matches!(c.mode, Mode::Request) && !c.backlogged() && c.inbox.pending() > 0
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        for token in resumable {
+            if let Some(conn) = conns.get_mut(&token) {
+                drain_inbox(ctx, &mut handle, conn, &mut admitted, &mut scratch);
+            }
+        }
         let readable: Vec<u64> = events
             .iter()
             .filter(|e| e.readable && e.token != LISTENER_TOKEN)
@@ -689,6 +741,12 @@ fn reactor_loop(
             if !matches!(conn.mode, Mode::Request) {
                 // Parked/draining connections stop reading; the kernel
                 // buffer backpressures the peer.
+                continue;
+            }
+            if conn.backlogged() {
+                // Write backpressure: responses staged for this peer
+                // are stuck above the high-water mark, so stop taking
+                // requests too; the kernel buffer backpressures it.
                 continue;
             }
             read_into_inbox(conn);
@@ -730,8 +788,17 @@ fn reactor_loop(
                 let _ = poller.deregister(&conn.stream);
                 continue; // drop closes the socket
             }
+            // Backpressure clock: runs while the unflushed backlog sits
+            // at the high-water mark, stops the moment it drains below.
+            if conn.backlogged() {
+                if conn.backlogged_since.is_none() {
+                    conn.backlogged_since = Some(Instant::now());
+                }
+            } else {
+                conn.backlogged_since = None;
+            }
             let desired = Interest {
-                read: matches!(conn.mode, Mode::Request) && !conn.peer_gone,
+                read: matches!(conn.mode, Mode::Request) && !conn.peer_gone && !conn.backlogged(),
                 write: !drained,
             };
             if desired != conn.interest {
@@ -744,14 +811,18 @@ fn reactor_loop(
             conns.insert(token, conn);
         }
 
-        // 6. Budget sweep: a connection mid-frame (or mid-goodbye) for
-        // longer than the idle budget is cut loose.
+        // 6. Budget sweep: a connection mid-frame, mid-goodbye, or
+        // sitting on an unread response backlog for longer than the
+        // idle budget is cut loose. Parked waiters never tick the
+        // partial clock: it is cleared on park and re-arms on unpark.
         let now = Instant::now();
         let expired: Vec<u64> = conns
             .iter()
             .filter(|(_, c)| {
                 c.partial_since
                     .is_some_and(|t| now.duration_since(t) > idle_budget)
+                    || c.backlogged_since
+                        .is_some_and(|t| now.duration_since(t) > idle_budget)
                     || c.draining_since
                         .is_some_and(|t| now.duration_since(t) > idle_budget)
             })
@@ -847,6 +918,13 @@ fn drain_inbox(
     }
     let mut extracted = 0usize;
     loop {
+        if conn.backlogged() {
+            // Write backpressure: this connection's staged responses
+            // already exceed the high-water mark. Stop dispatching —
+            // buffered frames keep (bounded) and are picked up by the
+            // resume sweep once the outbox drains.
+            break;
+        }
         match conn.inbox.next_frame(ctx.max_frame) {
             Ok(Some(frame)) => {
                 extracted += 1;
@@ -856,6 +934,12 @@ fn drain_inbox(
                     Action::Respond(response) => stage(conn, &response, scratch),
                     Action::Park { epoch } => {
                         conn.mode = Mode::Parked { epoch };
+                        // Parked connections stop reading, so a
+                        // pipelined partial frame behind the wait
+                        // cannot complete — pause the frame clock
+                        // (it re-arms on unpark) instead of cutting
+                        // a legitimate waiter at the idle budget.
+                        conn.partial_since = None;
                         break;
                     }
                     Action::Escalate(first) => {
@@ -881,7 +965,13 @@ fn drain_inbox(
         }
     }
     if matches!(conn.mode, Mode::Request) {
-        if conn.inbox.has_partial() {
+        if conn.backlogged() {
+            // Paused for write backpressure: the buffered bytes sit by
+            // the reactor's choice, not the peer's dribble, so the
+            // frame clock pauses (the backpressure clock governs) and
+            // re-arms when dispatch resumes.
+            conn.partial_since = None;
+        } else if conn.inbox.has_partial() {
             // Progress (a completed frame) restarts the clock; a frame
             // that dribbles without ever completing does not.
             if extracted > 0 || conn.partial_since.is_none() {

@@ -1,12 +1,14 @@
 //! Reactor-specific end-to-end tests: protocol pipelining with `BUSY`
-//! suffix retries, and slow-loris / partial-frame robustness under the
-//! per-connection frame budget.
+//! suffix retries, slow-loris / partial-frame robustness under the
+//! per-connection frame budget, write backpressure against clients that
+//! pipeline without reading, and client-side frame alignment after a
+//! mid-pipeline server error.
 
-use cobra_serve::protocol::{self, Frame, MAX_FRAME};
-use cobra_serve::{ServeClient, ServeConfig, Server};
+use cobra_serve::protocol::{self, ErrorCode, Frame, MAX_FRAME, MAX_UPDATE_TUPLES};
+use cobra_serve::{ClientError, ServeClient, ServeConfig, Server};
 use cobra_stream::StreamConfig;
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
 /// A server whose shard FIFO is one single-tuple batch deep, so any
@@ -39,6 +41,14 @@ fn read_one_frame(stream: &mut TcpStream) -> Frame {
         Ok(Some(frame)) => frame,
         other => panic!("expected one frame, got {other:?}"),
     }
+}
+
+/// Appends one encoded frame to `out` (`protocol::encode` clears its
+/// output buffer, so pipelined byte streams need this detour).
+fn append_frame(frame: &Frame, out: &mut Vec<u8>) {
+    let mut scratch = Vec::new();
+    protocol::encode(frame, &mut scratch);
+    out.extend_from_slice(&scratch);
 }
 
 /// The satellite regression test for pipelined `update_all`: a window of
@@ -163,6 +173,218 @@ fn mid_frame_stall_is_cut_without_stalling_healthy_connections() {
     assert_eq!(*snapshot.get(1), 0);
     // …while every healthy round did.
     assert_eq!(*snapshot.get(5), rounds);
+}
+
+/// Write backpressure: a client that pipelines amplifying requests
+/// (SNAPSHOT turns ~25 request bytes into ~512KB of response) without
+/// ever reading replies must not make the server stage the whole answer
+/// set in memory. Dispatch pauses at the outbox high-water mark, the
+/// backlog clock cuts the connection at the idle budget, and a healthy
+/// client keeps round-tripping throughout.
+#[test]
+fn unread_response_flood_is_bounded_and_cut_by_backpressure() {
+    const KEYS: u32 = 65_536; // one full-range SNAPSHOT = 512KB of values
+    const REQS: usize = 128; // ~64MB of responses if staged unchecked
+    let budget = Duration::from_millis(300);
+    let stream_cfg = StreamConfig::new().shards(2).batch_tuples(64);
+    let serve_cfg = ServeConfig::new()
+        .read_timeout(Duration::from_millis(10))
+        .idle_budget(budget);
+    let server = Server::start(KEYS, stream_cfg, serve_cfg).expect("bind ephemeral server");
+    let addr = server.local_addr();
+
+    // The flooder: every request on the wire at once, replies unread.
+    let mut flood = TcpStream::connect(addr).expect("connect flooder");
+    let mut bytes = Vec::new();
+    for _ in 0..REQS {
+        append_frame(
+            &Frame::Snapshot {
+                epoch: 0,
+                lo: 0,
+                hi: KEYS,
+            },
+            &mut bytes,
+        );
+    }
+    flood.write_all(&bytes).expect("write request flood");
+    flood.flush().expect("flush request flood");
+
+    // A healthy connection must not be starved while the flooder is
+    // paused, clocked, and cut.
+    let mut healthy = ServeClient::connect(addr).expect("connect healthy");
+    let t0 = Instant::now();
+    let mut rounds = 0u64;
+    while t0.elapsed() < 3 * budget {
+        healthy.update_all(&[(9, 1)]).expect("healthy update");
+        healthy.query(9).expect("healthy query");
+        rounds += 1;
+    }
+    assert!(rounds > 0);
+
+    // The flooder was disconnected with only a bounded prefix of its
+    // ~64MB answer set ever produced: whatever the kernel socket
+    // buffers took plus one high-water mark of staged outbox — far
+    // below half of what full staging would have delivered.
+    flood
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+    let mut received = 0usize;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        match flood.read(&mut buf) {
+            Ok(0) => break,  // EOF: the reactor dropped us
+            Err(_) => break, // reset also counts as disconnected
+            Ok(n) => received += n,
+        }
+    }
+    assert!(
+        received < REQS * 512 * 1024 / 2,
+        "flooder received {received} bytes — backpressure never paused dispatch"
+    );
+
+    let (snapshot, _) = server.shutdown();
+    assert_eq!(*snapshot.get(9), rounds, "healthy updates were lost");
+}
+
+/// A connection parked on WAIT_EPOCH with the first bytes of a
+/// pipelined next frame already buffered must not be cut by the frame
+/// budget while it waits: parking pauses the partial-frame clock and
+/// unparking re-arms it.
+#[test]
+fn parked_waiter_with_pipelined_partial_frame_survives_the_budget() {
+    let budget = Duration::from_millis(200);
+    let server = short_budget_server(16, budget);
+    let addr = server.local_addr();
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+
+    // Arm the partial clock: half an UPDATE frame, then a pause long
+    // enough for the reactor to notice the incomplete frame.
+    let mut first = Vec::new();
+    protocol::encode(&Frame::Update(vec![(5, 5)]), &mut first);
+    raw.write_all(&first[..first.len() / 2])
+        .expect("half frame");
+    raw.flush().expect("flush half frame");
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Complete it, pipeline a WAIT_EPOCH for a not-yet-committed epoch,
+    // and start dribbling the next frame — all in one write. The
+    // connection parks with those partial bytes buffered.
+    let mut second = Vec::new();
+    second.extend_from_slice(&first[first.len() / 2..]);
+    append_frame(&Frame::WaitEpoch { epoch: 1 }, &mut second);
+    let mut next = Vec::new();
+    protocol::encode(&Frame::Update(vec![(7, 42)]), &mut next);
+    second.extend_from_slice(&next[..next.len() / 2]);
+    raw.write_all(&second).expect("pipeline wait + partial");
+    raw.flush().expect("flush pipeline");
+    match read_one_frame(&mut raw) {
+        Frame::Accepted { accepted } => assert_eq!(accepted, 1),
+        other => panic!("first UPDATE not accepted: {other:?}"),
+    }
+
+    // Wait well past the budget: a parked connection is a legitimate
+    // waiter, not a mid-frame staller, and must survive.
+    std::thread::sleep(3 * budget);
+
+    // Commit epoch 1 on another connection; the waiter must be
+    // answered, not found dead.
+    let mut sealer = ServeClient::connect(addr).expect("connect sealer");
+    sealer.update_all(&[(3, 3)]).expect("sealer update");
+    sealer.seal().expect("seal epoch 1");
+    match read_one_frame(&mut raw) {
+        Frame::EpochCommitted { epoch } => assert!(epoch >= 1),
+        other => panic!("parked waiter was not answered: {other:?}"),
+    }
+
+    // The budget re-arms on unpark: completing the dribbled frame
+    // promptly still works.
+    raw.write_all(&next[next.len() / 2..])
+        .expect("finish frame");
+    raw.flush().expect("flush finish");
+    match read_one_frame(&mut raw) {
+        Frame::Accepted { accepted } => assert_eq!(accepted, 1),
+        other => panic!("post-unpark UPDATE not accepted: {other:?}"),
+    }
+
+    drop(raw);
+    let (snapshot, _) = server.shutdown();
+    assert_eq!(*snapshot.get(5), 5);
+    assert_eq!(*snapshot.get(7), 42);
+}
+
+/// A server `Error` reply to one chunk of a pipelined `update_all` must
+/// not desync the connection: the acknowledgements owed to the chunks
+/// still in flight are drained before the error returns, so the next
+/// call reads its own response.
+#[test]
+fn update_all_stays_frame_aligned_after_mid_pipeline_server_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().expect("local addr");
+    // A scripted peer: refuses the first UPDATE with an Error frame,
+    // acks the rest normally, and answers QUERY — enough protocol to
+    // prove the client drains the in-flight acknowledgements.
+    let fake = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().expect("accept");
+        let mut scratch = Vec::new();
+        let mut updates_seen = 0u32;
+        loop {
+            match protocol::read_frame(&mut sock, MAX_FRAME) {
+                Ok(Some(Frame::Update(tuples))) => {
+                    updates_seen += 1;
+                    let reply = if updates_seen == 1 {
+                        Frame::Error {
+                            code: ErrorCode::Internal,
+                            detail: "injected fault".to_string(),
+                        }
+                    } else {
+                        Frame::Accepted {
+                            accepted: tuples.len() as u32,
+                        }
+                    };
+                    protocol::write_frame(&mut sock, &reply, &mut scratch).expect("reply");
+                }
+                Ok(Some(Frame::Query { key })) => {
+                    let reply = Frame::Value {
+                        epoch: 9,
+                        value: u64::from(key),
+                    };
+                    protocol::write_frame(&mut sock, &reply, &mut scratch).expect("reply");
+                }
+                Ok(None) => break, // client hung up
+                other => panic!("fake server got {other:?}"),
+            }
+        }
+        updates_seen
+    });
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.set_pipeline_window(4);
+    // Five chunks' worth of tuples: four ride the wire before the first
+    // acknowledgement (the injected Error) is read.
+    let tuples: Vec<(u32, u64)> = (0..5 * MAX_UPDATE_TUPLES as usize)
+        .map(|i| (i as u32 % 8, 1))
+        .collect();
+    let err = client
+        .update_all(&tuples)
+        .expect_err("injected fault surfaces");
+    assert!(
+        matches!(err, ClientError::Server { .. }),
+        "expected the server error, got {err:?}"
+    );
+
+    // The connection must still be frame-aligned: this QUERY has to get
+    // ITS Value back, not a stale Accepted from the aborted pipeline.
+    let (epoch, value) = client
+        .query(3)
+        .expect("connection desynced after update_all error");
+    assert_eq!((epoch, value), (9, 3));
+
+    drop(client);
+    // Exactly the four in-flight chunks reached the wire — the error
+    // stopped the window from refilling.
+    assert_eq!(fake.join().expect("fake server"), 4);
 }
 
 /// Idling BETWEEN frames is free: the budget clocks a started frame, not
