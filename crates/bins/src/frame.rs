@@ -128,6 +128,19 @@ impl<V: Copy> CBufFrame<V> {
         &self.values
     }
 
+    /// Mutable access to the staged value at `idx` — the fusion hook:
+    /// a commutative update to an already-staged key folds into the
+    /// staged value instead of occupying a second slot (see
+    /// [`FuseTable`](crate::FuseTable)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    #[inline]
+    pub fn value_mut(&mut self, idx: usize) -> &mut V {
+        &mut self.values[idx]
+    }
+
     /// Drops all staged tuples.
     pub fn clear(&mut self) {
         self.values.clear();

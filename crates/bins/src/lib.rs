@@ -23,14 +23,20 @@
 //!   segments: unique-byte tallies for multi-epoch retention windows
 //!   ([`SegmentSet`]) and the changed-segment candidate set for
 //!   diff-by-identity queries ([`divergent_segments`]).
+//! * [`FuseTable`] — a direct-mapped coalescing table in front of a
+//!   frame (Coup-style commutative reducer fusion): folds a commutative
+//!   update into an already-staged tuple for the same key, so fewer
+//!   tuples cross into bin memory on skewed key distributions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod frame;
+pub mod fusion;
 pub mod identity;
 pub mod store;
 
 pub use frame::{cbuf_capacity, CBufFrame, FrameFlushStats, FRAME_KEYS, LINE_BYTES};
+pub use fusion::{FuseStats, FuseTable};
 pub use identity::{divergent_segments, segment_refs, SegmentSet};
 pub use store::{bin_geometry, BinMemory, BinReader, BinSink, BinStore, FrozenBins};

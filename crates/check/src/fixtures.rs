@@ -64,8 +64,9 @@ fn update_stream(kernel: KernelId, n: usize) -> Vec<(u32, u64)> {
             .map(|i| (rng.u32_below(NUM_KEYS), i as u64))
             .collect(),
         // Sparse-matrix kernels scatter along row indices of a banded
-        // matrix: clustered keys.
-        KernelId::Spmv | KernelId::Transpose => (0..n)
+        // matrix: clustered keys. SpGEMM's partial products scatter by
+        // output row — the same clustered shape.
+        KernelId::Spmv | KernelId::Transpose | KernelId::SpGemm => (0..n)
             .map(|_| {
                 let row = rng.u32_below(NUM_KEYS);
                 (row, rng.next_u64() >> 32)
@@ -79,7 +80,7 @@ fn update_stream(kernel: KernelId, n: usize) -> Vec<(u32, u64)> {
 fn scatter_op(kernel: KernelId) -> fn(&mut u64, u64) {
     match kernel {
         KernelId::DegreeCount | KernelId::IntSort => |c, _| *c += 1,
-        KernelId::Pagerank | KernelId::Spmv => |c, v| *c = c.wrapping_add(v),
+        KernelId::Pagerank | KernelId::Spmv | KernelId::SpGemm => |c, v| *c = c.wrapping_add(v),
         KernelId::Radii => |c, v| *c |= v,
         KernelId::Pinv => |c, v| *c = v,
         KernelId::NeighborPopulate | KernelId::Transpose | KernelId::SymPerm => {

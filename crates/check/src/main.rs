@@ -77,6 +77,11 @@ fn run_oracle() -> bool {
         println!("    {r}");
         ok &= r.agrees();
     }
+    println!("  spgemm fusion (fused/streamed vs unfused, bitwise):");
+    for r in oracle::check_spgemm_fusion(ORACLE_PERMS) {
+        println!("    {r}");
+        ok &= r.agrees();
+    }
     ok
 }
 
@@ -267,6 +272,15 @@ fn run_selftest() -> bool {
             "MISSED — subscription explorer is broken"
         }
     );
+    let fusion_caught = oracle::spgemm_broken_fusion_is_caught();
+    println!(
+        "  cross-column fusion mutation:   {}",
+        if fusion_caught {
+            "detected"
+        } else {
+            "MISSED — fusion oracle is broken"
+        }
+    );
     let r11_caught = lint::seeded_blocking_io_mutation_is_caught();
     println!(
         "  blocking-I/O reactor mutation:  {}",
@@ -311,6 +325,7 @@ fn run_selftest() -> bool {
     };
     racy_caught
         && clean.is_clean()
+        && fusion_caught
         && deadlock_found
         && quorum_caught
         && drop_caught

@@ -10,8 +10,8 @@
 //!    that the four declared-commutative kernels produce reference output
 //!    under *any* within-bin replay order (seed 0 keeps arrival order as a
 //!    control).
-//! 2. **Scatter models** — a small executable model of each of the nine
-//!    kernels' per-update scatter function, driven by collision-rich
+//! 2. **Scatter models** — a small executable model of each suite
+//!    kernel's per-update scatter function, driven by collision-rich
 //!    synthetic update streams. Declared-commutative kernels must be
 //!    insensitive to stream permutation; declared-ordered kernels must be
 //!    provably sensitive (at least one permutation diverges), so a stale
@@ -198,7 +198,7 @@ fn collision_stream(n: usize, keys: u32, seed: u64) -> Vec<(u32, u64)> {
     (0..n).map(|i| (rng.u32_below(keys), i as u64)).collect()
 }
 
-/// The nine kernels' scatter models with their probe streams.
+/// The suite kernels' scatter models with their probe streams.
 ///
 /// Values double as exact dyadic floats where the kernel sums: `Pagerank`
 /// stores `f32` bits, `SpMV` stores `f64` bits, both multiples of 0.25 so
@@ -289,6 +289,21 @@ pub fn scatter_models() -> Vec<ScatterModel> {
             updates: collision_stream(n, keys, 19),
             apply: |s, k, v| s[k as usize].push(v),
         },
+        ScatterModel {
+            // SpGEMM's per-cell accumulator: dyadic f64 `+=` on the
+            // output cell — the same commutative shape as SpMV, applied
+            // to partial products.
+            kernel: KernelId::SpGemm,
+            num_keys: keys,
+            updates: collision_stream(n, keys, 20)
+                .into_iter()
+                .map(|(k, v)| (k, f64::to_bits((v % 16 + 1) as f64 * 0.25)))
+                .collect(),
+            apply: |s, k, v| {
+                let cur = f64::from_bits(*slot(s, k));
+                *slot(s, k) = f64::to_bits(cur + f64::from_bits(v));
+            },
+        },
     ]
 }
 
@@ -313,7 +328,7 @@ pub fn check_scatter_model(model: &ScatterModel, perms: usize) -> OracleResult {
     }
 }
 
-/// Runs the scatter-model oracle over all nine kernels.
+/// Runs the scatter-model oracle over every suite kernel.
 pub fn check_all_scatter_models(perms: usize) -> Vec<OracleResult> {
     scatter_models()
         .iter()
@@ -613,9 +628,127 @@ pub fn check_kernel_replays(perms: usize) -> Vec<OracleResult> {
     results
 }
 
+/// SpGEMM fusion oracle: proves the frame-fusion pass and the streaming
+/// path preserve the batch-unfused product *bitwise* on dyadic inputs,
+/// and that the per-cell fold really is permutation-insensitive.
+///
+/// Three probes, each an [`OracleResult`]:
+///
+/// 1. **fused-vs-unfused** — `spgemm` with fusion on vs off, same input;
+///    requires the fused run to actually score fusion hits (a fusion pass
+///    that never fires would pass vacuously).
+/// 2. **batch-vs-streaming** — the epoch-tiled [`spgemm_stream`]
+///    (fused shards) against the batch-unfused product.
+/// 3. **permuted-replay** — the raw partial-product stream folded per
+///    cell in `perms` shuffled orders against arrival order, the
+///    commutativity fact fusion's legality rests on.
+///
+/// The mutation hook `spgemm_with_merge` (a merge that fuses *across*
+/// columns) is what the self-test plants to prove probe 1 catches broken
+/// fusion.
+///
+/// [`spgemm_stream`]: cobra_spgemm::spgemm_stream
+pub fn check_spgemm_fusion(perms: usize) -> Vec<OracleResult> {
+    use cobra_spgemm::{
+        dyadic_matrix, dyadic_skewed_matrix, spgemm, spgemm_stream, triplets, SpGemmConfig,
+    };
+    let a = dyadic_matrix(400, 300, 5, 27);
+    let b = dyadic_skewed_matrix(300, 256, 6, 1.3, 28);
+    let unfused_cfg = SpGemmConfig {
+        fusion: false,
+        ..Default::default()
+    };
+    let (unfused, _) = spgemm(&a, &b, &unfused_cfg);
+    let want = triplets(&unfused);
+
+    let (fused, rep) = spgemm(&a, &b, &SpGemmConfig::default());
+    let mut results = vec![OracleResult {
+        subject: "spgemm fused-vs-unfused".into(),
+        declared_commutative: true,
+        observed_commutative: rep.fuse.hits > 0 && triplets(&fused) == want,
+        permutations: 0,
+    }];
+
+    let (streamed, stats) = spgemm_stream(&a, &b, 4, cobra_stream::StreamConfig::default());
+    results.push(OracleResult {
+        subject: "spgemm batch-vs-streaming".into(),
+        declared_commutative: true,
+        observed_commutative: stats.epochs_sealed >= 4 && triplets(&streamed) == want,
+        permutations: 0,
+    });
+
+    // Permuted replay of the raw partial-product stream.
+    let mut products: Vec<(u32, u32, u64)> = Vec::new();
+    cobra_spgemm::expand(&a, &b, |i, (j, v)| products.push((i, j, v.to_bits())));
+    let fold = |stream: &[(u32, u32, u64)]| {
+        let mut cells: std::collections::BTreeMap<(u32, u32), u64> = Default::default();
+        for &(i, j, bits) in stream {
+            let e = cells.entry((i, j)).or_insert(0.0f64.to_bits());
+            *e = (f64::from_bits(*e) + f64::from_bits(bits)).to_bits();
+        }
+        cells
+    };
+    let reference = fold(&products);
+    let mut ok = reference
+        .iter()
+        .map(|(&(i, j), &bits)| (i, j, bits))
+        .eq(want.iter().copied());
+    for seed in 1..=perms as u64 {
+        let mut shuffled = products.clone();
+        let mut rng = SplitMix64::seed_from_u64(seed.wrapping_mul(0x6c62_272e));
+        shuffle(&mut shuffled, &mut rng);
+        if fold(&shuffled) != reference {
+            ok = false;
+            break;
+        }
+    }
+    results.push(OracleResult {
+        subject: "spgemm permuted-replay".into(),
+        declared_commutative: KernelId::SpGemm.is_commutative(),
+        observed_commutative: ok,
+        permutations: perms,
+    });
+    results
+}
+
+/// The seeded broken-fusion mutation: a merge that pre-adds values
+/// *across different output columns*. Returns `true` when the corruption
+/// is visible against the unfused product (the fusion oracle's probe 1
+/// must catch exactly this). A broken oracle — or a fusion path that
+/// never fires — returns `false`.
+pub fn spgemm_broken_fusion_is_caught() -> bool {
+    use cobra_spgemm::{
+        dyadic_matrix, dyadic_skewed_matrix, spgemm, spgemm_with_merge, triplets, SpGemmConfig,
+    };
+    let a = dyadic_matrix(400, 300, 5, 27);
+    let b = dyadic_skewed_matrix(300, 256, 6, 1.3, 28);
+    let unfused_cfg = SpGemmConfig {
+        fusion: false,
+        ..Default::default()
+    };
+    let (unfused, _) = spgemm(&a, &b, &unfused_cfg);
+    let (broken, rep) = spgemm_with_merge(&a, &b, &SpGemmConfig::default(), |x, y| {
+        x.1 += y.1; // ignores the column — illegal coalescing
+        true
+    });
+    rep.fuse.hits > 0 && triplets(&broken) != triplets(&unfused)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spgemm_fusion_probes_all_agree() {
+        for r in check_spgemm_fusion(6) {
+            assert!(r.agrees(), "{r}");
+        }
+    }
+
+    #[test]
+    fn spgemm_broken_fusion_mutation_is_caught() {
+        assert!(spgemm_broken_fusion_is_caught());
+    }
 
     #[test]
     fn scatter_models_all_agree_with_declarations() {

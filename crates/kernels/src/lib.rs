@@ -1,6 +1,7 @@
 //! # cobra-kernels — the evaluated irregular-update workloads
 //!
-//! The nine kernels of the COBRA paper's evaluation (Section VI), each
+//! The nine kernels of the COBRA paper's evaluation (Section VI) plus a
+//! propagation-blocked SpGEMM extension, each
 //! implemented once, generic over the trace [`Engine`](cobra_sim::engine::Engine)
 //! (baseline form) and once over the binning
 //! [`PbBackend`](cobra_core::PbBackend) (PB form — the same code runs under
@@ -17,6 +18,7 @@
 //! | [`transpose`] | Transpose | sparse linear algebra | **no** |
 //! | [`pinv`] | PINV | sparse linear algebra | **no** |
 //! | [`symperm`] | SymPerm | sparse linear algebra | **no** |
+//! | [`spgemm`] | SpGEMM (`A·A`) | sparse linear algebra | yes |
 //!
 //! [`tiling`] implements the CSR-Segmenting comparator (Figure 15) and the
 //! multi-iteration Pagerank variants it is compared against. [`suite`]
@@ -33,6 +35,7 @@ pub mod neighbor_populate;
 pub mod pagerank;
 pub mod pinv;
 pub mod radii;
+pub mod spgemm;
 pub mod spmv;
 pub mod streaming;
 pub mod suite;

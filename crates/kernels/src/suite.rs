@@ -1,4 +1,4 @@
-//! Uniform dispatch over the nine evaluated kernels: one entry point that
+//! Uniform dispatch over the ten evaluated kernels: one entry point that
 //! runs any kernel under any execution mode on the simulated machine and
 //! returns its [`RunMetrics`] plus an output digest for cross-mode
 //! correctness checking.
@@ -15,7 +15,8 @@ use cobra_sim::MachineConfig;
 /// inputs converge fast).
 pub const RADII_ROUNDS: u32 = 3;
 
-/// The nine kernels of the evaluation (Section VI).
+/// The nine kernels of the evaluation (Section VI) plus the SpGEMM
+/// extension ([`crate::spgemm`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelId {
     /// Edgelist→CSR degree counting (commutative).
@@ -36,10 +37,13 @@ pub enum KernelId {
     Pinv,
     /// Symmetric permutation of the upper triangle (non-commutative).
     SymPerm,
+    /// Propagation-blocked sparse matrix-matrix product `A·A` (commutative).
+    SpGemm,
 }
 
-/// All kernels, in the paper's presentation order.
-pub const ALL_KERNELS: [KernelId; 9] = [
+/// All kernels, in the paper's presentation order (plus the SpGEMM
+/// extension).
+pub const ALL_KERNELS: [KernelId; 10] = [
     KernelId::DegreeCount,
     KernelId::NeighborPopulate,
     KernelId::Pagerank,
@@ -49,6 +53,7 @@ pub const ALL_KERNELS: [KernelId; 9] = [
     KernelId::Transpose,
     KernelId::Pinv,
     KernelId::SymPerm,
+    KernelId::SpGemm,
 ];
 
 impl KernelId {
@@ -64,6 +69,7 @@ impl KernelId {
             KernelId::Transpose => "Transpose",
             KernelId::Pinv => "PINV",
             KernelId::SymPerm => "SymPerm",
+            KernelId::SpGemm => "SpGEMM",
         }
     }
 
@@ -72,7 +78,11 @@ impl KernelId {
         match self {
             KernelId::DegreeCount | KernelId::IntSort => 4,
             KernelId::NeighborPopulate | KernelId::Pagerank | KernelId::Pinv => 8,
-            KernelId::Radii | KernelId::Spmv | KernelId::Transpose | KernelId::SymPerm => 16,
+            KernelId::Radii
+            | KernelId::Spmv
+            | KernelId::Transpose
+            | KernelId::SymPerm
+            | KernelId::SpGemm => 16,
         }
     }
 
@@ -80,14 +90,18 @@ impl KernelId {
     pub fn is_commutative(&self) -> bool {
         matches!(
             self,
-            KernelId::DegreeCount | KernelId::Pagerank | KernelId::Radii | KernelId::Spmv
+            KernelId::DegreeCount
+                | KernelId::Pagerank
+                | KernelId::Radii
+                | KernelId::Spmv
+                | KernelId::SpGemm
         )
     }
 
     /// Bytes per irregularly-updated element (for bin-count heuristics).
     pub fn elem_bytes(&self) -> u32 {
         match self {
-            KernelId::Radii | KernelId::Spmv => 8,
+            KernelId::Radii | KernelId::Spmv | KernelId::SpGemm => 8,
             _ => 4,
         }
     }
@@ -160,6 +174,9 @@ impl Input {
             (Input::Graph { el, .. }, _) => el.num_edges() as u64,
             (Input::Keys { keys, .. }, _) => keys.len() as u64,
             (Input::Matrix { m, .. }, KernelId::Pinv) => m.rows() as u64,
+            // SpGEMM runs A·A: one tuple per (A entry, matching A row
+            // entry) pairing — the expansion count, not nnz.
+            (Input::Matrix { m, .. }, KernelId::SpGemm) => crate::spgemm::expansion_tuples(m, m),
             (Input::Matrix { m, .. }, _) => m.nnz() as u64,
         }
     }
@@ -357,6 +374,9 @@ fn run_baseline(kernel: KernelId, input: &Input, e: &mut SimEngine) -> u64 {
         (KernelId::SymPerm, Input::Matrix { m, p, .. }) => {
             digest_matrix(&crate::symperm::baseline(e, m, p))
         }
+        (KernelId::SpGemm, Input::Matrix { m, .. }) => {
+            digest_matrix(&crate::spgemm::baseline(e, m, m))
+        }
         (k, _) => panic!("kernel {k:?} incompatible with input kind"),
     }
 }
@@ -411,6 +431,11 @@ fn run_pb(
         (KernelId::SymPerm, Input::Matrix { m, p, .. }) => {
             dispatch_pb!(kernel, input, machine, spec, (u32, f64), |b: &mut _| {
                 digest_matrix(&crate::symperm::pb(b, m, p))
+            })
+        }
+        (KernelId::SpGemm, Input::Matrix { m, .. }) => {
+            dispatch_pb!(kernel, input, machine, spec, (u32, f64), |b: &mut _| {
+                digest_matrix(&crate::spgemm::pb(b, m, m))
             })
         }
         (k, _) => panic!("kernel {k:?} incompatible with input kind"),
@@ -473,7 +498,9 @@ mod tests {
         assert_eq!(KernelId::Radii.tuple_bytes(), 16);
         assert!(!KernelId::NeighborPopulate.is_commutative());
         assert!(KernelId::Pagerank.is_commutative());
-        assert_eq!(ALL_KERNELS.len(), 9);
+        assert_eq!(ALL_KERNELS.len(), 10);
+        assert_eq!(KernelId::SpGemm.tuple_bytes(), 16);
+        assert!(KernelId::SpGemm.is_commutative());
     }
 
     #[test]

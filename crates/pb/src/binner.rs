@@ -4,7 +4,10 @@
 //! the binner stages tuples in cacheline-aligned [`CBufFrame`]s and
 //! transfers full lines into the store's per-bin `keys`/`values` columns.
 
-use cobra_bins::{cbuf_capacity, BinMemory, BinStore, CBufFrame, FrameFlushStats, FrozenBins};
+use cobra_bins::{
+    cbuf_capacity, BinMemory, BinStore, CBufFrame, FrameFlushStats, FrozenBins, FuseStats,
+    FuseTable,
+};
 
 /// One buffered update: apply `value` to the datum identified by `key`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,6 +56,26 @@ pub struct Binner<V> {
     cbufs: Vec<CBufFrame<V>>,
     store: BinStore<V>,
     flush_stats: FrameFlushStats,
+    /// Coup-style frame fusion state, allocated on the first
+    /// [`insert_fused`](Self::insert_fused) call (plain `insert`-only
+    /// binners pay nothing).
+    fusion: Option<FusionState>,
+}
+
+/// Per-bin coalescing tables plus the fusion counters.
+#[derive(Debug, Clone)]
+struct FusionState {
+    tables: Vec<FuseTable>,
+    stats: FuseStats,
+}
+
+impl FusionState {
+    fn new(num_bins: usize) -> Self {
+        FusionState {
+            tables: (0..num_bins).map(|_| FuseTable::new()).collect(),
+            stats: FuseStats::default(),
+        }
+    }
 }
 
 /// The bins produced by a [`Binner`], ready for the Accumulate phase.
@@ -86,6 +109,7 @@ impl<V: Copy> Binner<V> {
                 ..Default::default()
             },
             store,
+            fusion: None,
         }
     }
 
@@ -159,6 +183,97 @@ impl<V: Copy> Binner<V> {
             // uses non-temporal stores here).
             let n = cbuf.flush_into(&mut self.store, b);
             self.flush_stats.record(n);
+            if let Some(f) = self.fusion.as_mut() {
+                // The frame emptied: any coalescing positions it tracked
+                // are gone.
+                f.tables[b].clear();
+                f.stats.flushes += 1;
+            }
+        }
+    }
+
+    /// Routes one update tuple through the Coup-style frame fusion pass:
+    /// if a tuple with the same key is still staged in the bin's C-Buffer
+    /// frame, `merge` is offered the staged value and the new one, and a
+    /// `true` return folds them into a single tuple — one fewer tuple
+    /// crosses into bin memory. A `false` return (the payloads are not
+    /// combinable, e.g. SpGEMM partial products for different output
+    /// columns) stages the tuple normally.
+    ///
+    /// **Legality is the caller's contract**: only updates whose reducer
+    /// is commutative may take this path, because fusion reassociates the
+    /// reduction (two updates arrive as one). `cobra-check`'s
+    /// commutativity oracle validates each kernel's declaration.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds — and in all builds when the `check` feature is
+    /// enabled — panics if `key >= num_keys`.
+    #[inline]
+    pub fn insert_fused<F: FnMut(&mut V, &V) -> bool>(&mut self, key: u32, value: V, merge: F) {
+        #[cfg(feature = "check")]
+        if let Err(e) = self.try_insert_fused(key, value, merge) {
+            panic!("{e}");
+        }
+        #[cfg(not(feature = "check"))]
+        {
+            debug_assert!(key < self.num_keys, "key {key} out of range");
+            self.insert_fused_unchecked(key, value, merge);
+        }
+    }
+
+    /// [`insert_fused`](Self::insert_fused), rejecting keys outside
+    /// `0..num_keys`.
+    #[inline]
+    pub fn try_insert_fused<F: FnMut(&mut V, &V) -> bool>(
+        &mut self,
+        key: u32,
+        value: V,
+        merge: F,
+    ) -> Result<(), BinError> {
+        if key >= self.num_keys {
+            return Err(BinError {
+                key,
+                num_keys: self.num_keys,
+            });
+        }
+        self.insert_fused_unchecked(key, value, merge);
+        Ok(())
+    }
+
+    #[inline]
+    fn insert_fused_unchecked<F: FnMut(&mut V, &V) -> bool>(
+        &mut self,
+        key: u32,
+        value: V,
+        mut merge: F,
+    ) {
+        let b = (key >> self.store.bin_shift()) as usize;
+        #[cfg(feature = "check")]
+        crate::trace::bin_write(b, key, self.store.bin_shift());
+        let num_bins = self.store.num_bins();
+        let fusion = self
+            .fusion
+            .get_or_insert_with(|| FusionState::new(num_bins));
+        fusion.stats.attempts += 1;
+        let cbuf = &mut self.cbufs[b];
+        let table = &mut fusion.tables[b];
+        if let Some(i) = table.probe(key) {
+            // The table is cleared on every frame flush, so a live slot
+            // always points at a staged tuple carrying exactly this key.
+            debug_assert_eq!(cbuf.keys().get(i).copied(), Some(key));
+            if merge(cbuf.value_mut(i), &value) {
+                fusion.stats.hits += 1;
+                return;
+            }
+        }
+        cbuf.push(key, value);
+        table.note(key, cbuf.len() - 1);
+        if cbuf.is_full() {
+            let n = cbuf.flush_into(&mut self.store, b);
+            self.flush_stats.record(n);
+            table.clear();
+            fusion.stats.flushes += 1;
         }
     }
 
@@ -201,6 +316,12 @@ impl<V: Copy> Binner<V> {
         self.flush_stats
     }
 
+    /// Running Coup-style fusion counters (all zero when
+    /// [`insert_fused`](Self::insert_fused) was never used).
+    pub fn fuse_stats(&self) -> FuseStats {
+        self.fusion.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
     fn flush_cbufs(&mut self) {
         #[cfg(feature = "check")]
         crate::trace::bin_flush_all();
@@ -208,6 +329,10 @@ impl<V: Copy> Binner<V> {
             let n = cbuf.flush_into(&mut self.store, b);
             if n > 0 {
                 self.flush_stats.record(n);
+                if let Some(f) = self.fusion.as_mut() {
+                    f.tables[b].clear();
+                    f.stats.flushes += 1;
+                }
             }
         }
     }
@@ -587,5 +712,129 @@ mod tests {
         assert_eq!(mem.tuples, 8, "only the flushed line reached the store");
         let bins = b.finish();
         assert_eq!(bins.len(), 12);
+    }
+
+    #[test]
+    fn fused_inserts_coalesce_same_key_within_a_frame() {
+        // Commutative sum: repeated keys inside one frame fold into one
+        // tuple, so fewer tuples cross into bin memory.
+        let mut b = Binner::<u32>::new(64, 1);
+        for _ in 0..6 {
+            b.insert_fused(3, 1u32, |a, v| {
+                *a += *v;
+                true
+            });
+        }
+        b.insert_fused(9, 10, |a, v| {
+            *a += *v;
+            true
+        });
+        let fs = b.fuse_stats();
+        assert_eq!(fs.attempts, 7);
+        assert_eq!(fs.hits, 5, "five of the six key-3 updates fused away");
+        assert!((fs.fused_ratio() - 5.0 / 7.0).abs() < 1e-12);
+        let bins = b.finish();
+        assert_eq!(bins.len(), 2, "only one tuple per distinct key shipped");
+        assert_eq!(bins.keys(0), &[3, 9]);
+        assert_eq!(bins.values(0), &[6, 10]);
+    }
+
+    #[test]
+    fn fused_result_matches_unfused_for_a_commutative_sum() {
+        // Skewed keys (period 6 < the 8-tuple frame) so repeats land
+        // while their predecessor is still staged.
+        let updates: Vec<(u32, u32)> = (0..500u32).map(|i| (i % 6 * 37, i)).collect();
+        let mut plain = Binner::<u32>::new(256, 4);
+        let mut fused = Binner::<u32>::new(256, 4);
+        for &(k, v) in &updates {
+            plain.insert(k, v);
+            fused.insert_fused(k, v, |a, x| {
+                *a = a.wrapping_add(*x);
+                true
+            });
+        }
+        let mut want = vec![0u32; 256];
+        plain
+            .finish()
+            .accumulate(|k, &v| want[k as usize] = want[k as usize].wrapping_add(v));
+        let mut got = vec![0u32; 256];
+        let fbins = fused.finish();
+        assert!(fbins.len() < updates.len(), "some fusion must occur");
+        fbins.accumulate(|k, &v| got[k as usize] = got[k as usize].wrapping_add(v));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn merge_refusal_stages_normally() {
+        // A merge closure that refuses every pair degrades to plain
+        // binning: nothing lost, zero hits.
+        let mut b = Binner::<u32>::new(64, 1);
+        for i in 0..10u32 {
+            b.insert_fused(5, i, |_, _| false);
+        }
+        let fs = b.fuse_stats();
+        assert_eq!(fs.hits, 0);
+        assert_eq!(fs.attempts, 10);
+        let bins = b.finish();
+        assert_eq!(bins.len(), 10);
+        assert_eq!(
+            bins.iter_bin(0).map(|t| t.value).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fusion_never_crosses_a_frame_flush() {
+        // 8 tuples per frame for (u32, u32). Fill a frame with distinct
+        // keys, then repeat the first key: the frame flushed in between,
+        // so the repeat must NOT fuse into the shipped tuple.
+        let mut b = Binner::<u32>::new(8, 1);
+        let sum = |a: &mut u32, v: &u32| {
+            *a += *v;
+            true
+        };
+        for k in 0..8u32 {
+            b.insert_fused(k, 100 + k, sum);
+        }
+        b.insert_fused(0, 1, sum);
+        let fs = b.fuse_stats();
+        assert_eq!(fs.hits, 0);
+        assert_eq!(fs.flushes, 1);
+        let bins = b.finish();
+        assert_eq!(bins.len(), 9);
+        assert_eq!(bins.values(0), &[100, 101, 102, 103, 104, 105, 106, 107, 1]);
+    }
+
+    #[test]
+    fn plain_and_fused_inserts_interleave_safely() {
+        // Plain inserts between fused ones grow the frame without noting
+        // positions; fused inserts must still fold onto *their* staged
+        // tuples only.
+        let mut b = Binner::<u32>::new(64, 1);
+        let sum = |a: &mut u32, v: &u32| {
+            *a += *v;
+            true
+        };
+        b.insert_fused(1, 10, sum);
+        b.insert(2, 20);
+        b.insert_fused(1, 5, sum); // fuses onto the key-1 tuple
+        b.insert(1, 7); // plain: stages a second key-1 tuple
+        let bins = b.finish();
+        assert_eq!(bins.keys(0), &[1, 2, 1]);
+        assert_eq!(bins.values(0), &[15, 20, 7]);
+    }
+
+    #[test]
+    fn try_insert_fused_rejects_out_of_range_key() {
+        let mut b = Binner::<u32>::new(10, 1);
+        let err = b
+            .try_insert_fused(10, 1, |a, v| {
+                *a += *v;
+                true
+            })
+            .expect_err("key 10 is out of range");
+        assert_eq!(err.key, 10);
+        assert_eq!(b.buffered_len(), 0);
+        assert_eq!(b.fuse_stats(), cobra_bins::FuseStats::default());
     }
 }

@@ -50,8 +50,10 @@ use std::io::{self, Read, Write};
 /// revision 3 added the MVCC frames: `QueryAt`, `Diff`,
 /// `Subscribe`/`Subscribed`, `Unsubscribe`/`Unsubscribed`, `Delta`,
 /// `Lagged`, plus the `EpochEvicted` error code and four retention
-/// fields in `StatsReport`).
-pub const PROTOCOL_VERSION: u8 = 3;
+/// fields in `StatsReport`; revision 4 added the three reducer-fusion
+/// fields in `StatsReport`: `fusion_hits`, `fusion_flushes`,
+/// `fused_ratio_bp`).
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Default ceiling on one frame's length field. Requests are small; the
 /// largest legitimate frames are snapshot-slice responses, bounded by
@@ -223,6 +225,15 @@ pub struct WireStats {
     pub active_subscribers: u64,
     /// Delta frames' worth of per-epoch updates enqueued to subscribers.
     pub deltas_pushed: u64,
+    /// Tuples folded away by Coup-style frame fusion before ever
+    /// reaching bin memory, summed across shards.
+    pub fusion_hits: u64,
+    /// Fusion-table resets forced by C-Buffer frame flushes, summed
+    /// across shards.
+    pub fusion_flushes: u64,
+    /// Fraction of fusable tuples that fused away, in basis points
+    /// (10_000 = every offered tuple coalesced).
+    pub fused_ratio_bp: u64,
 }
 
 impl WireStats {
@@ -242,7 +253,13 @@ impl WireStats {
         self.cbuf_occupancy_bp as f64 / 10_000.0
     }
 
-    const FIELDS: usize = 27;
+    /// Fraction of fusable tuples that fused away (from the wire-encoded
+    /// basis points).
+    pub fn fused_ratio(&self) -> f64 {
+        self.fused_ratio_bp as f64 / 10_000.0
+    }
+
+    const FIELDS: usize = 30;
 
     fn to_words(self) -> [u64; Self::FIELDS] {
         [
@@ -273,6 +290,9 @@ impl WireStats {
             self.retained_bytes,
             self.active_subscribers,
             self.deltas_pushed,
+            self.fusion_hits,
+            self.fusion_flushes,
+            self.fused_ratio_bp,
         ]
     }
 
@@ -305,6 +325,9 @@ impl WireStats {
             retained_bytes: w[24],
             active_subscribers: w[25],
             deltas_pushed: w[26],
+            fusion_hits: w[27],
+            fusion_flushes: w[28],
+            fused_ratio_bp: w[29],
         }
     }
 }
@@ -1221,6 +1244,9 @@ mod tests {
             retained_bytes: 24,
             active_subscribers: 25,
             deltas_pushed: 26,
+            fusion_hits: 27,
+            fusion_flushes: 28,
+            fused_ratio_bp: 2_900,
         }));
         roundtrip(Frame::QueryAt { epoch: 14, key: 3 });
         roundtrip(Frame::QueryAt { epoch: 0, key: 0 });

@@ -98,6 +98,9 @@ impl Reducer for SumU64 {
     type Value = u64;
     type Acc = u64;
     const COMMUTATIVE: bool = true;
+    // Wrapping u64 addition is associative, so frame-level fusion is
+    // bit-exact here — even across a WAL replay, which re-bins unfused.
+    const FUSABLE: bool = true;
 
     fn identity(&self) -> u64 {
         0
@@ -109,6 +112,11 @@ impl Reducer for SumU64 {
 
     fn merge(&self, into: &mut u64, from: u64) {
         *into = into.wrapping_add(from);
+    }
+
+    fn fuse_values(&self, a: &mut u64, b: &u64) -> bool {
+        *a = a.wrapping_add(*b);
+        true
     }
 }
 
@@ -314,6 +322,9 @@ impl Ctx {
             retained_bytes: self.store.retained_bytes(),
             active_subscribers: self.hub.active_subscribers(),
             deltas_pushed: self.hub.deltas_pushed(),
+            fusion_hits: s.total_fusion_hits(),
+            fusion_flushes: s.total_fusion_flushes(),
+            fused_ratio_bp: (s.fused_ratio() * 10_000.0).round() as u64,
         }
     }
 

@@ -1,0 +1,276 @@
+//! Cache-resident accumulators for the SpGEMM Accumulate phase.
+//!
+//! A bin covers a contiguous output-row range; its tuples are
+//! `(row, (col, partial))` in arrival order. Both accumulators fold each
+//! `(row, col)` cell's partials **in arrival order** (first product
+//! initializes the cell, later ones `+=` onto it) and emit cells sorted by
+//! `(row, col)`, so the produced CSR is independent of which accumulator
+//! ran — the dense/hash choice is purely a footprint decision, exactly the
+//! per-bin working-set argument of the paper's Accumulate phase.
+//!
+//! Both use generation stamps instead of clearing, so reuse across
+//! thousands of bins costs no `memset`.
+
+/// Dense per-bin accumulator: one `f64` slot per `(row, col)` cell of the
+/// bin's `row_range × cols` rectangle. Preferable when the rectangle fits
+/// the configured budget (narrow row range or narrow `B`).
+#[derive(Debug, Default)]
+pub struct DenseAccum {
+    base: u32,
+    cols: u64,
+    vals: Vec<f64>,
+    stamp: Vec<u32>,
+    gen: u32,
+    /// Touched cells as `(local_row << 32) | col` — sorting this is
+    /// `(row, col)` order.
+    touched: Vec<u64>,
+}
+
+impl DenseAccum {
+    /// A fresh accumulator (no slots until [`reset`](Self::reset)).
+    pub fn new() -> Self {
+        DenseAccum::default()
+    }
+
+    /// Re-targets the accumulator at a bin's `row_range × cols` rectangle.
+    /// Slot storage only ever grows; old generations are invalidated by
+    /// stamp, not by clearing.
+    pub fn reset(&mut self, row_range: std::ops::Range<u32>, cols: u32) {
+        self.base = row_range.start;
+        self.cols = cols.max(1) as u64;
+        let slots = (row_range.end - row_range.start) as usize * self.cols as usize;
+        if self.vals.len() < slots {
+            self.vals.resize(slots, 0.0);
+            self.stamp.resize(slots, 0);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Stamp wrap-around: every slot would look freshly touched.
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+        self.touched.clear();
+    }
+
+    /// Folds one partial product into its `(row, col)` cell.
+    pub fn add(&mut self, row: u32, col: u32, v: f64) {
+        let local = (row - self.base) as u64;
+        let idx = (local * self.cols + col as u64) as usize;
+        if self.stamp[idx] == self.gen {
+            self.vals[idx] += v;
+        } else {
+            self.stamp[idx] = self.gen;
+            self.vals[idx] = v;
+            self.touched.push((local << 32) | col as u64);
+        }
+    }
+
+    /// Emits every touched cell in `(row, col)` order.
+    pub fn drain_sorted<F: FnMut(u32, u32, f64)>(&mut self, mut emit: F) {
+        self.touched.sort_unstable();
+        for &t in &self.touched {
+            let local = t >> 32;
+            let col = (t & 0xFFFF_FFFF) as u32;
+            let idx = (local * self.cols + col as u64) as usize;
+            emit(self.base + local as u32, col, self.vals[idx]);
+        }
+        self.touched.clear();
+    }
+}
+
+/// Open-addressing hash accumulator keyed by `(row << 32) | col`, for bins
+/// whose dense rectangle would blow the cache budget. Linear probing,
+/// Fibonacci hashing, grow-at-⅞-load; generation stamps make cross-bin
+/// reuse free.
+#[derive(Debug)]
+pub struct HashAccum {
+    keys: Vec<u64>,
+    vals: Vec<f64>,
+    stamp: Vec<u32>,
+    gen: u32,
+    len: usize,
+    /// Occupied slot indices, for drain (re-keyed and sorted at emit).
+    touched: Vec<usize>,
+}
+
+impl Default for HashAccum {
+    fn default() -> Self {
+        HashAccum::new()
+    }
+}
+
+impl HashAccum {
+    /// Initial capacity 1024 cells (grows by doubling).
+    pub fn new() -> Self {
+        let cap = 1024;
+        HashAccum {
+            keys: vec![0; cap],
+            vals: vec![0.0; cap],
+            stamp: vec![0; cap],
+            gen: 0,
+            len: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Starts a fresh bin: all cells forgotten, capacity kept.
+    pub fn reset(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+        self.len = 0;
+        self.touched.clear();
+    }
+
+    fn slot_of(&self, key: u64) -> usize {
+        let mask = self.keys.len() - 1;
+        let mut s = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
+        loop {
+            if self.stamp[s] != self.gen || self.keys[s] == key {
+                return s;
+            }
+            s = (s + 1) & mask;
+        }
+    }
+
+    /// Folds one partial product into its `(row, col)` cell.
+    pub fn add(&mut self, row: u32, col: u32, v: f64) {
+        if self.len * 8 >= self.keys.len() * 7 {
+            self.grow();
+        }
+        let key = (row as u64) << 32 | col as u64;
+        let s = self.slot_of(key);
+        if self.stamp[s] == self.gen {
+            self.vals[s] += v;
+        } else {
+            self.stamp[s] = self.gen;
+            self.keys[s] = key;
+            self.vals[s] = v;
+            self.len += 1;
+            self.touched.push(s);
+        }
+    }
+
+    fn grow(&mut self) {
+        let live: Vec<(u64, f64)> = self
+            .touched
+            .iter()
+            .map(|&s| (self.keys[s], self.vals[s]))
+            .collect();
+        let cap = self.keys.len() * 2;
+        self.keys = vec![0; cap];
+        self.vals = vec![0.0; cap];
+        self.stamp = vec![0; cap];
+        self.gen = 1;
+        self.len = 0;
+        self.touched.clear();
+        for (key, val) in live {
+            let s = self.slot_of(key);
+            self.stamp[s] = self.gen;
+            self.keys[s] = key;
+            self.vals[s] = val;
+            self.len += 1;
+            self.touched.push(s);
+        }
+    }
+
+    /// Emits every live cell in `(row, col)` order.
+    pub fn drain_sorted<F: FnMut(u32, u32, f64)>(&mut self, mut emit: F) {
+        let mut cells: Vec<(u64, f64)> = self
+            .touched
+            .iter()
+            .map(|&s| (self.keys[s], self.vals[s]))
+            .collect();
+        cells.sort_unstable_by_key(|&(k, _)| k);
+        for (key, val) in cells {
+            emit((key >> 32) as u32, (key & 0xFFFF_FFFF) as u32, val);
+        }
+        self.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_dense(
+        updates: &[(u32, u32, f64)],
+        base: u32,
+        span: u32,
+        cols: u32,
+    ) -> Vec<(u32, u32, f64)> {
+        let mut d = DenseAccum::new();
+        d.reset(base..base + span, cols);
+        for &(r, c, v) in updates {
+            d.add(r, c, v);
+        }
+        let mut out = Vec::new();
+        d.drain_sorted(|r, c, v| out.push((r, c, v)));
+        out
+    }
+
+    fn run_hash(updates: &[(u32, u32, f64)]) -> Vec<(u32, u32, f64)> {
+        let mut h = HashAccum::new();
+        h.reset();
+        for &(r, c, v) in updates {
+            h.add(r, c, v);
+        }
+        let mut out = Vec::new();
+        h.drain_sorted(|r, c, v| out.push((r, c, v)));
+        out
+    }
+
+    #[test]
+    fn dense_and_hash_agree_bitwise() {
+        let mut rng = cobra_graph::SplitMix64::seed_from_u64(5);
+        let updates: Vec<(u32, u32, f64)> = (0..5_000)
+            .map(|_| {
+                (
+                    8 + rng.u32_below(32),
+                    rng.u32_below(64),
+                    (rng.u32_below(16) + 1) as f64 * 0.25,
+                )
+            })
+            .collect();
+        let d = run_dense(&updates, 8, 32, 64);
+        let h = run_hash(&updates);
+        assert_eq!(d.len(), h.len());
+        for ((dr, dc, dv), (hr, hc, hv)) in d.iter().zip(&h) {
+            assert_eq!((dr, dc), (hr, hc));
+            assert_eq!(dv.to_bits(), hv.to_bits());
+        }
+    }
+
+    #[test]
+    fn output_is_row_col_sorted() {
+        let updates = [(3u32, 5u32, 1.0), (1, 9, 2.0), (1, 2, 3.0), (3, 5, 4.0)];
+        let got = run_hash(&updates);
+        assert_eq!(got, vec![(1, 2, 3.0), (1, 9, 2.0), (3, 5, 5.0)]);
+    }
+
+    #[test]
+    fn hash_survives_growth() {
+        // 4096 distinct cells force several doublings past the initial
+        // 1024 slots.
+        let updates: Vec<(u32, u32, f64)> = (0..4096).map(|i| (i / 64, i % 64, 0.5)).collect();
+        let got = run_hash(&updates);
+        assert_eq!(got.len(), 4096);
+        assert!(got.iter().all(|&(_, _, v)| v == 0.5));
+    }
+
+    #[test]
+    fn generation_reuse_forgets_previous_bin() {
+        let mut h = HashAccum::new();
+        h.reset();
+        h.add(1, 1, 1.0);
+        let mut first = Vec::new();
+        h.drain_sorted(|r, c, v| first.push((r, c, v)));
+        h.add(2, 2, 2.0);
+        let mut second = Vec::new();
+        h.drain_sorted(|r, c, v| second.push((r, c, v)));
+        assert_eq!(first, vec![(1, 1, 1.0)]);
+        assert_eq!(second, vec![(2, 2, 2.0)]);
+    }
+}

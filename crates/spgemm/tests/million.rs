@@ -1,0 +1,42 @@
+//! Acceptance gate: on a ≥1M-nonzero input, fused, unfused, and streaming
+//! SpGEMM produce bit-identical CSR.
+
+#![forbid(unsafe_code)]
+
+use cobra_spgemm::{
+    dyadic_matrix, dyadic_skewed_matrix, spgemm, spgemm_stream, triplets, SpGemmConfig,
+};
+use cobra_stream::StreamConfig;
+
+#[test]
+fn million_nnz_fused_unfused_and_streaming_are_bit_identical() {
+    // A: 2^17 rows × 8 nnz/row = 1,048,576 nonzeros (≥ 1M). B's skewed
+    // columns make fusion actually fire.
+    let a = dyadic_matrix(1 << 17, 1 << 14, 8, 101);
+    let b = dyadic_skewed_matrix(1 << 14, 1 << 14, 4, 1.2, 102);
+    assert!(a.nnz() >= 1_000_000, "A has only {} nnz", a.nnz());
+
+    let (fused, rep_f) = spgemm(&a, &b, &SpGemmConfig::default());
+    let (unfused, rep_u) = spgemm(
+        &a,
+        &b,
+        &SpGemmConfig {
+            fusion: false,
+            ..Default::default()
+        },
+    );
+    let (streamed, stats) = spgemm_stream(&a, &b, 8, StreamConfig::default());
+
+    assert!(rep_f.fuse.hits > 0, "fusion never fired");
+    assert!(
+        rep_f.bin_traffic_bytes < rep_u.bin_traffic_bytes,
+        "fusion must reduce bin traffic: {} vs {}",
+        rep_f.bin_traffic_bytes,
+        rep_u.bin_traffic_bytes
+    );
+    assert!(stats.epochs_sealed >= 8);
+
+    let want = triplets(&unfused);
+    assert_eq!(triplets(&fused), want);
+    assert_eq!(triplets(&streamed), want);
+}

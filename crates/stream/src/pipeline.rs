@@ -746,6 +746,11 @@ impl<R: Reducer> IngestPipeline<R> {
                             tuples: c.cbuf_flush_tuples.load(Ordering::Relaxed), // ordering: stats
                             frame_capacity: c.cbuf_frame_capacity.load(Ordering::Relaxed) as u32, // ordering: stats
                         },
+                        fusion: cobra_bins::FuseStats {
+                            attempts: c.fusion_attempts.load(Ordering::Relaxed), // ordering: stats
+                            hits: c.fusion_hits.load(Ordering::Relaxed),         // ordering: stats
+                            flushes: c.fusion_flushes.load(Ordering::Relaxed),   // ordering: stats
+                        },
                         channel: self.channel_counters[s].snapshot(),
                     }
                 })
@@ -819,6 +824,57 @@ mod tests {
         assert!(stats.total_bins_bytes() > 0);
         assert!(stats.total_bin_segments() > 0);
         assert!(stats.cbuf_occupancy() > 0.0 && stats.cbuf_occupancy() <= 1.0);
+    }
+
+    #[test]
+    fn fusable_sum_coalesces_skewed_stream_and_counts_it() {
+        use crate::reducer::Sum;
+        // A heavily skewed stream: a handful of hot keys repeat inside
+        // every C-Buffer frame, so the fused path must fold tuples away
+        // and the stats must say so. Dyadic values keep f64 sums exact,
+        // so fused == unfused bit-for-bit.
+        let keys: Vec<u32> = (0..40_000u64).map(|i| ((i * i) % 7) as u32).collect();
+        let p = IngestPipeline::new(1 << 10, Sum, StreamConfig::new().shards(2));
+        let mut h = p.handle();
+        let mut direct = vec![0f64; 1 << 10];
+        for (i, &k) in keys.iter().enumerate() {
+            let v = ((i % 16) as f64) * 0.25;
+            h.send(k, v).unwrap();
+            direct[k as usize] += v;
+        }
+        drop(h);
+        let (snap, stats) = p.shutdown();
+        assert!(
+            stats.total_fusion_hits() > 0,
+            "skewed keys must fuse in-frame"
+        );
+        assert!(stats.fused_ratio() > 0.0 && stats.fused_ratio() < 1.0);
+        assert!(stats.total_fusion_flushes() > 0);
+        // Fewer tuples crossed into bin memory than were sent.
+        assert!(
+            stats.shards.iter().map(|s| s.flushed_tuples).sum::<u64>() < stats.tuples_sent,
+            "fusion must reduce bin traffic"
+        );
+        for (k, want) in direct.iter().enumerate() {
+            assert_eq!(
+                snap.get(k as u32).to_bits(),
+                want.to_bits(),
+                "key {k}: fused stream result must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn non_fusable_reducers_report_zero_fusion() {
+        let p = IngestPipeline::new(64, Count, StreamConfig::new().shards(2));
+        let mut h = p.handle();
+        for i in 0..1000u32 {
+            h.send(i % 4, ()).unwrap();
+        }
+        drop(h);
+        let (_, stats) = p.shutdown();
+        assert_eq!(stats.total_fusion_hits(), 0);
+        assert_eq!(stats.fused_ratio(), 0.0);
     }
 
     #[test]

@@ -27,6 +27,23 @@ pub trait Reducer: Send + Sync + 'static {
     /// accumulator). Enables the merge-on-flush fast path.
     const COMMUTATIVE: bool = false;
 
+    /// Whether two *values* for the same key may be coalesced into one
+    /// while still staged in a C-Buffer frame (Coup-style reducer
+    /// fusion; see [`fuse_values`](Self::fuse_values)). Requires
+    /// [`COMMUTATIVE`](Self::COMMUTATIVE): fusion reassociates the
+    /// reduction, two updates arrive at the accumulator as one.
+    const FUSABLE: bool = false;
+
+    /// Coalesces the incoming value `b` into the staged value `a`, such
+    /// that `apply(acc, a_fused)` equals `apply(acc, a); apply(acc, b)`.
+    /// Returns `false` when this particular pair is not combinable (the
+    /// tuple then stages normally — refusal is always legal). Only called
+    /// when [`FUSABLE`](Self::FUSABLE) is `true`.
+    fn fuse_values(&self, a: &mut Self::Value, b: &Self::Value) -> bool {
+        let _ = (a, b);
+        false
+    }
+
     /// The accumulator every key starts from.
     fn identity(&self) -> Self::Acc;
 
@@ -42,7 +59,9 @@ pub trait Reducer: Send + Sync + 'static {
 }
 
 /// Degree-Count-style occurrence counting: every tuple increments its
-/// key's counter. Commutative.
+/// key's counter. Commutative — but **not fusable**: the `()` payload
+/// cannot encode "this tuple stands for two increments", so frame-level
+/// coalescing would silently drop counts.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Count;
 
@@ -77,6 +96,8 @@ impl Reducer for Sum {
     type Value = f64;
     type Acc = f64;
     const COMMUTATIVE: bool = true;
+    // Two staged contributions to the same key can pre-add in the frame.
+    const FUSABLE: bool = true;
 
     fn identity(&self) -> f64 {
         0.0
@@ -88,6 +109,11 @@ impl Reducer for Sum {
 
     fn merge(&self, into: &mut f64, from: f64) {
         *into += from;
+    }
+
+    fn fuse_values(&self, a: &mut f64, b: &f64) -> bool {
+        *a += *b;
+        true
     }
 }
 
@@ -168,5 +194,30 @@ mod tests {
         let r = Append;
         let mut a = r.identity();
         r.merge(&mut a, vec![1]);
+    }
+
+    #[test]
+    fn sum_fuses_values_equivalently() {
+        // apply(acc, fuse(a, b)) == apply(apply(acc, a), b) for Sum.
+        let r = Sum;
+        const { assert!(Sum::FUSABLE && Sum::COMMUTATIVE) };
+        let (mut a, b) = (1.25f64, 2.5f64);
+        assert!(r.fuse_values(&mut a, &b));
+        let mut fused = r.identity();
+        r.apply(&mut fused, &a);
+        let mut serial = r.identity();
+        r.apply(&mut serial, &1.25);
+        r.apply(&mut serial, &2.5);
+        assert_eq!(fused.to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn default_fuse_refuses() {
+        // Non-fusable reducers refuse every pair by default.
+        const { assert!(!Count::FUSABLE) };
+        let r = Append;
+        let mut a = 1u32;
+        assert!(!r.fuse_values(&mut a, &2));
+        assert_eq!(a, 1, "a refused fuse must not mutate the staged value");
     }
 }

@@ -107,8 +107,21 @@ impl<R: Reducer> ShardWorker<R> {
                         // ordering: Relaxed — stats counter; the batch
                         // arrived through the channel mutex.
                         .fetch_add(tuples.len() as u64, Ordering::Relaxed);
+                    let reducer = &self.reducer;
                     for t in &tuples {
-                        self.binner.insert(t.key - self.base, t.value);
+                        if R::COMMUTATIVE && R::FUSABLE {
+                            // Coup-style frame fusion: a staged tuple for
+                            // the same key absorbs this one before it ever
+                            // crosses into bin memory. Legal only because
+                            // the reducer declares itself commutative
+                            // (cobra-check's oracle validates the claim).
+                            self.binner
+                                .insert_fused(t.key - self.base, t.value, |a, b| {
+                                    reducer.fuse_values(a, b)
+                                });
+                        } else {
+                            self.binner.insert(t.key - self.base, t.value);
+                        }
                         if let Some(wal) = &mut self.wal {
                             wal.append_update(t.key, t.value);
                         }
@@ -173,6 +186,7 @@ impl<R: Reducer> ShardWorker<R> {
             bins.store().memory(),
             bins.store().grow_events(),
             self.binner.flush_stats(),
+            self.binner.fuse_stats(),
         );
         if !R::COMMUTATIVE {
             return EpochDelta::Ordered(bins);

@@ -5,7 +5,7 @@
 //! eviction buffers.
 
 use crate::channel::ChannelStats;
-use cobra_bins::{BinMemory, FrameFlushStats};
+use cobra_bins::{BinMemory, FrameFlushStats, FuseStats};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -24,6 +24,9 @@ pub(crate) struct ShardCounters {
     pub cbuf_flush_frames: AtomicU64,
     pub cbuf_flush_tuples: AtomicU64,
     pub cbuf_frame_capacity: AtomicU64,
+    pub fusion_attempts: AtomicU64,
+    pub fusion_hits: AtomicU64,
+    pub fusion_flushes: AtomicU64,
 }
 
 impl ShardCounters {
@@ -40,8 +43,14 @@ impl ShardCounters {
     }
 
     /// Records the sealed epoch's bin-store footprint and the binner's
-    /// running C-Buffer flush statistics.
-    pub(crate) fn record_memory(&self, mem: BinMemory, grows: u64, frames: FrameFlushStats) {
+    /// running C-Buffer flush and fusion statistics.
+    pub(crate) fn record_memory(
+        &self,
+        mem: BinMemory,
+        grows: u64,
+        frames: FrameFlushStats,
+        fuse: FuseStats,
+    ) {
         // ordering: Relaxed throughout — advisory footprint/occupancy
         // telemetry written only by the owning shard worker.
         self.max_bins_bytes.fetch_max(mem.bytes, Ordering::Relaxed); // ordering: stats
@@ -54,6 +63,11 @@ impl ShardCounters {
             .store(frames.tuples, Ordering::Relaxed); // ordering: stats
         self.cbuf_frame_capacity
             .store(frames.frame_capacity as u64, Ordering::Relaxed); // ordering: stats
+                                                                     // The binner's fuse counters are cumulative, so publish them with
+                                                                     // absolute stores like the C-Buffer flush counters above.
+        self.fusion_attempts.store(fuse.attempts, Ordering::Relaxed); // ordering: stats
+        self.fusion_hits.store(fuse.hits, Ordering::Relaxed); // ordering: stats
+        self.fusion_flushes.store(fuse.flushes, Ordering::Relaxed); // ordering: stats
     }
 }
 
@@ -82,6 +96,9 @@ pub struct ShardStats {
     pub bin_grow_events: u64,
     /// Running C-Buffer flush statistics (frames, tuples, frame capacity).
     pub cbuf_flushes: FrameFlushStats,
+    /// Running Coup-style frame-fusion counters (all zero when the
+    /// reducer is not fusable).
+    pub fusion: FuseStats,
     /// The shard's ingest FIFO: occupancy and producer-stall counters.
     pub channel: ChannelStats,
 }
@@ -187,6 +204,29 @@ impl StreamStats {
         }
         total.occupancy()
     }
+
+    /// Tuples folded away by Coup-style frame fusion, summed across
+    /// shards (each hit is one tuple that never crossed into bin memory).
+    pub fn total_fusion_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.fusion.hits).sum()
+    }
+
+    /// Coalescing-table resets forced by frame flushes, summed across
+    /// shards.
+    pub fn total_fusion_flushes(&self) -> u64 {
+        self.shards.iter().map(|s| s.fusion.flushes).sum()
+    }
+
+    /// Pipeline-wide fraction of fusable tuples that fused away (0.0 for
+    /// non-fusable reducers).
+    pub fn fused_ratio(&self) -> f64 {
+        let mut total = FuseStats::default();
+        for s in &self.shards {
+            total.attempts += s.fusion.attempts;
+            total.hits += s.fusion.hits;
+        }
+        total.fused_ratio()
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +246,7 @@ mod tests {
             bin_segments: 0,
             bin_grow_events: 0,
             cbuf_flushes: FrameFlushStats::default(),
+            fusion: FuseStats::default(),
             channel: ChannelStats {
                 send_stall_nanos: stall_nanos,
                 send_blocks: blocks,
@@ -233,6 +274,38 @@ mod tests {
         assert_eq!(s.total_send_stall(), Duration::from_secs(2));
         assert!((s.stall_fraction() - 1.0).abs() < 1e-9);
         assert_eq!(s.total_send_blocks(), 7);
+    }
+
+    #[test]
+    fn fusion_aggregates_across_shards() {
+        let mut a = shard(0, 0);
+        a.fusion = FuseStats {
+            attempts: 100,
+            hits: 40,
+            flushes: 7,
+        };
+        let mut b = shard(0, 0);
+        b.fusion = FuseStats {
+            attempts: 100,
+            hits: 10,
+            flushes: 3,
+        };
+        let s = StreamStats {
+            tuples_sent: 200,
+            batches_sent: 2,
+            epochs_sealed: 1,
+            epochs_published: 1,
+            epochs_committed: 1,
+            wal_bytes_appended: 0,
+            wal_fsyncs: 0,
+            wal_segments: 0,
+            wal_replayed_records: 0,
+            elapsed: Duration::from_secs(1),
+            shards: vec![a, b],
+        };
+        assert_eq!(s.total_fusion_hits(), 50);
+        assert_eq!(s.total_fusion_flushes(), 10);
+        assert!((s.fused_ratio() - 0.25).abs() < 1e-12);
     }
 
     #[test]

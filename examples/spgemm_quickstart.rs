@@ -1,0 +1,67 @@
+//! SpGEMM quickstart: propagation-blocked `C = A · B` with frame fusion.
+//!
+//! Expands partial products in Gustavson row order, bins them by output
+//! row range, accumulates each bin cache-resident — then runs the same
+//! product with the Coup-style fusion pass on and through the streaming
+//! pipeline, and shows all three produce the same bits.
+//!
+//! Run with: `cargo run --release --example spgemm_quickstart`
+
+#![forbid(unsafe_code)]
+
+use cobra_repro::spgemm::{
+    dyadic_matrix, dyadic_skewed_matrix, spgemm, spgemm_stream, triplets, SpGemmConfig,
+};
+use cobra_repro::stream::StreamConfig;
+
+fn main() {
+    // Dyadic values (multiples of 0.25) keep f64 addition associative, so
+    // fused and unfused folds are bit-exact — the same trick every
+    // identity gate in the repo uses. B's columns are Zipf-skewed: hot
+    // columns recur across consecutive inner rows, which is the adjacency
+    // a C-Buffer frame can fuse.
+    let a = dyadic_matrix(1 << 11, 1 << 11, 8, 0x51);
+    let b = dyadic_skewed_matrix(1 << 11, 1 << 11, 8, 1.2, 0x52);
+
+    // ---- 1. Unfused PB-SpGEMM: expand -> bin by output row -> accumulate.
+    let unfused_cfg = SpGemmConfig {
+        fusion: false,
+        ..Default::default()
+    };
+    let (c_unfused, rep_unfused) = spgemm(&a, &b, &unfused_cfg);
+    println!(
+        "unfused: {} partial products -> {} bin-traffic bytes -> {} output nonzeros",
+        rep_unfused.expand_tuples, rep_unfused.bin_traffic_bytes, rep_unfused.nnz_out
+    );
+
+    // ---- 2. Fused: same-cell products coalesce inside the frame.
+    let (c_fused, rep_fused) = spgemm(&a, &b, &SpGemmConfig::default());
+    println!(
+        "fused:   {} fusion hits cut traffic to {} bytes ({:.1}% saved)",
+        rep_fused.fuse.hits,
+        rep_fused.bin_traffic_bytes,
+        100.0 * (1.0 - rep_fused.bin_traffic_bytes as f64 / rep_unfused.bin_traffic_bytes as f64)
+    );
+    assert!(rep_fused.fuse.hits > 0);
+    assert!(rep_fused.bin_traffic_bytes < rep_unfused.bin_traffic_bytes);
+    assert_eq!(
+        triplets(&c_fused),
+        triplets(&c_unfused),
+        "fusion changed bits"
+    );
+
+    // ---- 3. Streaming: row-tiled epochs through cobra-stream.
+    let (c_streamed, stats) = spgemm_stream(&a, &b, 8, StreamConfig::default());
+    println!(
+        "stream:  {} epochs sealed, fused ratio {:.4}",
+        stats.epochs_sealed,
+        stats.fused_ratio()
+    );
+    assert_eq!(
+        triplets(&c_streamed),
+        triplets(&c_unfused),
+        "streaming changed bits"
+    );
+
+    println!("all three paths produced bit-identical CSR output");
+}

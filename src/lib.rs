@@ -10,7 +10,9 @@
 //! * [`pb`] — software Propagation Blocking library
 //! * [`cobra`] — the COBRA hardware model and execution harness (the paper's
 //!   contribution)
-//! * [`kernels`] — the nine evaluated workloads
+//! * [`kernels`] — the ten evaluated workloads
+//! * [`spgemm`] — propagation-blocked sparse matrix-matrix multiplication
+//!   with Coup-style frame fusion
 //! * [`stream`] — long-lived sharded streaming ingestion of irregular
 //!   updates (epochs, snapshots, backpressure)
 //! * [`serve`] — dependency-free TCP service over the stream pipeline
@@ -24,4 +26,5 @@ pub use cobra_kernels as kernels;
 pub use cobra_pb as pb;
 pub use cobra_serve as serve;
 pub use cobra_sim as sim;
+pub use cobra_spgemm as spgemm;
 pub use cobra_stream as stream;

@@ -15,6 +15,9 @@ fn input_for(k: KernelId, seed: u64) -> Input {
         }
         IntSort => Input::keys(gen::random_keys(30_000, 1 << 14, seed), 1 << 14),
         Spmv | Transpose | Pinv | SymPerm => Input::matrix(matrix::random_uniform(5_000, 6, seed)),
+        // Small and dyadic-valued: the expansion phase squares the per-row
+        // density, and dyadic products keep every fold order bit-exact.
+        SpGemm => Input::matrix(cobra_repro::spgemm::dyadic_matrix(2_000, 2_000, 4, seed)),
     }
 }
 
